@@ -1,0 +1,128 @@
+// §4.2 reproduction: point renumbering and multilevel Cuthill-McKee
+// element sorting. Paper claims:
+//  * results are invariant under element loop order ("two sets of
+//    synthetic seismograms that are indistinguishable"),
+//  * RCM sorting gains at most ~5% "because previous work ... to reduce
+//    cache misses based on point renumbering ... has worked very well and
+//    there are already so few L2 cache misses",
+//  * groups of 50-100 elements fit together in L2 (the multilevel variant).
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "mesh/numbering.hpp"
+#include "mesh/rcm.hpp"
+
+using namespace sfg;
+
+namespace {
+
+/// Time 12 solver steps on a globe whose elements have been RELAID OUT
+/// (memory order changed) by `order`, with global points renumbered by
+/// first touch (the full §4.2 pipeline).
+double time_with_layout(const GlobeSlice& base, const GllBasis& basis,
+                        const std::vector<int>* order) {
+  GlobeSlice copy = base;
+  if (order != nullptr) {
+    apply_element_permutation(copy.mesh, *order);
+    // materials are per-element too
+    MaterialFields& mat = copy.materials;
+    MaterialFields src = mat;
+    const int n3 = copy.mesh.ngll3();
+    std::vector<bool> fluid(src.element_is_fluid.size());
+    for (int newid = 0; newid < copy.mesh.nspec; ++newid) {
+      const int oldid = (*order)[static_cast<std::size_t>(newid)];
+      for (auto arr : {&MaterialFields::rho, &MaterialFields::kappav,
+                       &MaterialFields::muv, &MaterialFields::vp,
+                       &MaterialFields::vs, &MaterialFields::q_mu}) {
+        auto& dst_v = mat.*arr;
+        auto& src_v = src.*arr;
+        std::copy_n(src_v.begin() + static_cast<std::ptrdiff_t>(oldid) * n3,
+                    n3,
+                    dst_v.begin() + static_cast<std::ptrdiff_t>(newid) * n3);
+      }
+      fluid[static_cast<std::size_t>(newid)] =
+          src.element_is_fluid[static_cast<std::size_t>(oldid)];
+    }
+    mat.element_is_fluid = fluid;
+    renumber_global_points_by_first_touch(copy.mesh);
+  }
+  auto q = analyze_mesh_quality(copy.mesh, copy.materials.vp,
+                                copy.materials.vs);
+  SimulationConfig cfg;
+  cfg.dt = 0.8 * q.dt_stable;
+  Simulation sim(copy.mesh, basis, copy.materials, cfg);
+  sim.run(2);  // warm up
+  return bench::time_best_of(3, [&] { sim.run(4); }) / 4.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "§4.2 — multilevel Cuthill-McKee element sorting",
+      "loop order leaves seismograms unchanged; RCM sorting gains at most "
+      "~5% because point renumbering already removed most cache misses");
+
+  bench::GlobeSetup setup(10);
+  const HexMesh& mesh = setup.globe.mesh;
+  std::printf("Mesh: %d elements, %d global points\n", mesh.nspec,
+              mesh.nglob);
+
+  const auto adj = element_adjacency(mesh);
+  std::vector<int> natural(static_cast<std::size_t>(mesh.nspec));
+  std::iota(natural.begin(), natural.end(), 0);
+  std::vector<int> random_order = natural;
+  SplitMix64 rng(2718);
+  for (std::size_t i = random_order.size(); i > 1; --i)
+    std::swap(random_order[i - 1],
+              random_order[static_cast<std::size_t>(rng.next_below(i))]);
+  const auto rcm = reverse_cuthill_mckee(adj);
+  const auto ml = multilevel_cuthill_mckee(adj, 64);  // 50-100 block rule
+
+  AsciiTable strides("Locality metrics (average |ibool| stride of the "
+                     "element walk after first-touch renumbering)");
+  strides.set_header({"ordering", "graph bandwidth", "avg global stride"});
+  auto stride_of = [&](const std::vector<int>& order) {
+    HexMesh m = mesh;
+    apply_element_permutation(m, order);
+    renumber_global_points_by_first_touch(m);
+    return average_global_stride(m);
+  };
+  strides.add_row({"natural (mesher)", std::to_string(ordering_bandwidth(adj, natural)),
+                   fmt_g(stride_of(natural), 4)});
+  strides.add_row({"random", std::to_string(ordering_bandwidth(adj, random_order)),
+                   fmt_g(stride_of(random_order), 4)});
+  strides.add_row({"reverse Cuthill-McKee", std::to_string(ordering_bandwidth(adj, rcm)),
+                   fmt_g(stride_of(rcm), 4)});
+  strides.add_row({"multilevel RCM (64/block)", std::to_string(ordering_bandwidth(adj, ml)),
+                   fmt_g(stride_of(ml), 4)});
+  strides.print();
+
+  const double t_nat = time_with_layout(setup.globe, setup.basis, nullptr);
+  const double t_rnd = time_with_layout(setup.globe, setup.basis, &random_order);
+  const double t_rcm = time_with_layout(setup.globe, setup.basis, &rcm);
+  const double t_ml = time_with_layout(setup.globe, setup.basis, &ml);
+
+  AsciiTable timing("Solver time per step under each element layout");
+  timing.set_header({"ordering", "time/step (ms)", "gain vs natural"});
+  auto gain = [&](double t) {
+    return fmt_g(100.0 * (t_nat / t - 1.0), 2) + " %";
+  };
+  timing.add_row({"natural (mesher)", fmt_g(1e3 * t_nat, 4), "0 %"});
+  timing.add_row({"random", fmt_g(1e3 * t_rnd, 4), gain(t_rnd)});
+  timing.add_row({"reverse Cuthill-McKee", fmt_g(1e3 * t_rcm, 4), gain(t_rcm)});
+  timing.add_row({"multilevel RCM (64/block)", fmt_g(1e3 * t_ml, 4), gain(t_ml)});
+  timing.print();
+
+  std::printf(
+      "\nPaper's finding reproduced when the gain over the natural order is\n"
+      "small (<= ~5%%): the mesher's own ordering plus first-touch point\n"
+      "renumbering already leaves few cache misses to recover. The random\n"
+      "layout shows what is at stake when locality is DESTROYED.\n"
+      "(Loop-order invariance of the seismograms is asserted by\n"
+      "tests/test_solver.cpp::LoopOrderPermutationLeavesSeismogramsUnchanged.)\n");
+  return 0;
+}

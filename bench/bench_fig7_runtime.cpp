@@ -1,0 +1,90 @@
+// Figure 7 reproduction: "Predicted and actual total time spent for all
+// cores for different resolutions" (normalized to the smallest) — §5's
+// finding that total core-seconds depend on the resolution only, not on
+// the core count, growing steeply with NEX (the figure's y-axis spans
+// 1 -> ~300 over resolutions 96 -> 640), and that the fitted model
+// predicted the 12K-core run "within 12% error".
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/constants.hpp"
+#include "perf/regression.hpp"
+
+using namespace sfg;
+
+int main() {
+  bench::banner(
+      "Figure 7 — total core-seconds vs resolution (normalized)",
+      "core-seconds are set by NEX alone (independent of core count); "
+      "normalized growth ~1 -> ~300 over the paper's 96 -> 640 range "
+      "(a ~NEX^3 law); model matched the 12K run within 12%");
+
+  // Measure the per-step solver cost at a ladder of resolutions; total
+  // core-seconds for a fixed simulated event = time/step * steps(NEX),
+  // with steps = event_duration / dt(NEX).
+  const double event_seconds = 200.0;
+  std::vector<double> nex_values, core_seconds;
+  AsciiTable meas("Measured serial solver cost (full-globe PREM mesh)");
+  meas.set_header({"NEX_XI", "elements", "dt (s)", "time/step (s)",
+                   "steps(200s)", "core-seconds"});
+  for (int nex : {4, 6, 8, 10}) {
+    bench::GlobeSetup setup(nex);
+    Simulation sim = setup.make_simulation();
+    sim.run(2);  // warm up
+    const double t_step =
+        bench::time_best_of(3, [&] { sim.run(3); }) / 3.0;
+    const double steps = event_seconds / setup.dt;
+    const double total = t_step * steps;
+    nex_values.push_back(nex);
+    core_seconds.push_back(total);
+    meas.add_row({std::to_string(nex),
+                  std::to_string(setup.globe.mesh.nspec),
+                  fmt_g(setup.dt, 3), fmt_g(t_step, 3),
+                  fmt_g(steps, 4), fmt_g(total, 4)});
+  }
+  meas.print();
+
+  const PowerLaw law = fit_power_law(nex_values, core_seconds);
+  std::printf("\nFitted: core-seconds = %.3g * NEX^%.2f (max fit error %.0f%%)\n",
+              law.a, law.b, 100.0 * law.max_relative_error);
+
+  // Leave-one-out check standing in for the paper's "within 12%" claim.
+  {
+    std::vector<double> x(nex_values.begin(), nex_values.end() - 1);
+    std::vector<double> y(core_seconds.begin(), core_seconds.end() - 1);
+    const PowerLaw partial = fit_power_law(x, y);
+    const double predicted = partial.evaluate(nex_values.back());
+    std::printf(
+        "Model fitted WITHOUT the largest run predicts it to %.1f%% "
+        "(paper: within 12%% for the 12K-core run)\n",
+        100.0 * std::abs(predicted / core_seconds.back() - 1.0));
+  }
+
+  AsciiTable norm("Normalized totals at the paper's resolutions (our fit)");
+  norm.set_header({"resolution (NEX_XI)", "period (s)",
+                   "our normalized time", "paper figure range"});
+  const double base = law.evaluate(96.0);
+  for (int nex : {96, 144, 288, 320, 512, 640}) {
+    norm.add_row({std::to_string(nex),
+                  fmt_g(shortest_period_seconds(nex), 3),
+                  fmt_g(law.evaluate(nex) / base, 4),
+                  nex == 96 ? "1 (reference)"
+                            : (nex == 640 ? "~300 (axis max ~301)" : "-")});
+  }
+  norm.print();
+  std::printf(
+      "Paper's implied exponent from its 1 -> ~300 span over 96 -> 640:\n"
+      "log(300)/log(640/96) = %.2f. Ours is %.2f; the excess over 3 comes\n"
+      "from the uniform-angular substitution mesh whose radial element\n"
+      "count also grows with NEX (see DESIGN.md).\n",
+      std::log(300.0) / std::log(640.0 / 96.0), law.b);
+
+  std::printf(
+      "\nIndependence from core count: total flops per step are identical\n"
+      "for any decomposition of the same mesh (verified by the test suite:\n"
+      "ParallelSolver.EnergyIsGloballyConsistent and the 6/24-rank\n"
+      "seismogram identities), so core-seconds depend on NEX only.\n");
+  return 0;
+}

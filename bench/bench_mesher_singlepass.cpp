@@ -1,0 +1,53 @@
+// §4.4(1) reproduction: "Due to legacy code, the mesher was actually run
+// twice internally: once to generate the mesh of elements (i.e., the
+// geometry) and a second time to populate this geometry with material
+// properties ...; this slowed down the mesher by a factor of two ... we
+// therefore merged these two steps (assigning properties to each mesh
+// element right after its creation)."
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace sfg;
+
+int main() {
+  bench::banner("§4.4(1) — single-pass vs legacy two-pass mesher",
+                "the legacy two-pass mesher is ~2x slower");
+
+  static PremModel prem;
+  AsciiTable table("Mesher geometry-pass time (best of 5, one slice)");
+  table.set_header({"NEX_XI", "elements", "merged single-pass (ms)",
+                    "legacy two-pass (ms)", "slowdown", "paper"});
+
+  for (int nex : {8, 12, 16}) {
+    GlobeMeshSpec spec;
+    spec.nex_xi = nex;
+    spec.nchunks = 6;
+    spec.model = &prem;
+    GllBasis basis(4);
+
+    double t_merged = 1e300, t_legacy = 1e300;
+    int nspec = 0;
+    for (int rep = 0; rep < 5; ++rep) {
+      spec.legacy_two_pass = false;
+      GlobeSlice merged = build_globe_slice(spec, basis, 0);
+      t_merged = std::min(t_merged, merged.stats.geometry_seconds);
+      nspec = merged.stats.nspec;
+      spec.legacy_two_pass = true;
+      GlobeSlice legacy = build_globe_slice(spec, basis, 0);
+      t_legacy = std::min(t_legacy, legacy.stats.geometry_seconds);
+    }
+    table.add_row({std::to_string(nex), std::to_string(nspec),
+                   fmt_g(1e3 * t_merged, 4), fmt_g(1e3 * t_legacy, 4),
+                   fmt_g(t_legacy / t_merged, 3) + "x", "~2x"});
+  }
+  table.print();
+
+  std::printf(
+      "\nAt 62K cores on a shared machine the 2x mesher slowdown was\n"
+      "unacceptable (§4.4); the merged mesher assigns each element's\n"
+      "properties immediately after creating its geometry, exactly as\n"
+      "build_globe_slice does in its default single-pass mode.\n");
+  return 0;
+}

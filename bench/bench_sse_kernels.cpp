@@ -1,0 +1,157 @@
+// §4.3 reproduction: the manual SSE vectorization study of the internal
+// force kernel. Paper claims:
+//  * "using BLAS calls actually significantly slows down the code compared
+//    to our existing regular Fortran loops" (5x5 matrices are too small),
+//  * manual SSE gains "typically between 15% and 20%" over the reference,
+//    limited because "modern compilers can automatically unroll loops and
+//    generate SSE ... instructions" (the reference is auto-vectorized).
+//
+// google-benchmark microbenchmarks over a batch of deformed elements, plus
+// a summary table comparing against the paper's numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "kernels/force_kernel.hpp"
+#include "mesh/cartesian.hpp"
+
+namespace sfg {
+namespace {
+
+struct Batch {
+  GllBasis basis{4};
+  HexMesh mesh;
+  aligned_vector<float> kappav, muv, rho;
+  KernelWorkspace ws{5};
+
+  Batch() {
+    CartesianBoxSpec spec;
+    spec.nx = spec.ny = spec.nz = 8;  // 512 elements
+    spec.deform = [](double& x, double& y, double& z) {
+      x += 0.05 * z;
+      y += 0.03 * z * z;
+      z += 0.02 * x;
+    };
+    mesh = build_cartesian_box(spec, basis);
+    const std::size_t n = mesh.num_local_points();
+    kappav.assign(n, 5.0e4f);
+    muv.assign(n, 3.0e4f);
+    rho.assign(n, 2.0e3f);
+    SplitMix64 rng(7);
+    for (int p = 0; p < 125; ++p) {
+      ws.ux[static_cast<std::size_t>(p)] =
+          static_cast<float>(rng.uniform(-1, 1));
+      ws.uy[static_cast<std::size_t>(p)] =
+          static_cast<float>(rng.uniform(-1, 1));
+      ws.uz[static_cast<std::size_t>(p)] =
+          static_cast<float>(rng.uniform(-1, 1));
+    }
+  }
+
+  ElementPointers pointers(int e) const {
+    const std::size_t off = mesh.local_offset(e);
+    ElementPointers ep;
+    ep.xix = mesh.xix.data() + off;
+    ep.xiy = mesh.xiy.data() + off;
+    ep.xiz = mesh.xiz.data() + off;
+    ep.etax = mesh.etax.data() + off;
+    ep.etay = mesh.etay.data() + off;
+    ep.etaz = mesh.etaz.data() + off;
+    ep.gammax = mesh.gammax.data() + off;
+    ep.gammay = mesh.gammay.data() + off;
+    ep.gammaz = mesh.gammaz.data() + off;
+    ep.jacobian = mesh.jacobian.data() + off;
+    ep.kappav = kappav.data() + off;
+    ep.muv = muv.data() + off;
+    ep.rho = rho.data() + off;
+    return ep;
+  }
+};
+
+Batch& batch() {
+  static Batch b;
+  return b;
+}
+
+void run_variant(benchmark::State& state, KernelVariant variant) {
+  Batch& b = batch();
+  ForceKernel kernel(b.basis, variant);
+  for (auto _ : state) {
+    for (int e = 0; e < b.mesh.nspec; ++e) {
+      kernel.compute_elastic(b.pointers(e), b.ws);
+      benchmark::DoNotOptimize(b.ws.fx.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * b.mesh.nspec);
+  state.counters["flops/elem"] =
+      static_cast<double>(kernel.elastic_flops_per_element());
+}
+
+void BM_ElasticForce_ReferenceLoops(benchmark::State& state) {
+  run_variant(state, KernelVariant::Reference);
+}
+void BM_ElasticForce_BlasSgemm(benchmark::State& state) {
+  run_variant(state, KernelVariant::BlasLike);
+}
+void BM_ElasticForce_ManualSse(benchmark::State& state) {
+  run_variant(state, KernelVariant::Sse);
+}
+
+BENCHMARK(BM_ElasticForce_ReferenceLoops);
+BENCHMARK(BM_ElasticForce_BlasSgemm);
+BENCHMARK(BM_ElasticForce_ManualSse);
+
+double time_variant(KernelVariant variant, int reps) {
+  Batch& b = batch();
+  ForceKernel kernel(b.basis, variant);
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    for (int e = 0; e < b.mesh.nspec; ++e)
+      kernel.compute_elastic(b.pointers(e), b.ws);
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace sfg
+
+int main(int argc, char** argv) {
+  std::printf(
+      "\n=====================================================\n"
+      "§4.3 — manual SSE vs compiler loops vs BLAS SGEMM\n"
+      "Paper claim: SSE gains 15-20%% over the (auto-vectorized)\n"
+      "reference loops; BLAS SGEMM on 5x5 matrices is a net LOSS.\n"
+      "=====================================================\n");
+
+  using namespace sfg;
+  const double t_ref = time_variant(KernelVariant::Reference, 7);
+  const double t_blas = time_variant(KernelVariant::BlasLike, 7);
+  const double t_sse = time_variant(KernelVariant::Sse, 7);
+
+  AsciiTable table("512-element force-kernel batch (best of 7)");
+  table.set_header({"variant", "time (ms)", "vs reference", "paper"});
+  table.add_row({"reference loops", fmt_g(1e3 * t_ref, 4), "1.00x",
+                 "baseline (v4.0 Fortran loops)"});
+  table.add_row({"BLAS-style SGEMM", fmt_g(1e3 * t_blas, 4),
+                 fmt_g(t_ref / t_blas, 3) + "x",
+                 "\"significantly slows down the code\""});
+  table.add_row({"manual SSE", fmt_g(1e3 * t_sse, 4),
+                 fmt_g(t_ref / t_sse, 3) + "x",
+                 "+15-20% (gain limited by compiler auto-vectorization)"});
+  table.print();
+  std::printf(
+      "Padding: 5x5x5 = 125 floats padded to %d (paper: 128, a 2.4%%\n"
+      "memory waste); 4 of each 5 values vectorized, the 5th serial.\n\n",
+      padded_block_size(5));
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

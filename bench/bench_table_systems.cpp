@@ -1,0 +1,104 @@
+// §6 headline-runs reproduction: the paper's production results across the
+// four systems, regenerated from this repo's machine models and the
+// bandwidth-calibrated sustained-FLOPS model:
+//
+//   Franklin 12,150 cores — 24   Tflops (44% of Rmax) — 3.0 s period
+//   Kraken    9,600 cores — 12.1 Tflops — (same Argentina event)
+//   Kraken   12,696 cores — 16.0 Tflops
+//   Kraken   17,496 cores — 22.4 Tflops — 2.52 s (resolution record then)
+//   Jaguar   29,400 cores — 35.7 Tflops — 1.94 s (flops record)
+//   Ranger   31,974 cores — 28.7 Tflops — 1.84 s (resolution record)
+//
+// Shape to reproduce: Jaguar's better per-core memory bandwidth gives it
+// the higher flops rate despite fewer cores than Ranger; Ranger reaches
+// the finest period.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/constants.hpp"
+#include "perf/capacity.hpp"
+#include "perf/machines.hpp"
+
+using namespace sfg;
+
+namespace {
+
+struct PaperRun {
+  const char* system;
+  int nproc_xi;
+  double period_s;   // paper's shortest seismic period
+  double tflops;     // paper's sustained Tflops
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("§6 results table — production runs on four systems",
+                "Jaguar: highest flops rate (memory bandwidth); Ranger: "
+                "finest period; sustained ~25-45% of Rmax");
+
+  // Calibrate the Courant dt from a real (tiny) mesh of this repo.
+  bench::GlobeSetup ref(8);
+  std::printf("dt calibration: measured stable dt at NEX=8 is %.3f s\n",
+              ref.dt);
+
+  const PaperRun runs[] = {
+      {"Franklin", 45, 3.00, 24.0}, {"Kraken", 40, 2.52, 12.1},
+      {"Kraken", 46, 2.52, 16.0},   {"Kraken", 54, 2.52, 22.4},
+      {"Jaguar", 70, 1.94, 35.7},   {"Ranger", 73, 1.84, 28.7},
+  };
+
+  AsciiTable table("Paper vs reproduced (sustained whole-application Tflops)");
+  table.set_header({"system", "cores", "period (s)", "NEX", "paper Tflops",
+                    "model Tflops", "ratio", "% of Rmax (model)"});
+  double jaguar_tf = 0.0, ranger_tf = 0.0;
+  for (const PaperRun& r : runs) {
+    const MachineSpec& m = machine_by_name(r.system);
+    const int nex = nex_for_period(r.period_s);
+    const RunPrediction p =
+        predict_run(m, nex, r.nproc_xi, 30.0, true, ref.dt, 8);
+    if (m.name == "Jaguar") jaguar_tf = p.sustained_tflops;
+    if (m.name == "Ranger") ranger_tf = p.sustained_tflops;
+    const double rmax_pct =
+        m.rmax_tflops > 0 ? 100.0 * p.sustained_tflops / m.rmax_tflops : 0.0;
+    table.add_row({m.name, std::to_string(p.cores), fmt_g(r.period_s, 3),
+                   std::to_string(nex), fmt_g(r.tflops, 3),
+                   fmt_g(p.sustained_tflops, 3),
+                   fmt_g(p.sustained_tflops / r.tflops, 2),
+                   m.rmax_tflops > 0 ? fmt_g(rmax_pct, 2) + " %" : "n/a"});
+  }
+  table.print();
+
+  std::printf("\nShape checks:\n");
+  std::printf("  Jaguar flops record reproduced: %.1f Tf (Jaguar) > %.1f Tf "
+              "(Ranger)  [paper: 35.7 > 28.7]  %s\n",
+              jaguar_tf, ranger_tf, jaguar_tf > ranger_tf ? "OK" : "FAIL");
+  std::printf("  Ranger resolution record: 1.84 s < 1.94 s by NEX %d > %d\n",
+              nex_for_period(1.84), nex_for_period(1.94));
+
+  // The 2-second barrier and the planned 48K/62K runs (§7).
+  AsciiTable future("§7 planned Ranger runs (model predictions)");
+  future.set_header({"cores", "NEX", "period (s)", "model Tflops",
+                     "model GB/core", "paper budget"});
+  for (int nproc : {90, 102}) {
+    const int cores = cores_for_nproc_xi(nproc);
+    const int nex = 4848 * nproc / 102;  // scale the paper's 62K target
+    const RunPrediction p =
+        predict_run(ranger(), nex, nproc, 30.0, true, ref.dt, 8);
+    future.add_row({std::to_string(cores), std::to_string(nex),
+                    fmt_g(p.shortest_period_s, 3),
+                    fmt_g(p.sustained_tflops, 3),
+                    fmt_g(p.memory_gb_per_core, 2), "~1.85 GB/core"});
+  }
+  future.print();
+  std::printf(
+      "(Our memory model overshoots the paper's ~1.85 GB/core by ~1.6x —\n"
+      "the constant-factor cost of the no-doubling substitution mesh; see\n"
+      "DESIGN.md. The scaling with NEX and core count is what matters.)\n");
+  std::printf(
+      "Paper §4: the 1-2 s goal 'would require around 62K cores of an HPC\n"
+      "system having around 1.85 GB of memory per core'; the 62K row above\n"
+      "approaches the 1 s limit of what is seismologically useful.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file bench_util.hpp
+/// Shared helpers for the figure/table reproduction benches: repeated
+/// timing, standard small-globe setups, and paper-vs-measured reporting.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "mesh/quality.hpp"
+#include "solver/simulation.hpp"
+#include "sphere/mesher.hpp"
+
+namespace sfg::bench {
+
+/// Best-of-N wall time of a callable, in seconds.
+inline double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+/// Standard serial PREM globe at a given NEX with its stable dt.
+struct GlobeSetup {
+  GllBasis basis{4};
+  GlobeSlice globe;
+  double dt = 0.0;
+
+  explicit GlobeSetup(int nex, int nchunks = 6) {
+    static PremModel prem;
+    GlobeMeshSpec spec;
+    spec.nex_xi = nex;
+    spec.nchunks = nchunks;
+    spec.model = &prem;
+    globe = build_globe_serial(spec, basis);
+    auto q = analyze_mesh_quality(globe.mesh, globe.materials.vp,
+                                  globe.materials.vs);
+    dt = 0.8 * q.dt_stable;
+  }
+
+  Simulation make_simulation(SimulationConfig cfg = {}) {
+    if (cfg.dt <= 0.0) cfg.dt = dt;
+    return Simulation(globe.mesh, basis, globe.materials, cfg);
+  }
+};
+
+/// Print the standard bench banner.
+inline void banner(const char* experiment, const char* claim) {
+  std::printf("\n=====================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("=====================================================\n");
+}
+
+}  // namespace sfg::bench

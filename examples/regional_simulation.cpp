@@ -1,0 +1,76 @@
+// Regional (1-chunk) mode: the mesher's other operating point (paper §3:
+// "designed to generate a spectral-element mesh for either regional or
+// entire globe simulations"). One cubed-sphere chunk down to the 670 km
+// discontinuity with Stacey absorbing conditions on the four sides and the
+// bottom, a shallow crustal earthquake, and a line of stations across the
+// chunk recording the surface-wave train.
+
+#include <cstdio>
+
+#include "common/constants.hpp"
+#include "io/seismogram_io.hpp"
+#include "mesh/quality.hpp"
+#include "solver/simulation.hpp"
+#include "sphere/mesher.hpp"
+
+using namespace sfg;
+
+int main() {
+  PremModel prem;
+  GlobeMeshSpec spec;
+  spec.nex_xi = 12;
+  spec.nchunks = 1;                 // regional mode: chunk 0 (+x)
+  spec.r_min = k670RadiusM;         // mesh down to the 670 discontinuity
+  spec.model = &prem;
+  GllBasis basis(4);
+  GlobeSlice region = build_globe_serial(spec, basis);
+  std::printf("Regional mesh: %d elements, %zu absorbing faces\n",
+              region.mesh.nspec, region.absorbing_faces.size());
+
+  const MeshQualityReport q = analyze_mesh_quality(
+      region.mesh, region.materials.vp, region.materials.vs);
+  SimulationConfig cfg;
+  cfg.dt = 0.8 * q.dt_stable;
+  cfg.absorbing_faces = region.absorbing_faces;  // Stacey sides + bottom
+  Simulation sim(region.mesh, basis, region.materials, cfg);
+
+  // Shallow crustal event near the chunk centre (the +x axis).
+  PointSource quake;
+  const double r_src = kEarthRadiusM - 15e3;
+  quake.x = r_src;
+  quake.y = 0.0;
+  quake.z = 0.0;
+  quake.moment = {0.0, 1e18, -1e18, 8e17, 0.0, 0.0};  // strike-slip-like
+  quake.stf = ricker_wavelet(1.0 / 30.0, 60.0);
+  sim.add_source(quake);
+
+  // Stations along a great-circle line across the chunk.
+  std::vector<int> recs;
+  for (int s = 1; s <= 5; ++s) {
+    const double ang = s * 0.09;  // up to ~26 degrees distance
+    recs.push_back(sim.add_receiver(kEarthRadiusM * std::cos(ang),
+                                    kEarthRadiusM * std::sin(ang), 0.0));
+  }
+
+  const int nsteps = static_cast<int>(700.0 / cfg.dt);
+  std::printf("Running %d steps (dt = %.2f s) with absorbing boundaries...\n",
+              nsteps, cfg.dt);
+  const EnergySnapshot e_quiet = sim.compute_energy();
+  (void)e_quiet;
+  sim.run(nsteps / 2);
+  const double e_mid = sim.compute_energy().total();
+  sim.run(nsteps - nsteps / 2);
+  const double e_end = sim.compute_energy().total();
+  std::printf(
+      "Energy: %.3e J mid-run -> %.3e J at the end (%.0f%% absorbed by the\n"
+      "Stacey boundaries once the wave train leaves the region)\n",
+      e_mid, e_end, 100.0 * (1.0 - e_end / e_mid));
+
+  for (std::size_t s = 0; s < recs.size(); ++s) {
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "REG%02zu", s + 1);
+    write_seismogram(prefix, sim.seismogram(recs[s]));
+  }
+  std::printf("Wrote REG01..REG05 .semd seismograms\n");
+  return 0;
+}

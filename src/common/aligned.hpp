@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file aligned.hpp
+/// 64-byte-aligned allocation for SIMD-friendly field storage.
+///
+/// Solver fields and padded element blocks (5x5x5 floats padded to 128, see
+/// paper §4.3) must be aligned so that SSE loads on block boundaries are
+/// aligned loads.
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace sfg {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// STL-compatible allocator returning 64-byte-aligned storage.
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+struct AlignedAllocator {
+  using value_type = T;
+
+  /// Explicit rebind: the non-type Alignment parameter defeats the
+  /// standard library's automatic rebind detection.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = std::aligned_alloc(Alignment, round_up(n * sizeof(T)));
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+
+ private:
+  static std::size_t round_up(std::size_t bytes) noexcept {
+    return (bytes + Alignment - 1) / Alignment * Alignment;
+  }
+};
+
+/// Contiguous 64-byte-aligned vector; the default container for solver
+/// fields, Jacobian tables, and padded kernel blocks.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace sfg

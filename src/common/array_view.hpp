@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file array_view.hpp
+/// Lightweight non-owning multi-dimensional views over contiguous storage.
+///
+/// Index order is row-major with the LAST index fastest, matching the
+/// layout used throughout the solver: a field stored as [ispec][k][j][i]
+/// is viewed as Span4D<T>(ptr, nspec, ngll, ngll, ngll) and addressed
+/// v(ispec, k, j, i).
+
+#include <cstddef>
+
+#include "common/check.hpp"
+
+namespace sfg {
+
+template <typename T>
+class Span2D {
+ public:
+  Span2D() = default;
+  Span2D(T* data, std::size_t n0, std::size_t n1)
+      : data_(data), n0_(n0), n1_(n1) {}
+
+  T& operator()(std::size_t i, std::size_t j) const {
+    SFG_ASSERT(i < n0_ && j < n1_);
+    return data_[i * n1_ + j];
+  }
+  std::size_t extent0() const { return n0_; }
+  std::size_t extent1() const { return n1_; }
+  std::size_t size() const { return n0_ * n1_; }
+  T* data() const { return data_; }
+  T* row(std::size_t i) const {
+    SFG_ASSERT(i < n0_);
+    return data_ + i * n1_;
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t n0_ = 0, n1_ = 0;
+};
+
+template <typename T>
+class Span3D {
+ public:
+  Span3D() = default;
+  Span3D(T* data, std::size_t n0, std::size_t n1, std::size_t n2)
+      : data_(data), n0_(n0), n1_(n1), n2_(n2) {}
+
+  T& operator()(std::size_t i, std::size_t j, std::size_t k) const {
+    SFG_ASSERT(i < n0_ && j < n1_ && k < n2_);
+    return data_[(i * n1_ + j) * n2_ + k];
+  }
+  std::size_t extent0() const { return n0_; }
+  std::size_t extent1() const { return n1_; }
+  std::size_t extent2() const { return n2_; }
+  std::size_t size() const { return n0_ * n1_ * n2_; }
+  T* data() const { return data_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t n0_ = 0, n1_ = 0, n2_ = 0;
+};
+
+template <typename T>
+class Span4D {
+ public:
+  Span4D() = default;
+  Span4D(T* data, std::size_t n0, std::size_t n1, std::size_t n2,
+         std::size_t n3)
+      : data_(data), n0_(n0), n1_(n1), n2_(n2), n3_(n3) {}
+
+  T& operator()(std::size_t i, std::size_t j, std::size_t k,
+                std::size_t l) const {
+    SFG_ASSERT(i < n0_ && j < n1_ && k < n2_ && l < n3_);
+    return data_[((i * n1_ + j) * n2_ + k) * n3_ + l];
+  }
+  std::size_t extent0() const { return n0_; }
+  std::size_t extent1() const { return n1_; }
+  std::size_t extent2() const { return n2_; }
+  std::size_t extent3() const { return n3_; }
+  std::size_t size() const { return n0_ * n1_ * n2_ * n3_; }
+  T* data() const { return data_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t n0_ = 0, n1_ = 0, n2_ = 0, n3_ = 0;
+};
+
+}  // namespace sfg

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file check.hpp
+/// Error-handling primitives used across the library.
+///
+/// SFG_CHECK is always on and reports precondition/contract violations with
+/// file/line context; SFG_ASSERT compiles out in NDEBUG builds and is meant
+/// for hot inner loops.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sfg {
+
+/// Exception thrown by SFG_CHECK on contract violation. All expected
+/// failure modes inside the library surface as this type at API boundaries.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "SFG_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace sfg
+
+#define SFG_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) ::sfg::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SFG_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream sfg_os_;                                     \
+      sfg_os_ << msg;                                                 \
+      ::sfg::detail::check_failed(#cond, __FILE__, __LINE__, sfg_os_.str()); \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define SFG_ASSERT(cond) ((void)0)
+#else
+#define SFG_ASSERT(cond) SFG_CHECK(cond)
+#endif

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file constants.hpp
+/// Physical constants and the SPECFEM3D_GLOBE resolution relations used
+/// throughout the paper (Carrington et al., SC 2008).
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sfg {
+
+/// Earth radius in meters (PREM).
+inline constexpr double kEarthRadiusM = 6371000.0;
+/// Radius of the core-mantle boundary (CMB), meters (PREM).
+inline constexpr double kCmbRadiusM = 3480000.0;
+/// Radius of the inner-core boundary (ICB), meters (PREM).
+inline constexpr double kIcbRadiusM = 1221500.0;
+/// Moho discontinuity radius, meters (PREM: 24.4 km depth).
+inline constexpr double kMohoRadiusM = 6346600.0;
+/// The 670 km discontinuity radius, meters.
+inline constexpr double k670RadiusM = 5701000.0;
+/// The 400 km discontinuity radius, meters.
+inline constexpr double k400RadiusM = 5971000.0;
+
+inline constexpr double kPi = 3.14159265358979323846;
+/// Earth's sidereal rotation rate, rad/s.
+inline constexpr double kEarthOmega = 7.292115e-5;
+/// Gravitational constant, m^3 kg^-1 s^-2.
+inline constexpr double kGravityG = 6.67430e-11;
+
+/// Number of cubed-sphere chunks covering the globe.
+inline constexpr int kNumChunks = 6;
+
+/// Grid points (GLL) per shortest wavelength required for accuracy
+/// (paper §3: "at least 5 grid points per shortest seismic wavelength").
+inline constexpr double kPointsPerWavelength = 5.0;
+
+/// Paper (Figure 5 caption): Resolution = 256 * 17 / Wave Period, i.e.
+/// shortest accurately-resolved period in seconds for a given NEX_XI.
+/// Checks from the paper text: NEX 96 -> 45.3 s, NEX 640 -> 6.8 s,
+/// Jaguar run NEX ~ 2240 -> 1.94 s, Ranger run NEX ~ 2368 -> 1.84 s.
+inline double shortest_period_seconds(int nex_xi) {
+  SFG_CHECK(nex_xi > 0);
+  return 256.0 * 17.0 / static_cast<double>(nex_xi);
+}
+
+/// Inverse of shortest_period_seconds: smallest NEX_XI resolving `period_s`.
+inline int nex_for_period(double period_s) {
+  SFG_CHECK(period_s > 0.0);
+  return static_cast<int>(std::ceil(256.0 * 17.0 / period_s));
+}
+
+/// Total MPI ranks for a global (6-chunk) run: 6 * NPROC_XI^2.
+/// Checks from the paper: NPROC 45 -> 12150 (Franklin), 40 -> 9600,
+/// 46 -> 12696, 54 -> 17496 (Kraken), 70 -> 29400 (Jaguar),
+/// 73 -> 31974 (Ranger), 102 -> 62424 (the 62K Ranger target).
+inline int cores_for_nproc_xi(int nproc_xi) {
+  SFG_CHECK(nproc_xi > 0);
+  return kNumChunks * nproc_xi * nproc_xi;
+}
+
+}  // namespace sfg

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal leveled logging. Default level is Warn so that library code is
+/// quiet inside tests; benches and examples raise it to Info.
+
+#include <sstream>
+#include <string>
+
+namespace sfg {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace sfg
+
+#define SFG_LOG(level, expr)                               \
+  do {                                                     \
+    if (static_cast<int>(level) >=                         \
+        static_cast<int>(::sfg::log_level())) {            \
+      std::ostringstream sfg_log_os_;                      \
+      sfg_log_os_ << expr;                                 \
+      ::sfg::detail::log_emit(level, sfg_log_os_.str());   \
+    }                                                      \
+  } while (0)
+
+#define SFG_DEBUG(expr) SFG_LOG(::sfg::LogLevel::Debug, expr)
+#define SFG_INFO(expr) SFG_LOG(::sfg::LogLevel::Info, expr)
+#define SFG_WARN(expr) SFG_LOG(::sfg::LogLevel::Warn, expr)
+#define SFG_ERROR(expr) SFG_LOG(::sfg::LogLevel::Error, expr)

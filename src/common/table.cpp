@@ -1,0 +1,75 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sfg {
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > width.size()) width.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << "| " << cell << std::string(width[c] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  auto rule = [&]() {
+    for (std::size_t c = 0; c < width.size(); ++c)
+      os << "+" << std::string(width[c] + 2, '-');
+    os << "+\n";
+  };
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const auto& r : rows_) emit(r);
+  rule();
+  return os.str();
+}
+
+void AsciiTable::print() const {
+  std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string fmt_g(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  return buf;
+}
+
+std::string fmt_bytes(double bytes) {
+  const char* suffix[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  int s = 0;
+  while (bytes >= 1024.0 && s < 5) {
+    bytes /= 1024.0;
+    ++s;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, suffix[s]);
+  return buf;
+}
+
+}  // namespace sfg

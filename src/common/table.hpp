@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table printer used by the benchmark harness to print
+/// "paper value vs reproduced value" rows for every figure/table.
+
+#include <string>
+#include <vector>
+
+namespace sfg {
+
+/// Column-aligned ASCII table with a title, header row, and data rows.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Render the table to a string (with trailing newline).
+  std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with %.*g style, trimmed. Convenience for table cells.
+std::string fmt_g(double value, int precision = 4);
+
+/// Format bytes with an IEC suffix (KiB/MiB/GiB/TiB).
+std::string fmt_bytes(double bytes);
+
+}  // namespace sfg

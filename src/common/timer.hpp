@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file timer.hpp
+/// Monotonic wall-clock timers and a cumulative stopwatch used by the
+/// IPM-style instrumentation layer (paper §5) and the benchmark harness.
+
+#include <chrono>
+
+namespace sfg {
+
+/// Monotonic wall-clock timer. Construction starts it.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulating stopwatch: many start/stop intervals summed, as needed for
+/// per-callsite communication-time accounting.
+class Stopwatch {
+ public:
+  void start() { t_.reset(); running_ = true; }
+  void stop() {
+    if (running_) {
+      total_ += t_.seconds();
+      ++intervals_;
+      running_ = false;
+    }
+  }
+  double total_seconds() const { return total_; }
+  long intervals() const { return intervals_; }
+  void clear() { total_ = 0.0; intervals_ = 0; running_ = false; }
+
+ private:
+  WallTimer t_;
+  double total_ = 0.0;
+  long intervals_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace sfg

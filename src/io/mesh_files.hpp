@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file mesh_files.hpp
+/// The legacy mesher -> solver file handoff of SPECFEM3D_GLOBE v4.0
+/// (paper §4.1): the stable version wrote "up to 51 files per core" that
+/// the solver then read back — over 3.2 million files at 62K cores, and
+/// 14-108 TB of traffic at the target resolutions (Figure 5). The merged
+/// application passes the same data in memory.
+///
+/// This module reproduces the legacy path faithfully (one binary file per
+/// array per rank, 51 files including parameters and boundary data) so the
+/// Figure 5 disk-space study and the §4.1 merged-vs-file benchmark run
+/// against real I/O.
+
+#include <cstdint>
+#include <string>
+
+#include "sphere/mesher.hpp"
+
+namespace sfg {
+
+/// Number of files the legacy writer produces per rank.
+inline constexpr int kLegacyFilesPerRank = 51;
+
+/// Write a slice in the legacy multi-file format under
+/// `dir/proc<rank>_*.bin`. Returns the total bytes written.
+std::uint64_t write_legacy_mesh_files(const std::string& dir, int rank,
+                                      const GlobeSlice& slice);
+
+/// Read a slice back from the legacy files. Jacobian tables and materials
+/// are read, not recomputed (as the solver did). The GllBasis is needed
+/// only for sanity checks.
+GlobeSlice read_legacy_mesh_files(const std::string& dir, int rank);
+
+/// Total size in bytes of all regular files under `dir` (the measured
+/// quantity of Figure 5).
+std::uint64_t directory_bytes(const std::string& dir);
+
+/// Number of regular files under `dir`.
+int directory_file_count(const std::string& dir);
+
+/// Delete the legacy files of one rank (cleanup between runs).
+void remove_legacy_mesh_files(const std::string& dir, int rank);
+
+}  // namespace sfg

@@ -1,0 +1,45 @@
+#include "io/seismogram_io.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace sfg {
+
+std::uint64_t write_seismogram(const std::string& prefix,
+                               const Seismogram& seis) {
+  const char* comp_name[3] = {"X", "Y", "Z"};
+  std::uint64_t bytes = 0;
+  for (int c = 0; c < 3; ++c) {
+    const std::string path = prefix + "." + comp_name[c] + ".semd";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    SFG_CHECK_MSG(f != nullptr, "cannot open " << path);
+    for (std::size_t i = 0; i < seis.time.size(); ++i) {
+      const int n = std::fprintf(f, "%.9e %.9e\n", seis.time[i],
+                                 seis.displ[i][static_cast<std::size_t>(c)]);
+      SFG_CHECK(n > 0);
+      bytes += static_cast<std::uint64_t>(n);
+    }
+    std::fclose(f);
+  }
+  return bytes;
+}
+
+Seismogram read_seismogram_component(const std::string& path,
+                                     int component) {
+  SFG_CHECK(component >= 0 && component < 3);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  SFG_CHECK_MSG(f != nullptr, "cannot open " << path);
+  Seismogram seis;
+  double t, v;
+  while (std::fscanf(f, "%lf %lf", &t, &v) == 2) {
+    seis.time.push_back(t);
+    std::array<double, 3> u{0.0, 0.0, 0.0};
+    u[static_cast<std::size_t>(component)] = v;
+    seis.displ.push_back(u);
+  }
+  std::fclose(f);
+  return seis;
+}
+
+}  // namespace sfg

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file seismogram_io.hpp
+/// ASCII seismogram output in the classic SPECFEM ".semd" style: one file
+/// per component with "time value" rows, plus a combined reader for tests
+/// and examples.
+
+#include <string>
+
+#include "solver/simulation.hpp"
+
+namespace sfg {
+
+/// Write `seis` as three files `<prefix>.{X,Y,Z}.semd` (time displacement
+/// per line, scientific notation). Returns the total bytes written.
+std::uint64_t write_seismogram(const std::string& prefix,
+                               const Seismogram& seis);
+
+/// Read one component file back.
+Seismogram read_seismogram_component(const std::string& path, int component);
+
+}  // namespace sfg

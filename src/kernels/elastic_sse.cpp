@@ -1,0 +1,173 @@
+// Manual SSE implementation of the elastic force kernel (paper §4.3):
+// "we can load a vector unit with 4 floats, perform several multiply and
+// add operations to compute the matrix-matrix product, and store the
+// results in four consecutive elements of the result matrix. [...] since
+// our matrices are of size 5 x 5 and not 4 x 4, we use vector instructions
+// for 4 out of each set of 5 values and compute the last one serially."
+//
+// Specialized for NGLL = 5 with the 125 -> 128 float padding so that every
+// 4-wide load starting inside a block stays within the block.
+
+#include <xmmintrin.h>
+
+#include "kernels/force_kernel.hpp"
+
+namespace sfg {
+
+namespace {
+
+constexpr int kN = 5;
+constexpr int kN3 = 125;
+
+inline int idx(int i, int j, int k) { return (k * kN + j) * kN + i; }
+
+/// out[i,j,k] = sum_l a[l,j,k] * m[i*5+l]   vectorized over i using the
+/// transposed matrix mt[l*5+i] (so rows are contiguous in i).
+inline void contract_dim0(const float* a, const float* mt, float* out) {
+  for (int k = 0; k < kN; ++k) {
+    for (int j = 0; j < kN; ++j) {
+      const int base = (k * kN + j) * kN;
+      __m128 acc = _mm_setzero_ps();
+      float last = 0.0f;
+      for (int l = 0; l < kN; ++l) {
+        const __m128 av = _mm_set1_ps(a[base + l]);
+        acc = _mm_add_ps(acc, _mm_mul_ps(av, _mm_loadu_ps(mt + l * kN)));
+        last += a[base + l] * mt[l * kN + 4];
+      }
+      _mm_storeu_ps(out + base, acc);
+      out[base + 4] = last;
+    }
+  }
+}
+
+/// out[i,j,k] = sum_l a[i,l,k] * m[j*5+l]   vectorized over i (contiguous).
+inline void contract_dim1(const float* a, const float* m, float* out) {
+  for (int k = 0; k < kN; ++k) {
+    for (int j = 0; j < kN; ++j) {
+      __m128 acc = _mm_setzero_ps();
+      float last = 0.0f;
+      for (int l = 0; l < kN; ++l) {
+        const float c = m[j * kN + l];
+        const int src = (k * kN + l) * kN;
+        acc = _mm_add_ps(acc, _mm_mul_ps(_mm_set1_ps(c), _mm_loadu_ps(a + src)));
+        last += c * a[src + 4];
+      }
+      const int dst = (k * kN + j) * kN;
+      _mm_storeu_ps(out + dst, acc);
+      out[dst + 4] = last;
+    }
+  }
+}
+
+/// out[i,j,k] = sum_l a[i,j,l] * m[k*5+l]   vectorized over i (contiguous).
+inline void contract_dim2(const float* a, const float* m, float* out) {
+  for (int k = 0; k < kN; ++k) {
+    for (int j = 0; j < kN; ++j) {
+      __m128 acc = _mm_setzero_ps();
+      float last = 0.0f;
+      for (int l = 0; l < kN; ++l) {
+        const float c = m[k * kN + l];
+        const int src = (l * kN + j) * kN;
+        acc = _mm_add_ps(acc, _mm_mul_ps(_mm_set1_ps(c), _mm_loadu_ps(a + src)));
+        last += c * a[src + 4];
+      }
+      const int dst = (k * kN + j) * kN;
+      _mm_storeu_ps(out + dst, acc);
+      out[dst + 4] = last;
+    }
+  }
+}
+
+}  // namespace
+
+void ForceKernel::elastic_sse(const ElementPointers& ep,
+                              KernelWorkspace& ws) const {
+  SFG_ASSERT(ngll_ == kN && ws.padded >= kN3 + 3);
+  const float* hT = hprimeT_.data();       // [l][i]
+  const float* h = hprime_.data();         // [i][l]
+  const float* hw = hprimewgll_.data();    // [l][i]
+
+  // Stage 1: the 9 gradient temporaries, 3 contractions per component.
+  contract_dim0(ws.ux.data(), hT, ws.t1x.data());
+  contract_dim0(ws.uy.data(), hT, ws.t1y.data());
+  contract_dim0(ws.uz.data(), hT, ws.t1z.data());
+  contract_dim1(ws.ux.data(), h, ws.t2x.data());
+  contract_dim1(ws.uy.data(), h, ws.t2y.data());
+  contract_dim1(ws.uz.data(), h, ws.t2z.data());
+  contract_dim2(ws.ux.data(), h, ws.t3x.data());
+  contract_dim2(ws.uy.data(), h, ws.t3y.data());
+  contract_dim2(ws.uz.data(), h, ws.t3z.data());
+
+  pointwise_stress_and_second_stage(ep, ws);
+
+  // Stage 3. The contraction matrices act with the summation index as the
+  // matrix ROW here: sum_l n1[l,j,k] * hw[l*5+i] is a dim0 contraction
+  // with an already-transposed matrix, i.e. contract_dim0 with hw itself;
+  // for dims 1 and 2 the per-(j,k) coefficient is hw[l*5+j], which is the
+  // transposed layout of the stage-1 case, handled by passing hwT below.
+  // Build hwT once per call on the stack (25 floats).
+  float hwT[kN * kN];
+  for (int a = 0; a < kN; ++a)
+    for (int b = 0; b < kN; ++b) hwT[a * kN + b] = hw[b * kN + a];
+
+  contract_dim0(ws.n1x.data(), hw, ws.fx.data());   // reuse fx as temp A
+  contract_dim0(ws.n1y.data(), hw, ws.fy.data());
+  contract_dim0(ws.n1z.data(), hw, ws.fz.data());
+  // dim1: sum_l n2[i,l,k] * hw[l*5+j] = contract_dim1 with m[j*5+l]=hwT
+  contract_dim1(ws.n2x.data(), hwT, ws.tc1.data());  // reuse acoustic temps
+  contract_dim1(ws.n2y.data(), hwT, ws.tc2.data());
+  contract_dim1(ws.n2z.data(), hwT, ws.tc3.data());
+  contract_dim2(ws.n3x.data(), hwT, ws.nc1.data());
+  contract_dim2(ws.n3y.data(), hwT, ws.nc2.data());
+  contract_dim2(ws.n3z.data(), hwT, ws.nc3.data());
+
+  // Weighted combine: f = -(w_j w_k * A + w_i w_k * B + w_i w_j * C),
+  // vectorized over i with one scalar tail, as everywhere else.
+  const float* w = wgll_.data();
+  const __m128 wi4 = _mm_loadu_ps(w);  // w_0..w_3
+  for (int k = 0; k < kN; ++k) {
+    for (int j = 0; j < kN; ++j) {
+      const int base = (k * kN + j) * kN;
+      const float wjk = w[j] * w[k];
+      const __m128 wjk4 = _mm_set1_ps(wjk);
+      const __m128 wk4 = _mm_set1_ps(w[k]);
+      const __m128 wj4 = _mm_set1_ps(w[j]);
+      const __m128 wik4 = _mm_mul_ps(wi4, wk4);
+      const __m128 wij4 = _mm_mul_ps(wi4, wj4);
+
+      const __m128 ax = _mm_mul_ps(wjk4, _mm_loadu_ps(ws.fx.data() + base));
+      const __m128 bx = _mm_mul_ps(wik4, _mm_loadu_ps(ws.tc1.data() + base));
+      const __m128 cx = _mm_mul_ps(wij4, _mm_loadu_ps(ws.nc1.data() + base));
+      const __m128 ay = _mm_mul_ps(wjk4, _mm_loadu_ps(ws.fy.data() + base));
+      const __m128 by = _mm_mul_ps(wik4, _mm_loadu_ps(ws.tc2.data() + base));
+      const __m128 cy = _mm_mul_ps(wij4, _mm_loadu_ps(ws.nc2.data() + base));
+      const __m128 az = _mm_mul_ps(wjk4, _mm_loadu_ps(ws.fz.data() + base));
+      const __m128 bz = _mm_mul_ps(wik4, _mm_loadu_ps(ws.tc3.data() + base));
+      const __m128 cz = _mm_mul_ps(wij4, _mm_loadu_ps(ws.nc3.data() + base));
+
+      const __m128 zero = _mm_setzero_ps();
+      const float lx = ws.fx[static_cast<std::size_t>(base + 4)];
+      const float ly = ws.fy[static_cast<std::size_t>(base + 4)];
+      const float lz = ws.fz[static_cast<std::size_t>(base + 4)];
+      _mm_storeu_ps(ws.fx.data() + base,
+                    _mm_sub_ps(zero, _mm_add_ps(ax, _mm_add_ps(bx, cx))));
+      _mm_storeu_ps(ws.fy.data() + base,
+                    _mm_sub_ps(zero, _mm_add_ps(ay, _mm_add_ps(by, cy))));
+      _mm_storeu_ps(ws.fz.data() + base,
+                    _mm_sub_ps(zero, _mm_add_ps(az, _mm_add_ps(bz, cz))));
+      const float w4k = w[4] * w[k];
+      const float w4j = w[4] * w[j];
+      ws.fx[static_cast<std::size_t>(base + 4)] =
+          -(wjk * lx + w4k * ws.tc1[static_cast<std::size_t>(base + 4)] +
+            w4j * ws.nc1[static_cast<std::size_t>(base + 4)]);
+      ws.fy[static_cast<std::size_t>(base + 4)] =
+          -(wjk * ly + w4k * ws.tc2[static_cast<std::size_t>(base + 4)] +
+            w4j * ws.nc2[static_cast<std::size_t>(base + 4)]);
+      ws.fz[static_cast<std::size_t>(base + 4)] =
+          -(wjk * lz + w4k * ws.tc3[static_cast<std::size_t>(base + 4)] +
+            w4j * ws.nc3[static_cast<std::size_t>(base + 4)]);
+    }
+  }
+}
+
+}  // namespace sfg

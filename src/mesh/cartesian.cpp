@@ -1,0 +1,127 @@
+#include "mesh/cartesian.hpp"
+
+#include "mesh/jacobian.hpp"
+#include "mesh/numbering.hpp"
+
+namespace sfg {
+
+HexMesh build_cartesian_box(const CartesianBoxSpec& spec,
+                            const GllBasis& basis) {
+  SFG_CHECK(spec.nx >= 1 && spec.ny >= 1 && spec.nz >= 1);
+  SFG_CHECK(spec.lx > 0 && spec.ly > 0 && spec.lz > 0);
+  HexMesh mesh;
+  const int ngll = basis.num_points();
+  mesh.allocate_points(ngll, spec.nx * spec.ny * spec.nz);
+
+  const double hx = spec.lx / spec.nx;
+  const double hy = spec.ly / spec.ny;
+  const double hz = spec.lz / spec.nz;
+
+  int e = 0;
+  for (int ez = 0; ez < spec.nz; ++ez) {
+    for (int ey = 0; ey < spec.ny; ++ey) {
+      for (int ex = 0; ex < spec.nx; ++ex, ++e) {
+        const std::size_t off = mesh.local_offset(e);
+        for (int k = 0; k < ngll; ++k) {
+          const double z =
+              spec.z0 + hz * (ez + 0.5 * (basis.node(k) + 1.0));
+          for (int j = 0; j < ngll; ++j) {
+            const double y =
+                spec.y0 + hy * (ey + 0.5 * (basis.node(j) + 1.0));
+            for (int i = 0; i < ngll; ++i) {
+              double x =
+                  spec.x0 + hx * (ex + 0.5 * (basis.node(i) + 1.0));
+              double yy = y, zz = z;
+              if (spec.deform) spec.deform(x, yy, zz);
+              const std::size_t p =
+                  off + static_cast<std::size_t>(local_index(ngll, i, j, k));
+              mesh.xstore[p] = x;
+              mesh.ystore[p] = yy;
+              mesh.zstore[p] = zz;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  build_global_numbering(mesh);
+  compute_jacobian_tables(mesh, basis);
+  return mesh;
+}
+
+CartesianSlice build_cartesian_slice(const CartesianBoxSpec& spec,
+                                     const GllBasis& basis, int px, int py,
+                                     int pz, int rx, int ry, int rz) {
+  SFG_CHECK(px >= 1 && py >= 1 && pz >= 1);
+  SFG_CHECK(rx >= 0 && rx < px && ry >= 0 && ry < py && rz >= 0 && rz < pz);
+  SFG_CHECK_MSG(spec.nx % px == 0 && spec.ny % py == 0 && spec.nz % pz == 0,
+                "elements must divide evenly across the process grid");
+
+  const int lx = spec.nx / px, ly = spec.ny / py, lz = spec.nz / pz;
+  const int ex0 = rx * lx, ey0 = ry * ly, ez0 = rz * lz;
+
+  CartesianBoxSpec local = spec;
+  local.nx = lx;
+  local.ny = ly;
+  local.nz = lz;
+  local.lx = spec.lx * lx / spec.nx;
+  local.ly = spec.ly * ly / spec.ny;
+  local.lz = spec.lz * lz / spec.nz;
+  local.x0 = spec.x0 + spec.lx / spec.nx * ex0;
+  local.y0 = spec.y0 + spec.ly / spec.ny * ey0;
+  local.z0 = spec.z0 + spec.lz / spec.nz * ez0;
+
+  CartesianSlice slice;
+  slice.mesh = build_cartesian_box(local, basis);
+
+  // Global GLL lattice coordinates and boundary detection. gi spans
+  // [0, nx*(ngll-1)] over the whole box; a point is an inter-slice
+  // boundary candidate when it lies on an internal slice face.
+  const HexMesh& mesh = slice.mesh;
+  const int ngll = mesh.ngll;
+  const int deg = ngll - 1;
+  const std::int64_t span_y =
+      static_cast<std::int64_t>(spec.ny) * deg + 1;
+  const std::int64_t span_z =
+      static_cast<std::int64_t>(spec.nz) * deg + 1;
+
+  std::vector<bool> seen(static_cast<std::size_t>(mesh.nglob), false);
+  int e = 0;
+  for (int ez = 0; ez < lz; ++ez) {
+    for (int ey = 0; ey < ly; ++ey) {
+      for (int ex = 0; ex < lx; ++ex, ++e) {
+        const std::size_t off = mesh.local_offset(e);
+        for (int k = 0; k < ngll; ++k) {
+          for (int j = 0; j < ngll; ++j) {
+            for (int i = 0; i < ngll; ++i) {
+              const int glob = mesh.ibool[off + static_cast<std::size_t>(
+                                                    local_index(ngll, i, j, k))];
+              if (seen[static_cast<std::size_t>(glob)]) continue;
+              const std::int64_t gi = static_cast<std::int64_t>(ex0 + ex) * deg + i;
+              const std::int64_t gj = static_cast<std::int64_t>(ey0 + ey) * deg + j;
+              const std::int64_t gk = static_cast<std::int64_t>(ez0 + ez) * deg + k;
+              const bool on_boundary =
+                  (gi == static_cast<std::int64_t>(ex0) * deg && ex0 > 0) ||
+                  (gi == static_cast<std::int64_t>(ex0 + lx) * deg &&
+                   ex0 + lx < spec.nx) ||
+                  (gj == static_cast<std::int64_t>(ey0) * deg && ey0 > 0) ||
+                  (gj == static_cast<std::int64_t>(ey0 + ly) * deg &&
+                   ey0 + ly < spec.ny) ||
+                  (gk == static_cast<std::int64_t>(ez0) * deg && ez0 > 0) ||
+                  (gk == static_cast<std::int64_t>(ez0 + lz) * deg &&
+                   ez0 + lz < spec.nz);
+              seen[static_cast<std::size_t>(glob)] = true;
+              if (!on_boundary) continue;
+              slice.boundary_keys.push_back((gi * span_y + gj) * span_z + gk);
+              slice.boundary_points.push_back(glob);
+            }
+          }
+        }
+      }
+    }
+  }
+  return slice;
+}
+
+}  // namespace sfg

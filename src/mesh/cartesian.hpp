@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file cartesian.hpp
+/// Structured Cartesian box mesh builder.
+///
+/// Not part of the global Earth mesher, but the workhorse of the validation
+/// suite: plane-wave convergence, energy conservation, attenuation decay,
+/// fluid-solid coupling and kernel-equivalence tests all run on boxes where
+/// analytic solutions exist.
+
+#include <functional>
+
+#include "mesh/hex_mesh.hpp"
+#include "quadrature/gll.hpp"
+
+namespace sfg {
+
+struct CartesianBoxSpec {
+  int nx = 1, ny = 1, nz = 1;        ///< elements per direction
+  double lx = 1.0, ly = 1.0, lz = 1.0;  ///< box extents
+  double x0 = 0.0, y0 = 0.0, z0 = 0.0;  ///< origin corner
+  /// Optional smooth coordinate deformation applied to every GLL point,
+  /// used to create curved-element test meshes.
+  std::function<void(double&, double&, double&)> deform;
+};
+
+/// Build a conforming box mesh: fills coordinates, global numbering and
+/// Jacobian tables. Element order is k-major (z slowest), then j, then i.
+HexMesh build_cartesian_box(const CartesianBoxSpec& spec,
+                            const GllBasis& basis);
+
+/// A mesh slice of a domain-decomposed box, plus the cross-rank-consistent
+/// integer keys of its inter-slice boundary points (input for
+/// smpi::Exchanger discovery; see runtime/exchanger.hpp).
+struct CartesianSlice {
+  HexMesh mesh;
+  /// Parallel arrays: boundary point keys and the local global-point ids
+  /// they refer to.
+  std::vector<std::int64_t> boundary_keys;
+  std::vector<int> boundary_points;
+};
+
+/// Decompose `spec` over a px x py x pz process grid and build the slice
+/// for process coordinates (rx, ry, rz). Elements per direction must
+/// divide evenly. Keys are derived from the global GLL lattice, so they
+/// match exactly across ranks.
+CartesianSlice build_cartesian_slice(const CartesianBoxSpec& spec,
+                                     const GllBasis& basis, int px, int py,
+                                     int pz, int rx, int ry, int rz);
+
+}  // namespace sfg

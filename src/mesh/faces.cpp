@@ -1,0 +1,146 @@
+#include "mesh/faces.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace sfg {
+
+namespace {
+
+/// The constant reference coordinate of each face (0=xi, 1=eta, 2=gamma)
+/// and its value (-1 or +1).
+struct FaceAxes {
+  int normal_axis;
+  int sign;  // +1 for the +1 face
+};
+
+FaceAxes face_axes(int face) {
+  switch (face) {
+    case 0: return {0, -1};
+    case 1: return {0, +1};
+    case 2: return {1, -1};
+    case 3: return {1, +1};
+    case 4: return {2, -1};
+    case 5: return {2, +1};
+    default: SFG_CHECK_MSG(false, "face index " << face << " out of range");
+  }
+  return {0, 0};
+}
+
+/// The 4 corner local indices of a face (for signatures).
+std::array<int, 4> face_corners(int ngll, int face) {
+  const int m = ngll - 1;
+  auto li = [&](int i, int j, int k) { return local_index(ngll, i, j, k); };
+  switch (face) {
+    case 0: return {li(0, 0, 0), li(0, m, 0), li(0, 0, m), li(0, m, m)};
+    case 1: return {li(m, 0, 0), li(m, m, 0), li(m, 0, m), li(m, m, m)};
+    case 2: return {li(0, 0, 0), li(m, 0, 0), li(0, 0, m), li(m, 0, m)};
+    case 3: return {li(0, m, 0), li(m, m, 0), li(0, m, m), li(m, m, m)};
+    case 4: return {li(0, 0, 0), li(m, 0, 0), li(0, m, 0), li(m, m, 0)};
+    case 5: return {li(0, 0, m), li(m, 0, m), li(0, m, m), li(m, m, m)};
+    default: SFG_CHECK(false);
+  }
+  return {};
+}
+
+std::array<int, 4> face_signature(const HexMesh& mesh, int ispec, int face) {
+  const std::size_t off = mesh.local_offset(ispec);
+  std::array<int, 4> sig;
+  const auto corners = face_corners(mesh.ngll, face);
+  for (int c = 0; c < 4; ++c)
+    sig[static_cast<std::size_t>(c)] =
+        mesh.ibool[off + static_cast<std::size_t>(
+                             corners[static_cast<std::size_t>(c)])];
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+}  // namespace
+
+FaceData compute_face_data(const HexMesh& mesh, const GllBasis& basis,
+                           int ispec, int face) {
+  SFG_CHECK(mesh.has_jacobians());
+  SFG_CHECK(ispec >= 0 && ispec < mesh.nspec);
+  const int ngll = mesh.ngll;
+  const FaceAxes ax = face_axes(face);
+  const std::size_t off = mesh.local_offset(ispec);
+
+  FaceData fd;
+  fd.ispec = ispec;
+  fd.face = face;
+  fd.local_points.reserve(static_cast<std::size_t>(ngll * ngll));
+  fd.normals.reserve(static_cast<std::size_t>(ngll * ngll));
+  fd.weights.reserve(static_cast<std::size_t>(ngll * ngll));
+
+  const int fixed = ax.sign > 0 ? ngll - 1 : 0;
+  for (int b = 0; b < ngll; ++b) {
+    for (int a = 0; a < ngll; ++a) {
+      int i, j, k;
+      switch (ax.normal_axis) {
+        case 0: i = fixed; j = a; k = b; break;
+        case 1: i = a; j = fixed; k = b; break;
+        default: i = a; j = b; k = fixed; break;
+      }
+      const int lp = local_index(ngll, i, j, k);
+      const std::size_t p = off + static_cast<std::size_t>(lp);
+
+      // Gradient of the constant reference coordinate: its direction is
+      // the face normal; |grad c| * jacobian3D is the surface Jacobian.
+      double gx, gy, gz;
+      switch (ax.normal_axis) {
+        case 0: gx = mesh.xix[p]; gy = mesh.xiy[p]; gz = mesh.xiz[p]; break;
+        case 1: gx = mesh.etax[p]; gy = mesh.etay[p]; gz = mesh.etaz[p]; break;
+        default:
+          gx = mesh.gammax[p];
+          gy = mesh.gammay[p];
+          gz = mesh.gammaz[p];
+          break;
+      }
+      const double norm = std::sqrt(gx * gx + gy * gy + gz * gz);
+      SFG_CHECK_MSG(norm > 0.0, "degenerate face normal");
+      const double s = ax.sign / norm;
+
+      fd.local_points.push_back(lp);
+      fd.normals.push_back({gx * s, gy * s, gz * s});
+      fd.weights.push_back(basis.weight(a) * basis.weight(b) *
+                           static_cast<double>(mesh.jacobian[p]) * norm);
+    }
+  }
+  return fd;
+}
+
+std::vector<ElementFace> find_boundary_faces(const HexMesh& mesh) {
+  SFG_CHECK(mesh.numbered());
+  std::map<std::array<int, 4>, int> count;
+  for (int e = 0; e < mesh.nspec; ++e)
+    for (int f = 0; f < 6; ++f) ++count[face_signature(mesh, e, f)];
+
+  std::vector<ElementFace> result;
+  for (int e = 0; e < mesh.nspec; ++e)
+    for (int f = 0; f < 6; ++f)
+      if (count[face_signature(mesh, e, f)] == 1) result.push_back({e, f});
+  return result;
+}
+
+std::vector<ElementFace> find_interface_faces(
+    const HexMesh& mesh, const std::vector<bool>& group_flag) {
+  SFG_CHECK(mesh.numbered());
+  SFG_CHECK(static_cast<int>(group_flag.size()) == mesh.nspec);
+  std::map<std::array<int, 4>, std::vector<ElementFace>> owners;
+  for (int e = 0; e < mesh.nspec; ++e)
+    for (int f = 0; f < 6; ++f)
+      owners[face_signature(mesh, e, f)].push_back({e, f});
+
+  std::vector<ElementFace> result;
+  for (const auto& [sig, faces] : owners) {
+    if (faces.size() != 2) continue;
+    const bool f0 = group_flag[static_cast<std::size_t>(faces[0].ispec)];
+    const bool f1 = group_flag[static_cast<std::size_t>(faces[1].ispec)];
+    if (f0 == f1) continue;
+    result.push_back(f0 ? faces[0] : faces[1]);
+  }
+  return result;
+}
+
+}  // namespace sfg

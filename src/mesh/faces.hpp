@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file faces.hpp
+/// Element-face enumeration and surface quadrature data, used for
+/// absorbing boundaries (regional mode), the free-surface check, and the
+/// fluid-solid coupling surfaces at the CMB/ICB (paper §3).
+///
+/// Faces are numbered 0..5: {xi=-1, xi=+1, eta=-1, eta=+1, gamma=-1,
+/// gamma=+1}. A face of ngll x ngll GLL points carries, at each point, the
+/// unit outward normal and the surface Jacobian (area element) times the
+/// 2-D quadrature weight.
+
+#include <array>
+#include <vector>
+
+#include "mesh/hex_mesh.hpp"
+#include "quadrature/gll.hpp"
+
+namespace sfg {
+
+/// One element face with surface quadrature data.
+struct FaceData {
+  int ispec = -1;
+  int face = -1;  ///< 0..5 as described above
+  /// Local point index (within the element) of each of the ngll^2 face
+  /// points, row-major in the face's own (a, b) coordinates.
+  std::vector<int> local_points;
+  /// Unit outward normal at each face point (outward w.r.t. the element).
+  std::vector<std::array<double, 3>> normals;
+  /// jacobian2D * w_a * w_b at each face point: the weight of the surface
+  /// integral contribution.
+  std::vector<double> weights;
+};
+
+/// Compute surface quadrature data for face `face` of element `ispec`.
+FaceData compute_face_data(const HexMesh& mesh, const GllBasis& basis,
+                           int ispec, int face);
+
+/// An (ispec, face) pair.
+struct ElementFace {
+  int ispec;
+  int face;
+};
+
+/// Faces on the mesh boundary: faces whose full set of global points is
+/// not shared with any other element's face. Requires numbering.
+std::vector<ElementFace> find_boundary_faces(const HexMesh& mesh);
+
+/// Faces between two element groups: returns faces of elements flagged
+/// `true` whose opposite neighbour is flagged `false` (e.g. solid elements
+/// facing fluid ones at the CMB). Each interface surface appears once,
+/// seen from the `true` side.
+std::vector<ElementFace> find_interface_faces(
+    const HexMesh& mesh, const std::vector<bool>& group_flag);
+
+}  // namespace sfg

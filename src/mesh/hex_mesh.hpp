@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file hex_mesh.hpp
+/// The unstructured spectral-element hexahedral mesh container shared by
+/// every mesh builder (Cartesian test boxes and the cubed-sphere global
+/// mesher) and consumed by the solver.
+///
+/// Layout follows SPECFEM3D_GLOBE: per-element local GLL point arrays
+/// indexed [ispec][k][j][i] with i fastest, an `ibool` indirection from
+/// local points to global degrees of freedom, and per-point inverse-mapping
+/// derivative tables (xix..gammaz) plus the Jacobian determinant stored in
+/// single precision for the solver's force kernels.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/check.hpp"
+
+namespace sfg {
+
+/// Local point index within an element: i fastest, then j, then k.
+inline int local_index(int ngll, int i, int j, int k) {
+  return (k * ngll + j) * ngll + i;
+}
+
+/// Unstructured conforming hexahedral spectral-element mesh.
+///
+/// Builders fill `ngll`, `nspec` and the local coordinate arrays, then call
+/// build_global_numbering() and compute_jacobian_tables() (see
+/// numbering.hpp / jacobian.hpp) to derive the rest.
+struct HexMesh {
+  int ngll = 0;   ///< GLL points per edge (degree + 1)
+  int nspec = 0;  ///< number of spectral elements
+  int nglob = 0;  ///< number of distinct global points (0 until numbered)
+
+  /// Local GLL point coordinates, size nspec * ngll^3 each (double: mesh
+  /// geometry is computed in float64 even though the solver runs float32).
+  aligned_vector<double> xstore, ystore, zstore;
+
+  /// Local -> global point map, size nspec * ngll^3, values in [0, nglob).
+  std::vector<int> ibool;
+
+  /// Inverse mapping derivatives d(xi,eta,gamma)/d(x,y,z) and Jacobian
+  /// determinant at each local point, size nspec * ngll^3 each.
+  aligned_vector<float> xix, xiy, xiz;
+  aligned_vector<float> etax, etay, etaz;
+  aligned_vector<float> gammax, gammay, gammaz;
+  aligned_vector<float> jacobian;
+
+  int ngll3() const { return ngll * ngll * ngll; }
+  std::size_t num_local_points() const {
+    return static_cast<std::size_t>(nspec) * static_cast<std::size_t>(ngll3());
+  }
+  std::size_t local_offset(int ispec) const {
+    SFG_ASSERT(ispec >= 0 && ispec < nspec);
+    return static_cast<std::size_t>(ispec) * static_cast<std::size_t>(ngll3());
+  }
+
+  /// Allocate the coordinate arrays for `nspec` elements of order `ngll`.
+  void allocate_points(int ngll_in, int nspec_in) {
+    SFG_CHECK(ngll_in >= 2 && nspec_in >= 0);
+    ngll = ngll_in;
+    nspec = nspec_in;
+    const std::size_t n = num_local_points();
+    xstore.assign(n, 0.0);
+    ystore.assign(n, 0.0);
+    zstore.assign(n, 0.0);
+  }
+
+  /// True once global numbering has been built.
+  bool numbered() const { return nglob > 0 && !ibool.empty(); }
+  /// True once Jacobian tables have been computed.
+  bool has_jacobians() const { return !jacobian.empty(); }
+};
+
+/// Coordinates of global point `iglob` obtained from any local copy.
+/// Requires numbering. O(1) via a representative local point table built
+/// on demand is not kept here; callers needing all global coordinates use
+/// global_coordinates() below.
+struct GlobalCoordinates {
+  std::vector<double> x, y, z;  ///< size nglob each
+};
+
+/// Gather one representative coordinate per global point.
+GlobalCoordinates global_coordinates(const HexMesh& mesh);
+
+}  // namespace sfg

@@ -1,0 +1,103 @@
+#include "mesh/jacobian.hpp"
+
+#include <cmath>
+
+namespace sfg {
+
+void compute_jacobian_tables(HexMesh& mesh, const GllBasis& basis) {
+  SFG_CHECK(basis.num_points() == mesh.ngll);
+  const int ngll = mesh.ngll;
+  const std::size_t n = mesh.num_local_points();
+  mesh.xix.assign(n, 0.0f);
+  mesh.xiy.assign(n, 0.0f);
+  mesh.xiz.assign(n, 0.0f);
+  mesh.etax.assign(n, 0.0f);
+  mesh.etay.assign(n, 0.0f);
+  mesh.etaz.assign(n, 0.0f);
+  mesh.gammax.assign(n, 0.0f);
+  mesh.gammay.assign(n, 0.0f);
+  mesh.gammaz.assign(n, 0.0f);
+  mesh.jacobian.assign(n, 0.0f);
+
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const std::size_t off = mesh.local_offset(e);
+    for (int k = 0; k < ngll; ++k) {
+      for (int j = 0; j < ngll; ++j) {
+        for (int i = 0; i < ngll; ++i) {
+          // d(x,y,z)/d(xi,eta,gamma) at node (i,j,k) via the derivative
+          // matrix applied along each tensor direction.
+          double xxi = 0, yxi = 0, zxi = 0;
+          double xeta = 0, yeta = 0, zeta_ = 0;
+          double xgam = 0, ygam = 0, zgam = 0;
+          for (int m = 0; m < ngll; ++m) {
+            const double hi = basis.hprime(i, m);
+            const std::size_t pi =
+                off + static_cast<std::size_t>(local_index(ngll, m, j, k));
+            xxi += hi * mesh.xstore[pi];
+            yxi += hi * mesh.ystore[pi];
+            zxi += hi * mesh.zstore[pi];
+
+            const double hj = basis.hprime(j, m);
+            const std::size_t pj =
+                off + static_cast<std::size_t>(local_index(ngll, i, m, k));
+            xeta += hj * mesh.xstore[pj];
+            yeta += hj * mesh.ystore[pj];
+            zeta_ += hj * mesh.zstore[pj];
+
+            const double hk = basis.hprime(k, m);
+            const std::size_t pk =
+                off + static_cast<std::size_t>(local_index(ngll, i, j, m));
+            xgam += hk * mesh.xstore[pk];
+            ygam += hk * mesh.ystore[pk];
+            zgam += hk * mesh.zstore[pk];
+          }
+
+          const double det = xxi * (yeta * zgam - zeta_ * ygam) -
+                             xeta * (yxi * zgam - zxi * ygam) +
+                             xgam * (yxi * zeta_ - zxi * yeta);
+          SFG_CHECK_MSG(det > 0.0, "inverted element ispec=" << e << " node ("
+                                    << i << "," << j << "," << k << ")");
+          const double inv = 1.0 / det;
+
+          const std::size_t p =
+              off + static_cast<std::size_t>(local_index(ngll, i, j, k));
+          mesh.xix[p] = static_cast<float>((yeta * zgam - zeta_ * ygam) * inv);
+          mesh.xiy[p] = static_cast<float>((xgam * zeta_ - xeta * zgam) * inv);
+          mesh.xiz[p] = static_cast<float>((xeta * ygam - xgam * yeta) * inv);
+          mesh.etax[p] = static_cast<float>((zxi * ygam - yxi * zgam) * inv);
+          mesh.etay[p] = static_cast<float>((xxi * zgam - xgam * zxi) * inv);
+          mesh.etaz[p] = static_cast<float>((xgam * yxi - xxi * ygam) * inv);
+          mesh.gammax[p] =
+              static_cast<float>((yxi * zeta_ - zxi * yeta) * inv);
+          mesh.gammay[p] =
+              static_cast<float>((zxi * xeta - xxi * zeta_) * inv);
+          mesh.gammaz[p] =
+              static_cast<float>((xxi * yeta - yxi * xeta) * inv);
+          mesh.jacobian[p] = static_cast<float>(det);
+        }
+      }
+    }
+  }
+}
+
+double mesh_volume(const HexMesh& mesh, const GllBasis& basis) {
+  SFG_CHECK(mesh.has_jacobians());
+  const int ngll = mesh.ngll;
+  double vol = 0.0;
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const std::size_t off = mesh.local_offset(e);
+    for (int k = 0; k < ngll; ++k) {
+      for (int j = 0; j < ngll; ++j) {
+        for (int i = 0; i < ngll; ++i) {
+          const std::size_t p =
+              off + static_cast<std::size_t>(local_index(ngll, i, j, k));
+          vol += basis.weight(i) * basis.weight(j) * basis.weight(k) *
+                 static_cast<double>(mesh.jacobian[p]);
+        }
+      }
+    }
+  }
+  return vol;
+}
+
+}  // namespace sfg

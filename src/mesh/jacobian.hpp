@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file jacobian.hpp
+/// Per-GLL-point Jacobian tables of the isoparametric element mapping
+/// (paper §2.2): derivatives of the reference coordinates (xi, eta, gamma)
+/// with respect to physical coordinates, and the Jacobian determinant.
+///
+/// The mapping x(xi,eta,gamma) is represented by its values at the GLL
+/// points (degree-N geometry), so d x / d xi is computed exactly for the
+/// interpolant with the Lagrange derivative matrix — the same machinery the
+/// solver uses on fields.
+
+#include "mesh/hex_mesh.hpp"
+#include "quadrature/gll.hpp"
+
+namespace sfg {
+
+/// Fill mesh.xix .. mesh.gammaz and mesh.jacobian from the local
+/// coordinate arrays. Fails if any element is inverted (non-positive
+/// Jacobian determinant).
+void compute_jacobian_tables(HexMesh& mesh, const GllBasis& basis);
+
+/// Total mesh volume by GLL quadrature: sum of w_i w_j w_k |J|. Exact for
+/// affine elements; spectrally accurate for curved ones. Used by tests
+/// (e.g. spherical-shell volume vs 4/3 pi (r2^3 - r1^3)).
+double mesh_volume(const HexMesh& mesh, const GllBasis& basis);
+
+}  // namespace sfg

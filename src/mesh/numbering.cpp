@@ -1,0 +1,104 @@
+#include "mesh/numbering.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "mesh/point_matcher.hpp"
+
+namespace sfg {
+
+double min_gll_spacing(const HexMesh& mesh) {
+  const int ngll = mesh.ngll;
+  double best = std::numeric_limits<double>::max();
+  auto dist = [&](std::size_t a, std::size_t b) {
+    const double dx = mesh.xstore[a] - mesh.xstore[b];
+    const double dy = mesh.ystore[a] - mesh.ystore[b];
+    const double dz = mesh.zstore[a] - mesh.zstore[b];
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+  };
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const std::size_t off = mesh.local_offset(e);
+    for (int k = 0; k < ngll; ++k) {
+      for (int j = 0; j < ngll; ++j) {
+        for (int i = 0; i < ngll; ++i) {
+          const std::size_t p =
+              off + static_cast<std::size_t>(local_index(ngll, i, j, k));
+          if (i + 1 < ngll)
+            best = std::min(
+                best,
+                dist(p, off + static_cast<std::size_t>(
+                               local_index(ngll, i + 1, j, k))));
+          if (j + 1 < ngll)
+            best = std::min(
+                best,
+                dist(p, off + static_cast<std::size_t>(
+                               local_index(ngll, i, j + 1, k))));
+          if (k + 1 < ngll)
+            best = std::min(
+                best,
+                dist(p, off + static_cast<std::size_t>(
+                               local_index(ngll, i, j, k + 1))));
+        }
+      }
+    }
+  }
+  return best;
+}
+
+int build_global_numbering(HexMesh& mesh, double tolerance) {
+  SFG_CHECK_MSG(mesh.nspec > 0, "mesh has no elements");
+  if (tolerance <= 0.0) {
+    tolerance = 1e-5 * min_gll_spacing(mesh);
+    SFG_CHECK_MSG(tolerance > 0.0, "degenerate mesh: zero GLL spacing");
+  }
+  PointMatcher matcher(tolerance);
+  const std::size_t n = mesh.num_local_points();
+  mesh.ibool.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    mesh.ibool[p] = matcher.add(mesh.xstore[p], mesh.ystore[p],
+                                mesh.zstore[p]);
+  }
+  mesh.nglob = matcher.size();
+  return mesh.nglob;
+}
+
+void renumber_global_points_by_first_touch(HexMesh& mesh) {
+  SFG_CHECK(mesh.numbered());
+  std::vector<int> new_id(static_cast<std::size_t>(mesh.nglob), -1);
+  int next = 0;
+  for (int& g : mesh.ibool) {
+    int& m = new_id[static_cast<std::size_t>(g)];
+    if (m < 0) m = next++;
+    g = m;
+  }
+  SFG_CHECK(next == mesh.nglob);
+}
+
+double average_global_stride(const HexMesh& mesh) {
+  SFG_CHECK(mesh.numbered());
+  if (mesh.ibool.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (std::size_t p = 0; p + 1 < mesh.ibool.size(); ++p) {
+    sum += std::abs(static_cast<double>(mesh.ibool[p + 1]) -
+                    static_cast<double>(mesh.ibool[p]));
+  }
+  return sum / static_cast<double>(mesh.ibool.size() - 1);
+}
+
+GlobalCoordinates global_coordinates(const HexMesh& mesh) {
+  SFG_CHECK(mesh.numbered());
+  GlobalCoordinates g;
+  g.x.assign(static_cast<std::size_t>(mesh.nglob), 0.0);
+  g.y.assign(static_cast<std::size_t>(mesh.nglob), 0.0);
+  g.z.assign(static_cast<std::size_t>(mesh.nglob), 0.0);
+  for (std::size_t p = 0; p < mesh.num_local_points(); ++p) {
+    const auto gi = static_cast<std::size_t>(mesh.ibool[p]);
+    g.x[gi] = mesh.xstore[p];
+    g.y[gi] = mesh.ystore[p];
+    g.z[gi] = mesh.zstore[p];
+  }
+  return g;
+}
+
+}  // namespace sfg

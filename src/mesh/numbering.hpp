@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file numbering.hpp
+/// Local -> global numbering (the `ibool` table) and global-point
+/// renumbering for cache locality (paper §4.2).
+
+#include "mesh/hex_mesh.hpp"
+
+namespace sfg {
+
+/// Build mesh.ibool / mesh.nglob by deduplicating local GLL coordinates
+/// with the given absolute tolerance. Returns the number of global points.
+///
+/// If `tolerance` <= 0 a tolerance is derived automatically as 1e-5 times
+/// the smallest adjacent-GLL-point distance in the mesh.
+int build_global_numbering(HexMesh& mesh, double tolerance = 0.0);
+
+/// Renumber global points in order of first appearance when walking
+/// elements in their current order (SPECFEM's locality renumbering: global
+/// array strides become small for the common points of consecutive
+/// elements). Requires numbering; preserves nglob.
+void renumber_global_points_by_first_touch(HexMesh& mesh);
+
+/// Smallest distance between adjacent GLL points of any element edge.
+/// Used for tolerance derivation and for the Courant estimate.
+double min_gll_spacing(const HexMesh& mesh);
+
+/// Average memory stride |ibool(p+1) - ibool(p)| along the element-major
+/// walk — the locality figure of merit the Cuthill-McKee sorting of §4.2
+/// optimizes.
+double average_global_stride(const HexMesh& mesh);
+
+}  // namespace sfg

@@ -1,0 +1,47 @@
+#include "mesh/point_matcher.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sfg {
+
+PointMatcher::PointMatcher(double tolerance) : tol_(tolerance) {
+  SFG_CHECK_MSG(tolerance > 0.0, "PointMatcher tolerance must be positive");
+  inv_cell_ = 1.0 / tol_;
+}
+
+PointMatcher::CellKey PointMatcher::cell_of(double x, double y,
+                                            double z) const {
+  return {static_cast<std::int64_t>(std::floor(x * inv_cell_)),
+          static_cast<std::int64_t>(std::floor(y * inv_cell_)),
+          static_cast<std::int64_t>(std::floor(z * inv_cell_))};
+}
+
+int PointMatcher::add(double x, double y, double z) {
+  const CellKey center = cell_of(x, y, z);
+  const double tol2 = tol_ * tol_;
+  for (std::int64_t dz = -1; dz <= 1; ++dz) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        const CellKey key{center.cx + dx, center.cy + dy, center.cz + dz};
+        auto it = grid_.find(key);
+        if (it == grid_.end()) continue;
+        for (int id : it->second) {
+          const double ddx = px_[static_cast<std::size_t>(id)] - x;
+          const double ddy = py_[static_cast<std::size_t>(id)] - y;
+          const double ddz = pz_[static_cast<std::size_t>(id)] - z;
+          if (ddx * ddx + ddy * ddy + ddz * ddz <= tol2) return id;
+        }
+      }
+    }
+  }
+  const int id = size();
+  px_.push_back(x);
+  py_.push_back(y);
+  pz_.push_back(z);
+  grid_[center].push_back(id);
+  return id;
+}
+
+}  // namespace sfg

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file point_matcher.hpp
+/// Tolerance-based 3-D point deduplication via a uniform hash grid.
+///
+/// The SEM global mesh identifies GLL points shared between neighbouring
+/// elements (paper §2.4, Figure 3). Different elements — and, on the cubed
+/// sphere, different chunks — compute the *same* physical point through
+/// different analytic charts, so coordinates agree only to roundoff. The
+/// matcher buckets points into cells of size `tolerance` and searches the
+/// 27 surrounding cells, so two points within `tolerance` of each other
+/// always receive the same id regardless of rounding-boundary placement.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace sfg {
+
+class PointMatcher {
+ public:
+  /// `tolerance` must be well below the smallest true point separation and
+  /// well above coordinate roundoff (builders use ~1e-5 of the minimum GLL
+  /// spacing).
+  explicit PointMatcher(double tolerance);
+
+  /// Return the id of the point at (x, y, z), creating a new id if no
+  /// existing point lies within the tolerance.
+  int add(double x, double y, double z);
+
+  /// Number of distinct points seen so far.
+  int size() const { return static_cast<int>(px_.size()); }
+
+  double x(int id) const { return px_[static_cast<std::size_t>(id)]; }
+  double y(int id) const { return py_[static_cast<std::size_t>(id)]; }
+  double z(int id) const { return pz_[static_cast<std::size_t>(id)]; }
+
+ private:
+  struct CellKey {
+    std::int64_t cx, cy, cz;
+    bool operator==(const CellKey&) const = default;
+  };
+  struct CellHash {
+    std::size_t operator()(const CellKey& k) const {
+      std::uint64_t h = 1469598103934665603ull;
+      auto mix = [&h](std::int64_t v) {
+        h ^= static_cast<std::uint64_t>(v);
+        h *= 1099511628211ull;
+      };
+      mix(k.cx);
+      mix(k.cy);
+      mix(k.cz);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  CellKey cell_of(double x, double y, double z) const;
+
+  double tol_;
+  double inv_cell_;
+  std::vector<double> px_, py_, pz_;
+  std::unordered_map<CellKey, std::vector<int>, CellHash> grid_;
+};
+
+}  // namespace sfg

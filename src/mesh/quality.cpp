@@ -1,0 +1,70 @@
+#include "mesh/quality.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/constants.hpp"
+
+namespace sfg {
+
+MeshQualityReport analyze_mesh_quality(const HexMesh& mesh,
+                                       const aligned_vector<float>& vp,
+                                       const aligned_vector<float>& vs,
+                                       double courant) {
+  SFG_CHECK(vp.size() == mesh.num_local_points());
+  SFG_CHECK(vs.size() == mesh.num_local_points());
+  const int ngll = mesh.ngll;
+
+  MeshQualityReport rep;
+  rep.courant_number = courant;
+  rep.min_gll_spacing = std::numeric_limits<double>::max();
+  rep.max_gll_spacing = 0.0;
+  double min_dt = std::numeric_limits<double>::max();
+  double slowest = std::numeric_limits<double>::max();
+
+  auto dist = [&](std::size_t a, std::size_t b) {
+    const double dx = mesh.xstore[a] - mesh.xstore[b];
+    const double dy = mesh.ystore[a] - mesh.ystore[b];
+    const double dz = mesh.zstore[a] - mesh.zstore[b];
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+  };
+
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const std::size_t off = mesh.local_offset(e);
+    for (int k = 0; k < ngll; ++k) {
+      for (int j = 0; j < ngll; ++j) {
+        for (int i = 0; i < ngll; ++i) {
+          const std::size_t p =
+              off + static_cast<std::size_t>(local_index(ngll, i, j, k));
+          const double vpp = vp[p];
+          const double vss = vs[p];
+          slowest = std::min(slowest, vss > 0.0 ? vss : vpp);
+          auto consider = [&](std::size_t q) {
+            const double h = dist(p, q);
+            rep.min_gll_spacing = std::min(rep.min_gll_spacing, h);
+            rep.max_gll_spacing = std::max(rep.max_gll_spacing, h);
+            if (vpp > 0.0) min_dt = std::min(min_dt, h / vpp);
+          };
+          if (i + 1 < ngll)
+            consider(off + static_cast<std::size_t>(
+                               local_index(ngll, i + 1, j, k)));
+          if (j + 1 < ngll)
+            consider(off + static_cast<std::size_t>(
+                               local_index(ngll, i, j + 1, k)));
+          if (k + 1 < ngll)
+            consider(off + static_cast<std::size_t>(
+                               local_index(ngll, i, j, k + 1)));
+        }
+      }
+    }
+  }
+
+  rep.dt_stable = courant * min_dt;
+  // Shortest period: need kPointsPerWavelength GLL points per wavelength of
+  // the slowest wave, limited by the coarsest sampling in the mesh.
+  rep.shortest_period =
+      kPointsPerWavelength * rep.max_gll_spacing / slowest;
+  return rep;
+}
+
+}  // namespace sfg

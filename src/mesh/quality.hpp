@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file quality.hpp
+/// Mesh resolution and stability analysis (paper §3): the grid spacing is
+/// set by >= 5 GLL points per shortest wavelength and the explicit Newmark
+/// scheme is conditionally stable with a Courant bound on the time step.
+
+#include "common/aligned.hpp"
+#include "mesh/hex_mesh.hpp"
+#include "quadrature/gll.hpp"
+
+namespace sfg {
+
+struct MeshQualityReport {
+  double min_gll_spacing = 0.0;   ///< smallest adjacent GLL point distance
+  double max_gll_spacing = 0.0;   ///< largest adjacent GLL point distance
+  double dt_stable = 0.0;         ///< Courant-stable time step estimate
+  double shortest_period = 0.0;   ///< shortest accurately resolved period
+  double courant_number = 0.0;    ///< Courant factor used for dt_stable
+};
+
+/// Analyze resolution and stability given per-local-point P- and S-wave
+/// speeds (vs entries of 0 mark fluid points, where vp governs both).
+///
+/// dt_stable = courant * min(spacing / vp); shortest_period is derived from
+/// the "5 points per wavelength" rule using the *largest* GLL spacing and
+/// the slowest wave speed present (min of vs>0 else vp).
+MeshQualityReport analyze_mesh_quality(const HexMesh& mesh,
+                                       const aligned_vector<float>& vp,
+                                       const aligned_vector<float>& vs,
+                                       double courant = 0.4);
+
+}  // namespace sfg

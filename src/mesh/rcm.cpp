@@ -1,0 +1,191 @@
+#include "mesh/rcm.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+namespace sfg {
+
+std::vector<std::vector<int>> element_adjacency(const HexMesh& mesh) {
+  SFG_CHECK(mesh.numbered());
+  // Invert ibool: global point -> list of touching elements.
+  std::vector<std::vector<int>> touching(
+      static_cast<std::size_t>(mesh.nglob));
+  const int ngll3 = mesh.ngll3();
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const std::size_t off = mesh.local_offset(e);
+    for (int p = 0; p < ngll3; ++p) {
+      auto& lst = touching[static_cast<std::size_t>(
+          mesh.ibool[off + static_cast<std::size_t>(p)])];
+      if (lst.empty() || lst.back() != e) lst.push_back(e);
+    }
+  }
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(mesh.nspec));
+  for (const auto& lst : touching) {
+    for (std::size_t a = 0; a < lst.size(); ++a) {
+      for (std::size_t b = a + 1; b < lst.size(); ++b) {
+        adj[static_cast<std::size_t>(lst[a])].push_back(lst[b]);
+        adj[static_cast<std::size_t>(lst[b])].push_back(lst[a]);
+      }
+    }
+  }
+  for (auto& neigh : adj) {
+    std::sort(neigh.begin(), neigh.end());
+    neigh.erase(std::unique(neigh.begin(), neigh.end()), neigh.end());
+  }
+  return adj;
+}
+
+std::vector<int> reverse_cuthill_mckee(
+    const std::vector<std::vector<int>>& adjacency) {
+  const int n = static_cast<int>(adjacency.size());
+  std::vector<int> degree(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v)
+    degree[static_cast<std::size_t>(v)] =
+        static_cast<int>(adjacency[static_cast<std::size_t>(v)].size());
+
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+
+  // Process every connected component, each seeded at a minimum-degree
+  // unvisited vertex (the classical peripheral-node heuristic).
+  for (;;) {
+    int seed = -1;
+    for (int v = 0; v < n; ++v) {
+      if (visited[static_cast<std::size_t>(v)]) continue;
+      if (seed < 0 || degree[static_cast<std::size_t>(v)] <
+                          degree[static_cast<std::size_t>(seed)])
+        seed = v;
+    }
+    if (seed < 0) break;
+
+    std::vector<int> queue{seed};
+    visited[static_cast<std::size_t>(seed)] = true;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const int v = queue[head++];
+      order.push_back(v);
+      std::vector<int> next;
+      for (int w : adjacency[static_cast<std::size_t>(v)]) {
+        if (!visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = true;
+          next.push_back(w);
+        }
+      }
+      std::sort(next.begin(), next.end(), [&](int a, int b) {
+        return degree[static_cast<std::size_t>(a)] <
+               degree[static_cast<std::size_t>(b)];
+      });
+      queue.insert(queue.end(), next.begin(), next.end());
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<int> multilevel_cuthill_mckee(
+    const std::vector<std::vector<int>>& adjacency, int block_size) {
+  SFG_CHECK(block_size >= 1);
+  const std::vector<int> base = reverse_cuthill_mckee(adjacency);
+  const int n = static_cast<int>(base.size());
+  const int nblocks = (n + block_size - 1) / block_size;
+  if (nblocks <= 1) return base;
+
+  // Block id for each vertex under the base ordering.
+  std::vector<int> block_of(static_cast<std::size_t>(n));
+  for (int pos = 0; pos < n; ++pos)
+    block_of[static_cast<std::size_t>(base[static_cast<std::size_t>(pos)])] =
+        pos / block_size;
+
+  // Quotient graph on blocks.
+  std::vector<std::vector<int>> block_adj(
+      static_cast<std::size_t>(nblocks));
+  for (int v = 0; v < n; ++v) {
+    for (int w : adjacency[static_cast<std::size_t>(v)]) {
+      const int bv = block_of[static_cast<std::size_t>(v)];
+      const int bw = block_of[static_cast<std::size_t>(w)];
+      if (bv != bw) block_adj[static_cast<std::size_t>(bv)].push_back(bw);
+    }
+  }
+  for (auto& neigh : block_adj) {
+    std::sort(neigh.begin(), neigh.end());
+    neigh.erase(std::unique(neigh.begin(), neigh.end()), neigh.end());
+  }
+
+  const std::vector<int> block_order = reverse_cuthill_mckee(block_adj);
+  std::vector<int> block_pos(static_cast<std::size_t>(nblocks));
+  for (int pos = 0; pos < nblocks; ++pos)
+    block_pos[static_cast<std::size_t>(
+        block_order[static_cast<std::size_t>(pos)])] = pos;
+
+  // Emit blocks in quotient-RCM order, keeping the base order inside each.
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> members(static_cast<std::size_t>(nblocks));
+  for (int pos = 0; pos < n; ++pos) {
+    const int v = base[static_cast<std::size_t>(pos)];
+    members[static_cast<std::size_t>(pos / block_size)].push_back(v);
+  }
+  std::vector<int> blocks_sorted(static_cast<std::size_t>(nblocks));
+  std::iota(blocks_sorted.begin(), blocks_sorted.end(), 0);
+  std::sort(blocks_sorted.begin(), blocks_sorted.end(), [&](int a, int b) {
+    return block_pos[static_cast<std::size_t>(a)] <
+           block_pos[static_cast<std::size_t>(b)];
+  });
+  for (int b : blocks_sorted)
+    for (int v : members[static_cast<std::size_t>(b)]) order.push_back(v);
+  return order;
+}
+
+int ordering_bandwidth(const std::vector<std::vector<int>>& adjacency,
+                       const std::vector<int>& order) {
+  const int n = static_cast<int>(adjacency.size());
+  SFG_CHECK(static_cast<int>(order.size()) == n);
+  std::vector<int> pos(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p)
+    pos[static_cast<std::size_t>(order[static_cast<std::size_t>(p)])] = p;
+  int bw = 0;
+  for (int v = 0; v < n; ++v)
+    for (int w : adjacency[static_cast<std::size_t>(v)])
+      bw = std::max(bw, std::abs(pos[static_cast<std::size_t>(v)] -
+                                 pos[static_cast<std::size_t>(w)]));
+  return bw;
+}
+
+namespace {
+template <typename T, typename A>
+void permute_element_array(std::vector<T, A>& arr, int nspec, int ngll3,
+                           const std::vector<int>& order) {
+  if (arr.empty()) return;
+  std::vector<T, A> out(arr.size());
+  for (int newid = 0; newid < nspec; ++newid) {
+    const int oldid = order[static_cast<std::size_t>(newid)];
+    std::copy_n(arr.begin() + static_cast<std::ptrdiff_t>(oldid) * ngll3,
+                ngll3,
+                out.begin() + static_cast<std::ptrdiff_t>(newid) * ngll3);
+  }
+  arr = std::move(out);
+}
+}  // namespace
+
+void apply_element_permutation(HexMesh& mesh, const std::vector<int>& order) {
+  SFG_CHECK(static_cast<int>(order.size()) == mesh.nspec);
+  const int ngll3 = mesh.ngll3();
+  permute_element_array(mesh.xstore, mesh.nspec, ngll3, order);
+  permute_element_array(mesh.ystore, mesh.nspec, ngll3, order);
+  permute_element_array(mesh.zstore, mesh.nspec, ngll3, order);
+  permute_element_array(mesh.ibool, mesh.nspec, ngll3, order);
+  permute_element_array(mesh.xix, mesh.nspec, ngll3, order);
+  permute_element_array(mesh.xiy, mesh.nspec, ngll3, order);
+  permute_element_array(mesh.xiz, mesh.nspec, ngll3, order);
+  permute_element_array(mesh.etax, mesh.nspec, ngll3, order);
+  permute_element_array(mesh.etay, mesh.nspec, ngll3, order);
+  permute_element_array(mesh.etaz, mesh.nspec, ngll3, order);
+  permute_element_array(mesh.gammax, mesh.nspec, ngll3, order);
+  permute_element_array(mesh.gammay, mesh.nspec, ngll3, order);
+  permute_element_array(mesh.gammaz, mesh.nspec, ngll3, order);
+  permute_element_array(mesh.jacobian, mesh.nspec, ngll3, order);
+}
+
+}  // namespace sfg

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file rcm.hpp
+/// Element reordering for cache locality (paper §4.2): classical reverse
+/// Cuthill-McKee on the element connectivity graph, plus the paper's
+/// multilevel variant that forms groups of ~50-100 elements sized to fit
+/// in L2 together.
+
+#include <vector>
+
+#include "mesh/hex_mesh.hpp"
+
+namespace sfg {
+
+/// Element adjacency: elements are neighbours when they share at least one
+/// global point (faces, edges or corners). Requires numbering.
+std::vector<std::vector<int>> element_adjacency(const HexMesh& mesh);
+
+/// Classical reverse Cuthill-McKee ordering of an undirected graph given
+/// as adjacency lists. Returns a permutation `order` such that order[newid]
+/// = oldid. Handles disconnected graphs.
+std::vector<int> reverse_cuthill_mckee(
+    const std::vector<std::vector<int>>& adjacency);
+
+/// The paper's multilevel variant: run RCM on the element graph, cut the
+/// ordering into consecutive blocks of `block_size` elements (50-100 fits
+/// L2), then order the blocks themselves by RCM on the block quotient
+/// graph. Returns order[newid] = oldid.
+std::vector<int> multilevel_cuthill_mckee(
+    const std::vector<std::vector<int>>& adjacency, int block_size);
+
+/// Graph bandwidth of a permutation: max |pos(u) - pos(v)| over edges.
+/// RCM is expected to reduce this versus natural/random order.
+int ordering_bandwidth(const std::vector<std::vector<int>>& adjacency,
+                       const std::vector<int>& order);
+
+/// Permute the elements of a mesh: element `order[newid]` becomes element
+/// `newid`. All per-element arrays (coordinates, ibool, Jacobian tables if
+/// present) are permuted consistently; global numbering is untouched.
+void apply_element_permutation(HexMesh& mesh, const std::vector<int>& order);
+
+}  // namespace sfg

@@ -1,0 +1,119 @@
+#include "model/attenuation.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/constants.hpp"
+
+namespace sfg {
+
+double SlsSeries::unrelaxed_factor() const {
+  double f = 1.0;
+  for (double yl : y) f += yl;
+  return f;
+}
+
+double SlsSeries::q_at(double omega) const {
+  double inv_q = 0.0;
+  for (int l = 0; l < num_sls(); ++l) {
+    const double wt = omega * tau_sigma[static_cast<std::size_t>(l)];
+    inv_q += y[static_cast<std::size_t>(l)] * wt / (1.0 + wt * wt);
+  }
+  SFG_CHECK(inv_q > 0.0);
+  return 1.0 / inv_q;
+}
+
+double SlsSeries::modulus_factor_at(double omega) const {
+  // Real part of the complex modulus relative to the relaxed modulus:
+  // M(omega)/M_R = 1 + sum y_l (omega tau)^2 / (1 + (omega tau)^2).
+  double f = 1.0;
+  for (int l = 0; l < num_sls(); ++l) {
+    const double wt = omega * tau_sigma[static_cast<std::size_t>(l)];
+    f += y[static_cast<std::size_t>(l)] * wt * wt / (1.0 + wt * wt);
+  }
+  return f;
+}
+
+std::vector<double> solve_dense(std::vector<double> a,
+                                std::vector<double> b) {
+  const auto n = b.size();
+  SFG_CHECK(a.size() == n * n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // partial pivot
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r * n + col]) > std::abs(a[piv * n + col])) piv = r;
+    SFG_CHECK_MSG(std::abs(a[piv * n + col]) > 1e-300, "singular system");
+    if (piv != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[piv * n + c], a[col * n + c]);
+      std::swap(b[piv], b[col]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] * inv;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= a[ri * n + c] * x[c];
+    x[ri] = s / a[ri * n + ri];
+  }
+  return x;
+}
+
+SlsSeries fit_constant_q(double target_q, double f_min, double f_max,
+                         int nsls) {
+  SFG_CHECK_MSG(target_q > 0.0, "target Q must be positive");
+  SFG_CHECK(f_min > 0.0 && f_max > f_min);
+  SFG_CHECK(nsls >= 1 && nsls <= 10);
+
+  SlsSeries s;
+  s.target_q = target_q;
+  s.f_min = f_min;
+  s.f_max = f_max;
+
+  // Relaxation times log-spaced so each SLS peaks inside the band.
+  const double t_min = 1.0 / (2.0 * kPi * f_max);
+  const double t_max = 1.0 / (2.0 * kPi * f_min);
+  s.tau_sigma.resize(static_cast<std::size_t>(nsls));
+  for (int l = 0; l < nsls; ++l) {
+    const double frac = nsls == 1 ? 0.5 : static_cast<double>(l) / (nsls - 1);
+    s.tau_sigma[static_cast<std::size_t>(l)] =
+        t_min * std::pow(t_max / t_min, frac);
+  }
+
+  // Least squares: minimize sum_k (sum_l y_l g_l(w_k) - 1/Q)^2 over a
+  // dense log grid of frequencies across the band.
+  const int nfreq = 100;
+  std::vector<double> ata(static_cast<std::size_t>(nsls * nsls), 0.0);
+  std::vector<double> atb(static_cast<std::size_t>(nsls), 0.0);
+  for (int k = 0; k < nfreq; ++k) {
+    const double f =
+        f_min * std::pow(f_max / f_min, static_cast<double>(k) / (nfreq - 1));
+    const double w = 2.0 * kPi * f;
+    std::vector<double> g(static_cast<std::size_t>(nsls));
+    for (int l = 0; l < nsls; ++l) {
+      const double wt = w * s.tau_sigma[static_cast<std::size_t>(l)];
+      g[static_cast<std::size_t>(l)] = wt / (1.0 + wt * wt);
+    }
+    for (int a = 0; a < nsls; ++a) {
+      for (int b = 0; b < nsls; ++b)
+        ata[static_cast<std::size_t>(a * nsls + b)] +=
+            g[static_cast<std::size_t>(a)] * g[static_cast<std::size_t>(b)];
+      atb[static_cast<std::size_t>(a)] +=
+          g[static_cast<std::size_t>(a)] / target_q;
+    }
+  }
+  s.y = solve_dense(std::move(ata), std::move(atb));
+  // Clip tiny negative values from the unconstrained solve; they only
+  // appear for very wide bands with few SLSs.
+  for (double& yl : s.y)
+    if (yl < 0.0) yl = 0.0;
+  return s;
+}
+
+}  // namespace sfg

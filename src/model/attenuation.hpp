@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file attenuation.hpp
+/// Constant-Q viscoelastic attenuation via a series of standard linear
+/// solids (SLS), as used by SPECFEM3D_GLOBE (paper §6: turning attenuation
+/// on costs ~1.8x runtime with a near-imperceptible Tflops drop).
+///
+/// The relaxation function of N SLSs gives
+///   1/Q(omega) ~= sum_l y_l * (omega tau_l) / (1 + (omega tau_l)^2),
+/// valid for Q >> 1. Relaxation times tau_l are log-spaced across the
+/// simulated frequency band and the dimensionless moduli defects y_l are
+/// fitted by linear least squares so that Q(omega) is flat across the band.
+
+#include <vector>
+
+namespace sfg {
+
+/// A fitted SLS series for one target quality factor.
+struct SlsSeries {
+  double target_q = 0.0;
+  double f_min = 0.0, f_max = 0.0;
+  std::vector<double> tau_sigma;  ///< relaxation times (s), one per SLS
+  std::vector<double> y;          ///< moduli defects, one per SLS
+
+  int num_sls() const { return static_cast<int>(tau_sigma.size()); }
+
+  /// 1 + sum y_l: ratio of unrelaxed to relaxed modulus.
+  double unrelaxed_factor() const;
+
+  /// Model prediction Q(omega) for validation.
+  double q_at(double omega) const;
+
+  /// Phase-velocity dispersion factor at omega relative to the relaxed
+  /// modulus (physical dispersion that accompanies attenuation).
+  double modulus_factor_at(double omega) const;
+};
+
+/// Fit `nsls` standard linear solids so Q(omega) ~ target_q across
+/// [f_min, f_max] Hz. target_q must be positive (use attenuation-off in
+/// the solver rather than an infinite Q here).
+SlsSeries fit_constant_q(double target_q, double f_min, double f_max,
+                         int nsls = 3);
+
+/// Solve a small dense symmetric positive-definite system in place
+/// (Gaussian elimination with partial pivoting); exposed for tests.
+std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b);
+
+}  // namespace sfg

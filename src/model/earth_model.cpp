@@ -1,0 +1,200 @@
+#include "model/earth_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/constants.hpp"
+
+namespace sfg {
+
+namespace {
+
+/// One PREM layer: cubic polynomials in normalized radius x = r / 6371 km,
+/// in g/cm^3 and km/s (converted to SI on evaluation).
+struct PremLayer {
+  double r_top_km;  // layer extends from the previous layer's top to here
+  double rho[4];
+  double vp[4];
+  double vs[4];
+  double q_mu;      // 0 => fluid
+  double q_kappa;
+};
+
+double poly(const double c[4], double x) {
+  return c[0] + x * (c[1] + x * (c[2] + x * c[3]));
+}
+
+// PREM (Dziewonski & Anderson 1981), isotropic version; layers bottom-up.
+// Radii in km; the ocean layer (6368-6371) is handled separately.
+constexpr PremLayer kPrem[] = {
+    // inner core
+    {1221.5, {13.0885, 0.0, -8.8381, 0.0}, {11.2622, 0.0, -6.3640, 0.0},
+     {3.6678, 0.0, -4.4475, 0.0}, 84.6, 1327.7},
+    // outer core (fluid)
+    {3480.0, {12.5815, -1.2638, -3.6426, -5.5281},
+     {11.0487, -4.0362, 4.8023, -13.5732}, {0.0, 0.0, 0.0, 0.0}, 0.0,
+     57823.0},
+    // D'' layer
+    {3630.0, {7.9565, -6.4761, 5.5283, -3.0807},
+     {15.3891, -5.3181, 5.5242, -2.5514}, {6.9254, 1.4672, -2.0834, 0.9783},
+     312.0, 57823.0},
+    // lower mantle
+    {5600.0, {7.9565, -6.4761, 5.5283, -3.0807},
+     {24.9520, -40.4673, 51.4832, -26.6419},
+     {11.1671, -13.7818, 17.4575, -9.2777}, 312.0, 57823.0},
+    {5701.0, {7.9565, -6.4761, 5.5283, -3.0807},
+     {29.2766, -23.6027, 5.5242, -2.5514},
+     {22.3459, -17.2473, -2.0834, 0.9783}, 312.0, 57823.0},
+    // transition zone
+    {5771.0, {5.3197, -1.4836, 0.0, 0.0}, {19.0957, -9.8672, 0.0, 0.0},
+     {9.9839, -4.9324, 0.0, 0.0}, 143.0, 57823.0},
+    {5971.0, {11.2494, -8.0298, 0.0, 0.0}, {39.7027, -32.6166, 0.0, 0.0},
+     {22.3512, -18.5856, 0.0, 0.0}, 143.0, 57823.0},
+    {6151.0, {7.1089, -3.8045, 0.0, 0.0}, {20.3926, -12.2569, 0.0, 0.0},
+     {8.9496, -4.4597, 0.0, 0.0}, 143.0, 57823.0},
+    // low-velocity zone
+    {6291.0, {2.6910, 0.6924, 0.0, 0.0}, {4.1875, 3.9382, 0.0, 0.0},
+     {2.1519, 2.3481, 0.0, 0.0}, 80.0, 57823.0},
+    // LID
+    {6346.6, {2.6910, 0.6924, 0.0, 0.0}, {4.1875, 3.9382, 0.0, 0.0},
+     {2.1519, 2.3481, 0.0, 0.0}, 600.0, 57823.0},
+    // lower crust
+    {6356.0, {2.9, 0.0, 0.0, 0.0}, {6.8, 0.0, 0.0, 0.0},
+     {3.9, 0.0, 0.0, 0.0}, 600.0, 57823.0},
+    // upper crust
+    {6368.0, {2.6, 0.0, 0.0, 0.0}, {5.8, 0.0, 0.0, 0.0},
+     {3.2, 0.0, 0.0, 0.0}, 600.0, 57823.0},
+    // ocean (fluid); replaced by upper crust when with_ocean == false
+    {6371.0, {1.020, 0.0, 0.0, 0.0}, {1.45, 0.0, 0.0, 0.0},
+     {0.0, 0.0, 0.0, 0.0}, 0.0, 57823.0},
+};
+constexpr int kNumPremLayers = static_cast<int>(std::size(kPrem));
+
+MaterialSample sample_layer(const PremLayer& layer, double x) {
+  MaterialSample s;
+  s.rho = poly(layer.rho, x) * 1000.0;  // g/cm^3 -> kg/m^3
+  s.vp = poly(layer.vp, x) * 1000.0;    // km/s -> m/s
+  s.vs = poly(layer.vs, x) * 1000.0;
+  s.q_mu = layer.q_mu;
+  s.q_kappa = layer.q_kappa;
+  if (layer.q_mu == 0.0) s.vs = 0.0;  // fluid layers carry no shear
+  return s;
+}
+
+int layer_index_for_radius(double r_km, bool with_ocean) {
+  const int last = with_ocean ? kNumPremLayers - 1 : kNumPremLayers - 2;
+  double bottom = 0.0;
+  for (int l = 0; l <= last; ++l) {
+    if (r_km <= kPrem[l].r_top_km || l == last) return l;
+    bottom = kPrem[l].r_top_km;
+  }
+  (void)bottom;
+  return last;
+}
+
+}  // namespace
+
+PremModel::PremModel(bool with_ocean) : with_ocean_(with_ocean) {
+  // Precompute M(<r) and g(r) on a fine grid by trapezoid integration of
+  // 4 pi r^2 rho(r).
+  const int n = 4000;
+  const double dr = kEarthRadiusM / n;
+  g_radii_.resize(static_cast<std::size_t>(n + 1));
+  mass_values_.resize(static_cast<std::size_t>(n + 1));
+  g_values_.resize(static_cast<std::size_t>(n + 1));
+  double mass = 0.0;
+  double prev_integrand = 0.0;
+  for (int i = 0; i <= n; ++i) {
+    const double r = i * dr;
+    const double rho = at_radius(std::max(r, 1.0)).rho;
+    const double integrand = 4.0 * kPi * r * r * rho;
+    if (i > 0) mass += 0.5 * (integrand + prev_integrand) * dr;
+    prev_integrand = integrand;
+    g_radii_[static_cast<std::size_t>(i)] = r;
+    mass_values_[static_cast<std::size_t>(i)] = mass;
+    g_values_[static_cast<std::size_t>(i)] =
+        r > 0.0 ? kGravityG * mass / (r * r) : 0.0;
+  }
+}
+
+MaterialSample PremModel::at_radius(double r_m) const {
+  SFG_CHECK_MSG(r_m >= 0.0 && r_m <= kEarthRadiusM * 1.0001,
+                "radius " << r_m << " outside the Earth");
+  const double r_km = std::min(r_m, kEarthRadiusM) / 1000.0;
+  const int l = layer_index_for_radius(r_km, with_ocean_);
+  const double x = r_km / 6371.0;
+  return sample_layer(kPrem[l], x);
+}
+
+std::vector<double> PremModel::discontinuity_radii() const {
+  std::vector<double> radii = {kIcbRadiusM, kCmbRadiusM,
+                               3630.0e3,  // top of D''
+                               k670RadiusM, 5771.0e3, k400RadiusM,
+                               6151.0e3, 6291.0e3, kMohoRadiusM, 6356.0e3};
+  if (with_ocean_) radii.push_back(6368.0e3);
+  std::sort(radii.begin(), radii.end());
+  return radii;
+}
+
+double PremModel::surface_radius() const { return kEarthRadiusM; }
+
+double PremModel::enclosed_mass(double r_m) const {
+  SFG_CHECK(r_m >= 0.0);
+  r_m = std::min(r_m, kEarthRadiusM);
+  const double step = g_radii_[1] - g_radii_[0];
+  const auto i = static_cast<std::size_t>(r_m / step);
+  if (i + 1 >= mass_values_.size()) return mass_values_.back();
+  const double f = (r_m - g_radii_[i]) / step;
+  return mass_values_[i] * (1.0 - f) + mass_values_[i + 1] * f;
+}
+
+double PremModel::gravity(double r_m) const {
+  SFG_CHECK(r_m >= 0.0);
+  if (r_m >= kEarthRadiusM) {
+    // Above the surface: point-mass field.
+    return kGravityG * mass_values_.back() / (r_m * r_m);
+  }
+  const double step = g_radii_[1] - g_radii_[0];
+  const auto i = static_cast<std::size_t>(r_m / step);
+  if (i + 1 >= g_values_.size()) return g_values_.back();
+  const double f = (r_m - g_radii_[i]) / step;
+  return g_values_[i] * (1.0 - f) + g_values_[i + 1] * f;
+}
+
+HomogeneousModel::HomogeneousModel(MaterialSample sample,
+                                   double surface_radius_m)
+    : sample_(sample), surface_radius_m_(surface_radius_m) {
+  SFG_CHECK(surface_radius_m > 0.0);
+  SFG_CHECK(sample.rho > 0.0 && sample.vp > 0.0);
+}
+
+MaterialSample HomogeneousModel::at_radius(double) const { return sample_; }
+
+double HomogeneousModel::gravity(double r_m) const {
+  // Uniform density ball: g grows linearly inside, falls off outside.
+  const double rho = sample_.rho;
+  if (r_m <= surface_radius_m_)
+    return 4.0 / 3.0 * kPi * kGravityG * rho * r_m;
+  const double m =
+      4.0 / 3.0 * kPi * rho * surface_radius_m_ * surface_radius_m_ *
+      surface_radius_m_;
+  return kGravityG * m / (r_m * r_m);
+}
+
+TwoLayerModel::TwoLayerModel(MaterialSample inner, MaterialSample outer,
+                             double boundary_radius_m,
+                             double surface_radius_m)
+    : inner_(inner),
+      outer_(outer),
+      boundary_radius_m_(boundary_radius_m),
+      surface_radius_m_(surface_radius_m) {
+  SFG_CHECK(boundary_radius_m > 0.0 &&
+            boundary_radius_m < surface_radius_m);
+}
+
+MaterialSample TwoLayerModel::at_radius(double r_m) const {
+  return r_m <= boundary_radius_m_ ? inner_ : outer_;
+}
+
+}  // namespace sfg

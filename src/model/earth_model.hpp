@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file earth_model.hpp
+/// Radial Earth models assigning material properties to mesh points
+/// (paper §3-4: the mesher populates geometry with "the velocity of the
+/// seismic waves and the density of the rocks in each mesh element").
+///
+/// PremModel implements the Preliminary Reference Earth Model
+/// (Dziewonski & Anderson 1981), the spherically-symmetric model
+/// SPECFEM3D_GLOBE is benchmarked against: piecewise polynomials in
+/// normalized radius for rho, vp, vs and the quality factors, with
+/// discontinuities at the ICB, CMB, the 670/400 transitions and the Moho.
+
+#include <memory>
+#include <vector>
+
+namespace sfg {
+
+/// Material sample at one radius. SI units: kg/m^3 and m/s. Qmu == 0
+/// denotes a fluid (no shear). Quality factors are dimensionless.
+struct MaterialSample {
+  double rho = 0.0;
+  double vp = 0.0;
+  double vs = 0.0;
+  double q_mu = 0.0;
+  double q_kappa = 57823.0;
+
+  bool is_fluid() const { return vs <= 0.0; }
+  double kappa() const { return rho * (vp * vp - 4.0 / 3.0 * vs * vs); }
+  double mu() const { return rho * vs * vs; }
+};
+
+/// Interface for radial (1-D) Earth models.
+class EarthModel {
+ public:
+  virtual ~EarthModel() = default;
+
+  /// Properties at radius r (meters). For points exactly on a
+  /// discontinuity the sample of the layer BELOW is returned; mesh layers
+  /// query mid-layer radii so this never matters in practice.
+  virtual MaterialSample at_radius(double r_m) const = 0;
+
+  /// Radii (meters, ascending) of first-order discontinuities that the
+  /// mesh must honor with element boundaries.
+  virtual std::vector<double> discontinuity_radii() const = 0;
+
+  /// Surface radius in meters.
+  virtual double surface_radius() const = 0;
+
+  /// Gravitational acceleration at radius r (m/s^2), from the model's own
+  /// density profile: g(r) = G M(<r) / r^2. Used by the solver's gravity
+  /// term and validated against g(R_earth) ~ 9.8.
+  virtual double gravity(double r_m) const = 0;
+};
+
+/// PREM, isotropic version. The optional ocean layer is replaced by upper
+/// crust by default (the standard "no ocean" configuration for global SEM
+/// runs without the ocean-load approximation).
+class PremModel : public EarthModel {
+ public:
+  explicit PremModel(bool with_ocean = false);
+
+  MaterialSample at_radius(double r_m) const override;
+  std::vector<double> discontinuity_radii() const override;
+  double surface_radius() const override;
+  double gravity(double r_m) const override;
+
+  /// Mass enclosed within radius r, from the density polynomials (kg).
+  double enclosed_mass(double r_m) const;
+
+ private:
+  bool with_ocean_;
+  // Precomputed gravity profile (trapezoid integration of the density
+  // polynomials on a fine radial grid).
+  std::vector<double> g_radii_, g_values_, mass_values_;
+};
+
+/// Uniform whole-space (or sphere) model for validation tests.
+class HomogeneousModel : public EarthModel {
+ public:
+  HomogeneousModel(MaterialSample sample, double surface_radius_m);
+
+  MaterialSample at_radius(double r_m) const override;
+  std::vector<double> discontinuity_radii() const override { return {}; }
+  double surface_radius() const override { return surface_radius_m_; }
+  double gravity(double r_m) const override;
+
+ private:
+  MaterialSample sample_;
+  double surface_radius_m_;
+};
+
+/// Two-layer model (solid over fluid, or arbitrary) for coupling tests.
+class TwoLayerModel : public EarthModel {
+ public:
+  TwoLayerModel(MaterialSample inner, MaterialSample outer,
+                double boundary_radius_m, double surface_radius_m);
+
+  MaterialSample at_radius(double r_m) const override;
+  std::vector<double> discontinuity_radii() const override {
+    return {boundary_radius_m_};
+  }
+  double surface_radius() const override { return surface_radius_m_; }
+  double gravity(double) const override { return 0.0; }
+
+ private:
+  MaterialSample inner_, outer_;
+  double boundary_radius_m_, surface_radius_m_;
+};
+
+}  // namespace sfg

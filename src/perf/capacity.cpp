@@ -1,0 +1,175 @@
+#include "perf/capacity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "model/earth_model.hpp"
+#include "sphere/layers.hpp"
+
+namespace sfg {
+
+KernelProfile sem_kernel_profile(int ngll, bool attenuation) {
+  const double n = ngll;
+  const double n3 = n * n * n;
+  const double n4 = n3 * n;
+  KernelProfile p;
+  double pointwise = 45 + 25 + 54 + 24;
+  if (attenuation) pointwise += 20;
+  p.flops_per_element = 36.0 * n4 + pointwise * n3;
+  // Streamed data per element per step: 10 mapping tables + 2 moduli +
+  // ibool + 3-component gather + read-modify-write scatter, 4 bytes each
+  // (plus the int ibool).
+  p.bytes_per_element = (10 + 2 + 1 + 3 + 6) * 4.0 * n3;
+  if (attenuation) p.bytes_per_element += (5 * 3 + 6) * 4.0 * n3;
+  return p;
+}
+
+double sustained_gflops_per_core(const MachineSpec& machine) {
+  // Bandwidth-bound model calibrated once against Franklin's published
+  // sustained rate (24 Tflops on 12,150 cores -> 1.975 GF/core with
+  // 5.3 GB/s/core): 0.3727 flops sustained per byte/s of stream bandwidth.
+  constexpr double kFlopsPerByteOfBandwidth = 1.975 / 5.3;
+  constexpr double kPeakCap = 0.45;
+  return std::min(kPeakCap * machine.peak_gflops_per_core,
+                  kFlopsPerByteOfBandwidth * machine.mem_bw_gb_per_core);
+}
+
+GlobeSizeModel estimate_globe_size(int nex, int ngll) {
+  static PremModel prem;
+  GlobeSizeModel m;
+  m.nex = nex;
+  GlobeMeshSpec spec;
+  spec.nex_xi = nex;
+  spec.model = &prem;
+  const auto layers =
+      build_radial_layers(prem, effective_r_min(spec), nex);
+  m.radial_elements = total_radial_elements(layers);
+  m.elements = 6ull * static_cast<std::uint64_t>(nex) * nex *
+               static_cast<std::uint64_t>(m.radial_elements);
+  const std::uint64_t n3 = static_cast<std::uint64_t>(ngll) * ngll * ngll;
+  m.local_points = m.elements * n3;
+  const std::uint64_t deg3 = static_cast<std::uint64_t>(ngll - 1) *
+                             (ngll - 1) * (ngll - 1);
+  m.global_points = m.elements * deg3;  // asymptotic (boundaries +O(n^2))
+  // Solver-resident bytes: 10 float tables + int ibool + 6 material floats
+  // per local point, 10 floats of fields/mass per global point.
+  m.memory_bytes = m.local_points * (10 * 4 + 4 + 6 * 4) +
+                   m.global_points * 10 * 4;
+  // Legacy handoff (§4.1): coordinates in double + tables + materials +
+  // ibool + rmass, as written by write_legacy_mesh_files.
+  m.legacy_disk_bytes = m.local_points * (3 * 8 + 10 * 4 + 4 + 6 * 4) +
+                        m.global_points * 4;
+  return m;
+}
+
+namespace {
+
+/// Element count of a PRODUCTION-style mesh (SPECFEM's doubling bricks
+/// coarsen the mesh with depth so element size tracks the local shortest
+/// wavelength). Model: h(r) = v_min(r) * T / (points-per-wavelength /
+/// (ngll-1)) and elements = 6 * integral (pi r / (2 h))^2 / h dr over the
+/// solid/fluid shell. This reproduces the paper's footprint scaling
+/// (~NEX^3) with the production constant, unlike our uniform-angular
+/// research mesh which carries ~8x more deep-mantle elements.
+double production_elements(int nex) {
+  static PremModel prem;
+  const double period = shortest_period_seconds(nex);
+  const double r_min = 0.55 * kIcbRadiusM;
+  const int nsteps = 2000;
+  const double dr = (kEarthRadiusM - r_min) / nsteps;
+  double elements = 0.0;
+  for (int i = 0; i < nsteps; ++i) {
+    const double r = r_min + (i + 0.5) * dr;
+    const MaterialSample s = prem.at_radius(r);
+    const double v = s.is_fluid() ? s.vp : s.vs;
+    // 5 GLL points per wavelength; an element of degree 4 spans 4 GLL
+    // intervals, i.e. ~0.8 wavelengths.
+    const double h = v * period / kPointsPerWavelength * 4.0;
+    const double columns = std::pow(kPi * r / (2.0 * h), 2.0);
+    elements += 6.0 * columns / h * dr;
+  }
+  return elements;
+}
+
+}  // namespace
+
+std::uint64_t predict_slice_comm_bytes_per_step(int nex, int nproc_xi,
+                                                int ngll) {
+  static PremModel prem;
+  GlobeMeshSpec spec;
+  spec.nex_xi = nex;
+  spec.model = &prem;
+  const auto layers =
+      build_radial_layers(prem, effective_r_min(spec), nex);
+  const std::uint64_t r_lat =
+      static_cast<std::uint64_t>(radial_lattice_size(layers, ngll));
+  // Four slice sides, (nex/nproc)*(ngll-1)+1 surface points each, full
+  // radial extent, 3 displacement components (+1 potential where fluid —
+  // folded in as a 10% surcharge), both directions, 4 bytes.
+  const std::uint64_t side_points =
+      (static_cast<std::uint64_t>(nex / nproc_xi) * (ngll - 1) + 1) * r_lat;
+  const std::uint64_t floats = 2ull * 4ull * side_points * 3ull;
+  return static_cast<std::uint64_t>(1.1 * static_cast<double>(floats) * 4.0);
+}
+
+RunPrediction predict_run(const MachineSpec& machine, int nex, int nproc_xi,
+                          double event_seconds, bool attenuation,
+                          double dt_reference, int nex_reference) {
+  // Modeling only: NEX need not divide NPROC here (the paper quotes
+  // NEX_XI = 4848 on 102^2-slice chunks).
+  SFG_CHECK(nex > 0 && nproc_xi > 0);
+  RunPrediction p;
+  p.machine = &machine;
+  p.nex = nex;
+  p.nproc_xi = nproc_xi;
+  p.cores = cores_for_nproc_xi(nproc_xi);
+  p.shortest_period_s = shortest_period_seconds(nex);
+
+  // Courant time step scales like 1/NEX from the measured reference.
+  p.dt_s = dt_reference * static_cast<double>(nex_reference) / nex;
+  p.steps = static_cast<std::uint64_t>(event_seconds / p.dt_s);
+
+  // Production-mesh element count, shared across the cores.
+  const double elements = production_elements(nex);
+  const double elements_per_core = elements / p.cores;
+
+  const KernelProfile prof = sem_kernel_profile(5, attenuation);
+  const double gf_core = sustained_gflops_per_core(machine);
+  const double flops_per_step_core =
+      elements_per_core * prof.flops_per_element;
+  // Attenuation costs ~1.8x runtime at near-constant flops rate (paper
+  // §6): the memory-variable updates are bandwidth-, not flops-heavy.
+  const double attenuation_time_factor = attenuation ? 1.8 : 1.0;
+  p.compute_seconds = static_cast<double>(p.steps) * flops_per_step_core /
+                      (gf_core * 1e9) * attenuation_time_factor;
+
+  // Communication: per-step assembly exchange through the NIC.
+  const double bytes_step = static_cast<double>(
+      predict_slice_comm_bytes_per_step(nex, nproc_xi));
+  const double msg_count = 8.0;  // 4 sides, both directions
+  const double t_comm_step =
+      msg_count * machine.net_latency_us * 1e-6 +
+      bytes_step / (machine.net_bandwidth_gb * 1e9);
+  p.comm_seconds = static_cast<double>(p.steps) * t_comm_step;
+
+  p.wall_seconds = p.compute_seconds + p.comm_seconds;
+  p.comm_fraction = p.comm_seconds / p.wall_seconds;
+
+  // Whole-application sustained rate: kernel rate derated by comm share.
+  p.sustained_tflops =
+      p.cores * gf_core * (1.0 - p.comm_fraction) / 1000.0;
+
+  // Memory & legacy-disk footprints of the production mesh.
+  const double n3 = 125.0, deg3 = 64.0;
+  const double mem_bytes =
+      elements * (n3 * (10 * 4 + 4 + 6 * 4) + deg3 * 10 * 4);
+  p.memory_tb = mem_bytes / 1e12;
+  p.memory_gb_per_core = mem_bytes / p.cores / 1e9;
+  p.legacy_disk_tb =
+      elements * (n3 * (3 * 8 + 10 * 4 + 4 + 6 * 4) + deg3 * 4) / 1e12;
+  p.fits_in_memory = p.memory_gb_per_core < machine.mem_per_core_gb;
+  return p;
+}
+
+}  // namespace sfg

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file capacity.hpp
+/// The paper's §5 performance models: sustained-FLOPS model, memory and
+/// disk footprints, communication volume, and full run predictions for a
+/// target resolution on a target machine — the workflow that told the team
+/// 62K cores with 1.85 GB/core would break the 2-second barrier.
+
+#include <cstdint>
+
+#include "perf/machines.hpp"
+#include "sphere/mesher.hpp"
+
+namespace sfg {
+
+/// Static cost profile of the SEM force kernel.
+struct KernelProfile {
+  double flops_per_element = 0.0;  ///< per element per time step
+  double bytes_per_element = 0.0;  ///< streamed bytes per element per step
+  double arithmetic_intensity() const {
+    return flops_per_element / bytes_per_element;
+  }
+};
+
+/// Analytic profile for degree ngll-1 elements (matches
+/// ForceKernel::elastic_flops_per_element).
+KernelProfile sem_kernel_profile(int ngll, bool attenuation);
+
+/// Sustained GFLOPS per core for the SEM kernel on a machine. The kernel
+/// is effectively memory-bandwidth bound on 2008-era Opterons (the paper
+/// singles out Jaguar's "better memory bandwidth per processor" for its
+/// higher flops rate); the proportionality constant is calibrated once
+/// against Franklin's published 24 Tflops on 12,150 cores, capped at 45%
+/// of theoretical peak.
+double sustained_gflops_per_core(const MachineSpec& machine);
+
+/// Analytic size of a global PREM run at a given NEX (validated against
+/// the real mesher in tests).
+struct GlobeSizeModel {
+  int nex = 0;
+  int radial_elements = 0;
+  std::uint64_t elements = 0;       ///< spectral elements, all 6 chunks
+  std::uint64_t local_points = 0;   ///< elements * ngll^3
+  std::uint64_t global_points = 0;  ///< approximate distinct points
+  std::uint64_t memory_bytes = 0;   ///< solver-resident memory, all ranks
+  std::uint64_t legacy_disk_bytes = 0;  ///< §4.1 mesher->solver handoff
+};
+
+GlobeSizeModel estimate_globe_size(int nex, int ngll = 5);
+
+/// Prediction of one production run (paper §6 style).
+struct RunPrediction {
+  const MachineSpec* machine = nullptr;
+  int nex = 0;
+  int nproc_xi = 0;
+  int cores = 0;
+  double shortest_period_s = 0.0;
+  double dt_s = 0.0;
+  std::uint64_t steps = 0;
+  double compute_seconds = 0.0;     ///< per core
+  double comm_seconds = 0.0;        ///< per core
+  double wall_seconds = 0.0;
+  double comm_fraction = 0.0;
+  double sustained_tflops = 0.0;    ///< whole application
+  double memory_tb = 0.0;
+  double memory_gb_per_core = 0.0;
+  double legacy_disk_tb = 0.0;
+  bool fits_in_memory = false;
+};
+
+/// Predict a global run of `event_seconds` of wave propagation at NEX on
+/// `nproc_xi`^2 x 6 cores of `machine`. `dt_reference` calibrates the
+/// Courant step: pass the measured stable dt of a small local run at
+/// `nex_reference` (dt scales like 1/NEX).
+RunPrediction predict_run(const MachineSpec& machine, int nex, int nproc_xi,
+                          double event_seconds, bool attenuation,
+                          double dt_reference, int nex_reference);
+
+/// Per-rank assembly-communication bytes per time step for a slice of a
+/// global NEX/NPROC run (analytic; validated against real slices).
+std::uint64_t predict_slice_comm_bytes_per_step(int nex, int nproc_xi,
+                                                int ngll = 5);
+
+}  // namespace sfg

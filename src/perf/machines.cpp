@@ -1,0 +1,55 @@
+#include "perf/machines.hpp"
+
+#include "common/check.hpp"
+
+namespace sfg {
+
+// Core counts, clocks, peaks and Rmax are from the paper's §5 text; the
+// per-core memory bandwidths are nominal sustainable figures for the
+// respective node architectures (DDR2 dual-/quad-core Opterons; Ranger's
+// four-socket nodes had markedly less bandwidth per core), chosen so the
+// bandwidth-bounded kernel model reproduces the ORDERING the paper
+// reports; network figures are nominal SeaStar2 / IB-SDR values.
+
+const MachineSpec& ranger() {
+  static const MachineSpec m{
+      "Ranger",   62976, 2.0, 8.0,  504.0, 326.0, 2.0,
+      2.2,        2.3,   0.9, "InfiniBand full-CLOS"};
+  return m;
+}
+
+const MachineSpec& franklin() {
+  static const MachineSpec m{
+      "Franklin", 19320, 2.6, 5.2,  101.5, 85.0,  2.0,
+      5.3,        6.0,   1.2, "SeaStar2 3-D torus"};
+  return m;
+}
+
+const MachineSpec& kraken() {
+  static const MachineSpec m{
+      "Kraken",   18048, 2.3, 9.2,  166.0, 0.0,   1.0,
+      3.2,        6.0,   1.2, "SeaStar 3-D torus"};
+  return m;
+}
+
+const MachineSpec& jaguar() {
+  static const MachineSpec m{
+      "Jaguar",   31328, 2.1, 8.4,  263.0, 205.0, 2.0,
+      3.4,        6.0,   1.2, "SeaStar 3-D torus"};
+  return m;
+}
+
+const std::vector<MachineSpec>& all_machines() {
+  static const std::vector<MachineSpec> machines = {ranger(), franklin(),
+                                                    kraken(), jaguar()};
+  return machines;
+}
+
+const MachineSpec& machine_by_name(const std::string& name) {
+  for (const auto& m : all_machines())
+    if (m.name == name) return m;
+  SFG_CHECK_MSG(false, "unknown machine " << name);
+  return ranger();
+}
+
+}  // namespace sfg

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file machines.hpp
+/// The four systems of the paper (§5), with the published figures: Ranger
+/// (TACC Sun Constellation, full-CLOS InfiniBand), Franklin (NERSC XT4),
+/// Kraken (NICS XT4) and Jaguar (ORNL XT4), all SeaStar 3-D torus except
+/// Ranger. Per-core memory bandwidth drives the sustained-FLOPS
+/// differences the paper reports (Jaguar, "which has better memory
+/// bandwidth per processor, sustained 35.7 Tflops (a higher flops rate)").
+
+#include <string>
+#include <vector>
+
+namespace sfg {
+
+struct MachineSpec {
+  std::string name;
+  int total_cores = 0;
+  double ghz = 0.0;
+  double peak_gflops_per_core = 0.0;
+  double peak_tflops = 0.0;       ///< system theoretical peak
+  double rmax_tflops = 0.0;       ///< measured LINPACK (0 if unpublished)
+  double mem_per_core_gb = 0.0;
+  double mem_bw_gb_per_core = 0.0;  ///< sustainable stream-like bandwidth
+  double net_latency_us = 0.0;
+  double net_bandwidth_gb = 0.0;  ///< per-link injection bandwidth, GB/s
+  std::string interconnect;
+};
+
+/// The paper's four systems.
+const MachineSpec& ranger();
+const MachineSpec& franklin();
+const MachineSpec& kraken();
+const MachineSpec& jaguar();
+const std::vector<MachineSpec>& all_machines();
+
+/// Find by (case-sensitive) name; throws if unknown.
+const MachineSpec& machine_by_name(const std::string& name);
+
+}  // namespace sfg

@@ -1,0 +1,69 @@
+#include "perf/regression.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "model/attenuation.hpp"  // solve_dense
+
+namespace sfg {
+
+double PowerLaw::evaluate(double x) const { return a * std::pow(x, b); }
+
+PowerLaw fit_power_law(const std::vector<double>& x,
+                       const std::vector<double>& y) {
+  SFG_CHECK(x.size() == y.size() && x.size() >= 2);
+  // Least squares on log y = log a + b log x.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    SFG_CHECK_MSG(x[i] > 0 && y[i] > 0, "power-law fit needs positive data");
+    const double lx = std::log(x[i]), ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  PowerLaw law;
+  const double denom = n * sxx - sx * sx;
+  SFG_CHECK_MSG(std::abs(denom) > 1e-12, "degenerate x values");
+  law.b = (n * sxy - sx * sy) / denom;
+  law.a = std::exp((sy - law.b * sx) / n);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    law.max_relative_error = std::max(
+        law.max_relative_error, std::abs(law.evaluate(x[i]) / y[i] - 1.0));
+  return law;
+}
+
+double PowerLaw2::evaluate(double x1, double x2) const {
+  return a * std::pow(x1, b1) * std::pow(x2, b2);
+}
+
+PowerLaw2 fit_power_law2(const std::vector<double>& x1,
+                         const std::vector<double>& x2,
+                         const std::vector<double>& y) {
+  SFG_CHECK(x1.size() == y.size() && x2.size() == y.size() && y.size() >= 3);
+  // Normal equations for log y = c0 + b1 log x1 + b2 log x2.
+  std::vector<double> ata(9, 0.0), atb(3, 0.0);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    SFG_CHECK(x1[i] > 0 && x2[i] > 0 && y[i] > 0);
+    const double row[3] = {1.0, std::log(x1[i]), std::log(x2[i])};
+    const double ly = std::log(y[i]);
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c)
+        ata[static_cast<std::size_t>(r * 3 + c)] += row[r] * row[c];
+      atb[static_cast<std::size_t>(r)] += row[r] * ly;
+    }
+  }
+  const std::vector<double> sol = solve_dense(std::move(ata), std::move(atb));
+  PowerLaw2 law;
+  law.a = std::exp(sol[0]);
+  law.b1 = sol[1];
+  law.b2 = sol[2];
+  for (std::size_t i = 0; i < y.size(); ++i)
+    law.max_relative_error =
+        std::max(law.max_relative_error,
+                 std::abs(law.evaluate(x1[i], x2[i]) / y[i] - 1.0));
+  return law;
+}
+
+}  // namespace sfg

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file regression.hpp
+/// The curve-fitting machinery of the paper's §5: "we fitted a function to
+/// the actual measured communication times for a given resolution" and
+/// "using the fitted function, we were able to predict the totaled
+/// execution time ... within 12% error". Power laws are fitted in log-log
+/// space by linear least squares.
+
+#include <vector>
+
+namespace sfg {
+
+/// y = a * x^b fitted on (x, y) pairs (all strictly positive).
+struct PowerLaw {
+  double a = 0.0;
+  double b = 0.0;
+  double evaluate(double x) const;
+  /// Largest |predicted/actual - 1| over the fitted points.
+  double max_relative_error = 0.0;
+};
+
+PowerLaw fit_power_law(const std::vector<double>& x,
+                       const std::vector<double>& y);
+
+/// y = a * x1^b1 * x2^b2 (e.g. comm time vs resolution and core count).
+struct PowerLaw2 {
+  double a = 0.0;
+  double b1 = 0.0;
+  double b2 = 0.0;
+  double evaluate(double x1, double x2) const;
+  double max_relative_error = 0.0;
+};
+
+PowerLaw2 fit_power_law2(const std::vector<double>& x1,
+                         const std::vector<double>& x2,
+                         const std::vector<double>& y);
+
+}  // namespace sfg

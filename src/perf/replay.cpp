@@ -1,0 +1,152 @@
+#include "perf/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace sfg {
+
+NetworkModel network_for(const MachineSpec& machine) {
+  NetworkModel net;
+  net.latency_s = machine.net_latency_us * 1e-6;
+  net.bandwidth_Bps = machine.net_bandwidth_gb * 1e9;
+  return net;
+}
+
+ReplayResult replay_traces(
+    const std::vector<std::vector<smpi::TraceEvent>>& traces,
+    double seconds_per_flop, const NetworkModel& net) {
+  using smpi::TraceEvent;
+  const int nranks = static_cast<int>(traces.size());
+  SFG_CHECK(nranks >= 1);
+
+  std::vector<double> clock(static_cast<std::size_t>(nranks), 0.0);
+  std::vector<std::size_t> next(static_cast<std::size_t>(nranks), 0);
+  std::vector<double> comm_time(static_cast<std::size_t>(nranks), 0.0);
+  std::vector<double> compute_time(static_cast<std::size_t>(nranks), 0.0);
+
+  // Completion times of sends, keyed by (src, dst), in posting order.
+  std::map<std::pair<int, int>, std::vector<double>> send_ready;
+  std::map<std::pair<int, int>, std::size_t> recv_matched;
+
+  // Collective rendezvous: ranks arriving at their k-th collective wait
+  // for everyone's k-th collective.
+  std::vector<std::size_t> coll_index(static_cast<std::size_t>(nranks), 0);
+  std::vector<std::vector<double>> coll_arrival;  // [collective][rank]
+
+  const double log2p = std::max(1.0, std::log2(static_cast<double>(nranks)));
+
+  std::uint64_t total_flops = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int r = 0; r < nranks; ++r) {
+      const auto& trace = traces[static_cast<std::size_t>(r)];
+      while (next[static_cast<std::size_t>(r)] < trace.size()) {
+        const TraceEvent& ev = trace[next[static_cast<std::size_t>(r)]];
+        const double compute = static_cast<double>(ev.compute_flops) *
+                               seconds_per_flop;
+
+        if (ev.kind == TraceEvent::Kind::Send) {
+          clock[static_cast<std::size_t>(r)] += compute;
+          compute_time[static_cast<std::size_t>(r)] += compute;
+          total_flops += ev.compute_flops;
+          const double post = net.latency_s;
+          clock[static_cast<std::size_t>(r)] += post;
+          comm_time[static_cast<std::size_t>(r)] += post;
+          send_ready[{r, ev.peer}].push_back(
+              clock[static_cast<std::size_t>(r)] +
+              static_cast<double>(ev.bytes) / net.bandwidth_Bps);
+          ++next[static_cast<std::size_t>(r)];
+          progress = true;
+          continue;
+        }
+
+        if (ev.kind == TraceEvent::Kind::Recv) {
+          auto& ready = send_ready[{ev.peer, r}];
+          auto& matched = recv_matched[{ev.peer, r}];
+          if (matched >= ready.size()) break;  // matching send not posted
+          const double available = ready[matched];
+          ++matched;
+          const double start =
+              clock[static_cast<std::size_t>(r)] + compute;
+          compute_time[static_cast<std::size_t>(r)] += compute;
+          total_flops += ev.compute_flops;
+          const double finish = std::max(start, available);
+          comm_time[static_cast<std::size_t>(r)] += finish - start;
+          clock[static_cast<std::size_t>(r)] = finish;
+          ++next[static_cast<std::size_t>(r)];
+          progress = true;
+          continue;
+        }
+
+        // Collective (Barrier / Allreduce / Gather): rendezvous of the
+        // k-th collective across all ranks.
+        const std::size_t k = coll_index[static_cast<std::size_t>(r)];
+        if (coll_arrival.size() <= k)
+          coll_arrival.resize(k + 1,
+                              std::vector<double>(
+                                  static_cast<std::size_t>(nranks), -1.0));
+        if (coll_arrival[k][static_cast<std::size_t>(r)] < 0.0) {
+          const double arrive =
+              clock[static_cast<std::size_t>(r)] + compute;
+          compute_time[static_cast<std::size_t>(r)] += compute;
+          total_flops += ev.compute_flops;
+          coll_arrival[k][static_cast<std::size_t>(r)] = arrive;
+        }
+        bool all_arrived = true;
+        double latest = 0.0;
+        for (double a : coll_arrival[k]) {
+          if (a < 0.0) {
+            all_arrived = false;
+            break;
+          }
+          latest = std::max(latest, a);
+        }
+        if (!all_arrived) break;
+        double cost = net.latency_s * log2p;
+        if (ev.kind == TraceEvent::Kind::Allreduce)
+          cost = 2.0 * log2p *
+                 (net.latency_s +
+                  static_cast<double>(ev.bytes) / net.bandwidth_Bps);
+        if (ev.kind == TraceEvent::Kind::Gather)
+          cost = log2p * net.latency_s +
+                 nranks * static_cast<double>(ev.bytes) / net.bandwidth_Bps;
+        const double finish = latest + cost;
+        comm_time[static_cast<std::size_t>(r)] +=
+            finish - coll_arrival[k][static_cast<std::size_t>(r)];
+        clock[static_cast<std::size_t>(r)] = finish;
+        ++coll_index[static_cast<std::size_t>(r)];
+        ++next[static_cast<std::size_t>(r)];
+        progress = true;
+      }
+    }
+  }
+
+  for (int r = 0; r < nranks; ++r)
+    SFG_CHECK_MSG(next[static_cast<std::size_t>(r)] ==
+                      traces[static_cast<std::size_t>(r)].size(),
+                  "replay deadlock: rank " << r << " stuck at event "
+                                           << next[static_cast<std::size_t>(r)]);
+
+  ReplayResult res;
+  for (int r = 0; r < nranks; ++r) {
+    res.wall_seconds =
+        std::max(res.wall_seconds, clock[static_cast<std::size_t>(r)]);
+    res.total_comm_seconds += comm_time[static_cast<std::size_t>(r)];
+    res.total_compute_seconds += compute_time[static_cast<std::size_t>(r)];
+    res.max_comm_seconds =
+        std::max(res.max_comm_seconds, comm_time[static_cast<std::size_t>(r)]);
+  }
+  res.total_flops = total_flops;
+  if (res.wall_seconds > 0.0)
+    res.sustained_gflops =
+        static_cast<double>(total_flops) / res.wall_seconds / 1e9;
+  const double busy = res.total_comm_seconds + res.total_compute_seconds;
+  if (busy > 0.0) res.comm_fraction = res.total_comm_seconds / busy;
+  return res;
+}
+
+}  // namespace sfg

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file replay.hpp
+/// PSiNS-style trace replay (the paper measured its production flops with
+/// PSiNSlight [18] and modeled communication from IPM profiles): captured
+/// smpi traces — per-rank sequences of virtual-compute segments and
+/// communication events — are replayed through a parametric machine model
+/// to obtain wall-clock time, communication time and sustained flops at
+/// machine speeds the host does not have.
+
+#include <vector>
+
+#include "perf/machines.hpp"
+#include "runtime/smpi.hpp"
+
+namespace sfg {
+
+struct NetworkModel {
+  double latency_s = 2e-6;
+  double bandwidth_Bps = 1e9;
+};
+
+NetworkModel network_for(const MachineSpec& machine);
+
+struct ReplayResult {
+  double wall_seconds = 0.0;        ///< max finish time over ranks
+  double total_comm_seconds = 0.0;  ///< summed over all ranks (Figure 6's y)
+  double total_compute_seconds = 0.0;
+  double max_comm_seconds = 0.0;    ///< worst single rank
+  std::uint64_t total_flops = 0;
+  double sustained_gflops = 0.0;    ///< total_flops / wall_seconds
+  double comm_fraction = 0.0;       ///< total comm / total busy time
+};
+
+/// Replay the traces of all ranks. Compute segments are timed from their
+/// virtual flop counts at `seconds_per_flop`; send/recv pairs are matched
+/// in posting order per (source, destination); collectives cost a
+/// log2(P)-depth latency tree plus bandwidth.
+ReplayResult replay_traces(
+    const std::vector<std::vector<smpi::TraceEvent>>& traces,
+    double seconds_per_flop, const NetworkModel& net);
+
+}  // namespace sfg

@@ -1,0 +1,137 @@
+#include "quadrature/gll.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/constants.hpp"
+
+namespace sfg {
+
+double legendre(int n, double x) {
+  SFG_CHECK(n >= 0);
+  if (n == 0) return 1.0;
+  if (n == 1) return x;
+  double pm1 = 1.0, p = x;
+  for (int k = 2; k <= n; ++k) {
+    const double pk = ((2.0 * k - 1.0) * x * p - (k - 1.0) * pm1) / k;
+    pm1 = p;
+    p = pk;
+  }
+  return p;
+}
+
+double legendre_derivative(int n, double x) {
+  SFG_CHECK(n >= 0);
+  if (n == 0) return 0.0;
+  // (1 - x^2) P_n'(x) = n (P_{n-1}(x) - x P_n(x))
+  const double denom = 1.0 - x * x;
+  if (std::abs(denom) < 1e-14) {
+    // P_n'(±1) = ±^(n+1) n(n+1)/2
+    const double v = 0.5 * n * (n + 1.0);
+    if (x > 0.0) return v;
+    return (n % 2 == 0) ? -v : v;
+  }
+  return n * (legendre(n - 1, x) - x * legendre(n, x)) / denom;
+}
+
+namespace {
+
+// Second derivative of P_n from the Legendre ODE:
+// (1-x^2) P'' - 2x P' + n(n+1) P = 0.
+double legendre_second_derivative(int n, double x) {
+  const double denom = 1.0 - x * x;
+  SFG_CHECK(std::abs(denom) > 1e-14);
+  return (2.0 * x * legendre_derivative(n, x) -
+          n * (n + 1.0) * legendre(n, x)) / denom;
+}
+
+}  // namespace
+
+GllBasis::GllBasis(int degree) : degree_(degree) {
+  SFG_CHECK_MSG(degree >= 1 && degree <= 32, "GLL degree out of range");
+  const int np = degree + 1;
+  nodes_.resize(static_cast<std::size_t>(np));
+  weights_.resize(static_cast<std::size_t>(np));
+
+  nodes_[0] = -1.0;
+  nodes_[static_cast<std::size_t>(degree)] = 1.0;
+
+  // Interior nodes: roots of P_N'(x), found by Newton iteration seeded with
+  // Chebyshev-Gauss-Lobatto points (a classical, robust initialization).
+  for (int i = 1; i < degree; ++i) {
+    double x = -std::cos(kPi * i / degree);
+    for (int it = 0; it < 100; ++it) {
+      const double f = legendre_derivative(degree, x);
+      const double fp = legendre_second_derivative(degree, x);
+      const double dx = f / fp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    nodes_[static_cast<std::size_t>(i)] = x;
+  }
+
+  for (int i = 0; i < np; ++i) {
+    const double p = legendre(degree, nodes_[static_cast<std::size_t>(i)]);
+    weights_[static_cast<std::size_t>(i)] = 2.0 / (degree * np * p * p);
+  }
+
+  // Lagrange derivative matrix at the nodes. The standard closed form:
+  //   l_j'(x_i) = (P_N(x_i) / P_N(x_j)) / (x_i - x_j),  i != j
+  //   l_0'(x_0) = -N(N+1)/4,  l_N'(x_N) = +N(N+1)/4,  else 0 on diagonal.
+  hprime_.resize(static_cast<std::size_t>(np * np));
+  hprime_wgll_.resize(static_cast<std::size_t>(np * np));
+  for (int i = 0; i < np; ++i) {
+    for (int j = 0; j < np; ++j) {
+      double v;
+      if (i == j) {
+        if (i == 0) {
+          v = -0.25 * degree * np;
+        } else if (i == degree) {
+          v = 0.25 * degree * np;
+        } else {
+          v = 0.0;
+        }
+      } else {
+        const double xi = nodes_[static_cast<std::size_t>(i)];
+        const double xj = nodes_[static_cast<std::size_t>(j)];
+        v = (legendre(degree, xi) / legendre(degree, xj)) / (xi - xj);
+      }
+      hprime_[static_cast<std::size_t>(i * np + j)] = v;
+      hprime_wgll_[static_cast<std::size_t>(i * np + j)] =
+          weights_[static_cast<std::size_t>(i)] * v;
+    }
+  }
+}
+
+double GllBasis::lagrange(int j, double x) const {
+  const int np = num_points();
+  SFG_CHECK(j >= 0 && j < np);
+  double prod = 1.0;
+  const double xj = nodes_[static_cast<std::size_t>(j)];
+  for (int m = 0; m < np; ++m) {
+    if (m == j) continue;
+    const double xm = nodes_[static_cast<std::size_t>(m)];
+    prod *= (x - xm) / (xj - xm);
+  }
+  return prod;
+}
+
+double GllBasis::lagrange_derivative(int j, double x) const {
+  const int np = num_points();
+  SFG_CHECK(j >= 0 && j < np);
+  const double xj = nodes_[static_cast<std::size_t>(j)];
+  double sum = 0.0;
+  for (int k = 0; k < np; ++k) {
+    if (k == j) continue;
+    double prod = 1.0 / (xj - nodes_[static_cast<std::size_t>(k)]);
+    for (int m = 0; m < np; ++m) {
+      if (m == j || m == k) continue;
+      const double xm = nodes_[static_cast<std::size_t>(m)];
+      prod *= (x - xm) / (xj - xm);
+    }
+    sum += prod;
+  }
+  return sum;
+}
+
+}  // namespace sfg

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file gll.hpp
+/// Gauss-Lobatto-Legendre (GLL) quadrature and Lagrange interpolation on
+/// [-1, 1] (paper §2.3).
+///
+/// A spectral element of polynomial degree N carries (N+1)^3 GLL points.
+/// GLL nodes are the endpoints ±1 plus the roots of P_N'(x); the weights
+/// are w_i = 2 / (N (N+1) P_N(x_i)^2). The quadrature is exact for
+/// polynomials of degree <= 2N-1, and the diagonal mass matrix of the SEM
+/// follows from collocating the quadrature nodes with the interpolation
+/// nodes.
+
+#include <vector>
+
+#include "common/array_view.hpp"
+
+namespace sfg {
+
+/// GLL nodes, weights and the Lagrange derivative matrix for degree N.
+class GllBasis {
+ public:
+  /// Build the degree-`degree` basis (degree >= 1; SEM codes use 4..10).
+  explicit GllBasis(int degree);
+
+  int degree() const { return degree_; }
+  /// Number of nodes per edge, N + 1 (SPECFEM's NGLLX).
+  int num_points() const { return degree_ + 1; }
+
+  /// Node i in [-1, 1], ascending; node(0) == -1, node(N) == +1.
+  double node(int i) const { return nodes_[static_cast<std::size_t>(i)]; }
+  /// Quadrature weight associated with node i.
+  double weight(int i) const { return weights_[static_cast<std::size_t>(i)]; }
+
+  const std::vector<double>& nodes() const { return nodes_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// hprime(i, j) = l_j'(x_i): derivative of the j-th Lagrange cardinal
+  /// polynomial at node i. This is SPECFEM's "hprime_xx" matrix; it drives
+  /// the small matrix-matrix products of paper §4.3.
+  double hprime(int i, int j) const {
+    return hprime_[static_cast<std::size_t>(i * num_points() + j)];
+  }
+  Span2D<const double> hprime_matrix() const {
+    return {hprime_.data(), static_cast<std::size_t>(num_points()),
+            static_cast<std::size_t>(num_points())};
+  }
+
+  /// hprime_wgll(i, j) = w_i * l_j'(x_i), the weighted transpose-side
+  /// matrix used in the force kernel (SPECFEM's hprimewgll_xx).
+  double hprime_wgll(int i, int j) const {
+    return hprime_wgll_[static_cast<std::size_t>(i * num_points() + j)];
+  }
+
+  /// Evaluate the j-th Lagrange cardinal polynomial at arbitrary x.
+  double lagrange(int j, double x) const;
+
+  /// Evaluate d/dx of the j-th Lagrange cardinal polynomial at arbitrary x.
+  double lagrange_derivative(int j, double x) const;
+
+ private:
+  int degree_;
+  std::vector<double> nodes_;
+  std::vector<double> weights_;
+  std::vector<double> hprime_;
+  std::vector<double> hprime_wgll_;
+};
+
+/// Legendre polynomial P_n(x) (for tests and weight computation).
+double legendre(int n, double x);
+/// Derivative P_n'(x).
+double legendre_derivative(int n, double x);
+
+}  // namespace sfg

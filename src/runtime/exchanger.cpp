@@ -1,0 +1,186 @@
+#include "runtime/exchanger.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace sfg::smpi {
+
+namespace {
+
+constexpr int kTagPost = 9001;   ///< rank -> arbiter: candidate keys
+constexpr int kTagReply = 9002;  ///< arbiter -> rank: (key, peer) pairs
+
+/// Arbiter rank for a key: cheap splittable hash, uniform across ranks.
+int arbiter_of(std::int64_t key, int nranks) {
+  std::uint64_t z = static_cast<std::uint64_t>(key) + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return static_cast<int>((z ^ (z >> 31)) % static_cast<std::uint64_t>(nranks));
+}
+
+}  // namespace
+
+Exchanger Exchanger::build(Communicator& comm,
+                           std::vector<PointCandidate> candidates) {
+  const int nranks = comm.size();
+  const int self = comm.rank();
+
+  // Local sanity: duplicate keys within one rank are a builder bug.
+  {
+    std::vector<std::int64_t> keys;
+    keys.reserve(candidates.size());
+    for (const auto& c : candidates) keys.push_back(c.key);
+    std::sort(keys.begin(), keys.end());
+    SFG_CHECK_MSG(std::adjacent_find(keys.begin(), keys.end()) == keys.end(),
+                  "duplicate interface keys posted by rank " << self);
+  }
+
+  // ---- Phase 1: post candidate keys to their arbiters. ----
+  std::vector<std::vector<std::int64_t>> post(
+      static_cast<std::size_t>(nranks));
+  for (const auto& c : candidates)
+    post[static_cast<std::size_t>(arbiter_of(c.key, nranks))].push_back(c.key);
+
+  std::vector<Request> reqs;
+  for (int dest = 0; dest < nranks; ++dest) {
+    const auto& keys = post[static_cast<std::size_t>(dest)];
+    reqs.push_back(
+        comm.isend_n(dest, kTagPost, keys.data(), keys.size()));
+  }
+
+  // ---- Phase 2: as arbiter, group keys by the set of posting ranks. ----
+  // Exchange the maximum post size first so receive buffers can be sized
+  // exactly (the classic MPI_Probe-free pattern).
+  std::map<std::int64_t, std::vector<int>> groups;
+  std::uint64_t my_max_post = 0;
+  for (const auto& keys : post)
+    my_max_post = std::max(my_max_post,
+                           static_cast<std::uint64_t>(keys.size()));
+  const std::uint64_t global_max_post =
+      comm.allreduce_one(my_max_post, ReduceOp::Max);
+
+  std::vector<std::int64_t> inbuf(static_cast<std::size_t>(global_max_post));
+  for (int src = 0; src < nranks; ++src) {
+    const std::size_t got =
+        comm.recv_n(src, kTagPost, inbuf.data(), inbuf.size());
+    for (std::size_t i = 0; i < got; ++i) groups[inbuf[i]].push_back(src);
+  }
+  comm.wait_all(reqs);
+
+  // ---- Phase 3: reply (key, peer) pairs to every participant. ----
+  std::vector<std::vector<std::int64_t>> reply(
+      static_cast<std::size_t>(nranks));
+  for (const auto& [key, ranks] : groups) {
+    if (ranks.size() < 2) continue;
+    for (int r : ranks) {
+      for (int peer : ranks) {
+        if (peer == r) continue;
+        reply[static_cast<std::size_t>(r)].push_back(key);
+        reply[static_cast<std::size_t>(r)].push_back(peer);
+      }
+    }
+  }
+  std::uint64_t my_max_reply = 0;
+  for (const auto& v : reply)
+    my_max_reply = std::max(my_max_reply,
+                            static_cast<std::uint64_t>(v.size()));
+  const std::uint64_t global_max_reply =
+      comm.allreduce_one(my_max_reply, ReduceOp::Max);
+
+  std::vector<Request> reply_reqs;
+  for (int dest = 0; dest < nranks; ++dest) {
+    const auto& v = reply[static_cast<std::size_t>(dest)];
+    reply_reqs.push_back(comm.isend_n(dest, kTagReply, v.data(), v.size()));
+  }
+
+  // ---- Phase 4: build per-neighbour interfaces sorted by key. ----
+  std::unordered_map<std::int64_t, int> key_to_local;
+  key_to_local.reserve(candidates.size() * 2);
+  for (const auto& c : candidates) key_to_local.emplace(c.key, c.local_point);
+
+  std::map<int, std::vector<std::int64_t>> neighbor_keys;
+  std::vector<std::int64_t> rbuf(static_cast<std::size_t>(global_max_reply));
+  for (int src = 0; src < nranks; ++src) {
+    const std::size_t got =
+        comm.recv_n(src, kTagReply, rbuf.data(), rbuf.size());
+    SFG_CHECK(got % 2 == 0);
+    for (std::size_t i = 0; i < got; i += 2) {
+      const std::int64_t key = rbuf[i];
+      const int peer = static_cast<int>(rbuf[i + 1]);
+      neighbor_keys[peer].push_back(key);
+    }
+  }
+  comm.wait_all(reply_reqs);
+
+  Exchanger ex;
+  for (auto& [peer, keys] : neighbor_keys) {
+    std::sort(keys.begin(), keys.end());
+    Interface iface;
+    iface.neighbor_rank = peer;
+    iface.local_points.reserve(keys.size());
+    for (std::int64_t key : keys) {
+      auto it = key_to_local.find(key);
+      SFG_CHECK_MSG(it != key_to_local.end(),
+                    "arbiter reported unknown key to rank " << self);
+      iface.local_points.push_back(it->second);
+    }
+    ex.interfaces_.push_back(std::move(iface));
+  }
+  ex.send_buffers_.resize(ex.interfaces_.size());
+  ex.recv_buffers_.resize(ex.interfaces_.size());
+  return ex;
+}
+
+void Exchanger::assemble_add(Communicator& comm, float* field,
+                             int ncomp) const {
+  constexpr int kTagAssemble = 9100;
+  const std::size_t ni = interfaces_.size();
+
+  // Snapshot local values into all send buffers BEFORE any accumulation so
+  // that multi-rank shared points sum every owner's independent
+  // contribution exactly once.
+  for (std::size_t n = 0; n < ni; ++n) {
+    const Interface& iface = interfaces_[n];
+    auto& buf = send_buffers_[n];
+    buf.resize(iface.local_points.size() * static_cast<std::size_t>(ncomp));
+    std::size_t w = 0;
+    for (int p : iface.local_points)
+      for (int c = 0; c < ncomp; ++c)
+        buf[w++] = field[static_cast<std::size_t>(p) * ncomp + c];
+  }
+
+  std::vector<Request> reqs;
+  reqs.reserve(2 * ni);
+  for (std::size_t n = 0; n < ni; ++n) {
+    auto& rbuf = recv_buffers_[n];
+    rbuf.resize(send_buffers_[n].size());
+    reqs.push_back(comm.irecv_n(interfaces_[n].neighbor_rank, kTagAssemble,
+                                rbuf.data(), rbuf.size()));
+  }
+  for (std::size_t n = 0; n < ni; ++n) {
+    reqs.push_back(comm.isend_n(interfaces_[n].neighbor_rank, kTagAssemble,
+                                send_buffers_[n].data(),
+                                send_buffers_[n].size()));
+  }
+  comm.wait_all(reqs);
+
+  for (std::size_t n = 0; n < ni; ++n) {
+    const Interface& iface = interfaces_[n];
+    const auto& rbuf = recv_buffers_[n];
+    std::size_t r = 0;
+    for (int p : iface.local_points)
+      for (int c = 0; c < ncomp; ++c)
+        field[static_cast<std::size_t>(p) * ncomp + c] += rbuf[r++];
+  }
+}
+
+std::uint64_t Exchanger::floats_per_exchange(int ncomp) const {
+  std::uint64_t total = 0;
+  for (const auto& iface : interfaces_)
+    total += 2ull * iface.local_points.size() *
+             static_cast<std::uint64_t>(ncomp);
+  return total;
+}
+
+}  // namespace sfg::smpi

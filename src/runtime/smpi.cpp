@@ -1,0 +1,245 @@
+#include "runtime/smpi.hpp"
+
+#include <exception>
+#include <thread>
+
+namespace sfg::smpi {
+
+// ---- World ----
+
+World::World(int nranks) : nranks_(nranks) {
+  SFG_CHECK_MSG(nranks >= 1, "world needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  comms_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    comms_.push_back(std::unique_ptr<Communicator>(new Communicator(this, r)));
+  }
+}
+
+World::~World() = default;
+
+Communicator& World::comm(int rank) {
+  SFG_CHECK(rank >= 0 && rank < nranks_);
+  return *comms_[static_cast<std::size_t>(rank)];
+}
+
+void World::deliver(int dest, int src, int tag, const void* data,
+                    std::size_t bytes) {
+  SFG_CHECK_MSG(dest >= 0 && dest < nranks_, "send to invalid rank " << dest);
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    Message msg;
+    msg.tag = tag;
+    msg.payload.resize(bytes);
+    if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+    box.queues[{src, tag}].push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+std::size_t World::take(int self, int src, int tag, void* data,
+                        std::size_t max_bytes) {
+  SFG_CHECK_MSG(src >= 0 && src < nranks_, "recv from invalid rank " << src);
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  const auto key = std::make_pair(src, tag);
+  box.cv.wait(lock, [&] {
+    auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  auto it = box.queues.find(key);
+  Message msg = std::move(it->second.front());
+  it->second.erase(it->second.begin());
+  SFG_CHECK_MSG(msg.payload.size() <= max_bytes,
+                "message of " << msg.payload.size()
+                              << " bytes exceeds receive buffer of "
+                              << max_bytes);
+  if (!msg.payload.empty())
+    std::memcpy(data, msg.payload.data(), msg.payload.size());
+  return msg.payload.size();
+}
+
+void World::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_.mutex);
+  const std::uint64_t gen = barrier_.generation;
+  if (++barrier_.arrived == nranks_) {
+    barrier_.arrived = 0;
+    ++barrier_.generation;
+    barrier_.cv.notify_all();
+  } else {
+    barrier_.cv.wait(lock, [&] { return barrier_.generation != gen; });
+  }
+}
+
+// ---- Communicator ----
+
+int Communicator::size() const { return world_->size(); }
+
+void Communicator::record(TraceEvent::Kind kind, int peer,
+                          std::uint64_t bytes, double mpi_seconds) {
+  if (!trace_enabled_) {
+    pending_flops_ = 0;
+    segment_timer_.reset();
+    return;
+  }
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.peer = peer;
+  ev.bytes = bytes;
+  ev.mpi_seconds = mpi_seconds;
+  ev.compute_seconds = segment_timer_.seconds() - mpi_seconds;
+  if (ev.compute_seconds < 0.0) ev.compute_seconds = 0.0;
+  ev.compute_flops = pending_flops_;
+  trace_.push_back(ev);
+  pending_flops_ = 0;
+  segment_timer_.reset();
+}
+
+void Communicator::send_bytes(int dest, int tag, const void* data,
+                              std::size_t bytes) {
+  WallTimer t;
+  world_->deliver(dest, rank_, tag, data, bytes);
+  const double dt = t.seconds();
+  stats_.send_seconds += dt;
+  stats_.bytes_sent += bytes;
+  ++stats_.send_count;
+  record(TraceEvent::Kind::Send, dest, bytes, dt);
+}
+
+std::size_t Communicator::recv_bytes(int src, int tag, void* data,
+                                     std::size_t max_bytes) {
+  WallTimer t;
+  const std::size_t got = world_->take(rank_, src, tag, data, max_bytes);
+  const double dt = t.seconds();
+  stats_.recv_seconds += dt;
+  stats_.bytes_received += got;
+  ++stats_.recv_count;
+  record(TraceEvent::Kind::Recv, src, got, dt);
+  return got;
+}
+
+Request Communicator::isend_bytes(int dest, int tag, const void* data,
+                                  std::size_t bytes) {
+  // Eager delivery at post time; the Request is a completed handle.
+  WallTimer t;
+  world_->deliver(dest, rank_, tag, data, bytes);
+  const double dt = t.seconds();
+  stats_.send_seconds += dt;
+  stats_.bytes_sent += bytes;
+  ++stats_.send_count;
+  record(TraceEvent::Kind::Send, dest, bytes, dt);
+  Request req;
+  req.kind = Request::Kind::Send;
+  req.peer = dest;
+  req.tag = tag;
+  return req;
+}
+
+Request Communicator::irecv_bytes(int src, int tag, void* data,
+                                  std::size_t max_bytes) {
+  Request req;
+  req.kind = Request::Kind::Recv;
+  req.peer = src;
+  req.tag = tag;
+  req.dest = data;
+  req.max_bytes = max_bytes;
+  return req;
+}
+
+void Communicator::wait(Request& request) {
+  switch (request.kind) {
+    case Request::Kind::None:
+    case Request::Kind::Send:
+      return;  // sends complete at post time
+    case Request::Kind::Recv: {
+      WallTimer t;
+      request.received_bytes = world_->take(rank_, request.peer, request.tag,
+                                            request.dest, request.max_bytes);
+      const double dt = t.seconds();
+      stats_.recv_seconds += dt;
+      stats_.bytes_received += request.received_bytes;
+      ++stats_.recv_count;
+      record(TraceEvent::Kind::Recv, request.peer, request.received_bytes,
+             dt);
+      request.kind = Request::Kind::None;
+      return;
+    }
+  }
+}
+
+void Communicator::wait_all(std::vector<Request>& requests) {
+  for (Request& r : requests) wait(r);
+}
+
+void Communicator::barrier() {
+  WallTimer t;
+  world_->barrier_wait();
+  const double dt = t.seconds();
+  stats_.collective_seconds += dt;
+  ++stats_.collective_count;
+  record(TraceEvent::Kind::Barrier, -1, 0, dt);
+}
+
+void Communicator::gather_bytes(int root, const void* data, std::size_t bytes,
+                                void* out) {
+  WallTimer t;
+  constexpr int kGatherTag = -434343;
+  if (rank_ == root) {
+    SFG_CHECK(out != nullptr);
+    auto* base = static_cast<std::byte*>(out);
+    if (bytes > 0)
+      std::memcpy(base + static_cast<std::size_t>(rank_) * bytes, data, bytes);
+    for (int src = 0; src < size(); ++src) {
+      if (src == root) continue;
+      const std::size_t got = world_->take(
+          rank_, src, kGatherTag,
+          base + static_cast<std::size_t>(src) * bytes, bytes);
+      SFG_CHECK(got == bytes);
+    }
+  } else {
+    world_->deliver(root, rank_, kGatherTag, data, bytes);
+  }
+  const double dt = t.seconds();
+  stats_.collective_seconds += dt;
+  ++stats_.collective_count;
+  record(TraceEvent::Kind::Gather, root, bytes, dt);
+}
+
+// ---- run_ranks ----
+
+std::vector<CommStats> run_ranks(
+    int nranks, const std::function<void(Communicator&)>& body,
+    bool enable_trace, std::vector<std::vector<TraceEvent>>* traces_out) {
+  World world(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+
+  for (int r = 0; r < nranks; ++r) {
+    Communicator& comm = world.comm(r);
+    comm.enable_trace(enable_trace);
+    threads.emplace_back([&, r]() {
+      try {
+        body(world.comm(r));
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  std::vector<CommStats> stats;
+  stats.reserve(static_cast<std::size_t>(nranks));
+  if (traces_out) traces_out->clear();
+  for (int r = 0; r < nranks; ++r) {
+    stats.push_back(world.comm(r).stats());
+    if (traces_out) traces_out->push_back(world.comm(r).trace());
+  }
+  return stats;
+}
+
+}  // namespace sfg::smpi

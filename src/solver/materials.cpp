@@ -1,0 +1,105 @@
+#include "solver/materials.hpp"
+
+#include <cmath>
+
+namespace sfg {
+
+bool MaterialFields::has_fluid() const {
+  for (bool f : element_is_fluid)
+    if (f) return true;
+  return false;
+}
+
+bool MaterialFields::has_solid() const {
+  for (bool f : element_is_fluid)
+    if (!f) return true;
+  return false;
+}
+
+namespace {
+
+MaterialFields assign_impl(
+    const HexMesh& mesh,
+    const std::function<MaterialSample(double, double, double)>& sample_at) {
+  const std::size_t n = mesh.num_local_points();
+  MaterialFields mat;
+  mat.rho.assign(n, 0.0f);
+  mat.kappav.assign(n, 0.0f);
+  mat.muv.assign(n, 0.0f);
+  mat.vp.assign(n, 0.0f);
+  mat.vs.assign(n, 0.0f);
+  mat.q_mu.assign(n, 0.0f);
+  mat.element_is_fluid.assign(static_cast<std::size_t>(mesh.nspec), false);
+
+  const int ngll3 = mesh.ngll3();
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const std::size_t off = mesh.local_offset(e);
+    // Element centroid, used to nudge boundary points inward: GLL points
+    // on element faces lie exactly ON model discontinuities (the mesher
+    // honors them), and each element must take its material from ITS side
+    // of the discontinuity, not the neighbour's.
+    double cx = 0.0, cy = 0.0, cz = 0.0;
+    for (int p = 0; p < ngll3; ++p) {
+      const std::size_t q = off + static_cast<std::size_t>(p);
+      cx += mesh.xstore[q];
+      cy += mesh.ystore[q];
+      cz += mesh.zstore[q];
+    }
+    cx /= ngll3;
+    cy /= ngll3;
+    cz /= ngll3;
+
+    bool all_fluid = true;
+    constexpr double kNudge = 1e-6;
+    for (int p = 0; p < ngll3; ++p) {
+      const std::size_t q = off + static_cast<std::size_t>(p);
+      const MaterialSample s =
+          sample_at(mesh.xstore[q] + kNudge * (cx - mesh.xstore[q]),
+                    mesh.ystore[q] + kNudge * (cy - mesh.ystore[q]),
+                    mesh.zstore[q] + kNudge * (cz - mesh.zstore[q]));
+      SFG_CHECK_MSG(s.rho > 0.0 && s.vp > 0.0,
+                    "invalid material sample at element " << e);
+      mat.rho[q] = static_cast<float>(s.rho);
+      mat.vp[q] = static_cast<float>(s.vp);
+      mat.vs[q] = static_cast<float>(s.vs);
+      mat.kappav[q] = static_cast<float>(s.kappa());
+      mat.muv[q] = static_cast<float>(s.mu());
+      mat.q_mu[q] = static_cast<float>(s.q_mu);
+      if (!s.is_fluid()) all_fluid = false;
+    }
+    mat.element_is_fluid[static_cast<std::size_t>(e)] = all_fluid;
+  }
+  return mat;
+}
+
+}  // namespace
+
+MaterialFields assign_materials_radial(const HexMesh& mesh,
+                                       const EarthModel& model) {
+  return assign_impl(mesh, [&model](double x, double y, double z) {
+    return model.at_radius(std::sqrt(x * x + y * y + z * z));
+  });
+}
+
+MaterialFields assign_materials(
+    const HexMesh& mesh,
+    const std::function<MaterialSample(double, double, double)>& sample_at) {
+  return assign_impl(mesh, sample_at);
+}
+
+void prepare_attenuation(MaterialFields& mat, const SlsSeries& sls) {
+  SFG_CHECK(!mat.muv.empty());
+  SFG_CHECK_MSG(mat.mu_relaxed.empty(), "attenuation already prepared");
+  mat.mu_relaxed = mat.muv;
+  double sum_y = 0.0;
+  for (double yl : sls.y) sum_y += yl;
+  for (std::size_t p = 0; p < mat.size(); ++p) {
+    const float q = mat.q_mu[p];
+    if (q <= 0.0f || mat.muv[p] <= 0.0f) continue;
+    const double scale = sls.target_q / static_cast<double>(q);
+    mat.muv[p] = static_cast<float>(mat.mu_relaxed[p] *
+                                    (1.0 + sum_y * scale));
+  }
+}
+
+}  // namespace sfg

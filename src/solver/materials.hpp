@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file materials.hpp
+/// Per-GLL-point material fields for a mesh region and their assignment
+/// from an Earth model (paper §4.4: the mesher "populate[s] this geometry
+/// with material properties — the velocity of the seismic waves and the
+/// density of the rocks in each mesh element").
+
+#include <functional>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "mesh/hex_mesh.hpp"
+#include "model/attenuation.hpp"
+#include "model/earth_model.hpp"
+
+namespace sfg {
+
+/// Material properties sampled at every local GLL point of a mesh.
+/// kappav/muv hold the moduli the force kernel consumes: when attenuation
+/// is prepared, muv is scaled to the unrelaxed modulus and mu_relaxed
+/// keeps the original for the memory-variable update.
+struct MaterialFields {
+  aligned_vector<float> rho;
+  aligned_vector<float> kappav;
+  aligned_vector<float> muv;
+  aligned_vector<float> vp;
+  aligned_vector<float> vs;
+  aligned_vector<float> q_mu;       ///< per-point quality factor (0: none)
+  aligned_vector<float> mu_relaxed; ///< filled by prepare_attenuation
+  std::vector<bool> element_is_fluid;  ///< per element (vs == 0 throughout)
+
+  std::size_t size() const { return rho.size(); }
+  bool has_fluid() const;
+  bool has_solid() const;
+};
+
+/// Sample `model` at the radius of every GLL point (for spherical meshes
+/// centred on the origin).
+MaterialFields assign_materials_radial(const HexMesh& mesh,
+                                       const EarthModel& model);
+
+/// Sample an arbitrary callback at every GLL point (for Cartesian tests).
+MaterialFields assign_materials(
+    const HexMesh& mesh,
+    const std::function<MaterialSample(double, double, double)>& sample_at);
+
+/// Scale muv to the unrelaxed modulus for the given SLS fit and record the
+/// relaxed modulus. Per-point Q is honored by scaling the modulus defect
+/// with q_ref / q_point (the standard single-fit-many-Q trick). Points in
+/// fluid elements are untouched.
+void prepare_attenuation(MaterialFields& mat, const SlsSeries& sls);
+
+}  // namespace sfg

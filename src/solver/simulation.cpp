@@ -1,0 +1,688 @@
+#include "solver/simulation.hpp"
+
+#include <cmath>
+
+#include "mesh/numbering.hpp"
+
+namespace sfg {
+
+Simulation::Simulation(const HexMesh& mesh, const GllBasis& basis,
+                       MaterialFields materials, SimulationConfig config,
+                       smpi::Communicator* comm,
+                       const smpi::Exchanger* exchanger)
+    : mesh_(mesh),
+      basis_(basis),
+      mat_(std::move(materials)),
+      cfg_(std::move(config)),
+      comm_(comm),
+      exchanger_(exchanger),
+      kernel_(basis, cfg_.kernel, cfg_.attenuation),
+      ws_(basis.num_points()) {
+  SFG_CHECK(mesh_.numbered() && mesh_.has_jacobians());
+  SFG_CHECK(mat_.size() == mesh_.num_local_points());
+  SFG_CHECK_MSG(cfg_.dt > 0.0, "time step must be positive");
+  SFG_CHECK_MSG((comm_ == nullptr) == (exchanger_ == nullptr),
+                "parallel runs need both a communicator and an exchanger");
+
+  for (int e = 0; e < mesh_.nspec; ++e) {
+    if (mat_.element_is_fluid[static_cast<std::size_t>(e)])
+      fluid_elements_.push_back(e);
+    else
+      solid_elements_.push_back(e);
+  }
+
+  const auto ng = static_cast<std::size_t>(mesh_.nglob);
+  displ_.assign(ng * 3, 0.0f);
+  veloc_.assign(ng * 3, 0.0f);
+  accel_.assign(ng * 3, 0.0f);
+  if (!fluid_elements_.empty()) {
+    chi_.assign(ng, 0.0f);
+    chi_dot_.assign(ng, 0.0f);
+    chi_ddot_.assign(ng, 0.0f);
+  }
+
+  if (cfg_.attenuation) {
+    SFG_CHECK_MSG(cfg_.sls.has_value(),
+                  "attenuation requires a fitted SlsSeries in the config");
+    SFG_CHECK_MSG(!mat_.mu_relaxed.empty(),
+                  "attenuation requires prepare_attenuation() on materials");
+    const SlsSeries& sls = *cfg_.sls;
+    SFG_CHECK(sls.num_sls() <= 10);
+    r_mem_.resize(static_cast<std::size_t>(sls.num_sls()));
+    const std::size_t n = mesh_.num_local_points();
+    for (auto& per_sls : r_mem_)
+      for (auto& comp : per_sls) comp.assign(n, 0.0f);
+    for (auto& comp : r_sum_scratch_)
+      comp.assign(static_cast<std::size_t>(ws_.padded), 0.0f);
+    att_factor_.assign(n, 0.0f);
+    for (std::size_t p = 0; p < n; ++p) {
+      const float q = mat_.q_mu[p];
+      if (q > 0.0f && mat_.mu_relaxed[p] > 0.0f)
+        att_factor_[p] = static_cast<float>(
+            2.0 * mat_.mu_relaxed[p] * (sls.target_q / q));
+    }
+    for (int l = 0; l < sls.num_sls(); ++l) {
+      const double a =
+          std::exp(-cfg_.dt / sls.tau_sigma[static_cast<std::size_t>(l)]);
+      exp_a_[l] = a;
+      one_minus_a_[l] = 1.0 - a;
+    }
+  }
+
+  if (cfg_.rotation) SFG_CHECK(cfg_.omega_rad_s != 0.0);
+
+  if (cfg_.gravity) {
+    SFG_CHECK_MSG(cfg_.gravity_model != nullptr,
+                  "gravity requires an EarthModel for g(r)");
+    const EarthModel& em = *cfg_.gravity_model;
+    const std::size_t n = mesh_.num_local_points();
+    grav_g_.assign(n, 0.0f);
+    grav_dgdr_.assign(n, 0.0f);
+    grav_drhodr_.assign(n, 0.0f);
+    grav_rx_.assign(n, 0.0f);
+    grav_ry_.assign(n, 0.0f);
+    grav_rz_.assign(n, 0.0f);
+    grav_invr_.assign(n, 0.0f);
+    w3jac_.assign(n, 0.0f);
+    const double dr = 1000.0;  // finite-difference step for dg/dr, drho/dr
+    const int ngll3 = mesh_.ngll3();
+    for (int e = 0; e < mesh_.nspec; ++e) {
+      // Element radial midpoint: density derivatives are sampled one-sided
+      // TOWARD the element interior so that model discontinuities (the CMB
+      // density jump!) never contaminate the smooth-layer derivative.
+      const std::size_t off = mesh_.local_offset(e);
+      double r_mid = 0.0;
+      for (int pp = 0; pp < ngll3; ++pp) {
+        const std::size_t q = off + static_cast<std::size_t>(pp);
+        r_mid += std::sqrt(mesh_.xstore[q] * mesh_.xstore[q] +
+                           mesh_.ystore[q] * mesh_.ystore[q] +
+                           mesh_.zstore[q] * mesh_.zstore[q]);
+      }
+      r_mid /= ngll3;
+      for (int pp = 0; pp < ngll3; ++pp) {
+        const std::size_t p = off + static_cast<std::size_t>(pp);
+        const double x = mesh_.xstore[p], y = mesh_.ystore[p],
+                     z = mesh_.zstore[p];
+        const double r = std::sqrt(x * x + y * y + z * z);
+        SFG_CHECK_MSG(r > 10.0 * dr, "gravity needs a spherical shell mesh");
+        grav_g_[p] = static_cast<float>(em.gravity(r));
+        grav_dgdr_[p] = static_cast<float>(
+            (em.gravity(r + dr) - em.gravity(r - dr)) / (2.0 * dr));
+        const double inward = r_mid > r ? dr : -dr;
+        grav_drhodr_[p] = static_cast<float>(
+            (em.at_radius(r + inward).rho - em.at_radius(r).rho) / inward);
+        grav_rx_[p] = static_cast<float>(x / r);
+        grav_ry_[p] = static_cast<float>(y / r);
+        grav_rz_[p] = static_cast<float>(z / r);
+        grav_invr_[p] = static_cast<float>(1.0 / r);
+      }
+    }
+    const int ngll = mesh_.ngll;
+    for (int e = 0; e < mesh_.nspec; ++e) {
+      const std::size_t off = mesh_.local_offset(e);
+      for (int k = 0; k < ngll; ++k)
+        for (int j = 0; j < ngll; ++j)
+          for (int i = 0; i < ngll; ++i) {
+            const std::size_t p =
+                off + static_cast<std::size_t>(local_index(ngll, i, j, k));
+            w3jac_[p] = static_cast<float>(basis_.weight(i) *
+                                           basis_.weight(j) *
+                                           basis_.weight(k) *
+                                           mesh_.jacobian[p]);
+          }
+    }
+  }
+
+  build_mass_matrices();
+  build_coupling_surface();
+  build_absorbing_points();
+}
+
+void Simulation::build_mass_matrices() {
+  const auto ng = static_cast<std::size_t>(mesh_.nglob);
+  aligned_vector<float> mass_solid(ng, 0.0f);
+  aligned_vector<float> mass_fluid(ng, 0.0f);
+  const int ngll = mesh_.ngll;
+
+  auto accumulate = [&](int e, aligned_vector<float>& mass, bool fluid) {
+    const std::size_t off = mesh_.local_offset(e);
+    for (int k = 0; k < ngll; ++k) {
+      for (int j = 0; j < ngll; ++j) {
+        for (int i = 0; i < ngll; ++i) {
+          const std::size_t p =
+              off + static_cast<std::size_t>(local_index(ngll, i, j, k));
+          const double w3 =
+              basis_.weight(i) * basis_.weight(j) * basis_.weight(k);
+          const double jac = mesh_.jacobian[p];
+          // Solid mass density rho; fluid "mass" is 1/kappa (the weak form
+          // of (1/kappa) chi_ddot).
+          const double density =
+              fluid ? 1.0 / mat_.kappav[p] : mat_.rho[p];
+          mass[static_cast<std::size_t>(mesh_.ibool[p])] +=
+              static_cast<float>(w3 * jac * density);
+        }
+      }
+    }
+  };
+  for (int e : solid_elements_) accumulate(e, mass_solid, false);
+  for (int e : fluid_elements_) accumulate(e, mass_fluid, true);
+
+  // Assemble across ranks so shared points carry the full mass.
+  if (exchanger_ != nullptr) {
+    exchanger_->assemble_add(*comm_, mass_solid.data(), 1);
+    if (!fluid_elements_.empty() || true)
+      exchanger_->assemble_add(*comm_, mass_fluid.data(), 1);
+  }
+
+  rmass_inv_solid_.assign(ng, 0.0f);
+  rmass_inv_fluid_.assign(ng, 0.0f);
+  for (std::size_t g = 0; g < ng; ++g) {
+    if (mass_solid[g] > 0.0f) rmass_inv_solid_[g] = 1.0f / mass_solid[g];
+    if (mass_fluid[g] > 0.0f) rmass_inv_fluid_[g] = 1.0f / mass_fluid[g];
+  }
+}
+
+void Simulation::build_coupling_surface() {
+  if (fluid_elements_.empty() || solid_elements_.empty()) return;
+  const auto faces = find_interface_faces(mesh_, mat_.element_is_fluid);
+  for (const ElementFace& ef : faces) {
+    const FaceData fd = compute_face_data(mesh_, basis_, ef.ispec, ef.face);
+    const std::size_t off = mesh_.local_offset(ef.ispec);
+    for (std::size_t q = 0; q < fd.local_points.size(); ++q) {
+      CouplingPoint cp;
+      cp.iglob = mesh_.ibool[off + static_cast<std::size_t>(
+                                       fd.local_points[q])];
+      cp.nx = fd.normals[q][0];
+      cp.ny = fd.normals[q][1];
+      cp.nz = fd.normals[q][2];
+      cp.weight = fd.weights[q];
+      coupling_.push_back(cp);
+    }
+  }
+}
+
+void Simulation::build_absorbing_points() {
+  for (const ElementFace& ef : cfg_.absorbing_faces) {
+    const FaceData fd = compute_face_data(mesh_, basis_, ef.ispec, ef.face);
+    const std::size_t off = mesh_.local_offset(ef.ispec);
+    for (std::size_t q = 0; q < fd.local_points.size(); ++q) {
+      AbsorbingPoint ap;
+      ap.local = off + static_cast<std::size_t>(fd.local_points[q]);
+      ap.iglob = mesh_.ibool[ap.local];
+      ap.nx = fd.normals[q][0];
+      ap.ny = fd.normals[q][1];
+      ap.nz = fd.normals[q][2];
+      ap.weight = fd.weights[q];
+      absorbing_.push_back(ap);
+    }
+  }
+}
+
+void Simulation::add_source(const PointSource& source) {
+  DiscreteSource ds = discretize_source(mesh_, basis_, source);
+  SFG_CHECK_MSG(
+      !mat_.element_is_fluid[static_cast<std::size_t>(ds.ispec)],
+      "sources must lie in the solid region");
+  sources_.push_back(std::move(ds));
+}
+
+int Simulation::add_receiver(double x, double y, double z, bool exact) {
+  ReceiverState rs;
+  rs.loc = exact ? locate_point_exact(mesh_, basis_, x, y, z)
+                 : locate_point_nearest(mesh_, basis_, x, y, z);
+  const std::vector<double> w = interpolation_weights(basis_, rs.loc);
+  const std::size_t off = mesh_.local_offset(rs.loc.ispec);
+  for (int p = 0; p < mesh_.ngll3(); ++p) {
+    // Skip negligible weights to keep the per-step cost of exact stations
+    // visible but bounded; nearest stations reduce to a single node.
+    if (std::abs(w[static_cast<std::size_t>(p)]) < 1e-14) continue;
+    rs.node_glob.push_back(mesh_.ibool[off + static_cast<std::size_t>(p)]);
+    rs.weights.push_back(w[static_cast<std::size_t>(p)]);
+  }
+  receivers_.push_back(std::move(rs));
+  return static_cast<int>(receivers_.size()) - 1;
+}
+
+void Simulation::set_solid_element_order(const std::vector<int>& order) {
+  SFG_CHECK_MSG(order.size() == solid_elements_.size(),
+                "order must cover exactly the solid elements");
+  std::vector<bool> seen(static_cast<std::size_t>(mesh_.nspec), false);
+  for (int e : order) {
+    SFG_CHECK(e >= 0 && e < mesh_.nspec);
+    SFG_CHECK_MSG(!mat_.element_is_fluid[static_cast<std::size_t>(e)] &&
+                      !seen[static_cast<std::size_t>(e)],
+                  "order must be a permutation of the solid elements");
+    seen[static_cast<std::size_t>(e)] = true;
+  }
+  solid_elements_ = order;
+}
+
+void Simulation::set_initial_condition(
+    const std::function<std::array<double, 3>(double, double, double)>&
+        displ_at,
+    const std::function<std::array<double, 3>(double, double, double)>&
+        veloc_at) {
+  SFG_CHECK(displ_at != nullptr);
+  const GlobalCoordinates gc = global_coordinates(mesh_);
+  for (std::size_t g = 0; g < static_cast<std::size_t>(mesh_.nglob); ++g) {
+    const auto u = displ_at(gc.x[g], gc.y[g], gc.z[g]);
+    displ_[g * 3 + 0] = static_cast<float>(u[0]);
+    displ_[g * 3 + 1] = static_cast<float>(u[1]);
+    displ_[g * 3 + 2] = static_cast<float>(u[2]);
+    if (veloc_at) {
+      const auto v = veloc_at(gc.x[g], gc.y[g], gc.z[g]);
+      veloc_[g * 3 + 0] = static_cast<float>(v[0]);
+      veloc_[g * 3 + 1] = static_cast<float>(v[1]);
+      veloc_[g * 3 + 2] = static_cast<float>(v[2]);
+    }
+  }
+}
+
+ElementPointers Simulation::element_pointers(int ispec) const {
+  const std::size_t off = mesh_.local_offset(ispec);
+  ElementPointers ep;
+  ep.xix = mesh_.xix.data() + off;
+  ep.xiy = mesh_.xiy.data() + off;
+  ep.xiz = mesh_.xiz.data() + off;
+  ep.etax = mesh_.etax.data() + off;
+  ep.etay = mesh_.etay.data() + off;
+  ep.etaz = mesh_.etaz.data() + off;
+  ep.gammax = mesh_.gammax.data() + off;
+  ep.gammay = mesh_.gammay.data() + off;
+  ep.gammaz = mesh_.gammaz.data() + off;
+  ep.jacobian = mesh_.jacobian.data() + off;
+  ep.kappav = mat_.kappav.data() + off;
+  ep.muv = mat_.muv.data() + off;
+  ep.rho = mat_.rho.data() + off;
+  if (cfg_.gravity) {
+    ep.grav_g = grav_g_.data() + off;
+    ep.grav_dgdr = grav_dgdr_.data() + off;
+    ep.grav_drhodr = grav_drhodr_.data() + off;
+    ep.grav_rx = grav_rx_.data() + off;
+    ep.grav_ry = grav_ry_.data() + off;
+    ep.grav_rz = grav_rz_.data() + off;
+    ep.grav_invr = grav_invr_.data() + off;
+  }
+  return ep;
+}
+
+void Simulation::gather_element_displ(int ispec) {
+  const std::size_t off = mesh_.local_offset(ispec);
+  const int n3 = mesh_.ngll3();
+  for (int p = 0; p < n3; ++p) {
+    const auto g = static_cast<std::size_t>(
+        mesh_.ibool[off + static_cast<std::size_t>(p)]);
+    ws_.ux[static_cast<std::size_t>(p)] = displ_[g * 3 + 0];
+    ws_.uy[static_cast<std::size_t>(p)] = displ_[g * 3 + 1];
+    ws_.uz[static_cast<std::size_t>(p)] = displ_[g * 3 + 2];
+  }
+}
+
+void Simulation::scatter_element_forces(int ispec) {
+  const std::size_t off = mesh_.local_offset(ispec);
+  const int n3 = mesh_.ngll3();
+  for (int p = 0; p < n3; ++p) {
+    const auto g = static_cast<std::size_t>(
+        mesh_.ibool[off + static_cast<std::size_t>(p)]);
+    accel_[g * 3 + 0] += ws_.fx[static_cast<std::size_t>(p)];
+    accel_[g * 3 + 1] += ws_.fy[static_cast<std::size_t>(p)];
+    accel_[g * 3 + 2] += ws_.fz[static_cast<std::size_t>(p)];
+  }
+}
+
+void Simulation::update_memory_variables(int ispec) {
+  const SlsSeries& sls = *cfg_.sls;
+  const std::size_t off = mesh_.local_offset(ispec);
+  const int n3 = mesh_.ngll3();
+  for (int l = 0; l < sls.num_sls(); ++l) {
+    const auto a = static_cast<float>(exp_a_[l]);
+    const auto b = static_cast<float>(one_minus_a_[l] *
+                                      sls.y[static_cast<std::size_t>(l)]);
+    auto& rl = r_mem_[static_cast<std::size_t>(l)];
+    for (int c = 0; c < 5; ++c) {
+      float* r = rl[static_cast<std::size_t>(c)].data() + off;
+      const float* eps = ws_.epsdev[c].data();
+      const float* fac = att_factor_.data() + off;
+      for (int p = 0; p < n3; ++p) r[p] = a * r[p] + b * fac[p] * eps[p];
+    }
+  }
+}
+
+void Simulation::compute_fluid_forces() {
+  const int n3 = mesh_.ngll3();
+  // Element contributions.
+  for (int e : fluid_elements_) {
+    const std::size_t off = mesh_.local_offset(e);
+    for (int p = 0; p < n3; ++p)
+      ws_.chi[static_cast<std::size_t>(p)] = chi_[static_cast<std::size_t>(
+          mesh_.ibool[off + static_cast<std::size_t>(p)])];
+    kernel_.compute_acoustic(element_pointers(e), ws_);
+    for (int p = 0; p < n3; ++p)
+      chi_ddot_[static_cast<std::size_t>(
+          mesh_.ibool[off + static_cast<std::size_t>(p)])] +=
+          ws_.fchi[static_cast<std::size_t>(p)];
+  }
+
+  // Solid -> fluid coupling: continuity of normal displacement supplies
+  // the boundary term with the solid displacement at t^{n+1}.
+  for (const CouplingPoint& cp : coupling_) {
+    const auto g = static_cast<std::size_t>(cp.iglob);
+    const double un = displ_[g * 3 + 0] * cp.nx + displ_[g * 3 + 1] * cp.ny +
+                      displ_[g * 3 + 2] * cp.nz;
+    chi_ddot_[g] += static_cast<float>(cp.weight * un);
+  }
+
+  if (exchanger_ != nullptr)
+    exchanger_->assemble_add(*comm_, chi_ddot_.data(), 1);
+
+  for (std::size_t g = 0; g < chi_ddot_.size(); ++g)
+    chi_ddot_[g] *= rmass_inv_fluid_[g];
+}
+
+void Simulation::compute_solid_forces() {
+  const int n3 = mesh_.ngll3();
+  const bool att = cfg_.attenuation;
+
+  for (int e : solid_elements_) {
+    gather_element_displ(e);
+    ElementPointers ep = element_pointers(e);
+    if (att) {
+      // Pre-sum the memory variables over the SLSs for this element.
+      const std::size_t off = mesh_.local_offset(e);
+      for (int c = 0; c < 6; ++c) {
+        float* dst = r_sum_scratch_[static_cast<std::size_t>(c)].data();
+        for (int p = 0; p < n3; ++p) dst[p] = 0.0f;
+      }
+      for (const auto& rl : r_mem_) {
+        const float* rxx = rl[0].data() + off;
+        const float* ryy = rl[1].data() + off;
+        const float* rxy = rl[2].data() + off;
+        const float* rxz = rl[3].data() + off;
+        const float* ryz = rl[4].data() + off;
+        float* sxx = r_sum_scratch_[0].data();
+        float* syy = r_sum_scratch_[1].data();
+        float* szz = r_sum_scratch_[2].data();
+        float* sxy = r_sum_scratch_[3].data();
+        float* sxz = r_sum_scratch_[4].data();
+        float* syz = r_sum_scratch_[5].data();
+        for (int p = 0; p < n3; ++p) {
+          sxx[p] += rxx[p];
+          syy[p] += ryy[p];
+          szz[p] -= rxx[p] + ryy[p];  // deviatoric: R_zz = -(R_xx + R_yy)
+          sxy[p] += rxy[p];
+          sxz[p] += rxz[p];
+          syz[p] += ryz[p];
+        }
+      }
+      for (int c = 0; c < 6; ++c)
+        ep.r_sum[c] = r_sum_scratch_[static_cast<std::size_t>(c)].data();
+    }
+    kernel_.compute_elastic(ep, ws_);
+    scatter_element_forces(e);
+    if (cfg_.gravity) {
+      // Collocated body force: accel += w3 * jacobian * h at each node.
+      const std::size_t off = mesh_.local_offset(e);
+      for (int p = 0; p < n3; ++p) {
+        const std::size_t q = off + static_cast<std::size_t>(p);
+        const auto g = static_cast<std::size_t>(mesh_.ibool[q]);
+        const float w = w3jac_[q];
+        accel_[g * 3 + 0] += w * ws_.gx[static_cast<std::size_t>(p)];
+        accel_[g * 3 + 1] += w * ws_.gy[static_cast<std::size_t>(p)];
+        accel_[g * 3 + 2] += w * ws_.gz[static_cast<std::size_t>(p)];
+      }
+    }
+    if (att) update_memory_variables(e);
+  }
+
+  // Fluid -> solid coupling: fluid pressure p = -chi_ddot acts as a
+  // traction chi_ddot * n_solid = -chi_ddot * n_fluid on the solid.
+  for (const CouplingPoint& cp : coupling_) {
+    const auto g = static_cast<std::size_t>(cp.iglob);
+    const double f = cp.weight * static_cast<double>(chi_ddot_[g]);
+    accel_[g * 3 + 0] -= static_cast<float>(f * cp.nx);
+    accel_[g * 3 + 1] -= static_cast<float>(f * cp.ny);
+    accel_[g * 3 + 2] -= static_cast<float>(f * cp.nz);
+  }
+
+  // Stacey absorbing boundary: traction -rho (vp vn n + vs vt).
+  for (const AbsorbingPoint& ap : absorbing_) {
+    const auto g = static_cast<std::size_t>(ap.iglob);
+    const double vx = veloc_[g * 3 + 0];
+    const double vy = veloc_[g * 3 + 1];
+    const double vz = veloc_[g * 3 + 2];
+    const double vn = vx * ap.nx + vy * ap.ny + vz * ap.nz;
+    const double rho = mat_.rho[ap.local];
+    const double vp = mat_.vp[ap.local];
+    const double vs = mat_.vs[ap.local];
+    const double tn = rho * vp * vn;
+    accel_[g * 3 + 0] -= static_cast<float>(
+        ap.weight * (tn * ap.nx + rho * vs * (vx - vn * ap.nx)));
+    accel_[g * 3 + 1] -= static_cast<float>(
+        ap.weight * (tn * ap.ny + rho * vs * (vy - vn * ap.ny)));
+    accel_[g * 3 + 2] -= static_cast<float>(
+        ap.weight * (tn * ap.nz + rho * vs * (vz - vn * ap.nz)));
+  }
+
+  // Sources.
+  for (const DiscreteSource& src : sources_) {
+    const double s = src.stf(time_ + cfg_.dt);
+    const std::size_t off = mesh_.local_offset(src.ispec);
+    for (int p = 0; p < n3; ++p) {
+      const auto& f = src.node_force[static_cast<std::size_t>(p)];
+      if (f[0] == 0.0 && f[1] == 0.0 && f[2] == 0.0) continue;
+      const auto g = static_cast<std::size_t>(
+          mesh_.ibool[off + static_cast<std::size_t>(p)]);
+      accel_[g * 3 + 0] += static_cast<float>(f[0] * s);
+      accel_[g * 3 + 1] += static_cast<float>(f[1] * s);
+      accel_[g * 3 + 2] += static_cast<float>(f[2] * s);
+    }
+  }
+
+  if (exchanger_ != nullptr)
+    exchanger_->assemble_add(*comm_, accel_.data(), 3);
+
+  const auto ng = static_cast<std::size_t>(mesh_.nglob);
+  for (std::size_t g = 0; g < ng; ++g) {
+    const float rm = rmass_inv_solid_[g];
+    accel_[g * 3 + 0] *= rm;
+    accel_[g * 3 + 1] *= rm;
+    accel_[g * 3 + 2] *= rm;
+  }
+
+  // Coriolis force: a -= 2 omega x v (exact after mass division because
+  // the term's weak form shares the diagonal mass matrix).
+  if (cfg_.rotation) {
+    const double two_om = 2.0 * cfg_.omega_rad_s;
+    for (std::size_t g = 0; g < ng; ++g) {
+      const double vx = veloc_[g * 3 + 0];
+      const double vy = veloc_[g * 3 + 1];
+      if (rmass_inv_solid_[g] == 0.0f) continue;
+      accel_[g * 3 + 0] += static_cast<float>(two_om * vy);
+      accel_[g * 3 + 1] -= static_cast<float>(two_om * vx);
+    }
+  }
+}
+
+void Simulation::step() {
+  const double dt = cfg_.dt;
+  const double dt2 = 0.5 * dt * dt;
+  const auto ng = static_cast<std::size_t>(mesh_.nglob);
+
+  // ---- Newmark predictor ----
+  for (std::size_t g = 0; g < ng * 3; ++g) {
+    displ_[g] += static_cast<float>(dt * veloc_[g] + dt2 * accel_[g]);
+    veloc_[g] += static_cast<float>(0.5 * dt * accel_[g]);
+    accel_[g] = 0.0f;
+  }
+  if (!fluid_elements_.empty()) {
+    for (std::size_t g = 0; g < ng; ++g) {
+      chi_[g] += static_cast<float>(dt * chi_dot_[g] + dt2 * chi_ddot_[g]);
+      chi_dot_[g] += static_cast<float>(0.5 * dt * chi_ddot_[g]);
+      chi_ddot_[g] = 0.0f;
+    }
+    compute_fluid_forces();
+  }
+
+  compute_solid_forces();
+
+  // ---- Newmark corrector ----
+  for (std::size_t g = 0; g < ng * 3; ++g)
+    veloc_[g] += static_cast<float>(0.5 * dt * accel_[g]);
+  if (!fluid_elements_.empty())
+    for (std::size_t g = 0; g < ng; ++g)
+      chi_dot_[g] += static_cast<float>(0.5 * dt * chi_ddot_[g]);
+
+  time_ += dt;
+  ++it_;
+
+  if (comm_ != nullptr) comm_->add_virtual_compute(flops_per_step());
+  if (it_ % cfg_.record_every == 0) record_receivers();
+}
+
+void Simulation::run(int nsteps) {
+  for (int s = 0; s < nsteps; ++s) step();
+}
+
+void Simulation::record_receivers() {
+  for (ReceiverState& rs : receivers_) {
+    double u[3] = {0.0, 0.0, 0.0};
+    for (std::size_t n = 0; n < rs.node_glob.size(); ++n) {
+      const auto g = static_cast<std::size_t>(rs.node_glob[n]);
+      const double w = rs.weights[n];
+      u[0] += w * displ_[g * 3 + 0];
+      u[1] += w * displ_[g * 3 + 1];
+      u[2] += w * displ_[g * 3 + 2];
+    }
+    rs.seis.time.push_back(time_);
+    rs.seis.displ.push_back({u[0], u[1], u[2]});
+  }
+}
+
+const Seismogram& Simulation::seismogram(int receiver) const {
+  SFG_CHECK(receiver >= 0 &&
+            receiver < static_cast<int>(receivers_.size()));
+  return receivers_[static_cast<std::size_t>(receiver)].seis;
+}
+
+const LocatedPoint& Simulation::receiver_location(int receiver) const {
+  SFG_CHECK(receiver >= 0 &&
+            receiver < static_cast<int>(receivers_.size()));
+  return receivers_[static_cast<std::size_t>(receiver)].loc;
+}
+
+EnergySnapshot Simulation::compute_energy() {
+  EnergySnapshot es;
+  const int ngll = mesh_.ngll;
+  const int n3 = mesh_.ngll3();
+
+  // Element-wise kinetic and strain energy: safe to sum across ranks
+  // because every element is owned by exactly one rank.
+  for (int e : solid_elements_) {
+    const std::size_t off = mesh_.local_offset(e);
+    gather_element_displ(e);
+    ElementPointers ep = element_pointers(e);
+    if (cfg_.attenuation) {
+      for (int c = 0; c < 6; ++c) ep.r_sum[c] = nullptr;
+    }
+    kernel_.compute_elastic(ep, ws_);
+    for (int k = 0; k < ngll; ++k) {
+      for (int j = 0; j < ngll; ++j) {
+        for (int i = 0; i < ngll; ++i) {
+          const int lp = local_index(ngll, i, j, k);
+          const std::size_t p = off + static_cast<std::size_t>(lp);
+          const auto g = static_cast<std::size_t>(mesh_.ibool[p]);
+          const double w3 =
+              basis_.weight(i) * basis_.weight(j) * basis_.weight(k);
+          const double m = w3 * mesh_.jacobian[p] * mat_.rho[p];
+          const double vx = veloc_[g * 3 + 0], vy = veloc_[g * 3 + 1],
+                       vz = veloc_[g * 3 + 2];
+          es.kinetic += 0.5 * m * (vx * vx + vy * vy + vz * vz);
+          // strain energy = -1/2 u . f_element (f = -K_e u)
+          es.potential -=
+              0.5 * (static_cast<double>(displ_[g * 3 + 0]) *
+                         ws_.fx[static_cast<std::size_t>(lp)] +
+                     static_cast<double>(displ_[g * 3 + 1]) *
+                         ws_.fy[static_cast<std::size_t>(lp)] +
+                     static_cast<double>(displ_[g * 3 + 2]) *
+                         ws_.fz[static_cast<std::size_t>(lp)]);
+        }
+      }
+    }
+  }
+
+  // Fluid energy: kinetic = |grad chi|^2 / (2 rho), compressional =
+  // chi_ddot^2 / (2 kappa) — evaluated element-wise via the same scheme.
+  for (int e : fluid_elements_) {
+    const std::size_t off = mesh_.local_offset(e);
+    for (int p = 0; p < n3; ++p)
+      ws_.chi[static_cast<std::size_t>(p)] = chi_[static_cast<std::size_t>(
+          mesh_.ibool[off + static_cast<std::size_t>(p)])];
+    // Reference-coordinate gradients of chi.
+    for (int k = 0; k < ngll; ++k) {
+      for (int j = 0; j < ngll; ++j) {
+        for (int i = 0; i < ngll; ++i) {
+          double g1 = 0, g2 = 0, g3 = 0;
+          for (int l = 0; l < ngll; ++l) {
+            g1 += ws_.chi[static_cast<std::size_t>(
+                      local_index(ngll, l, j, k))] *
+                  basis_.hprime(i, l);
+            g2 += ws_.chi[static_cast<std::size_t>(
+                      local_index(ngll, i, l, k))] *
+                  basis_.hprime(j, l);
+            g3 += ws_.chi[static_cast<std::size_t>(
+                      local_index(ngll, i, j, l))] *
+                  basis_.hprime(k, l);
+          }
+          const std::size_t p =
+              off + static_cast<std::size_t>(local_index(ngll, i, j, k));
+          const double gx =
+              mesh_.xix[p] * g1 + mesh_.etax[p] * g2 + mesh_.gammax[p] * g3;
+          const double gy =
+              mesh_.xiy[p] * g1 + mesh_.etay[p] * g2 + mesh_.gammay[p] * g3;
+          const double gz =
+              mesh_.xiz[p] * g1 + mesh_.etaz[p] * g2 + mesh_.gammaz[p] * g3;
+          const double w3 =
+              basis_.weight(i) * basis_.weight(j) * basis_.weight(k);
+          const double vol = w3 * mesh_.jacobian[p];
+          const auto g = static_cast<std::size_t>(mesh_.ibool[p]);
+          es.fluid += vol * (gx * gx + gy * gy + gz * gz) /
+                      (2.0 * mat_.rho[p]);
+          es.fluid += vol * static_cast<double>(chi_ddot_[g]) *
+                      chi_ddot_[g] / (2.0 * mat_.kappav[p]);
+        }
+      }
+    }
+  }
+
+  if (comm_ != nullptr) {
+    double vals[3] = {es.kinetic, es.potential, es.fluid};
+    comm_->allreduce(vals, 3, smpi::ReduceOp::Sum);
+    es.kinetic = vals[0];
+    es.potential = vals[1];
+    es.fluid = vals[2];
+  }
+  return es;
+}
+
+std::uint64_t Simulation::flops_per_step() const {
+  std::uint64_t f =
+      kernel_.elastic_flops_per_element() * solid_elements_.size() +
+      kernel_.acoustic_flops_per_element() * fluid_elements_.size();
+  // Newmark updates: ~10 flops per dof.
+  f += static_cast<std::uint64_t>(mesh_.nglob) * 3ull * 10ull;
+  if (cfg_.attenuation && cfg_.sls.has_value()) {
+    // memory-variable update: nsls * 5 comps * 3 flops per local point
+    f += static_cast<std::uint64_t>(cfg_.sls->num_sls()) * 5ull * 3ull *
+         mesh_.num_local_points();
+  }
+  return f;
+}
+
+std::uint64_t Simulation::comm_bytes_per_step() const {
+  if (exchanger_ == nullptr) return 0;
+  std::uint64_t floats = exchanger_->floats_per_exchange(3);
+  if (!fluid_elements_.empty()) floats += exchanger_->floats_per_exchange(1);
+  return floats * sizeof(float);
+}
+
+}  // namespace sfg

@@ -1,0 +1,289 @@
+#include "solver/sources.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/constants.hpp"
+
+namespace sfg {
+
+SourceTimeFunction ricker_wavelet(double f0, double t0) {
+  SFG_CHECK(f0 > 0.0);
+  return [f0, t0](double t) {
+    const double a = kPi * f0 * (t - t0);
+    const double a2 = a * a;
+    return (1.0 - 2.0 * a2) * std::exp(-a2);
+  };
+}
+
+SourceTimeFunction gaussian_pulse(double sigma, double t0) {
+  SFG_CHECK(sigma > 0.0);
+  return [sigma, t0](double t) {
+    const double a = (t - t0) / sigma;
+    return std::exp(-a * a);
+  };
+}
+
+SourceTimeFunction smooth_ramp(double rise_time, double t0) {
+  SFG_CHECK(rise_time > 0.0);
+  return [rise_time, t0](double t) {
+    const double a = (t - t0) / rise_time;
+    if (a <= 0.0) return 0.0;
+    if (a >= 1.0) return 1.0;
+    return a * a * (3.0 - 2.0 * a);  // smoothstep
+  };
+}
+
+namespace {
+
+/// Evaluate the isoparametric mapping and its Jacobian at reference
+/// coordinates (xi, eta, gamma) inside element ispec.
+void evaluate_mapping(const HexMesh& mesh, const GllBasis& basis, int ispec,
+                      double xi, double eta, double gamma, double pos[3],
+                      double jac[3][3]) {
+  const int n = mesh.ngll;
+  std::vector<double> li(static_cast<std::size_t>(n)),
+      lj(static_cast<std::size_t>(n)), lk(static_cast<std::size_t>(n));
+  std::vector<double> dli(static_cast<std::size_t>(n)),
+      dlj(static_cast<std::size_t>(n)), dlk(static_cast<std::size_t>(n));
+  for (int m = 0; m < n; ++m) {
+    li[static_cast<std::size_t>(m)] = basis.lagrange(m, xi);
+    lj[static_cast<std::size_t>(m)] = basis.lagrange(m, eta);
+    lk[static_cast<std::size_t>(m)] = basis.lagrange(m, gamma);
+    dli[static_cast<std::size_t>(m)] = basis.lagrange_derivative(m, xi);
+    dlj[static_cast<std::size_t>(m)] = basis.lagrange_derivative(m, eta);
+    dlk[static_cast<std::size_t>(m)] = basis.lagrange_derivative(m, gamma);
+  }
+  for (int a = 0; a < 3; ++a) {
+    pos[a] = 0.0;
+    for (int b = 0; b < 3; ++b) jac[a][b] = 0.0;
+  }
+  const std::size_t off = mesh.local_offset(ispec);
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        const std::size_t p =
+            off + static_cast<std::size_t>(local_index(n, i, j, k));
+        const double c[3] = {mesh.xstore[p], mesh.ystore[p], mesh.zstore[p]};
+        const double w = li[static_cast<std::size_t>(i)] *
+                         lj[static_cast<std::size_t>(j)] *
+                         lk[static_cast<std::size_t>(k)];
+        const double wx = dli[static_cast<std::size_t>(i)] *
+                          lj[static_cast<std::size_t>(j)] *
+                          lk[static_cast<std::size_t>(k)];
+        const double wy = li[static_cast<std::size_t>(i)] *
+                          dlj[static_cast<std::size_t>(j)] *
+                          lk[static_cast<std::size_t>(k)];
+        const double wz = li[static_cast<std::size_t>(i)] *
+                          lj[static_cast<std::size_t>(j)] *
+                          dlk[static_cast<std::size_t>(k)];
+        for (int a = 0; a < 3; ++a) {
+          pos[a] += c[a] * w;
+          jac[a][0] += c[a] * wx;  // d pos_a / d xi
+          jac[a][1] += c[a] * wy;
+          jac[a][2] += c[a] * wz;
+        }
+      }
+    }
+  }
+}
+
+bool invert3(const double m[3][3], double inv[3][3]) {
+  const double det = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+                     m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+                     m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+  if (std::abs(det) < 1e-300) return false;
+  const double d = 1.0 / det;
+  inv[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * d;
+  inv[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * d;
+  inv[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * d;
+  inv[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * d;
+  inv[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * d;
+  inv[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * d;
+  inv[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * d;
+  inv[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * d;
+  inv[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * d;
+  return true;
+}
+
+/// Index of the nearest local GLL point (brute force over the rank-local
+/// mesh — mirrors the mesher's per-slice search).
+std::size_t nearest_local_point(const HexMesh& mesh, double x, double y,
+                                double z) {
+  double best = std::numeric_limits<double>::max();
+  std::size_t best_p = 0;
+  for (std::size_t p = 0; p < mesh.num_local_points(); ++p) {
+    const double dx = mesh.xstore[p] - x;
+    const double dy = mesh.ystore[p] - y;
+    const double dz = mesh.zstore[p] - z;
+    const double d2 = dx * dx + dy * dy + dz * dz;
+    if (d2 < best) {
+      best = d2;
+      best_p = p;
+    }
+  }
+  return best_p;
+}
+
+}  // namespace
+
+LocatedPoint locate_point_nearest(const HexMesh& mesh, const GllBasis& basis,
+                                  double x, double y, double z) {
+  const std::size_t p = nearest_local_point(mesh, x, y, z);
+  const int ngll3 = mesh.ngll3();
+  LocatedPoint loc;
+  loc.ispec = static_cast<int>(p) / ngll3;
+  const int lp = static_cast<int>(p) % ngll3;
+  const int i = lp % mesh.ngll;
+  const int j = (lp / mesh.ngll) % mesh.ngll;
+  const int k = lp / (mesh.ngll * mesh.ngll);
+  loc.xi = basis.node(i);
+  loc.eta = basis.node(j);
+  loc.gamma = basis.node(k);
+  const double dx = mesh.xstore[p] - x;
+  const double dy = mesh.ystore[p] - y;
+  const double dz = mesh.zstore[p] - z;
+  loc.error_m = std::sqrt(dx * dx + dy * dy + dz * dz);
+  loc.exact = false;
+  return loc;
+}
+
+namespace {
+
+/// Newton-iterate inside one element, clamped to the reference cube.
+LocatedPoint newton_in_element(const HexMesh& mesh, const GllBasis& basis,
+                               int ispec, double x, double y, double z,
+                               double xi, double eta, double gamma) {
+  double pos[3], jac[3][3], inv[3][3];
+  for (int it = 0; it < 50; ++it) {
+    evaluate_mapping(mesh, basis, ispec, xi, eta, gamma, pos, jac);
+    const double rx = pos[0] - x, ry = pos[1] - y, rz = pos[2] - z;
+    if (!invert3(jac, inv)) break;
+    const double dxi = inv[0][0] * rx + inv[0][1] * ry + inv[0][2] * rz;
+    const double deta = inv[1][0] * rx + inv[1][1] * ry + inv[1][2] * rz;
+    const double dgam = inv[2][0] * rx + inv[2][1] * ry + inv[2][2] * rz;
+    xi -= dxi;
+    eta -= deta;
+    gamma -= dgam;
+    xi = std::clamp(xi, -1.0, 1.0);
+    eta = std::clamp(eta, -1.0, 1.0);
+    gamma = std::clamp(gamma, -1.0, 1.0);
+    if (std::abs(dxi) + std::abs(deta) + std::abs(dgam) < 1e-14) break;
+  }
+  evaluate_mapping(mesh, basis, ispec, xi, eta, gamma, pos, jac);
+  LocatedPoint loc;
+  loc.ispec = ispec;
+  loc.xi = xi;
+  loc.eta = eta;
+  loc.gamma = gamma;
+  loc.exact = true;
+  const double dx = pos[0] - x, dy = pos[1] - y, dz = pos[2] - z;
+  loc.error_m = std::sqrt(dx * dx + dy * dy + dz * dz);
+  return loc;
+}
+
+}  // namespace
+
+LocatedPoint locate_point_exact(const HexMesh& mesh, const GllBasis& basis,
+                                double x, double y, double z) {
+  // The nearest GLL point may sit on a face/edge/corner shared by several
+  // elements, and only one of them contains the target: Newton-iterate in
+  // EVERY element sharing that global point and keep the best fit.
+  const LocatedPoint seed = locate_point_nearest(mesh, basis, x, y, z);
+  const std::size_t seed_local = nearest_local_point(mesh, x, y, z);
+  const int seed_glob = mesh.ibool[seed_local];
+
+  LocatedPoint best;
+  best.error_m = std::numeric_limits<double>::max();
+  const int ngll3 = mesh.ngll3();
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const std::size_t off = mesh.local_offset(e);
+    bool shares = false;
+    for (int p = 0; p < ngll3 && !shares; ++p)
+      shares = mesh.ibool[off + static_cast<std::size_t>(p)] == seed_glob;
+    if (!shares) continue;
+    // Seed at the shared point's reference coordinates within THIS element.
+    double sxi = 0, seta = 0, sgam = 0;
+    for (int p = 0; p < ngll3; ++p) {
+      if (mesh.ibool[off + static_cast<std::size_t>(p)] != seed_glob)
+        continue;
+      sxi = basis.node(p % mesh.ngll);
+      seta = basis.node((p / mesh.ngll) % mesh.ngll);
+      sgam = basis.node(p / (mesh.ngll * mesh.ngll));
+      break;
+    }
+    const LocatedPoint cand =
+        newton_in_element(mesh, basis, e, x, y, z, sxi, seta, sgam);
+    if (cand.error_m < best.error_m) best = cand;
+  }
+  if (best.ispec < 0) return seed;  // degenerate mesh: fall back
+  return best;
+}
+
+std::vector<double> interpolation_weights(const GllBasis& basis,
+                                          const LocatedPoint& loc) {
+  const int n = basis.num_points();
+  std::vector<double> w(static_cast<std::size_t>(n * n * n));
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i)
+        w[static_cast<std::size_t>(local_index(n, i, j, k))] =
+            basis.lagrange(i, loc.xi) * basis.lagrange(j, loc.eta) *
+            basis.lagrange(k, loc.gamma);
+  return w;
+}
+
+DiscreteSource discretize_source(const HexMesh& mesh, const GllBasis& basis,
+                                 const PointSource& source) {
+  SFG_CHECK_MSG(source.stf, "source needs a source-time function");
+  const LocatedPoint loc =
+      locate_point_exact(mesh, basis, source.x, source.y, source.z);
+  const int n = mesh.ngll;
+
+  DiscreteSource ds;
+  ds.ispec = loc.ispec;
+  ds.stf = source.stf;
+  ds.node_force.assign(static_cast<std::size_t>(mesh.ngll3()),
+                       {0.0, 0.0, 0.0});
+
+  // Inverse Jacobian at the source point for physical gradients.
+  double pos[3], jac[3][3], inv[3][3];
+  evaluate_mapping(mesh, basis, loc.ispec, loc.xi, loc.eta, loc.gamma, pos,
+                   jac);
+  SFG_CHECK(invert3(jac, inv));  // inv[r][c] = d ref_r / d x_c
+
+  const auto& M = source.moment;
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        const double li = basis.lagrange(i, loc.xi);
+        const double lj = basis.lagrange(j, loc.eta);
+        const double lk = basis.lagrange(k, loc.gamma);
+        const double dli = basis.lagrange_derivative(i, loc.xi);
+        const double dlj = basis.lagrange_derivative(j, loc.eta);
+        const double dlk = basis.lagrange_derivative(k, loc.gamma);
+
+        const double gref[3] = {dli * lj * lk, li * dlj * lk, li * lj * dlk};
+        // grad_phys_c = sum_r gref[r] * d ref_r / d x_c
+        double g[3];
+        for (int c = 0; c < 3; ++c)
+          g[c] = gref[0] * inv[0][c] + gref[1] * inv[1][c] +
+                 gref[2] * inv[2][c];
+
+        auto& f = ds.node_force[static_cast<std::size_t>(
+            local_index(n, i, j, k))];
+        const double shape = li * lj * lk;
+        // Point force: F_a * l(x_s); moment tensor: M_ab * d_b l(x_s).
+        f[0] = source.force[0] * shape + M[0] * g[0] + M[3] * g[1] +
+               M[4] * g[2];
+        f[1] = source.force[1] * shape + M[3] * g[0] + M[1] * g[1] +
+               M[5] * g[2];
+        f[2] = source.force[2] * shape + M[4] * g[0] + M[5] * g[1] +
+               M[2] * g[2];
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace sfg

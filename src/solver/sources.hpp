@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file sources.hpp
+/// Earthquake sources, source-time functions, and point location in the
+/// mesh (paper §2.1: the source is a point force / moment tensor; §4.4:
+/// station location can use a costly nonlinear algorithm with
+/// interpolation, or snap to the closest GLL point when the mesh is dense).
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "mesh/hex_mesh.hpp"
+#include "quadrature/gll.hpp"
+
+namespace sfg {
+
+// ---- source-time functions ----
+
+/// S(t) callable. Factory helpers below build the standard wavelets.
+using SourceTimeFunction = std::function<double(double)>;
+
+/// Ricker wavelet with dominant frequency f0, delayed by t0.
+SourceTimeFunction ricker_wavelet(double f0, double t0);
+/// Gaussian pulse: exp(-((t-t0)/sigma)^2).
+SourceTimeFunction gaussian_pulse(double sigma, double t0);
+/// Smooth ramp 0 -> 1 (Heaviside-like, for quasi-static checks).
+SourceTimeFunction smooth_ramp(double rise_time, double t0);
+
+// ---- point location ----
+
+/// A located point: the element containing it and its reference
+/// coordinates inside that element.
+struct LocatedPoint {
+  int ispec = -1;
+  double xi = 0.0, eta = 0.0, gamma = 0.0;
+  double error_m = 0.0;  ///< distance between target and located position
+  bool exact = false;    ///< true if Newton interpolation was used
+};
+
+/// The costly "nonlinear algorithm" (§4.4): find the closest GLL point,
+/// then Newton-iterate the inverse of the isoparametric mapping to locate
+/// (xi, eta, gamma) exactly. error_m is the residual mapping error
+/// (~roundoff for points inside the mesh).
+LocatedPoint locate_point_exact(const HexMesh& mesh, const GllBasis& basis,
+                                double x, double y, double z);
+
+/// The fast high-resolution alternative (§4.4): snap to the closest GLL
+/// point; error_m is the snap distance, "negligible from a geophysical
+/// point of view" once the mesh is dense.
+LocatedPoint locate_point_nearest(const HexMesh& mesh, const GllBasis& basis,
+                                  double x, double y, double z);
+
+/// Lagrange interpolation weights of a located point: w[(k*ngll+j)*ngll+i]
+/// = l_i(xi) l_j(eta) l_k(gamma). For nearest-located points this is a
+/// one-hot vector.
+std::vector<double> interpolation_weights(const GllBasis& basis,
+                                          const LocatedPoint& loc);
+
+// ---- sources ----
+
+/// A seismic point source: either a force vector or a moment tensor
+/// (M, symmetric, 6 independent components) applied at one point with a
+/// source-time function.
+struct PointSource {
+  double x = 0.0, y = 0.0, z = 0.0;
+  std::array<double, 3> force{0.0, 0.0, 0.0};
+  /// Moment tensor components Mxx, Myy, Mzz, Mxy, Mxz, Myz (N*m).
+  std::array<double, 6> moment{0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  SourceTimeFunction stf;
+
+  bool has_moment() const {
+    for (double m : moment)
+      if (m != 0.0) return true;
+    return false;
+  }
+};
+
+/// A source localized in the mesh and expanded onto element nodes:
+/// at each time step, accel[node] += coefficient[node] * S(t).
+struct DiscreteSource {
+  int ispec = -1;
+  /// Per local node of the element: 3-component force coefficient.
+  std::vector<std::array<double, 3>> node_force;
+  SourceTimeFunction stf;
+};
+
+/// Discretize a point source. Force sources use the interpolation weights
+/// directly; moment tensors use the gradient of the test functions at the
+/// source point (f = -M . grad(delta) in the weak form).
+DiscreteSource discretize_source(const HexMesh& mesh, const GllBasis& basis,
+                                 const PointSource& source);
+
+}  // namespace sfg

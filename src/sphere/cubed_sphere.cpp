@@ -1,0 +1,53 @@
+#include "sphere/cubed_sphere.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+
+namespace sfg {
+
+std::array<std::int64_t, 3> chunk_to_cube(int chunk, std::int64_t u,
+                                          std::int64_t v, std::int64_t n) {
+  SFG_CHECK(u >= 0 && u <= n && v >= 0 && v <= n);
+  switch (chunk) {
+    case 0: return {n, u, v};          // +x
+    case 1: return {0, n - u, v};      // -x
+    case 2: return {n - u, n, v};      // +y
+    case 3: return {u, 0, v};          // -y
+    case 4: return {u, v, n};          // +z
+    case 5: return {n - u, v, 0};      // -z
+    default:
+      SFG_CHECK_MSG(false, "chunk " << chunk << " out of range");
+  }
+  return {};
+}
+
+std::array<double, 3> cube_direction(std::int64_t a, std::int64_t b,
+                                     std::int64_t c, std::int64_t n) {
+  auto t = [n](std::int64_t w) {
+    return std::tan((static_cast<double>(w) / static_cast<double>(n) - 0.5) *
+                    (kPi / 2.0));
+  };
+  const double x = t(a), y = t(b), z = t(c);
+  const double inv = 1.0 / std::sqrt(x * x + y * y + z * z);
+  return {x * inv, y * inv, z * inv};
+}
+
+std::int64_t cube_surface_key(std::int64_t a, std::int64_t b,
+                              std::int64_t c, std::int64_t n) {
+  SFG_CHECK(a >= 0 && a <= n && b >= 0 && b <= n && c >= 0 && c <= n);
+  SFG_CHECK_MSG(a == 0 || a == n || b == 0 || b == n || c == 0 || c == n,
+                "point is not on the cube surface");
+  const std::int64_t m = n + 1;
+  return (a * m + b) * m + c;
+}
+
+std::int64_t cube_surface_point_count(std::int64_t n) {
+  return 6 * n * n + 2;
+}
+
+bool on_chunk_edge(std::int64_t u, std::int64_t v, std::int64_t n) {
+  return u == 0 || u == n || v == 0 || v == n;
+}
+
+}  // namespace sfg

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file cubed_sphere.hpp
+/// The gnomonic "cubed sphere" mapping (paper §3, Figure 4; Ronchi et al.,
+/// Sadourny): the globe is split into 6 chunks, each an angularly-uniform
+/// image of a cube face, further subdivided into NPROC_XI^2 mesh slices
+/// per chunk for a total of 6 * NPROC_XI^2 slices.
+///
+/// Implementation note: every surface node lives on an integer lattice of
+/// the cube surface, (a, b, c) in [0, N]^3 with at least one coordinate in
+/// {0, N}. The mapped direction is simply
+///     d(a, b, c) = normalize( (t(a), t(b), t(c)) ),
+///     t(w) = tan( (w/N - 1/2) * pi/2 ),
+/// which is angularly equidistant along cube edges (the classical gnomonic
+/// chart). Because chunk edges and corners then carry IDENTICAL integer
+/// lattice coordinates regardless of which chunk computes them, cross-chunk
+/// point matching is exact — no floating-point tolerance, no edge
+/// correspondence tables. This is what makes the distributed global mesh
+/// assembly (paper §2.4) watertight at chunk boundaries, where points are
+/// shared by up to 3 chunks (cube corners).
+
+#include <array>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace sfg {
+
+/// Chunk ids 0..5 map to the cube faces +x, -x, +y, -y, +z, -z.
+inline constexpr int kChunkFaceCount = 6;
+
+/// Map chunk-local face-lattice coordinates (u, v) in [0, N] to integer
+/// cube-surface coordinates (a, b, c). Orientations are chosen so that the
+/// induced (u, v, radius) element mapping has positive Jacobian for every
+/// chunk.
+std::array<std::int64_t, 3> chunk_to_cube(int chunk, std::int64_t u,
+                                          std::int64_t v, std::int64_t n);
+
+/// Unit direction of the cube-surface lattice point (a, b, c).
+std::array<double, 3> cube_direction(std::int64_t a, std::int64_t b,
+                                     std::int64_t c, std::int64_t n);
+
+/// Canonical integer key of a cube-surface lattice point; identical for
+/// every chunk that touches the point.
+std::int64_t cube_surface_key(std::int64_t a, std::int64_t b,
+                              std::int64_t c, std::int64_t n);
+
+/// Number of distinct surface lattice points: 6 N^2 + 2.
+std::int64_t cube_surface_point_count(std::int64_t n);
+
+/// True if (u, v) lies on the boundary of the chunk's own face lattice
+/// (i.e. the point is shared with one or two neighbouring chunks).
+bool on_chunk_edge(std::int64_t u, std::int64_t v, std::int64_t n);
+
+}  // namespace sfg

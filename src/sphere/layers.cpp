@@ -1,0 +1,73 @@
+#include "sphere/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/constants.hpp"
+
+namespace sfg {
+
+std::vector<RadialLayer> build_radial_layers(const EarthModel& model,
+                                             double r_min, int nex_xi,
+                                             double min_layer_fraction) {
+  const double r_surface = model.surface_radius();
+  SFG_CHECK(r_min >= 0.0 && r_min < r_surface);
+  SFG_CHECK(nex_xi >= 1);
+
+  // Region boundaries: r_min, discontinuities inside, surface.
+  std::vector<double> bounds = {r_min};
+  for (double r : model.discontinuity_radii())
+    if (r > r_min * 1.0000001 && r < r_surface * 0.9999999)
+      bounds.push_back(r);
+  bounds.push_back(r_surface);
+  std::sort(bounds.begin(), bounds.end());
+
+  // Merge regions that are very thin compared with the local target
+  // element size (the mesher cannot afford sliver layers at low NEX; the
+  // real code merges crustal layers the same way).
+  std::vector<double> merged = {bounds.front()};
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    const double r_top = bounds[i];
+    const double target = (kPi / 2.0) * r_top / nex_xi;
+    const double thickness = r_top - merged.back();
+    const bool is_last = i + 1 == bounds.size();
+    if (thickness < min_layer_fraction * target && !is_last) continue;
+    if (is_last && thickness < min_layer_fraction * target &&
+        merged.size() > 1) {
+      // Merge a too-thin top region downward instead of keeping a sliver.
+      merged.back() = r_top;
+      continue;
+    }
+    merged.push_back(r_top);
+  }
+  SFG_CHECK(merged.size() >= 2);
+
+  std::vector<RadialLayer> layers;
+  for (std::size_t i = 0; i + 1 < merged.size(); ++i) {
+    RadialLayer layer;
+    layer.r_bot = merged[i];
+    layer.r_top = merged[i + 1];
+    const double target = (kPi / 2.0) * layer.r_top / nex_xi;
+    layer.n_elem = std::max(
+        1, static_cast<int>(std::lround((layer.r_top - layer.r_bot) /
+                                        target)));
+    // Fluid if the region's midpoint is fluid in the model.
+    layer.fluid =
+        model.at_radius(0.5 * (layer.r_bot + layer.r_top)).is_fluid();
+    layers.push_back(layer);
+  }
+  return layers;
+}
+
+int total_radial_elements(const std::vector<RadialLayer>& layers) {
+  int n = 0;
+  for (const auto& l : layers) n += l.n_elem;
+  return n;
+}
+
+int radial_lattice_size(const std::vector<RadialLayer>& layers, int ngll) {
+  return total_radial_elements(layers) * (ngll - 1) + 1;
+}
+
+}  // namespace sfg

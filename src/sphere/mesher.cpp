@@ -1,0 +1,311 @@
+#include "sphere/mesher.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/timer.hpp"
+#include "mesh/jacobian.hpp"
+#include "sphere/cubed_sphere.hpp"
+
+namespace sfg {
+
+int globe_rank_count(const GlobeMeshSpec& spec) {
+  return spec.nchunks * spec.nproc_xi * spec.nproc_xi;
+}
+
+double effective_r_min(const GlobeMeshSpec& spec) {
+  if (spec.r_min > 0.0) return spec.r_min;
+  const auto discs = spec.model->discontinuity_radii();
+  if (discs.empty()) return 0.3 * spec.model->surface_radius();
+  return 0.55 * discs.front();
+}
+
+namespace {
+
+/// Geometry of one slice: which chunk and which element window it covers.
+struct SliceWindow {
+  int chunk;
+  int e1_lo, e1_hi;  ///< element range along u
+  int e2_lo, e2_hi;  ///< element range along v
+};
+
+SliceWindow decode_rank(const GlobeMeshSpec& spec, int rank) {
+  const int nproc = spec.nproc_xi;
+  SFG_CHECK(rank >= 0 && rank < globe_rank_count(spec));
+  SliceWindow w;
+  w.chunk = rank / (nproc * nproc);
+  const int rem = rank % (nproc * nproc);
+  const int sq = rem / nproc;
+  const int sp = rem % nproc;
+  const int per = spec.nex_xi / nproc;
+  SFG_CHECK_MSG(per * nproc == spec.nex_xi,
+                "NEX_XI must be divisible by NPROC_XI");
+  w.e1_lo = sp * per;
+  w.e1_hi = (sp + 1) * per;
+  w.e2_lo = sq * per;
+  w.e2_hi = (sq + 1) * per;
+  return w;
+}
+
+/// Radial placement of every element layer: flattened (r_bot, r_top,
+/// radial lattice offset) per radial element.
+struct RadialElements {
+  std::vector<double> r_bot, r_top;
+  std::vector<int> lattice_offset;  ///< radial GLL index of the bottom
+  int lattice_size = 0;
+};
+
+RadialElements flatten_layers(const std::vector<RadialLayer>& layers,
+                              int ngll) {
+  RadialElements re;
+  int offset = 0;
+  for (const auto& layer : layers) {
+    const double h = (layer.r_top - layer.r_bot) / layer.n_elem;
+    for (int s = 0; s < layer.n_elem; ++s) {
+      re.r_bot.push_back(layer.r_bot + s * h);
+      re.r_top.push_back(layer.r_bot + (s + 1) * h);
+      re.lattice_offset.push_back(offset);
+      offset += ngll - 1;
+    }
+  }
+  re.lattice_size = offset + 1;
+  return re;
+}
+
+struct FillResult {
+  std::vector<std::int64_t> point_keys;  ///< per local point
+};
+
+/// Fill coordinates and keys for all elements of the windows in order:
+/// radial element slowest, then e2, then e1; nodes k (radial), j (v),
+/// i (u) with i fastest — the standard SPECFEM layout.
+FillResult fill_elements(HexMesh& mesh, const GlobeMeshSpec& spec,
+                         const GllBasis& basis,
+                         const std::vector<SliceWindow>& windows,
+                         const RadialElements& re) {
+  const int ngll = basis.num_points();
+  const std::int64_t lat_n =
+      static_cast<std::int64_t>(spec.nex_xi) * (ngll - 1);
+
+  int nspec = 0;
+  for (const auto& w : windows)
+    nspec += (w.e1_hi - w.e1_lo) * (w.e2_hi - w.e2_lo) *
+             static_cast<int>(re.r_bot.size());
+  mesh.allocate_points(ngll, nspec);
+
+  FillResult fr;
+  fr.point_keys.resize(mesh.num_local_points());
+
+  std::size_t e = 0;
+  for (const auto& w : windows) {
+    for (std::size_t rad = 0; rad < re.r_bot.size(); ++rad) {
+      for (int e2 = w.e2_lo; e2 < w.e2_hi; ++e2) {
+        for (int e1 = w.e1_lo; e1 < w.e1_hi; ++e1, ++e) {
+          const std::size_t off = mesh.local_offset(static_cast<int>(e));
+          for (int k = 0; k < ngll; ++k) {
+            const double r =
+                re.r_bot[rad] +
+                0.5 * (basis.node(k) + 1.0) * (re.r_top[rad] - re.r_bot[rad]);
+            const std::int64_t r_idx =
+                re.lattice_offset[rad] + k;
+            for (int j = 0; j < ngll; ++j) {
+              const std::int64_t v =
+                  static_cast<std::int64_t>(e2) * (ngll - 1) + j;
+              for (int i = 0; i < ngll; ++i) {
+                const std::int64_t u =
+                    static_cast<std::int64_t>(e1) * (ngll - 1) + i;
+                const auto abc = chunk_to_cube(w.chunk, u, v, lat_n);
+                const auto dir =
+                    cube_direction(abc[0], abc[1], abc[2], lat_n);
+                const std::size_t p =
+                    off + static_cast<std::size_t>(
+                              local_index(ngll, i, j, k));
+                mesh.xstore[p] = r * dir[0];
+                mesh.ystore[p] = r * dir[1];
+                mesh.zstore[p] = r * dir[2];
+                fr.point_keys[p] =
+                    cube_surface_key(abc[0], abc[1], abc[2], lat_n) *
+                        re.lattice_size +
+                    r_idx;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return fr;
+}
+
+/// Exact global numbering from the integer point keys.
+void number_by_keys(HexMesh& mesh, const std::vector<std::int64_t>& keys) {
+  std::unordered_map<std::int64_t, int> ids;
+  ids.reserve(keys.size());
+  mesh.ibool.resize(keys.size());
+  int next = 0;
+  for (std::size_t p = 0; p < keys.size(); ++p) {
+    auto [it, inserted] = ids.emplace(keys[p], next);
+    if (inserted) ++next;
+    mesh.ibool[p] = it->second;
+  }
+  mesh.nglob = next;
+}
+
+}  // namespace
+
+GlobeSlice build_globe_slice(const GlobeMeshSpec& spec, const GllBasis& basis,
+                             int rank) {
+  SFG_CHECK(spec.model != nullptr);
+  SFG_CHECK(spec.nchunks == 1 || spec.nchunks == 6);
+  WallTimer total_timer;
+
+  GlobeSlice slice;
+  const double r_min = effective_r_min(spec);
+  slice.layers = build_radial_layers(*spec.model, r_min, spec.nex_xi);
+  const RadialElements re = flatten_layers(slice.layers, basis.num_points());
+  const SliceWindow w = decode_rank(spec, rank);
+
+  // ---- geometry pass(es) ----
+  WallTimer geom_timer;
+  FillResult fr = fill_elements(slice.mesh, spec, basis, {w}, re);
+  if (spec.legacy_two_pass) {
+    // Legacy v4.0 behaviour (§4.4): the mesher ran twice internally; the
+    // second pass recomputes the geometry while populating properties.
+    HexMesh scratch;
+    FillResult fr2 = fill_elements(scratch, spec, basis, {w}, re);
+    (void)fr2;
+  }
+  number_by_keys(slice.mesh, fr.point_keys);
+  compute_jacobian_tables(slice.mesh, basis);
+  slice.stats.geometry_seconds = geom_timer.seconds();
+
+  // ---- material assignment ----
+  WallTimer mat_timer;
+  slice.materials = assign_materials_radial(slice.mesh, *spec.model);
+  slice.stats.materials_seconds = mat_timer.seconds();
+
+  // ---- inter-slice boundary candidates ----
+  const int ngll = basis.num_points();
+  const std::int64_t lat_n =
+      static_cast<std::int64_t>(spec.nex_xi) * (ngll - 1);
+  const std::int64_t u_lo = static_cast<std::int64_t>(w.e1_lo) * (ngll - 1);
+  const std::int64_t u_hi = static_cast<std::int64_t>(w.e1_hi) * (ngll - 1);
+  const std::int64_t v_lo = static_cast<std::int64_t>(w.e2_lo) * (ngll - 1);
+  const std::int64_t v_hi = static_cast<std::int64_t>(w.e2_hi) * (ngll - 1);
+  const bool global_mode = spec.nchunks == kChunkFaceCount;
+
+  std::vector<bool> seen(static_cast<std::size_t>(slice.mesh.nglob), false);
+  {
+    std::size_t e = 0;
+    for (std::size_t rad = 0; rad < re.r_bot.size(); ++rad) {
+      for (int e2 = w.e2_lo; e2 < w.e2_hi; ++e2) {
+        for (int e1 = w.e1_lo; e1 < w.e1_hi; ++e1, ++e) {
+          const std::size_t off = slice.mesh.local_offset(static_cast<int>(e));
+          for (int k = 0; k < ngll; ++k) {
+            for (int j = 0; j < ngll; ++j) {
+              const std::int64_t v =
+                  static_cast<std::int64_t>(e2) * (ngll - 1) + j;
+              for (int i = 0; i < ngll; ++i) {
+                const std::int64_t u =
+                    static_cast<std::int64_t>(e1) * (ngll - 1) + i;
+                const std::size_t p =
+                    off + static_cast<std::size_t>(
+                              local_index(ngll, i, j, k));
+                const int glob = slice.mesh.ibool[p];
+                if (seen[static_cast<std::size_t>(glob)]) continue;
+                // Shared with a neighbouring slice (same chunk) or, in
+                // global mode, with a neighbouring chunk at the chunk edge.
+                const bool shared =
+                    (u == u_lo && (w.e1_lo > 0 || global_mode)) ||
+                    (u == u_hi && (w.e1_hi < spec.nex_xi || global_mode)) ||
+                    (v == v_lo && (w.e2_lo > 0 || global_mode)) ||
+                    (v == v_hi && (w.e2_hi < spec.nex_xi || global_mode));
+                seen[static_cast<std::size_t>(glob)] = true;
+                if (!shared) continue;
+                slice.boundary_keys.push_back(fr.point_keys[p]);
+                slice.boundary_points.push_back(glob);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // ---- absorbing faces for regional mode: 4 sides + bottom ----
+  if (!global_mode) {
+    std::size_t e = 0;
+    for (std::size_t rad = 0; rad < re.r_bot.size(); ++rad) {
+      for (int e2 = w.e2_lo; e2 < w.e2_hi; ++e2) {
+        for (int e1 = w.e1_lo; e1 < w.e1_hi; ++e1, ++e) {
+          const int ie = static_cast<int>(e);
+          if (e1 == 0) slice.absorbing_faces.push_back({ie, 0});
+          if (e1 == spec.nex_xi - 1) slice.absorbing_faces.push_back({ie, 1});
+          if (e2 == 0) slice.absorbing_faces.push_back({ie, 2});
+          if (e2 == spec.nex_xi - 1) slice.absorbing_faces.push_back({ie, 3});
+          if (rad == 0) slice.absorbing_faces.push_back({ie, 4});
+        }
+      }
+    }
+  }
+
+  slice.stats.nspec = slice.mesh.nspec;
+  slice.stats.nglob = slice.mesh.nglob;
+  slice.stats.radial_elements = total_radial_elements(slice.layers);
+  slice.stats.mesh_bytes =
+      slice.mesh.num_local_points() *
+          (3 * sizeof(double) + 10 * sizeof(float) + sizeof(int) +
+           6 * sizeof(float)) +
+      static_cast<std::uint64_t>(slice.mesh.nglob) * 10 * sizeof(float);
+  slice.stats.total_seconds = total_timer.seconds();
+  return slice;
+}
+
+GlobeSlice build_globe_serial(const GlobeMeshSpec& spec,
+                              const GllBasis& basis) {
+  SFG_CHECK(spec.model != nullptr);
+  WallTimer total_timer;
+
+  GlobeSlice out;
+  const double r_min = effective_r_min(spec);
+  out.layers = build_radial_layers(*spec.model, r_min, spec.nex_xi);
+  const RadialElements re = flatten_layers(out.layers, basis.num_points());
+
+  std::vector<SliceWindow> windows;
+  for (int chunk = 0; chunk < spec.nchunks; ++chunk)
+    windows.push_back({chunk, 0, spec.nex_xi, 0, spec.nex_xi});
+
+  WallTimer geom_timer;
+  FillResult fr = fill_elements(out.mesh, spec, basis, windows, re);
+  number_by_keys(out.mesh, fr.point_keys);
+  compute_jacobian_tables(out.mesh, basis);
+  out.stats.geometry_seconds = geom_timer.seconds();
+
+  WallTimer mat_timer;
+  out.materials = assign_materials_radial(out.mesh, *spec.model);
+  out.stats.materials_seconds = mat_timer.seconds();
+
+  if (spec.nchunks == 1) {
+    std::size_t e = 0;
+    for (std::size_t rad = 0; rad < re.r_bot.size(); ++rad) {
+      for (int e2 = 0; e2 < spec.nex_xi; ++e2) {
+        for (int e1 = 0; e1 < spec.nex_xi; ++e1, ++e) {
+          const int ie = static_cast<int>(e);
+          if (e1 == 0) out.absorbing_faces.push_back({ie, 0});
+          if (e1 == spec.nex_xi - 1) out.absorbing_faces.push_back({ie, 1});
+          if (e2 == 0) out.absorbing_faces.push_back({ie, 2});
+          if (e2 == spec.nex_xi - 1) out.absorbing_faces.push_back({ie, 3});
+          if (rad == 0) out.absorbing_faces.push_back({ie, 4});
+        }
+      }
+    }
+  }
+
+  out.stats.nspec = out.mesh.nspec;
+  out.stats.nglob = out.mesh.nglob;
+  out.stats.radial_elements = total_radial_elements(out.layers);
+  out.stats.total_seconds = total_timer.seconds();
+  return out;
+}
+
+}  // namespace sfg

@@ -1,0 +1,168 @@
+// Unit tests for src/common: error handling, aligned allocation,
+// array views, RNG determinism, table rendering, and the paper's
+// resolution/core-count relations from constants.hpp.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "common/aligned.hpp"
+#include "common/array_view.hpp"
+#include "common/check.hpp"
+#include "common/constants.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace sfg {
+namespace {
+
+TEST(Check, ThrowsCheckErrorWithContext) {
+  try {
+    SFG_CHECK_MSG(1 == 2, "custom message " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom message 42"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(SFG_CHECK(2 + 2 == 4));
+}
+
+TEST(Aligned, VectorDataIs64ByteAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    aligned_vector<float> v(n, 1.0f);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u)
+        << "n=" << n;
+  }
+}
+
+TEST(Aligned, AllocatorRoundsUpOddSizes) {
+  AlignedAllocator<char> alloc;
+  char* p = alloc.allocate(65);  // not a multiple of 64
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  alloc.deallocate(p, 65);
+}
+
+TEST(ArrayView, Span2DIndexing) {
+  std::vector<int> data(6);
+  Span2D<int> v(data.data(), 2, 3);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) v(i, j) = static_cast<int>(10 * i + j);
+  EXPECT_EQ(data[0], 0);
+  EXPECT_EQ(data[3], 10);  // row-major: (1,0) at offset 3
+  EXPECT_EQ(data[5], 12);
+  EXPECT_EQ(v.row(1)[2], 12);
+}
+
+TEST(ArrayView, Span3DLastIndexFastest) {
+  std::vector<int> data(2 * 3 * 4, 0);
+  Span3D<int> v(data.data(), 2, 3, 4);
+  v(1, 2, 3) = 99;
+  EXPECT_EQ(data[(1 * 3 + 2) * 4 + 3], 99);
+  EXPECT_EQ(v.size(), 24u);
+}
+
+TEST(ArrayView, Span4DLayoutMatchesSolverConvention) {
+  std::vector<float> data(2 * 2 * 2 * 2, 0.f);
+  Span4D<float> v(data.data(), 2, 2, 2, 2);
+  v(1, 0, 1, 0) = 5.f;
+  EXPECT_EQ(data[((1 * 2 + 0) * 2 + 1) * 2 + 0], 5.f);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  SplitMix64 a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  SplitMix64 rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  SplitMix64 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Timer, StopwatchAccumulates) {
+  Stopwatch sw;
+  sw.start();
+  sw.stop();
+  sw.start();
+  sw.stop();
+  EXPECT_EQ(sw.intervals(), 2);
+  EXPECT_GE(sw.total_seconds(), 0.0);
+  sw.clear();
+  EXPECT_EQ(sw.intervals(), 0);
+  EXPECT_EQ(sw.total_seconds(), 0.0);
+}
+
+TEST(Table, RenderContainsHeaderAndRows) {
+  AsciiTable t("demo");
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, FmtBytesUsesIecSuffixes) {
+  EXPECT_EQ(fmt_bytes(512.0), "512.00 B");
+  EXPECT_EQ(fmt_bytes(2048.0), "2.00 KiB");
+  EXPECT_EQ(fmt_bytes(3.5 * 1024.0 * 1024.0 * 1024.0), "3.50 GiB");
+}
+
+// --- The paper's encoded numeric relations (constants.hpp) ---
+
+TEST(PaperRelations, PeriodFromNexMatchesPaperText) {
+  // Paper §5: NEX 96 -> 45.3 s, NEX 640 -> 6.8 s.
+  EXPECT_NEAR(shortest_period_seconds(96), 45.3, 0.05);
+  EXPECT_NEAR(shortest_period_seconds(640), 6.8, 0.05);
+  // Ranger record run: 1.84 s implies NEX ~ 2365.
+  EXPECT_NEAR(shortest_period_seconds(2368), 1.84, 0.01);
+}
+
+TEST(PaperRelations, NexForPeriodIsInverse) {
+  for (int nex : {96, 144, 288, 320, 512, 640, 1440, 4848}) {
+    const double t = shortest_period_seconds(nex);
+    EXPECT_LE(nex_for_period(t), nex + 1);
+    EXPECT_GE(nex_for_period(t), nex - 1);
+  }
+}
+
+TEST(PaperRelations, CoreCountsMatchReportedRuns) {
+  EXPECT_EQ(cores_for_nproc_xi(45), 12150);  // Franklin
+  EXPECT_EQ(cores_for_nproc_xi(40), 9600);   // Kraken
+  EXPECT_EQ(cores_for_nproc_xi(46), 12696);  // Kraken
+  EXPECT_EQ(cores_for_nproc_xi(54), 17496);  // Kraken record
+  EXPECT_EQ(cores_for_nproc_xi(70), 29400);  // Jaguar ~29K
+  EXPECT_EQ(cores_for_nproc_xi(73), 31974);  // Ranger ~32K
+  EXPECT_EQ(cores_for_nproc_xi(102), 62424); // the 62K target
+}
+
+}  // namespace
+}  // namespace sfg

@@ -1,0 +1,156 @@
+// Tests for the distributed-assembly exchanger (paper §2.4): rendezvous
+// discovery of shared points and correctness of the assembly sum for
+// points shared by 2, 3, 4 and more ranks.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/exchanger.hpp"
+
+namespace sfg::smpi {
+namespace {
+
+TEST(Exchanger, TwoRanksOneSharedPoint) {
+  run_ranks(2, [](Communicator& comm) {
+    // Both ranks own key 77; rank 0 also owns 10, rank 1 owns 20.
+    std::vector<PointCandidate> cand;
+    if (comm.rank() == 0)
+      cand = {{77, 0}, {10, 1}};
+    else
+      cand = {{77, 5}, {20, 2}};
+    Exchanger ex = Exchanger::build(comm, cand);
+
+    ASSERT_EQ(ex.num_neighbors(), 1);
+    const Interface& iface = ex.interfaces()[0];
+    EXPECT_EQ(iface.neighbor_rank, 1 - comm.rank());
+    ASSERT_EQ(iface.local_points.size(), 1u);
+    EXPECT_EQ(iface.local_points[0], comm.rank() == 0 ? 0 : 5);
+
+    // Assembly: field over local points, 1 component.
+    std::vector<float> field = comm.rank() == 0
+                                   ? std::vector<float>{3.f, 100.f}
+                                   : std::vector<float>{0.f, 0.f, 0.f, 0.f,
+                                                        0.f, 4.f};
+    ex.assemble_add(comm, field.data(), 1);
+    if (comm.rank() == 0) {
+      EXPECT_FLOAT_EQ(field[0], 7.f);    // 3 + 4
+      EXPECT_FLOAT_EQ(field[1], 100.f);  // untouched
+    } else {
+      EXPECT_FLOAT_EQ(field[5], 7.f);
+    }
+  });
+}
+
+TEST(Exchanger, PointSharedByManyRanksSumsAllContributions) {
+  // Ranks 0..5 all share key 1000. After assembly each rank must hold the
+  // sum of all six pre-assembly values — the chunk-corner case of the
+  // cubed sphere.
+  const int n = 6;
+  run_ranks(n, [&](Communicator& comm) {
+    std::vector<PointCandidate> cand = {{1000, 0}};
+    Exchanger ex = Exchanger::build(comm, cand);
+    EXPECT_EQ(ex.num_neighbors(), n - 1);
+
+    std::vector<float> field = {static_cast<float>(comm.rank() + 1)};
+    ex.assemble_add(comm, field.data(), 1);
+    EXPECT_FLOAT_EQ(field[0], 21.f);  // 1+2+...+6
+  });
+}
+
+TEST(Exchanger, MultiComponentFieldsInterleaved) {
+  run_ranks(2, [](Communicator& comm) {
+    std::vector<PointCandidate> cand = {{5, 1}};  // point index 1 shared
+    Exchanger ex = Exchanger::build(comm, cand);
+    // Two local points, 3 components each (displacement-style layout).
+    std::vector<float> field(6);
+    for (int c = 0; c < 3; ++c) {
+      field[static_cast<std::size_t>(0 * 3 + c)] = 100.f + c;
+      field[static_cast<std::size_t>(1 * 3 + c)] =
+          static_cast<float>((comm.rank() + 1) * (c + 1));
+    }
+    ex.assemble_add(comm, field.data(), 3);
+    // Shared point: components sum over ranks: (1+2)(c+1).
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(field[static_cast<std::size_t>(1 * 3 + c)],
+                      3.f * (c + 1));
+      EXPECT_FLOAT_EQ(field[static_cast<std::size_t>(0 * 3 + c)], 100.f + c);
+    }
+  });
+}
+
+TEST(Exchanger, DisjointKeysProduceNoInterfaces) {
+  run_ranks(4, [](Communicator& comm) {
+    std::vector<PointCandidate> cand = {
+        {static_cast<std::int64_t>(comm.rank() * 1000 + 1), 0},
+        {static_cast<std::int64_t>(comm.rank() * 1000 + 2), 1}};
+    Exchanger ex = Exchanger::build(comm, cand);
+    EXPECT_EQ(ex.num_neighbors(), 0);
+    std::vector<float> field = {1.f, 2.f};
+    ex.assemble_add(comm, field.data(), 1);  // must be a no-op
+    EXPECT_FLOAT_EQ(field[0], 1.f);
+    EXPECT_FLOAT_EQ(field[1], 2.f);
+  });
+}
+
+TEST(Exchanger, OneDimensionalDomainDecomposition) {
+  // Classic 1-D halo: rank r owns points [10r .. 10r+10]; endpoint keys are
+  // shared with the adjacent rank. Assembly on a field of ones must yield
+  // 2 at interior interfaces, 1 elsewhere.
+  const int n = 8;
+  run_ranks(n, [&](Communicator& comm) {
+    const int r = comm.rank();
+    std::vector<PointCandidate> cand;
+    const int npts = 11;  // local points 0..10 map to keys 10r..10r+10
+    for (int p = 0; p < npts; ++p)
+      cand.push_back({static_cast<std::int64_t>(10 * r + p), p});
+    Exchanger ex = Exchanger::build(comm, cand);
+
+    const int expected_neighbors = (r == 0 || r == n - 1) ? 1 : 2;
+    EXPECT_EQ(ex.num_neighbors(), expected_neighbors);
+
+    std::vector<float> field(static_cast<std::size_t>(npts), 1.f);
+    ex.assemble_add(comm, field.data(), 1);
+    for (int p = 0; p < npts; ++p) {
+      const bool shared_left = (p == 0 && r > 0);
+      const bool shared_right = (p == npts - 1 && r < n - 1);
+      const float expect = (shared_left || shared_right) ? 2.f : 1.f;
+      EXPECT_FLOAT_EQ(field[static_cast<std::size_t>(p)], expect)
+          << "rank " << r << " point " << p;
+    }
+  });
+}
+
+TEST(Exchanger, RepeatedAssembliesAreConsistent) {
+  run_ranks(3, [](Communicator& comm) {
+    std::vector<PointCandidate> cand = {{42, 0}};
+    Exchanger ex = Exchanger::build(comm, cand);
+    for (int iter = 1; iter <= 10; ++iter) {
+      std::vector<float> field = {static_cast<float>(iter)};
+      ex.assemble_add(comm, field.data(), 1);
+      EXPECT_FLOAT_EQ(field[0], 3.f * iter);
+    }
+  });
+}
+
+TEST(Exchanger, FloatsPerExchangeCountsBothDirections) {
+  run_ranks(2, [](Communicator& comm) {
+    std::vector<PointCandidate> cand = {{1, 0}, {2, 1}, {3, 2}};
+    Exchanger ex = Exchanger::build(comm, cand);
+    // 3 shared points, 3 components, both directions: 2*3*3 = 18.
+    EXPECT_EQ(ex.floats_per_exchange(3), 18u);
+  });
+}
+
+TEST(Exchanger, DuplicateKeysOnOneRankRejected) {
+  EXPECT_THROW(
+      run_ranks(2,
+                [](Communicator& comm) {
+                  std::vector<PointCandidate> cand = {{7, 0}, {7, 1}};
+                  Exchanger::build(comm, cand);
+                }),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace sfg::smpi

@@ -1,0 +1,174 @@
+// Direct tests for the element-face geometry (mesh/faces.hpp): outward
+// normals, surface quadrature weights, boundary-face enumeration and
+// group-interface detection — the machinery behind Stacey boundaries and
+// the CMB/ICB coupling surfaces.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "mesh/cartesian.hpp"
+#include "mesh/faces.hpp"
+#include "sphere/mesher.hpp"
+
+namespace sfg {
+namespace {
+
+TEST(Faces, BoxFaceNormalsAreAxisAligned) {
+  GllBasis basis(4);
+  CartesianBoxSpec spec;
+  spec.lx = 2.0;
+  spec.ly = 3.0;
+  spec.lz = 4.0;
+  HexMesh mesh = build_cartesian_box(spec, basis);
+  const double expected[6][3] = {{-1, 0, 0}, {1, 0, 0},  {0, -1, 0},
+                                 {0, 1, 0},  {0, 0, -1}, {0, 0, 1}};
+  for (int f = 0; f < 6; ++f) {
+    const FaceData fd = compute_face_data(mesh, basis, 0, f);
+    ASSERT_EQ(fd.normals.size(), 25u);
+    for (const auto& n : fd.normals)
+      for (int c = 0; c < 3; ++c)
+        EXPECT_NEAR(n[static_cast<std::size_t>(c)], expected[f][c], 1e-6)
+            << "face " << f;
+  }
+}
+
+TEST(Faces, WeightsSumToFaceArea) {
+  GllBasis basis(5);
+  CartesianBoxSpec spec;
+  spec.lx = 2.5;
+  spec.ly = 1.5;
+  spec.lz = 0.75;
+  HexMesh mesh = build_cartesian_box(spec, basis);
+  auto area = [&](int face) {
+    const FaceData fd = compute_face_data(mesh, basis, 0, face);
+    double a = 0.0;
+    for (double w : fd.weights) a += w;
+    return a;
+  };
+  EXPECT_NEAR(area(0), 1.5 * 0.75, 1e-6);  // xi faces: ly * lz
+  EXPECT_NEAR(area(3), 2.5 * 0.75, 1e-6);  // eta faces: lx * lz
+  EXPECT_NEAR(area(5), 2.5 * 1.5, 1e-6);   // gamma faces: lx * ly
+}
+
+TEST(Faces, BoundaryFaceCountOfBox) {
+  GllBasis basis(4);
+  CartesianBoxSpec spec;
+  spec.nx = 3;
+  spec.ny = 2;
+  spec.nz = 4;
+  HexMesh mesh = build_cartesian_box(spec, basis);
+  const auto faces = find_boundary_faces(mesh);
+  // 2*(ny*nz + nx*nz + nx*ny) boundary faces.
+  EXPECT_EQ(faces.size(),
+            static_cast<std::size_t>(2 * (2 * 4 + 3 * 4 + 3 * 2)));
+}
+
+TEST(Faces, SphereSurfaceAreaFromOuterFaces) {
+  // Sum of the outer-surface quadrature weights of a global shell mesh
+  // must approximate 4 pi R^2 (spectrally accurate curved faces).
+  MaterialSample s;
+  s.rho = 3000.0;
+  s.vp = 8000.0;
+  s.vs = 4500.0;
+  s.q_mu = 300.0;
+  HomogeneousModel model(s, kEarthRadiusM);
+  GlobeMeshSpec spec;
+  spec.nex_xi = 6;
+  spec.nchunks = 6;
+  spec.r_min = 0.8 * kEarthRadiusM;
+  spec.model = &model;
+  GllBasis basis(4);
+  GlobeSlice globe = build_globe_serial(spec, basis);
+
+  double outer_area = 0.0, inner_area = 0.0;
+  for (const ElementFace& ef : find_boundary_faces(globe.mesh)) {
+    const FaceData fd =
+        compute_face_data(globe.mesh, basis, ef.ispec, ef.face);
+    // Classify by radius of the first face point.
+    const std::size_t p =
+        globe.mesh.local_offset(ef.ispec) +
+        static_cast<std::size_t>(fd.local_points[0]);
+    const double r = std::sqrt(globe.mesh.xstore[p] * globe.mesh.xstore[p] +
+                               globe.mesh.ystore[p] * globe.mesh.ystore[p] +
+                               globe.mesh.zstore[p] * globe.mesh.zstore[p]);
+    double area = 0.0;
+    for (double w : fd.weights) area += w;
+    if (r > 0.9 * kEarthRadiusM)
+      outer_area += area;
+    else
+      inner_area += area;
+  }
+  const double r_out = kEarthRadiusM, r_in = 0.8 * kEarthRadiusM;
+  EXPECT_NEAR(outer_area / (4.0 * kPi * r_out * r_out), 1.0, 5e-3);
+  EXPECT_NEAR(inner_area / (4.0 * kPi * r_in * r_in), 1.0, 5e-3);
+}
+
+TEST(Faces, OuterNormalsPointRadiallyOutward) {
+  MaterialSample s;
+  s.rho = 3000.0;
+  s.vp = 8000.0;
+  s.vs = 4500.0;
+  s.q_mu = 300.0;
+  HomogeneousModel model(s, kEarthRadiusM);
+  GlobeMeshSpec spec;
+  spec.nex_xi = 4;
+  spec.nchunks = 6;
+  spec.r_min = 0.85 * kEarthRadiusM;
+  spec.model = &model;
+  GllBasis basis(4);
+  GlobeSlice globe = build_globe_serial(spec, basis);
+
+  for (const ElementFace& ef : find_boundary_faces(globe.mesh)) {
+    const FaceData fd =
+        compute_face_data(globe.mesh, basis, ef.ispec, ef.face);
+    for (std::size_t q = 0; q < fd.local_points.size(); ++q) {
+      const std::size_t p =
+          globe.mesh.local_offset(ef.ispec) +
+          static_cast<std::size_t>(fd.local_points[q]);
+      const double x = globe.mesh.xstore[p], y = globe.mesh.ystore[p],
+                   z = globe.mesh.zstore[p];
+      const double r = std::sqrt(x * x + y * y + z * z);
+      const double dot = (fd.normals[q][0] * x + fd.normals[q][1] * y +
+                          fd.normals[q][2] * z) /
+                         r;
+      if (r > 0.95 * kEarthRadiusM)
+        EXPECT_GT(dot, 0.95);  // outer surface: +r_hat
+      else
+        EXPECT_LT(dot, -0.95);  // inner cavity: -r_hat
+    }
+  }
+}
+
+TEST(Faces, InterfaceDetectionBetweenGroups) {
+  GllBasis basis(4);
+  CartesianBoxSpec spec;
+  spec.nx = 4;
+  spec.ny = 2;
+  spec.nz = 2;
+  HexMesh mesh = build_cartesian_box(spec, basis);
+  // Flag the left half (ex < 2): interface is one 2x2-face plane.
+  std::vector<bool> flag(static_cast<std::size_t>(mesh.nspec), false);
+  for (int ez = 0; ez < 2; ++ez)
+    for (int ey = 0; ey < 2; ++ey)
+      for (int ex = 0; ex < 2; ++ex)
+        flag[static_cast<std::size_t>((ez * 2 + ey) * 4 + ex)] = true;
+  const auto faces = find_interface_faces(mesh, flag);
+  EXPECT_EQ(faces.size(), 4u);  // 2 x 2 element faces
+  for (const ElementFace& ef : faces) {
+    EXPECT_TRUE(flag[static_cast<std::size_t>(ef.ispec)]);  // true side
+    EXPECT_EQ(ef.face, 1);  // xi = +1 face of the left-half elements
+  }
+}
+
+TEST(Faces, InvalidFaceIndexRejected) {
+  GllBasis basis(4);
+  CartesianBoxSpec spec;
+  HexMesh mesh = build_cartesian_box(spec, basis);
+  EXPECT_THROW(compute_face_data(mesh, basis, 0, 6), CheckError);
+  EXPECT_THROW(compute_face_data(mesh, basis, 0, -1), CheckError);
+}
+
+}  // namespace
+}  // namespace sfg

@@ -1,0 +1,251 @@
+// Unit tests for the mesh substrate: point matching, global numbering
+// (ibool), Jacobian tables, Cartesian builder, and quality analysis
+// (paper §2.2, §2.4, §3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/constants.hpp"
+#include "mesh/cartesian.hpp"
+#include "mesh/jacobian.hpp"
+#include "mesh/numbering.hpp"
+#include "mesh/point_matcher.hpp"
+#include "mesh/quality.hpp"
+
+namespace sfg {
+namespace {
+
+TEST(PointMatcher, IdentifiesCoincidentPoints) {
+  PointMatcher m(1e-9);
+  const int a = m.add(1.0, 2.0, 3.0);
+  const int b = m.add(1.0 + 1e-12, 2.0, 3.0 - 1e-12);
+  const int c = m.add(1.0 + 1e-6, 2.0, 3.0);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(m.size(), 2);
+}
+
+TEST(PointMatcher, HandlesCellBoundaryStraddle) {
+  // Two evaluations of the same point landing on opposite sides of a hash
+  // cell boundary must still match (the 27-cell search).
+  const double tol = 1e-3;
+  PointMatcher m(tol);
+  const double x = 5 * tol;  // exactly on a cell boundary
+  const int a = m.add(x - 1e-9, 0.0, 0.0);
+  const int b = m.add(x + 1e-9, 0.0, 0.0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PointMatcher, NegativeCoordinates) {
+  PointMatcher m(1e-6);
+  const int a = m.add(-1.5, -2.5, -3.5);
+  const int b = m.add(-1.5, -2.5, -3.5);
+  const int c = m.add(1.5, 2.5, 3.5);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(PointMatcher, ManyDistinctPointsOnLattice) {
+  PointMatcher m(1e-6);
+  int n = 0;
+  for (int i = 0; i < 10; ++i)
+    for (int j = 0; j < 10; ++j)
+      for (int k = 0; k < 10; ++k) {
+        EXPECT_EQ(m.add(i * 0.1, j * 0.1, k * 0.1), n);
+        ++n;
+      }
+  EXPECT_EQ(m.size(), 1000);
+}
+
+TEST(PointMatcher, RejectsNonPositiveTolerance) {
+  EXPECT_THROW(PointMatcher(0.0), CheckError);
+  EXPECT_THROW(PointMatcher(-1.0), CheckError);
+}
+
+// Expected global point count of an nx x ny x nz box of degree-N elements:
+// product of (n*N + 1) per direction.
+int box_nglob(int nx, int ny, int nz, int N) {
+  return (nx * N + 1) * (ny * N + 1) * (nz * N + 1);
+}
+
+TEST(CartesianMesh, GlobalPointCountMatchesClosedForm) {
+  for (int N : {4, 5, 6}) {
+    GllBasis b(N);
+    CartesianBoxSpec spec;
+    spec.nx = 3;
+    spec.ny = 2;
+    spec.nz = 2;
+    HexMesh mesh = build_cartesian_box(spec, b);
+    EXPECT_EQ(mesh.nspec, 12);
+    EXPECT_EQ(mesh.nglob, box_nglob(3, 2, 2, N)) << "N=" << N;
+  }
+}
+
+TEST(CartesianMesh, SingleElementHas8SharedCornersWithNeighbor) {
+  // Two elements along x share exactly (N+1)^2 face points.
+  GllBasis b(4);
+  CartesianBoxSpec spec;
+  spec.nx = 2;
+  HexMesh mesh = build_cartesian_box(spec, b);
+  std::set<int> pts0, pts1;
+  for (int p = 0; p < mesh.ngll3(); ++p) {
+    pts0.insert(mesh.ibool[static_cast<std::size_t>(p)]);
+    pts1.insert(mesh.ibool[mesh.local_offset(1) + static_cast<std::size_t>(p)]);
+  }
+  std::set<int> shared;
+  for (int g : pts0)
+    if (pts1.count(g)) shared.insert(g);
+  EXPECT_EQ(shared.size(), 25u);  // (4+1)^2
+}
+
+TEST(CartesianMesh, JacobianConstantForAffineElements) {
+  GllBasis b(4);
+  CartesianBoxSpec spec;
+  spec.nx = 2;
+  spec.ny = 3;
+  spec.nz = 1;
+  spec.lx = 4.0;
+  spec.ly = 6.0;
+  spec.lz = 2.0;
+  HexMesh mesh = build_cartesian_box(spec, b);
+  // Element is 2 x 2 x 2 in physical units -> J maps [-1,1]^3 with
+  // jacobian = (hx/2)(hy/2)(hz/2) = 1*1*1 = 1.
+  for (float j : mesh.jacobian) EXPECT_NEAR(j, 1.0f, 1e-5f);
+  // xix = dxi/dx = 2/hx = 1; cross terms zero.
+  for (std::size_t p = 0; p < mesh.num_local_points(); ++p) {
+    EXPECT_NEAR(mesh.xix[p], 1.0f, 1e-6f);
+    EXPECT_NEAR(mesh.xiy[p], 0.0f, 1e-6f);
+    EXPECT_NEAR(mesh.etaz[p], 0.0f, 1e-6f);
+    EXPECT_NEAR(mesh.gammaz[p], 1.0f, 1e-6f);
+  }
+}
+
+TEST(CartesianMesh, VolumeExactForBox) {
+  GllBasis b(5);
+  CartesianBoxSpec spec;
+  spec.nx = 3;
+  spec.ny = 2;
+  spec.nz = 4;
+  spec.lx = 1.5;
+  spec.ly = 0.7;
+  spec.lz = 2.2;
+  HexMesh mesh = build_cartesian_box(spec, b);
+  // Jacobians are stored in float32 (solver precision), so the quadrature
+  // sum carries single-precision rounding.
+  EXPECT_NEAR(mesh_volume(mesh, b), 1.5 * 0.7 * 2.2, 1e-5);
+}
+
+TEST(CartesianMesh, VolumePreservedUnderSmoothDeformation) {
+  // A shear deformation (x += 0.2 z) has unit Jacobian determinant, so the
+  // volume must be preserved; curved-element Jacobian machinery is what is
+  // actually exercised here.
+  GllBasis b(6);
+  CartesianBoxSpec spec;
+  spec.nx = 2;
+  spec.ny = 2;
+  spec.nz = 2;
+  spec.deform = [](double& x, double&, double& z) { x += 0.2 * z; };
+  HexMesh mesh = build_cartesian_box(spec, b);
+  EXPECT_NEAR(mesh_volume(mesh, b), 1.0, 1e-10);
+}
+
+TEST(CartesianMesh, InvertedElementRejected) {
+  GllBasis b(4);
+  CartesianBoxSpec spec;
+  // Mirror x: negative Jacobian everywhere.
+  spec.deform = [](double& x, double&, double&) { x = -x; };
+  EXPECT_THROW(build_cartesian_box(spec, b), CheckError);
+}
+
+TEST(Numbering, FirstTouchRenumberingIsAPermutation) {
+  GllBasis b(4);
+  CartesianBoxSpec spec;
+  spec.nx = 3;
+  spec.ny = 3;
+  spec.nz = 3;
+  HexMesh mesh = build_cartesian_box(spec, b);
+  const int nglob = mesh.nglob;
+  renumber_global_points_by_first_touch(mesh);
+  EXPECT_EQ(mesh.nglob, nglob);
+  std::set<int> ids(mesh.ibool.begin(), mesh.ibool.end());
+  EXPECT_EQ(static_cast<int>(ids.size()), nglob);
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), nglob - 1);
+  // First element's first point must now be global id 0.
+  EXPECT_EQ(mesh.ibool[0], 0);
+}
+
+TEST(Numbering, FirstTouchIsIdentityWhenNumberingIsAlreadyFirstTouch) {
+  // build_global_numbering assigns ids in element-walk order, so an
+  // immediate first-touch renumbering must be a no-op.
+  GllBasis b(4);
+  CartesianBoxSpec spec;
+  spec.nx = 4;
+  spec.ny = 4;
+  spec.nz = 4;
+  HexMesh mesh = build_cartesian_box(spec, b);
+  const std::vector<int> before = mesh.ibool;
+  renumber_global_points_by_first_touch(mesh);
+  EXPECT_EQ(mesh.ibool, before);
+}
+
+TEST(Numbering, MinGllSpacingMatchesAnalyticValue) {
+  // For degree 4 on [-1,1], the smallest node gap is between ±1 and
+  // ±sqrt(3/7); scaled by element half-width.
+  GllBasis b(4);
+  CartesianBoxSpec spec;
+  spec.nx = 2;
+  spec.lx = 2.0;  // element width 1 -> half-width 0.5
+  HexMesh mesh = build_cartesian_box(spec, b);
+  const double gap = (1.0 - std::sqrt(3.0 / 7.0)) * 0.5;
+  EXPECT_NEAR(min_gll_spacing(mesh), gap, 1e-12);
+}
+
+TEST(Quality, CourantTimeStepScalesWithMeshSize) {
+  GllBasis b(4);
+  CartesianBoxSpec coarse, fine;
+  coarse.nx = coarse.ny = coarse.nz = 2;
+  fine.nx = fine.ny = fine.nz = 4;
+  HexMesh mc = build_cartesian_box(coarse, b);
+  HexMesh mf = build_cartesian_box(fine, b);
+  aligned_vector<float> vp_c(mc.num_local_points(), 1.0f);
+  aligned_vector<float> vs_c(mc.num_local_points(), 0.5f);
+  aligned_vector<float> vp_f(mf.num_local_points(), 1.0f);
+  aligned_vector<float> vs_f(mf.num_local_points(), 0.5f);
+  auto qc = analyze_mesh_quality(mc, vp_c, vs_c);
+  auto qf = analyze_mesh_quality(mf, vp_f, vs_f);
+  EXPECT_NEAR(qc.dt_stable / qf.dt_stable, 2.0, 1e-9);
+  EXPECT_NEAR(qc.shortest_period / qf.shortest_period, 2.0, 1e-9);
+}
+
+TEST(Quality, FluidPointsUseVpForResolution) {
+  GllBasis b(4);
+  CartesianBoxSpec spec;
+  HexMesh mesh = build_cartesian_box(spec, b);
+  aligned_vector<float> vp(mesh.num_local_points(), 2.0f);
+  aligned_vector<float> vs(mesh.num_local_points(), 0.0f);  // fluid
+  auto q = analyze_mesh_quality(mesh, vp, vs);
+  // slowest wave = vp = 2; shortest period = 5 * max_spacing / 2.
+  EXPECT_NEAR(q.shortest_period, kPointsPerWavelength * q.max_gll_spacing / 2.0,
+              1e-12);
+}
+
+TEST(GlobalCoordinates, RoundTripThroughIbool) {
+  GllBasis b(4);
+  CartesianBoxSpec spec;
+  spec.nx = 2;
+  spec.ny = 2;
+  HexMesh mesh = build_cartesian_box(spec, b);
+  const GlobalCoordinates g = global_coordinates(mesh);
+  for (std::size_t p = 0; p < mesh.num_local_points(); ++p) {
+    const auto gi = static_cast<std::size_t>(mesh.ibool[p]);
+    EXPECT_NEAR(g.x[gi], mesh.xstore[p], 1e-12);
+    EXPECT_NEAR(g.y[gi], mesh.ystore[p], 1e-12);
+    EXPECT_NEAR(g.z[gi], mesh.zstore[p], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace sfg

@@ -1,0 +1,252 @@
+// Tests for the Earth models: PREM values at published depths, fluid
+// regions, discontinuities, gravity profile, and the SLS constant-Q fit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "model/attenuation.hpp"
+#include "model/earth_model.hpp"
+
+namespace sfg {
+namespace {
+
+TEST(Prem, SurfaceCrustValues) {
+  PremModel prem;
+  const MaterialSample s = prem.at_radius(kEarthRadiusM - 1000.0);
+  // Without ocean the top layer is upper crust: 2.6 g/cc, 5.8 / 3.2 km/s.
+  EXPECT_NEAR(s.rho, 2600.0, 1.0);
+  EXPECT_NEAR(s.vp, 5800.0, 1.0);
+  EXPECT_NEAR(s.vs, 3200.0, 1.0);
+  EXPECT_FALSE(s.is_fluid());
+}
+
+TEST(Prem, OceanLayerWhenEnabled) {
+  PremModel prem(true);
+  const MaterialSample s = prem.at_radius(kEarthRadiusM - 500.0);
+  EXPECT_NEAR(s.rho, 1020.0, 1.0);
+  EXPECT_TRUE(s.is_fluid());
+}
+
+TEST(Prem, CenterOfEarthValues) {
+  PremModel prem;
+  const MaterialSample s = prem.at_radius(0.0);
+  // PREM center: rho = 13.0885 g/cc, vp = 11.2622 km/s, vs = 3.6678 km/s.
+  EXPECT_NEAR(s.rho, 13088.5, 0.5);
+  EXPECT_NEAR(s.vp, 11262.2, 0.5);
+  EXPECT_NEAR(s.vs, 3667.8, 0.5);
+}
+
+TEST(Prem, OuterCoreIsFluid) {
+  PremModel prem;
+  for (double r : {kIcbRadiusM + 1e3, 2.0e6, 3.0e6, kCmbRadiusM - 1e3}) {
+    const MaterialSample s = prem.at_radius(r);
+    EXPECT_TRUE(s.is_fluid()) << "r=" << r;
+    EXPECT_GT(s.vp, 8000.0);
+    EXPECT_EQ(s.q_mu, 0.0);
+  }
+}
+
+TEST(Prem, CmbDensityJump) {
+  PremModel prem;
+  const double below = prem.at_radius(kCmbRadiusM - 100.0).rho;
+  const double above = prem.at_radius(kCmbRadiusM + 100.0).rho;
+  // PREM: ~9.90 g/cc fluid side vs ~5.57 g/cc mantle side.
+  EXPECT_NEAR(below, 9903.0, 20.0);
+  EXPECT_NEAR(above, 5566.0, 20.0);
+}
+
+TEST(Prem, VelocityJumpAt670) {
+  PremModel prem;
+  const double vp_below = prem.at_radius(k670RadiusM - 100.0).vp;
+  const double vp_above = prem.at_radius(k670RadiusM + 100.0).vp;
+  EXPECT_GT(vp_below, vp_above);  // faster below the 670 discontinuity
+  EXPECT_NEAR(vp_below, 10751.0, 30.0);
+  EXPECT_NEAR(vp_above, 10266.0, 30.0);
+}
+
+TEST(Prem, QmuValuesPerRegion) {
+  PremModel prem;
+  EXPECT_NEAR(prem.at_radius(1.0e6).q_mu, 84.6, 0.1);    // inner core
+  EXPECT_NEAR(prem.at_radius(4.0e6).q_mu, 312.0, 0.1);   // lower mantle
+  EXPECT_NEAR(prem.at_radius(6.0e6).q_mu, 143.0, 0.1);   // transition zone
+  EXPECT_NEAR(prem.at_radius(6.2e6).q_mu, 80.0, 0.1);    // LVZ
+}
+
+TEST(Prem, DiscontinuitiesIncludeMajorBoundaries) {
+  PremModel prem;
+  const auto radii = prem.discontinuity_radii();
+  auto has = [&](double r) {
+    for (double v : radii)
+      if (std::abs(v - r) < 1.0) return true;
+    return false;
+  };
+  EXPECT_TRUE(has(kIcbRadiusM));
+  EXPECT_TRUE(has(kCmbRadiusM));
+  EXPECT_TRUE(has(k670RadiusM));
+  EXPECT_TRUE(has(k400RadiusM));
+  EXPECT_TRUE(has(kMohoRadiusM));
+  // Sorted ascending.
+  for (std::size_t i = 0; i + 1 < radii.size(); ++i)
+    EXPECT_LT(radii[i], radii[i + 1]);
+}
+
+TEST(Prem, TotalMassAndSurfaceGravity) {
+  PremModel prem;
+  // Earth's mass ~5.972e24 kg; PREM integrates to within ~0.3%.
+  EXPECT_NEAR(prem.enclosed_mass(kEarthRadiusM) / 5.972e24, 1.0, 0.005);
+  EXPECT_NEAR(prem.gravity(kEarthRadiusM), 9.81, 0.05);
+}
+
+TEST(Prem, GravityPeaksNearCmb) {
+  PremModel prem;
+  // A PREM signature: g(r) peaks at ~10.7 m/s^2 near the CMB.
+  const double g_cmb = prem.gravity(kCmbRadiusM);
+  EXPECT_NEAR(g_cmb, 10.68, 0.1);
+  EXPECT_GT(g_cmb, prem.gravity(kEarthRadiusM));
+  EXPECT_GT(g_cmb, prem.gravity(2.0e6));
+}
+
+TEST(Prem, GravityZeroAtCenterAndInverseSquareOutside) {
+  PremModel prem;
+  EXPECT_NEAR(prem.gravity(0.0), 0.0, 1e-9);
+  const double g1 = prem.gravity(kEarthRadiusM);
+  const double g2 = prem.gravity(2.0 * kEarthRadiusM);
+  EXPECT_NEAR(g2 / g1, 0.25, 1e-6);
+}
+
+TEST(Prem, RejectsRadiusOutsidePlanet) {
+  PremModel prem;
+  EXPECT_THROW(prem.at_radius(-1.0), CheckError);
+  EXPECT_THROW(prem.at_radius(7.0e6), CheckError);
+}
+
+TEST(MaterialSample, ModuliFromVelocities) {
+  MaterialSample s;
+  s.rho = 3000.0;
+  s.vp = 8000.0;
+  s.vs = 4500.0;
+  EXPECT_NEAR(s.mu(), 3000.0 * 4500.0 * 4500.0, 1.0);
+  EXPECT_NEAR(s.kappa(),
+              3000.0 * (8000.0 * 8000.0 - 4.0 / 3.0 * 4500.0 * 4500.0), 1.0);
+}
+
+TEST(Homogeneous, ConstantEverywhere) {
+  MaterialSample s;
+  s.rho = 2500.0;
+  s.vp = 5000.0;
+  s.vs = 3000.0;
+  s.q_mu = 100.0;
+  HomogeneousModel m(s, 1.0e6);
+  for (double r : {0.0, 5.0e5, 9.9e5}) {
+    EXPECT_EQ(m.at_radius(r).rho, 2500.0);
+    EXPECT_EQ(m.at_radius(r).vs, 3000.0);
+  }
+  EXPECT_TRUE(m.discontinuity_radii().empty());
+}
+
+TEST(Homogeneous, GravityLinearInside) {
+  MaterialSample s;
+  s.rho = 5500.0;
+  s.vp = 8000.0;
+  s.vs = 4000.0;
+  HomogeneousModel m(s, 6.371e6);
+  EXPECT_NEAR(m.gravity(3.0e6) / m.gravity(1.5e6), 2.0, 1e-9);
+}
+
+TEST(TwoLayer, BoundaryRespected) {
+  MaterialSample fluid;
+  fluid.rho = 1000.0;
+  fluid.vp = 1500.0;
+  fluid.vs = 0.0;
+  MaterialSample solid;
+  solid.rho = 2700.0;
+  solid.vp = 6000.0;
+  solid.vs = 3500.0;
+  TwoLayerModel m(fluid, solid, 0.5e6, 1.0e6);
+  EXPECT_TRUE(m.at_radius(0.4e6).is_fluid());
+  EXPECT_FALSE(m.at_radius(0.6e6).is_fluid());
+  ASSERT_EQ(m.discontinuity_radii().size(), 1u);
+  EXPECT_DOUBLE_EQ(m.discontinuity_radii()[0], 0.5e6);
+}
+
+// ---- attenuation ----
+
+TEST(SolveDense, SolvesKnownSystem) {
+  // [[2,1],[1,3]] x = [5, 10] -> x = [1, 3]
+  auto x = solve_dense({2, 1, 1, 3}, {5, 10});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveDense, PivotingHandlesZeroDiagonal) {
+  // [[0,1],[1,0]] x = [2, 3] -> x = [3, 2]
+  auto x = solve_dense({0, 1, 1, 0}, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveDense, SingularSystemRejected) {
+  EXPECT_THROW(solve_dense({1, 2, 2, 4}, {1, 2}), CheckError);
+}
+
+class QFit : public ::testing::TestWithParam<double> {};
+
+TEST_P(QFit, QFlatAcrossBandWithin10Percent) {
+  const double q = GetParam();
+  const SlsSeries s = fit_constant_q(q, 0.01, 1.0, 3);
+  for (double f = 0.01; f <= 1.0; f *= 1.3) {
+    const double model_q = s.q_at(2.0 * kPi * f);
+    EXPECT_NEAR(model_q / q, 1.0, 0.10) << "Q=" << q << " f=" << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PremQRange, QFit,
+                         ::testing::Values(80.0, 143.0, 312.0, 600.0));
+
+TEST(QFit, MoreSlsImprovesFlatness) {
+  auto worst = [](const SlsSeries& s) {
+    double w = 0.0;
+    for (double f = s.f_min; f <= s.f_max; f *= 1.1)
+      w = std::max(w, std::abs(s.q_at(2.0 * kPi * f) / s.target_q - 1.0));
+    return w;
+  };
+  const double w2 = worst(fit_constant_q(100.0, 0.005, 1.0, 2));
+  const double w5 = worst(fit_constant_q(100.0, 0.005, 1.0, 5));
+  EXPECT_LT(w5, w2);
+}
+
+TEST(QFit, UnrelaxedFactorAboveOne) {
+  const SlsSeries s = fit_constant_q(100.0, 0.01, 1.0, 3);
+  EXPECT_GT(s.unrelaxed_factor(), 1.0);
+  // For Q=100 the total defect is a few percent.
+  EXPECT_LT(s.unrelaxed_factor(), 1.2);
+}
+
+TEST(QFit, ModulusFactorMonotoneInFrequency) {
+  // Physical dispersion: the effective modulus stiffens with frequency.
+  const SlsSeries s = fit_constant_q(80.0, 0.01, 1.0, 3);
+  double prev = 0.0;
+  for (double f = 0.005; f <= 2.0; f *= 2.0) {
+    const double m = s.modulus_factor_at(2.0 * kPi * f);
+    EXPECT_GT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(QFit, TauSigmaSpansTheBand) {
+  const SlsSeries s = fit_constant_q(100.0, 0.02, 0.5, 3);
+  EXPECT_NEAR(s.tau_sigma.front(), 1.0 / (2.0 * kPi * 0.5), 1e-12);
+  EXPECT_NEAR(s.tau_sigma.back(), 1.0 / (2.0 * kPi * 0.02), 1e-12);
+}
+
+TEST(QFit, RejectsInvalidInput) {
+  EXPECT_THROW(fit_constant_q(0.0, 0.01, 1.0), CheckError);
+  EXPECT_THROW(fit_constant_q(100.0, 1.0, 0.5), CheckError);
+  EXPECT_THROW(fit_constant_q(100.0, 0.01, 1.0, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace sfg

@@ -1,0 +1,184 @@
+// Unit and property tests for the GLL quadrature / Lagrange basis
+// (paper §2.3). Degrees 4..10 are what SEM seismic codes actually use.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quadrature/gll.hpp"
+
+namespace sfg {
+namespace {
+
+TEST(Legendre, KnownValues) {
+  EXPECT_DOUBLE_EQ(legendre(0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(legendre(1, 0.3), 0.3);
+  EXPECT_NEAR(legendre(2, 0.5), 0.5 * (3 * 0.25 - 1), 1e-15);
+  EXPECT_NEAR(legendre(3, -0.2),
+              0.5 * (5 * std::pow(-0.2, 3) - 3 * -0.2), 1e-15);
+  // P_n(1) = 1, P_n(-1) = (-1)^n
+  for (int n = 0; n <= 12; ++n) {
+    EXPECT_NEAR(legendre(n, 1.0), 1.0, 1e-14);
+    EXPECT_NEAR(legendre(n, -1.0), n % 2 == 0 ? 1.0 : -1.0, 1e-14);
+  }
+}
+
+TEST(Legendre, DerivativeMatchesFiniteDifference) {
+  const double h = 1e-6;
+  for (int n = 1; n <= 8; ++n) {
+    for (double x : {-0.9, -0.3, 0.0, 0.42, 0.77}) {
+      const double fd = (legendre(n, x + h) - legendre(n, x - h)) / (2 * h);
+      EXPECT_NEAR(legendre_derivative(n, x), fd, 1e-7) << "n=" << n;
+    }
+  }
+}
+
+TEST(Legendre, DerivativeAtEndpoints) {
+  // P_n'(1) = n(n+1)/2
+  for (int n = 1; n <= 9; ++n) {
+    EXPECT_NEAR(legendre_derivative(n, 1.0), 0.5 * n * (n + 1), 1e-12);
+    EXPECT_NEAR(legendre_derivative(n, -1.0),
+                (n % 2 == 0 ? -1.0 : 1.0) * 0.5 * n * (n + 1), 1e-12);
+  }
+}
+
+TEST(GllBasis, Degree4KnownNodesAndWeights) {
+  // Classical degree-4 GLL nodes: 0, ±sqrt(3/7), ±1 with weights
+  // 1/10, 49/90, 32/45.
+  GllBasis b(4);
+  ASSERT_EQ(b.num_points(), 5);
+  EXPECT_NEAR(b.node(0), -1.0, 1e-15);
+  EXPECT_NEAR(b.node(1), -std::sqrt(3.0 / 7.0), 1e-13);
+  EXPECT_NEAR(b.node(2), 0.0, 1e-13);
+  EXPECT_NEAR(b.node(3), std::sqrt(3.0 / 7.0), 1e-13);
+  EXPECT_NEAR(b.node(4), 1.0, 1e-15);
+  EXPECT_NEAR(b.weight(0), 0.1, 1e-13);
+  EXPECT_NEAR(b.weight(1), 49.0 / 90.0, 1e-13);
+  EXPECT_NEAR(b.weight(2), 32.0 / 45.0, 1e-13);
+  EXPECT_NEAR(b.weight(4), 0.1, 1e-13);
+}
+
+class GllDegrees : public ::testing::TestWithParam<int> {};
+
+TEST_P(GllDegrees, NodesSortedSymmetricWithEndpoints) {
+  GllBasis b(GetParam());
+  const int np = b.num_points();
+  EXPECT_DOUBLE_EQ(b.node(0), -1.0);
+  EXPECT_DOUBLE_EQ(b.node(np - 1), 1.0);
+  for (int i = 0; i + 1 < np; ++i) EXPECT_LT(b.node(i), b.node(i + 1));
+  for (int i = 0; i < np; ++i)
+    EXPECT_NEAR(b.node(i), -b.node(np - 1 - i), 1e-13) << "i=" << i;
+}
+
+TEST_P(GllDegrees, WeightsPositiveAndSumToTwo) {
+  GllBasis b(GetParam());
+  double sum = 0;
+  for (int i = 0; i < b.num_points(); ++i) {
+    EXPECT_GT(b.weight(i), 0.0);
+    sum += b.weight(i);
+  }
+  EXPECT_NEAR(sum, 2.0, 1e-12);
+}
+
+TEST_P(GllDegrees, QuadratureExactToDegree2Nminus1) {
+  const int N = GetParam();
+  GllBasis b(N);
+  // integral of x^p over [-1,1] = 0 (odd) or 2/(p+1) (even).
+  for (int p = 0; p <= 2 * N - 1; ++p) {
+    double q = 0;
+    for (int i = 0; i < b.num_points(); ++i)
+      q += b.weight(i) * std::pow(b.node(i), p);
+    const double exact = (p % 2 == 1) ? 0.0 : 2.0 / (p + 1);
+    EXPECT_NEAR(q, exact, 1e-12) << "N=" << N << " p=" << p;
+  }
+}
+
+TEST_P(GllDegrees, QuadratureNotExactAtDegree2N) {
+  // GLL is exact to 2N-1 only: x^(2N) must show a quadrature error.
+  const int N = GetParam();
+  GllBasis b(N);
+  double q = 0;
+  for (int i = 0; i < b.num_points(); ++i)
+    q += b.weight(i) * std::pow(b.node(i), 2 * N);
+  const double exact = 2.0 / (2 * N + 1);
+  EXPECT_GT(std::abs(q - exact), 1e-8) << "N=" << N;
+}
+
+TEST_P(GllDegrees, LagrangeCardinalProperty) {
+  GllBasis b(GetParam());
+  for (int j = 0; j < b.num_points(); ++j)
+    for (int i = 0; i < b.num_points(); ++i)
+      EXPECT_NEAR(b.lagrange(j, b.node(i)), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+TEST_P(GllDegrees, LagrangeFormsPartitionOfUnity) {
+  GllBasis b(GetParam());
+  for (double x : {-0.83, -0.11, 0.0, 0.5, 0.999}) {
+    double sum = 0;
+    for (int j = 0; j < b.num_points(); ++j) sum += b.lagrange(j, x);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST_P(GllDegrees, HprimeMatchesAnalyticLagrangeDerivative) {
+  GllBasis b(GetParam());
+  for (int i = 0; i < b.num_points(); ++i)
+    for (int j = 0; j < b.num_points(); ++j)
+      EXPECT_NEAR(b.hprime(i, j), b.lagrange_derivative(j, b.node(i)), 1e-10)
+          << "i=" << i << " j=" << j;
+}
+
+TEST_P(GllDegrees, HprimeDifferentiatesPolynomialsExactly) {
+  // For f = x^p with p <= N, sum_j hprime(i,j) f(x_j) must equal p x_i^(p-1).
+  const int N = GetParam();
+  GllBasis b(N);
+  for (int p = 0; p <= N; ++p) {
+    for (int i = 0; i < b.num_points(); ++i) {
+      double d = 0;
+      for (int j = 0; j < b.num_points(); ++j)
+        d += b.hprime(i, j) * std::pow(b.node(j), p);
+      const double exact = p == 0 ? 0.0 : p * std::pow(b.node(i), p - 1);
+      EXPECT_NEAR(d, exact, 1e-10) << "N=" << N << " p=" << p << " i=" << i;
+    }
+  }
+}
+
+TEST_P(GllDegrees, HprimeRowsSumToZero) {
+  // Derivative of the constant 1 is 0: rows of hprime sum to zero.
+  GllBasis b(GetParam());
+  for (int i = 0; i < b.num_points(); ++i) {
+    double s = 0;
+    for (int j = 0; j < b.num_points(); ++j) s += b.hprime(i, j);
+    EXPECT_NEAR(s, 0.0, 1e-11);
+  }
+}
+
+TEST_P(GllDegrees, HprimeWgllIsWeightTimesHprime) {
+  GllBasis b(GetParam());
+  for (int i = 0; i < b.num_points(); ++i)
+    for (int j = 0; j < b.num_points(); ++j)
+      EXPECT_DOUBLE_EQ(b.hprime_wgll(i, j), b.weight(i) * b.hprime(i, j));
+}
+
+TEST_P(GllDegrees, LagrangeDerivativeMatchesFiniteDifference) {
+  GllBasis b(GetParam());
+  const double h = 1e-6;
+  for (int j = 0; j < b.num_points(); ++j) {
+    for (double x : {-0.71, 0.23, 0.88}) {
+      const double fd = (b.lagrange(j, x + h) - b.lagrange(j, x - h)) / (2 * h);
+      EXPECT_NEAR(b.lagrange_derivative(j, x), fd, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees4to10, GllDegrees,
+                         ::testing::Values(4, 5, 6, 7, 8, 9, 10));
+
+TEST(GllBasis, RejectsInvalidDegrees) {
+  EXPECT_THROW(GllBasis(0), CheckError);
+  EXPECT_THROW(GllBasis(-3), CheckError);
+  EXPECT_THROW(GllBasis(33), CheckError);
+}
+
+}  // namespace
+}  // namespace sfg

@@ -1,0 +1,194 @@
+// Tests for the element reordering of paper §4.2: reverse Cuthill-McKee,
+// the multilevel (L2-block) variant, and permutation application.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/rng.hpp"
+#include "mesh/cartesian.hpp"
+#include "mesh/numbering.hpp"
+#include "mesh/rcm.hpp"
+
+namespace sfg {
+namespace {
+
+std::vector<std::vector<int>> path_graph(int n) {
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (int v = 0; v + 1 < n; ++v) {
+    adj[static_cast<std::size_t>(v)].push_back(v + 1);
+    adj[static_cast<std::size_t>(v + 1)].push_back(v);
+  }
+  return adj;
+}
+
+TEST(Rcm, PathGraphGetsBandwidthOne) {
+  const auto adj = path_graph(20);
+  const auto order = reverse_cuthill_mckee(adj);
+  EXPECT_EQ(order.size(), 20u);
+  EXPECT_EQ(ordering_bandwidth(adj, order), 1);
+}
+
+TEST(Rcm, OrderIsAPermutation) {
+  GllBasis b(4);
+  CartesianBoxSpec spec;
+  spec.nx = 4;
+  spec.ny = 3;
+  spec.nz = 2;
+  HexMesh mesh = build_cartesian_box(spec, b);
+  const auto adj = element_adjacency(mesh);
+  const auto order = reverse_cuthill_mckee(adj);
+  std::set<int> seen(order.begin(), order.end());
+  EXPECT_EQ(static_cast<int>(seen.size()), mesh.nspec);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), mesh.nspec - 1);
+}
+
+TEST(Rcm, HandlesDisconnectedGraph) {
+  std::vector<std::vector<int>> adj(6);
+  adj[0] = {1};
+  adj[1] = {0};
+  adj[3] = {4};
+  adj[4] = {3};
+  // vertices 2, 5 isolated
+  const auto order = reverse_cuthill_mckee(adj);
+  std::set<int> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rcm, ReducesBandwidthVersusRandomOrderOnBoxMesh) {
+  GllBasis b(4);
+  CartesianBoxSpec spec;
+  spec.nx = 6;
+  spec.ny = 6;
+  spec.nz = 6;
+  HexMesh mesh = build_cartesian_box(spec, b);
+  const auto adj = element_adjacency(mesh);
+
+  std::vector<int> random_order(static_cast<std::size_t>(mesh.nspec));
+  std::iota(random_order.begin(), random_order.end(), 0);
+  SplitMix64 rng(99);
+  for (std::size_t i = random_order.size(); i > 1; --i)
+    std::swap(random_order[i - 1],
+              random_order[static_cast<std::size_t>(rng.next_below(i))]);
+
+  const auto rcm = reverse_cuthill_mckee(adj);
+  EXPECT_LT(ordering_bandwidth(adj, rcm),
+            ordering_bandwidth(adj, random_order));
+}
+
+TEST(Rcm, ElementAdjacencyOfBoxIncludesDiagonalNeighbors) {
+  // Point-sharing adjacency on a 3x3x3 box: center element touches all 26.
+  GllBasis b(4);
+  CartesianBoxSpec spec;
+  spec.nx = 3;
+  spec.ny = 3;
+  spec.nz = 3;
+  HexMesh mesh = build_cartesian_box(spec, b);
+  const auto adj = element_adjacency(mesh);
+  const int center = local_index(3, 1, 1, 1);  // element (1,1,1), k-major
+  EXPECT_EQ(adj[static_cast<std::size_t>(center)].size(), 26u);
+  // A corner element touches 7 others.
+  EXPECT_EQ(adj[0].size(), 7u);
+}
+
+TEST(MultilevelRcm, PathBandwidthBoundedByTwoBlocks) {
+  // On a path, elements adjacent in the graph either share a block or sit
+  // in quotient-adjacent blocks, so the jump is bounded by ~2 block sizes.
+  const int block = 10;
+  const auto adj = path_graph(30);
+  const auto ml = multilevel_cuthill_mckee(adj, block);
+  std::set<int> seen(ml.begin(), ml.end());
+  EXPECT_EQ(seen.size(), 30u);
+  EXPECT_LE(ordering_bandwidth(adj, ml), 2 * block);
+}
+
+TEST(MultilevelRcm, SingleBlockEqualsPlainRcm) {
+  GllBasis b(4);
+  CartesianBoxSpec spec;
+  spec.nx = 3;
+  spec.ny = 2;
+  HexMesh mesh = build_cartesian_box(spec, b);
+  const auto adj = element_adjacency(mesh);
+  EXPECT_EQ(multilevel_cuthill_mckee(adj, 1000), reverse_cuthill_mckee(adj));
+}
+
+TEST(Permutation, PreservesGeometryAndNumbering) {
+  GllBasis b(4);
+  CartesianBoxSpec spec;
+  spec.nx = 4;
+  spec.ny = 2;
+  spec.nz = 2;
+  HexMesh mesh = build_cartesian_box(spec, b);
+  HexMesh orig = mesh;
+
+  const auto adj = element_adjacency(mesh);
+  const auto order = reverse_cuthill_mckee(adj);
+  apply_element_permutation(mesh, order);
+
+  EXPECT_EQ(mesh.nglob, orig.nglob);
+  // Each new element must be a verbatim copy of the old one it came from.
+  const int ngll3 = mesh.ngll3();
+  for (int newid = 0; newid < mesh.nspec; ++newid) {
+    const int oldid = order[static_cast<std::size_t>(newid)];
+    for (int p = 0; p < ngll3; ++p) {
+      const std::size_t np = mesh.local_offset(newid) + static_cast<std::size_t>(p);
+      const std::size_t op = orig.local_offset(oldid) + static_cast<std::size_t>(p);
+      EXPECT_EQ(mesh.xstore[np], orig.xstore[op]);
+      EXPECT_EQ(mesh.ibool[np], orig.ibool[op]);
+      EXPECT_EQ(mesh.jacobian[np], orig.jacobian[op]);
+    }
+  }
+}
+
+TEST(Permutation, StrideImprovesWithRcmAfterRenumbering) {
+  // The paper's full §4.2 pipeline: RCM-sort elements, then renumber global
+  // points by first touch; the average ibool stride must not exceed that of
+  // a randomly shuffled element order treated the same way.
+  GllBasis b(4);
+  CartesianBoxSpec spec;
+  spec.nx = 6;
+  spec.ny = 6;
+  spec.nz = 6;
+  HexMesh rcm_mesh = build_cartesian_box(spec, b);
+  HexMesh rnd_mesh = rcm_mesh;
+
+  const auto adj = element_adjacency(rcm_mesh);
+  apply_element_permutation(rcm_mesh, reverse_cuthill_mckee(adj));
+  renumber_global_points_by_first_touch(rcm_mesh);
+
+  std::vector<int> random_order(static_cast<std::size_t>(rnd_mesh.nspec));
+  std::iota(random_order.begin(), random_order.end(), 0);
+  SplitMix64 rng(1234);
+  for (std::size_t i = random_order.size(); i > 1; --i)
+    std::swap(random_order[i - 1],
+              random_order[static_cast<std::size_t>(rng.next_below(i))]);
+  apply_element_permutation(rnd_mesh, random_order);
+  renumber_global_points_by_first_touch(rnd_mesh);
+
+  EXPECT_LT(average_global_stride(rcm_mesh),
+            average_global_stride(rnd_mesh));
+}
+
+class BlockSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockSizes, MultilevelIsAlwaysAPermutation) {
+  GllBasis b(4);
+  CartesianBoxSpec spec;
+  spec.nx = 5;
+  spec.ny = 4;
+  spec.nz = 3;
+  HexMesh mesh = build_cartesian_box(spec, b);
+  const auto adj = element_adjacency(mesh);
+  const auto ml = multilevel_cuthill_mckee(adj, GetParam());
+  std::set<int> seen(ml.begin(), ml.end());
+  EXPECT_EQ(static_cast<int>(seen.size()), mesh.nspec);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperL2BlockRange, BlockSizes,
+                         ::testing::Values(1, 8, 50, 64, 100));
+
+}  // namespace
+}  // namespace sfg

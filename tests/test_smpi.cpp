@@ -1,0 +1,252 @@
+// Tests for the in-process message-passing runtime (smpi): point-to-point
+// semantics, collectives, instrumentation, and deadlock-freedom under
+// heavy oversubscription (many more ranks than host cores).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "runtime/smpi.hpp"
+
+namespace sfg::smpi {
+namespace {
+
+TEST(Smpi, PingPong) {
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const int v = 42;
+      comm.send_n(1, 7, &v, 1);
+      int back = 0;
+      comm.recv_n(1, 8, &back, 1);
+      EXPECT_EQ(back, 43);
+    } else {
+      int v = 0;
+      comm.recv_n(0, 7, &v, 1);
+      v += 1;
+      comm.send_n(0, 8, &v, 1);
+    }
+  });
+}
+
+TEST(Smpi, MessagesFromSameSourceSameTagArriveInOrder) {
+  run_ranks(2, [](Communicator& comm) {
+    constexpr int n = 100;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < n; ++i) comm.send_n(1, 5, &i, 1);
+    } else {
+      for (int i = 0; i < n; ++i) {
+        int v = -1;
+        comm.recv_n(0, 5, &v, 1);
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(Smpi, TagsAreIndependentChannels) {
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const int a = 1, b = 2;
+      comm.send_n(1, 10, &a, 1);
+      comm.send_n(1, 20, &b, 1);
+    } else {
+      // Receive in the opposite order of sending: tags must not mix.
+      int b = 0, a = 0;
+      comm.recv_n(0, 20, &b, 1);
+      comm.recv_n(0, 10, &a, 1);
+      EXPECT_EQ(a, 1);
+      EXPECT_EQ(b, 2);
+    }
+  });
+}
+
+TEST(Smpi, NonblockingExchangeCompletesViaWaitAll) {
+  run_ranks(4, [](Communicator& comm) {
+    const int self = comm.rank();
+    const int n = comm.size();
+    std::vector<int> out(static_cast<std::size_t>(n), self);
+    std::vector<int> in(static_cast<std::size_t>(n), -1);
+    std::vector<Request> reqs;
+    for (int peer = 0; peer < n; ++peer) {
+      if (peer == self) continue;
+      reqs.push_back(comm.irecv_n(peer, 3, &in[static_cast<std::size_t>(peer)], 1));
+    }
+    for (int peer = 0; peer < n; ++peer) {
+      if (peer == self) continue;
+      reqs.push_back(comm.isend_n(peer, 3, &out[static_cast<std::size_t>(peer)], 1));
+    }
+    comm.wait_all(reqs);
+    for (int peer = 0; peer < n; ++peer) {
+      if (peer == self) continue;
+      EXPECT_EQ(in[static_cast<std::size_t>(peer)], peer);
+    }
+  });
+}
+
+TEST(Smpi, EmptyMessagesAreDelivered) {
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_bytes(1, 1, nullptr, 0);
+    } else {
+      char dummy;
+      EXPECT_EQ(comm.recv_bytes(0, 1, &dummy, 1), 0u);
+    }
+  });
+}
+
+TEST(Smpi, BarrierSynchronizes) {
+  std::atomic<int> before{0}, after{0};
+  run_ranks(8, [&](Communicator& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    // After the barrier every rank must see all 8 pre-barrier increments.
+    EXPECT_EQ(before.load(), 8);
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(Smpi, RepeatedBarriersDoNotDeadlock) {
+  run_ranks(6, [](Communicator& comm) {
+    for (int i = 0; i < 50; ++i) comm.barrier();
+  });
+}
+
+TEST(Smpi, AllreduceSum) {
+  run_ranks(5, [](Communicator& comm) {
+    double v = comm.rank() + 1.0;  // 1..5
+    v = comm.allreduce_one(v, ReduceOp::Sum);
+    EXPECT_DOUBLE_EQ(v, 15.0);
+  });
+}
+
+TEST(Smpi, AllreduceMinMaxVectors) {
+  run_ranks(4, [](Communicator& comm) {
+    std::vector<std::int64_t> mn{comm.rank(), 100 - comm.rank()};
+    comm.allreduce(mn.data(), mn.size(), ReduceOp::Min);
+    EXPECT_EQ(mn[0], 0);
+    EXPECT_EQ(mn[1], 97);
+
+    std::vector<std::int64_t> mx{comm.rank(), 100 - comm.rank()};
+    comm.allreduce(mx.data(), mx.size(), ReduceOp::Max);
+    EXPECT_EQ(mx[0], 3);
+    EXPECT_EQ(mx[1], 100);
+  });
+}
+
+TEST(Smpi, RepeatedAllreducesStayConsistent) {
+  run_ranks(7, [](Communicator& comm) {
+    for (int i = 1; i <= 20; ++i) {
+      const std::int64_t sum =
+          comm.allreduce_one<std::int64_t>(i, ReduceOp::Sum);
+      EXPECT_EQ(sum, 7ll * i);
+    }
+  });
+}
+
+TEST(Smpi, GatherCollectsBlocksAtRoot) {
+  run_ranks(5, [](Communicator& comm) {
+    const double mine[2] = {comm.rank() * 1.0, comm.rank() * 10.0};
+    std::vector<double> all(10, -1.0);
+    comm.gather_bytes(2, mine, sizeof(mine),
+                      comm.rank() == 2 ? all.data() : nullptr);
+    if (comm.rank() == 2) {
+      for (int r = 0; r < 5; ++r) {
+        EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(2 * r)], r * 1.0);
+        EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(2 * r + 1)], r * 10.0);
+      }
+    }
+  });
+}
+
+TEST(Smpi, HeavyOversubscriptionMakesProgress) {
+  // 64 ranks on a single-core host: a ring of sends must still complete
+  // because blocking sends are eager.
+  run_ranks(64, [](Communicator& comm) {
+    const int n = comm.size();
+    const int next = (comm.rank() + 1) % n;
+    const int prev = (comm.rank() + n - 1) % n;
+    int token = comm.rank();
+    comm.send_n(next, 0, &token, 1);
+    int got = -1;
+    comm.recv_n(prev, 0, &got, 1);
+    EXPECT_EQ(got, prev);
+    comm.barrier();
+  });
+}
+
+TEST(Smpi, ExceptionInOneRankPropagates) {
+  EXPECT_THROW(run_ranks(3,
+                         [](Communicator& comm) {
+                           if (comm.rank() == 1)
+                             SFG_CHECK_MSG(false, "rank 1 fails");
+                         }),
+               CheckError);
+}
+
+TEST(Smpi, StatsCountBytesAndCalls) {
+  auto stats = run_ranks(2, [](Communicator& comm) {
+    std::vector<float> buf(100, 1.0f);
+    if (comm.rank() == 0) {
+      comm.send_n(1, 1, buf.data(), buf.size());
+    } else {
+      comm.recv_n(0, 1, buf.data(), buf.size());
+    }
+    comm.barrier();
+  });
+  EXPECT_EQ(stats[0].bytes_sent, 400u);
+  EXPECT_EQ(stats[0].send_count, 1u);
+  EXPECT_EQ(stats[1].bytes_received, 400u);
+  EXPECT_EQ(stats[1].recv_count, 1u);
+  EXPECT_EQ(stats[0].collective_count, 1u);
+  EXPECT_GE(stats[1].total_seconds(), 0.0);
+}
+
+TEST(Smpi, TraceRecordsEventsWithVirtualFlops) {
+  std::vector<std::vector<TraceEvent>> traces;
+  run_ranks(
+      2,
+      [](Communicator& comm) {
+        comm.add_virtual_compute(12345);
+        if (comm.rank() == 0) {
+          const double v = 3.0;
+          comm.send_n(1, 1, &v, 1);
+        } else {
+          double v = 0;
+          comm.recv_n(0, 1, &v, 1);
+        }
+        comm.barrier();
+      },
+      /*enable_trace=*/true, &traces);
+  ASSERT_EQ(traces.size(), 2u);
+  ASSERT_EQ(traces[0].size(), 2u);  // send + barrier
+  EXPECT_EQ(traces[0][0].kind, TraceEvent::Kind::Send);
+  EXPECT_EQ(traces[0][0].bytes, 8u);
+  EXPECT_EQ(traces[0][0].compute_flops, 12345u);
+  EXPECT_EQ(traces[0][1].kind, TraceEvent::Kind::Barrier);
+  EXPECT_EQ(traces[1][0].kind, TraceEvent::Kind::Recv);
+  EXPECT_EQ(traces[1][0].peer, 0);
+}
+
+TEST(Smpi, RecvIntoTooSmallBufferFails) {
+  EXPECT_THROW(run_ranks(2,
+                         [](Communicator& comm) {
+                           if (comm.rank() == 0) {
+                             const double big[4] = {1, 2, 3, 4};
+                             comm.send_n(1, 0, big, 4);
+                           } else {
+                             double small[2];
+                             comm.recv_n(0, 0, small, 2);
+                           }
+                         }),
+               CheckError);
+}
+
+TEST(Smpi, WorldRejectsZeroRanks) {
+  EXPECT_THROW(World(0), CheckError);
+}
+
+}  // namespace
+}  // namespace sfg::smpi
