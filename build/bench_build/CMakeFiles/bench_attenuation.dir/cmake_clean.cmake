@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_attenuation"
+  "../bench/bench_attenuation.pdb"
+  "CMakeFiles/bench_attenuation.dir/bench_attenuation.cpp.o"
+  "CMakeFiles/bench_attenuation.dir/bench_attenuation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attenuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

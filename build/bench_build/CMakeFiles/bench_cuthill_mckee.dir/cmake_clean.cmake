@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cuthill_mckee"
+  "../bench/bench_cuthill_mckee.pdb"
+  "CMakeFiles/bench_cuthill_mckee.dir/bench_cuthill_mckee.cpp.o"
+  "CMakeFiles/bench_cuthill_mckee.dir/bench_cuthill_mckee.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cuthill_mckee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

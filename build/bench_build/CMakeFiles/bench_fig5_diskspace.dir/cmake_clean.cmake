@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_diskspace"
+  "../bench/bench_fig5_diskspace.pdb"
+  "CMakeFiles/bench_fig5_diskspace.dir/bench_fig5_diskspace.cpp.o"
+  "CMakeFiles/bench_fig5_diskspace.dir/bench_fig5_diskspace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_diskspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

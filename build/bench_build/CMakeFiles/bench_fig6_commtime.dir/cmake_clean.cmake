@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_commtime"
+  "../bench/bench_fig6_commtime.pdb"
+  "CMakeFiles/bench_fig6_commtime.dir/bench_fig6_commtime.cpp.o"
+  "CMakeFiles/bench_fig6_commtime.dir/bench_fig6_commtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_commtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

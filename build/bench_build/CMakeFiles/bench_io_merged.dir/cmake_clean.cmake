@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_io_merged"
+  "../bench/bench_io_merged.pdb"
+  "CMakeFiles/bench_io_merged.dir/bench_io_merged.cpp.o"
+  "CMakeFiles/bench_io_merged.dir/bench_io_merged.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_merged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

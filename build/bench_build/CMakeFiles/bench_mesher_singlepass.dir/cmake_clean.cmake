@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mesher_singlepass"
+  "../bench/bench_mesher_singlepass.pdb"
+  "CMakeFiles/bench_mesher_singlepass.dir/bench_mesher_singlepass.cpp.o"
+  "CMakeFiles/bench_mesher_singlepass.dir/bench_mesher_singlepass.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mesher_singlepass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_mesher_singlepass.
+# This may be replaced when dependencies are built.

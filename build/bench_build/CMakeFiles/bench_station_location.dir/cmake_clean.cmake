@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_station_location"
+  "../bench/bench_station_location.pdb"
+  "CMakeFiles/bench_station_location.dir/bench_station_location.cpp.o"
+  "CMakeFiles/bench_station_location.dir/bench_station_location.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_station_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table_systems"
+  "../bench/bench_table_systems.pdb"
+  "CMakeFiles/bench_table_systems.dir/bench_table_systems.cpp.o"
+  "CMakeFiles/bench_table_systems.dir/bench_table_systems.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_earthquake.dir/global_earthquake.cpp.o"
+  "CMakeFiles/global_earthquake.dir/global_earthquake.cpp.o.d"
+  "global_earthquake"
+  "global_earthquake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_earthquake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

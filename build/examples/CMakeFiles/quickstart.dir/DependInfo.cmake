@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sphere/CMakeFiles/sfg_sphere.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/sfg_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sfg_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/sfg_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sfg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/sfg_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/quadrature/CMakeFiles/sfg_quadrature.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sfg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sfg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

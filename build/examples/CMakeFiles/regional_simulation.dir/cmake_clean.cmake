@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regional_simulation.dir/regional_simulation.cpp.o"
+  "CMakeFiles/regional_simulation.dir/regional_simulation.cpp.o.d"
+  "regional_simulation"
+  "regional_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regional_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_common.dir/log.cpp.o"
+  "CMakeFiles/sfg_common.dir/log.cpp.o.d"
+  "CMakeFiles/sfg_common.dir/table.cpp.o"
+  "CMakeFiles/sfg_common.dir/table.cpp.o.d"
+  "libsfg_common.a"
+  "libsfg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_kernels.dir/elastic_blas.cpp.o"
+  "CMakeFiles/sfg_kernels.dir/elastic_blas.cpp.o.d"
+  "CMakeFiles/sfg_kernels.dir/elastic_sse.cpp.o"
+  "CMakeFiles/sfg_kernels.dir/elastic_sse.cpp.o.d"
+  "CMakeFiles/sfg_kernels.dir/force_kernel.cpp.o"
+  "CMakeFiles/sfg_kernels.dir/force_kernel.cpp.o.d"
+  "libsfg_kernels.a"
+  "libsfg_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/cartesian.cpp" "src/mesh/CMakeFiles/sfg_mesh.dir/cartesian.cpp.o" "gcc" "src/mesh/CMakeFiles/sfg_mesh.dir/cartesian.cpp.o.d"
+  "/root/repo/src/mesh/faces.cpp" "src/mesh/CMakeFiles/sfg_mesh.dir/faces.cpp.o" "gcc" "src/mesh/CMakeFiles/sfg_mesh.dir/faces.cpp.o.d"
+  "/root/repo/src/mesh/jacobian.cpp" "src/mesh/CMakeFiles/sfg_mesh.dir/jacobian.cpp.o" "gcc" "src/mesh/CMakeFiles/sfg_mesh.dir/jacobian.cpp.o.d"
+  "/root/repo/src/mesh/numbering.cpp" "src/mesh/CMakeFiles/sfg_mesh.dir/numbering.cpp.o" "gcc" "src/mesh/CMakeFiles/sfg_mesh.dir/numbering.cpp.o.d"
+  "/root/repo/src/mesh/point_matcher.cpp" "src/mesh/CMakeFiles/sfg_mesh.dir/point_matcher.cpp.o" "gcc" "src/mesh/CMakeFiles/sfg_mesh.dir/point_matcher.cpp.o.d"
+  "/root/repo/src/mesh/quality.cpp" "src/mesh/CMakeFiles/sfg_mesh.dir/quality.cpp.o" "gcc" "src/mesh/CMakeFiles/sfg_mesh.dir/quality.cpp.o.d"
+  "/root/repo/src/mesh/rcm.cpp" "src/mesh/CMakeFiles/sfg_mesh.dir/rcm.cpp.o" "gcc" "src/mesh/CMakeFiles/sfg_mesh.dir/rcm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sfg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/quadrature/CMakeFiles/sfg_quadrature.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_mesh.dir/cartesian.cpp.o"
+  "CMakeFiles/sfg_mesh.dir/cartesian.cpp.o.d"
+  "CMakeFiles/sfg_mesh.dir/faces.cpp.o"
+  "CMakeFiles/sfg_mesh.dir/faces.cpp.o.d"
+  "CMakeFiles/sfg_mesh.dir/jacobian.cpp.o"
+  "CMakeFiles/sfg_mesh.dir/jacobian.cpp.o.d"
+  "CMakeFiles/sfg_mesh.dir/numbering.cpp.o"
+  "CMakeFiles/sfg_mesh.dir/numbering.cpp.o.d"
+  "CMakeFiles/sfg_mesh.dir/point_matcher.cpp.o"
+  "CMakeFiles/sfg_mesh.dir/point_matcher.cpp.o.d"
+  "CMakeFiles/sfg_mesh.dir/quality.cpp.o"
+  "CMakeFiles/sfg_mesh.dir/quality.cpp.o.d"
+  "CMakeFiles/sfg_mesh.dir/rcm.cpp.o"
+  "CMakeFiles/sfg_mesh.dir/rcm.cpp.o.d"
+  "libsfg_mesh.a"
+  "libsfg_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

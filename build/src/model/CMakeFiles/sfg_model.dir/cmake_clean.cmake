@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_model.dir/attenuation.cpp.o"
+  "CMakeFiles/sfg_model.dir/attenuation.cpp.o.d"
+  "CMakeFiles/sfg_model.dir/earth_model.cpp.o"
+  "CMakeFiles/sfg_model.dir/earth_model.cpp.o.d"
+  "libsfg_model.a"
+  "libsfg_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

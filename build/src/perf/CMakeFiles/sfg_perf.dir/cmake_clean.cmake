@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_perf.dir/capacity.cpp.o"
+  "CMakeFiles/sfg_perf.dir/capacity.cpp.o.d"
+  "CMakeFiles/sfg_perf.dir/machines.cpp.o"
+  "CMakeFiles/sfg_perf.dir/machines.cpp.o.d"
+  "CMakeFiles/sfg_perf.dir/regression.cpp.o"
+  "CMakeFiles/sfg_perf.dir/regression.cpp.o.d"
+  "CMakeFiles/sfg_perf.dir/replay.cpp.o"
+  "CMakeFiles/sfg_perf.dir/replay.cpp.o.d"
+  "libsfg_perf.a"
+  "libsfg_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_quadrature.dir/gll.cpp.o"
+  "CMakeFiles/sfg_quadrature.dir/gll.cpp.o.d"
+  "libsfg_quadrature.a"
+  "libsfg_quadrature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_quadrature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

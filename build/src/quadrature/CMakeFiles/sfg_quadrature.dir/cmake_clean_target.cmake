@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsfg_quadrature.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_runtime.dir/exchanger.cpp.o"
+  "CMakeFiles/sfg_runtime.dir/exchanger.cpp.o.d"
+  "CMakeFiles/sfg_runtime.dir/smpi.cpp.o"
+  "CMakeFiles/sfg_runtime.dir/smpi.cpp.o.d"
+  "libsfg_runtime.a"
+  "libsfg_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

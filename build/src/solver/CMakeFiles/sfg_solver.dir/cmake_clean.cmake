@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_solver.dir/materials.cpp.o"
+  "CMakeFiles/sfg_solver.dir/materials.cpp.o.d"
+  "CMakeFiles/sfg_solver.dir/simulation.cpp.o"
+  "CMakeFiles/sfg_solver.dir/simulation.cpp.o.d"
+  "CMakeFiles/sfg_solver.dir/sources.cpp.o"
+  "CMakeFiles/sfg_solver.dir/sources.cpp.o.d"
+  "libsfg_solver.a"
+  "libsfg_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_sphere.dir/cubed_sphere.cpp.o"
+  "CMakeFiles/sfg_sphere.dir/cubed_sphere.cpp.o.d"
+  "CMakeFiles/sfg_sphere.dir/layers.cpp.o"
+  "CMakeFiles/sfg_sphere.dir/layers.cpp.o.d"
+  "CMakeFiles/sfg_sphere.dir/mesher.cpp.o"
+  "CMakeFiles/sfg_sphere.dir/mesher.cpp.o.d"
+  "libsfg_sphere.a"
+  "libsfg_sphere.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_sphere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

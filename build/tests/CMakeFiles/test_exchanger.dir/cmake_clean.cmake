@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exchanger.dir/test_exchanger.cpp.o"
+  "CMakeFiles/test_exchanger.dir/test_exchanger.cpp.o.d"
+  "test_exchanger"
+  "test_exchanger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exchanger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faces.dir/test_faces.cpp.o"
+  "CMakeFiles/test_faces.dir/test_faces.cpp.o.d"
+  "test_faces"
+  "test_faces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

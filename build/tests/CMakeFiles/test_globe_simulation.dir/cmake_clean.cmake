@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_globe_simulation.dir/test_globe_simulation.cpp.o"
+  "CMakeFiles/test_globe_simulation.dir/test_globe_simulation.cpp.o.d"
+  "test_globe_simulation"
+  "test_globe_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_globe_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcm.dir/test_rcm.cpp.o"
+  "CMakeFiles/test_rcm.dir/test_rcm.cpp.o.d"
+  "test_rcm"
+  "test_rcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

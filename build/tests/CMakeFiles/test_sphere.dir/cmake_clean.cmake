@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sphere.dir/test_sphere.cpp.o"
+  "CMakeFiles/test_sphere.dir/test_sphere.cpp.o.d"
+  "test_sphere"
+  "test_sphere.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sphere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
