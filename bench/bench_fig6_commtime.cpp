@@ -128,6 +128,43 @@ int main() {
       "per-core comm falls monotonically with core count — exactly the two\n"
       "observations §5 reports from its Franklin runs.\n");
 
+  // ---- comm/compute overlap of the colored schedule (ISSUE 1) ----
+  // Re-run the smallest configuration with the colored schedule so the
+  // halo exchange window is open while interior elements compute, and
+  // report how much of the exchange the overlap hides.
+  {
+    static PremModel prem;
+    GlobeMeshSpec spec;
+    spec.nex_xi = 8;
+    spec.nproc_xi = 1;
+    spec.nchunks = 6;
+    spec.model = &prem;
+    double compute_s = 0.0, wait_s = 0.0;
+    smpi::run_ranks(globe_rank_count(spec), [&](smpi::Communicator& comm) {
+      GllBasis b(4);
+      GlobeSlice slice = build_globe_slice(spec, b, comm.rank());
+      std::vector<smpi::PointCandidate> cands;
+      for (std::size_t i = 0; i < slice.boundary_keys.size(); ++i)
+        cands.push_back({slice.boundary_keys[i], slice.boundary_points[i]});
+      smpi::Exchanger ex = smpi::Exchanger::build(comm, cands);
+      SimulationConfig cfg;
+      cfg.dt = 0.1;  // identity runs: dt value irrelevant to traffic
+      cfg.force_colored_schedule = true;
+      Simulation sim(slice.mesh, b, slice.materials, cfg, &comm, &ex);
+      sim.run(8);
+      if (comm.rank() == 0) {
+        compute_s = sim.overlap_compute_seconds();
+        wait_s = sim.overlap_wait_seconds();
+      }
+    });
+    std::printf(
+        "\nColored-schedule overlap (NEX 8, 6 ranks, rank 0): %.1f%% of the\n"
+        "halo-exchange window hidden behind interior-element compute\n"
+        "(%.1f ms compute vs %.1f ms residual wait per 8 steps).\n",
+        100.0 * compute_s / (compute_s + wait_s), 1e3 * compute_s,
+        1e3 * wait_s);
+  }
+
   // ---- §5 predictions ----
   AsciiTable pred("§5 predictions vs this model");
   pred.set_header({"configuration", "paper comm fraction", "our comm fraction"});

@@ -1,0 +1,96 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace sfg {
+
+ThreadPool::ThreadPool(int num_threads) : nthreads_(num_threads) {
+  SFG_CHECK_MSG(num_threads >= 1, "thread pool needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int t = 1; t < num_threads; ++t)
+    workers_.emplace_back([this, t] { worker_main(t); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunk(int thread, const ChunkFn& fn, std::size_t n) {
+  const std::size_t chunk =
+      (n + static_cast<std::size_t>(nthreads_) - 1) /
+      static_cast<std::size_t>(nthreads_);
+  const std::size_t begin =
+      std::min(n, static_cast<std::size_t>(thread) * chunk);
+  const std::size_t end = std::min(n, begin + chunk);
+  if (begin < end) fn(thread, begin, end);
+}
+
+void ThreadPool::worker_main(int thread) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const ChunkFn* fn = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = job_fn_;
+      n = job_n_;
+    }
+    try {
+      run_chunk(thread, *fn, n);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_chunked(std::size_t n, const ChunkFn& fn) {
+  if (n == 0) return;
+  if (nthreads_ == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SFG_CHECK_MSG(job_fn_ == nullptr,
+                  "parallel_for_chunked is not reentrant");
+    job_fn_ = &fn;
+    job_n_ = n;
+    remaining_ = nthreads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  std::exception_ptr my_error;
+  try {
+    run_chunk(0, fn, n);
+  } catch (...) {
+    my_error = std::current_exception();
+  }
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    job_fn_ = nullptr;
+    error = first_error_ ? first_error_ : my_error;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace sfg

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A small fixed-size thread pool for on-node parallelism inside one rank.
+/// One primitive is provided: parallel_for_chunked splits an index range
+/// into at most one contiguous chunk per thread and runs the chunks
+/// concurrently, blocking the caller until all complete. Chunk boundaries
+/// depend only on (n, num_threads), never on scheduling, so any
+/// thread-count-independent work assignment stays deterministic.
+///
+/// The calling thread participates as thread 0; a pool of size 1 owns no
+/// worker threads and runs everything inline, which keeps the
+/// single-threaded solver path free of synchronization entirely.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sfg {
+
+class ThreadPool {
+ public:
+  /// fn(thread, begin, end): process items [begin, end) on `thread`
+  /// (0 .. num_threads-1). Each thread id runs at most one chunk per call,
+  /// so `thread` can index per-thread scratch without further locking.
+  using ChunkFn =
+      std::function<void(int thread, std::size_t begin, std::size_t end)>;
+
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return nthreads_; }
+
+  /// Run fn over [0, n) split into ceil(n / num_threads)-sized chunks.
+  /// Blocks until every chunk finished. The first exception thrown by any
+  /// chunk is rethrown on the calling thread (after all chunks complete).
+  /// Not reentrant: fn must not call back into the same pool.
+  void parallel_for_chunked(std::size_t n, const ChunkFn& fn);
+
+ private:
+  void worker_main(int thread);
+  void run_chunk(int thread, const ChunkFn& fn, std::size_t n);
+
+  int nthreads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  ///< bumped once per parallel_for call
+  int remaining_ = 0;             ///< workers still running this generation
+  std::size_t job_n_ = 0;
+  const ChunkFn* job_fn_ = nullptr;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace sfg

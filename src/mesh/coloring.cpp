@@ -1,0 +1,90 @@
+#include "mesh/coloring.hpp"
+
+#include <algorithm>
+
+namespace sfg {
+
+std::vector<int> greedy_element_coloring(
+    const std::vector<std::vector<int>>& adjacency,
+    const std::vector<int>& order) {
+  const std::size_t n = adjacency.size();
+  SFG_CHECK_MSG(order.size() == n,
+                "coloring order must be a permutation of all vertices");
+  std::vector<int> color_of(n, -1);
+  std::vector<int> used;  // scratch: colors taken by neighbours
+  for (int v : order) {
+    SFG_CHECK(v >= 0 && static_cast<std::size_t>(v) < n);
+    SFG_CHECK_MSG(color_of[static_cast<std::size_t>(v)] < 0,
+                  "vertex " << v << " appears twice in the coloring order");
+    used.clear();
+    for (int w : adjacency[static_cast<std::size_t>(v)]) {
+      const int c = color_of[static_cast<std::size_t>(w)];
+      if (c >= 0) used.push_back(c);
+    }
+    std::sort(used.begin(), used.end());
+    int c = 0;
+    for (int u : used) {
+      if (u > c) break;  // first gap found
+      if (u == c) ++c;
+    }
+    color_of[static_cast<std::size_t>(v)] = c;
+  }
+  return color_of;
+}
+
+int num_colors(const std::vector<int>& color_of) {
+  int max_c = -1;
+  for (int c : color_of) max_c = std::max(max_c, c);
+  return max_c + 1;
+}
+
+std::vector<std::vector<int>> color_batches(const std::vector<int>& elements,
+                                            const std::vector<int>& color_of) {
+  int nc = 0;
+  for (int e : elements) {
+    SFG_CHECK(e >= 0 && static_cast<std::size_t>(e) < color_of.size());
+    nc = std::max(nc, color_of[static_cast<std::size_t>(e)] + 1);
+  }
+  std::vector<std::vector<int>> batches(static_cast<std::size_t>(nc));
+  for (int e : elements)
+    batches[static_cast<std::size_t>(color_of[static_cast<std::size_t>(e)])]
+        .push_back(e);
+  batches.erase(std::remove_if(batches.begin(), batches.end(),
+                               [](const std::vector<int>& b) {
+                                 return b.empty();
+                               }),
+                batches.end());
+  return batches;
+}
+
+bool coloring_is_valid(const HexMesh& mesh,
+                       const std::vector<int>& color_of) {
+  SFG_CHECK(mesh.numbered());
+  SFG_CHECK(color_of.size() == static_cast<std::size_t>(mesh.nspec));
+  for (int c : color_of)
+    if (c < 0) return false;
+  // Invert ibool (as element_adjacency does) and require all elements
+  // touching one global point to carry distinct colors. A point is shared
+  // by at most 8 corner-adjacent elements, so the per-point scan is cheap.
+  std::vector<std::vector<int>> touching(
+      static_cast<std::size_t>(mesh.nglob));
+  const int ngll3 = mesh.ngll3();
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const std::size_t off = mesh.local_offset(e);
+    for (int p = 0; p < ngll3; ++p) {
+      auto& lst = touching[static_cast<std::size_t>(
+          mesh.ibool[off + static_cast<std::size_t>(p)])];
+      if (lst.empty() || lst.back() != e) lst.push_back(e);
+    }
+  }
+  for (const auto& lst : touching) {
+    for (std::size_t a = 0; a < lst.size(); ++a)
+      for (std::size_t b = a + 1; b < lst.size(); ++b)
+        if (color_of[static_cast<std::size_t>(lst[a])] ==
+            color_of[static_cast<std::size_t>(lst[b])])
+          return false;
+  }
+  return true;
+}
+
+}  // namespace sfg

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file coloring.hpp
+/// Greedy element coloring on the shared-GLL-point adjacency (the same
+/// graph §4.2's Cuthill-McKee sorting runs on): two elements get different
+/// colors whenever they share a global point, so the nodal force scatter of
+/// all elements within one color is race-free and a color can be dispatched
+/// across threads without atomics.
+///
+/// Coloring composes with the RCM / multilevel element order: vertices are
+/// colored in a caller-supplied processing order and batches preserve that
+/// relative order, so the cache-blocking benefits of §4.2 survive inside
+/// each color.
+
+#include <vector>
+
+#include "mesh/hex_mesh.hpp"
+
+namespace sfg {
+
+/// Greedy first-fit coloring of an undirected graph given as adjacency
+/// lists. Vertices are assigned the smallest color unused by their already
+/// colored neighbours, visiting them in `order` (a permutation of all
+/// vertices; pass an RCM order to keep neighbouring elements in few,
+/// contiguous colors). Returns color_of[vertex] in [0, num_colors).
+std::vector<int> greedy_element_coloring(
+    const std::vector<std::vector<int>>& adjacency,
+    const std::vector<int>& order);
+
+/// Number of distinct colors in a coloring (max + 1; 0 when empty).
+int num_colors(const std::vector<int>& color_of);
+
+/// Bucket a subset of elements (in processing order) by color: returns one
+/// batch per color that actually occurs, ordered by ascending color, each
+/// preserving the relative order of `elements`. Empty colors produce no
+/// batch.
+std::vector<std::vector<int>> color_batches(const std::vector<int>& elements,
+                                            const std::vector<int>& color_of);
+
+/// True when no two elements of the same color share a global point — the
+/// property that makes the within-color force scatter race-free.
+bool coloring_is_valid(const HexMesh& mesh,
+                       const std::vector<int>& color_of);
+
+}  // namespace sfg

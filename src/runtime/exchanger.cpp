@@ -134,7 +134,16 @@ Exchanger Exchanger::build(Communicator& comm,
 
 void Exchanger::assemble_add(Communicator& comm, float* field,
                              int ncomp) const {
+  assemble_add_begin(comm, field, ncomp);
+  assemble_add_end(comm);
+}
+
+void Exchanger::assemble_add_begin(Communicator& comm, float* field,
+                                   int ncomp) const {
   constexpr int kTagAssemble = 9100;
+  SFG_CHECK_MSG(pending_field_ == nullptr,
+                "assemble_add_begin called with an exchange already in "
+                "flight");
   const std::size_t ni = interfaces_.size();
 
   // Snapshot local values into all send buffers BEFORE any accumulation so
@@ -150,22 +159,32 @@ void Exchanger::assemble_add(Communicator& comm, float* field,
         buf[w++] = field[static_cast<std::size_t>(p) * ncomp + c];
   }
 
-  std::vector<Request> reqs;
-  reqs.reserve(2 * ni);
+  pending_requests_.clear();
+  pending_requests_.reserve(2 * ni);
   for (std::size_t n = 0; n < ni; ++n) {
     auto& rbuf = recv_buffers_[n];
     rbuf.resize(send_buffers_[n].size());
-    reqs.push_back(comm.irecv_n(interfaces_[n].neighbor_rank, kTagAssemble,
-                                rbuf.data(), rbuf.size()));
+    pending_requests_.push_back(
+        comm.irecv_n(interfaces_[n].neighbor_rank, kTagAssemble, rbuf.data(),
+                     rbuf.size()));
   }
   for (std::size_t n = 0; n < ni; ++n) {
-    reqs.push_back(comm.isend_n(interfaces_[n].neighbor_rank, kTagAssemble,
-                                send_buffers_[n].data(),
-                                send_buffers_[n].size()));
+    pending_requests_.push_back(
+        comm.isend_n(interfaces_[n].neighbor_rank, kTagAssemble,
+                     send_buffers_[n].data(), send_buffers_[n].size()));
   }
-  comm.wait_all(reqs);
+  pending_field_ = field;
+  pending_ncomp_ = ncomp;
+}
 
-  for (std::size_t n = 0; n < ni; ++n) {
+void Exchanger::assemble_add_end(Communicator& comm) const {
+  SFG_CHECK_MSG(pending_field_ != nullptr,
+                "assemble_add_end without a matching assemble_add_begin");
+  comm.wait_all(pending_requests_);
+
+  float* field = pending_field_;
+  const int ncomp = pending_ncomp_;
+  for (std::size_t n = 0; n < interfaces_.size(); ++n) {
     const Interface& iface = interfaces_[n];
     const auto& rbuf = recv_buffers_[n];
     std::size_t r = 0;
@@ -173,6 +192,9 @@ void Exchanger::assemble_add(Communicator& comm, float* field,
       for (int c = 0; c < ncomp; ++c)
         field[static_cast<std::size_t>(p) * ncomp + c] += rbuf[r++];
   }
+  pending_requests_.clear();
+  pending_field_ = nullptr;
+  pending_ncomp_ = 0;
 }
 
 std::uint64_t Exchanger::floats_per_exchange(int ncomp) const {

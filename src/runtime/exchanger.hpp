@@ -54,7 +54,21 @@ class Exchanger {
   /// Sum contributions across ranks: for an interleaved field of `ncomp`
   /// floats per global point (field[point * ncomp + c]), exchange the
   /// pre-assembly local values with every neighbour and add. Collective.
+  /// Equivalent to assemble_add_begin immediately followed by
+  /// assemble_add_end.
   void assemble_add(Communicator& comm, float* field, int ncomp) const;
+
+  /// Split assembly, first half: snapshot the interface values of `field`
+  /// and post all sends and receives, then return without waiting. The
+  /// caller may compute on any point NOT shared with a neighbour until
+  /// assemble_add_end — that window is where interior-element work hides
+  /// the communication (paper §5's overlap). At most one exchange may be
+  /// in flight per Exchanger; `field` must stay alive until the end call.
+  void assemble_add_begin(Communicator& comm, float* field, int ncomp) const;
+
+  /// Split assembly, second half: wait for the neighbours' contributions
+  /// and accumulate them into the field passed to assemble_add_begin.
+  void assemble_add_end(Communicator& comm) const;
 
   /// Total floats exchanged per assemble_add call (both directions),
   /// for communication-volume accounting.
@@ -65,6 +79,10 @@ class Exchanger {
   // scratch buffers sized once (mutable usage avoided: sized in build).
   mutable std::vector<std::vector<float>> send_buffers_;
   mutable std::vector<std::vector<float>> recv_buffers_;
+  // split-assembly state between begin and end
+  mutable std::vector<Request> pending_requests_;
+  mutable float* pending_field_ = nullptr;
+  mutable int pending_ncomp_ = 0;
 };
 
 }  // namespace sfg::smpi

@@ -2,9 +2,18 @@
 
 #include <cmath>
 
+#include "mesh/coloring.hpp"
 #include "mesh/numbering.hpp"
+#include "mesh/rcm.hpp"
 
 namespace sfg {
+
+Simulation::ThreadScratch::ThreadScratch(int ngll, bool attenuation)
+    : ws(ngll) {
+  if (attenuation)
+    for (auto& comp : r_sum)
+      comp.assign(static_cast<std::size_t>(ws.padded), 0.0f);
+}
 
 Simulation::Simulation(const HexMesh& mesh, const GllBasis& basis,
                        MaterialFields materials, SimulationConfig config,
@@ -16,13 +25,13 @@ Simulation::Simulation(const HexMesh& mesh, const GllBasis& basis,
       cfg_(std::move(config)),
       comm_(comm),
       exchanger_(exchanger),
-      kernel_(basis, cfg_.kernel, cfg_.attenuation),
-      ws_(basis.num_points()) {
+      kernel_(basis, cfg_.kernel, cfg_.attenuation) {
   SFG_CHECK(mesh_.numbered() && mesh_.has_jacobians());
   SFG_CHECK(mat_.size() == mesh_.num_local_points());
   SFG_CHECK_MSG(cfg_.dt > 0.0, "time step must be positive");
   SFG_CHECK_MSG((comm_ == nullptr) == (exchanger_ == nullptr),
                 "parallel runs need both a communicator and an exchanger");
+  SFG_CHECK_MSG(cfg_.num_threads >= 1, "num_threads must be at least 1");
 
   for (int e = 0; e < mesh_.nspec; ++e) {
     if (mat_.element_is_fluid[static_cast<std::size_t>(e)])
@@ -31,11 +40,28 @@ Simulation::Simulation(const HexMesh& mesh, const GllBasis& basis,
       solid_elements_.push_back(e);
   }
 
+  // The fluid phase exchanges chi_ddot across ranks, so every rank must
+  // take part whenever ANY rank carries fluid elements — a rank whose
+  // slice happens to be all-solid still contributes (zero) halo values.
+  global_has_fluid_ = !fluid_elements_.empty();
+  if (comm_ != nullptr)
+    global_has_fluid_ = comm_->allreduce_one<std::uint64_t>(
+                            global_has_fluid_ ? 1 : 0, smpi::ReduceOp::Max) !=
+                        0;
+
+  scratch_.reserve(static_cast<std::size_t>(cfg_.num_threads));
+  for (int t = 0; t < cfg_.num_threads; ++t)
+    scratch_.push_back(std::make_unique<ThreadScratch>(basis.num_points(),
+                                                       cfg_.attenuation));
+  if (cfg_.num_threads > 1)
+    pool_ = std::make_unique<ThreadPool>(cfg_.num_threads);
+  colored_schedule_ = cfg_.num_threads > 1 || cfg_.force_colored_schedule;
+
   const auto ng = static_cast<std::size_t>(mesh_.nglob);
   displ_.assign(ng * 3, 0.0f);
   veloc_.assign(ng * 3, 0.0f);
   accel_.assign(ng * 3, 0.0f);
-  if (!fluid_elements_.empty()) {
+  if (global_has_fluid_) {
     chi_.assign(ng, 0.0f);
     chi_dot_.assign(ng, 0.0f);
     chi_ddot_.assign(ng, 0.0f);
@@ -52,8 +78,6 @@ Simulation::Simulation(const HexMesh& mesh, const GllBasis& basis,
     const std::size_t n = mesh_.num_local_points();
     for (auto& per_sls : r_mem_)
       for (auto& comp : per_sls) comp.assign(n, 0.0f);
-    for (auto& comp : r_sum_scratch_)
-      comp.assign(static_cast<std::size_t>(ws_.padded), 0.0f);
     att_factor_.assign(n, 0.0f);
     for (std::size_t p = 0; p < n; ++p) {
       const float q = mat_.q_mu[p];
@@ -136,6 +160,54 @@ Simulation::Simulation(const HexMesh& mesh, const GllBasis& basis,
   build_mass_matrices();
   build_coupling_surface();
   build_absorbing_points();
+  build_colored_schedule();
+}
+
+void Simulation::build_colored_schedule() {
+  solid_boundary_batches_.clear();
+  solid_interior_batches_.clear();
+  fluid_batches_.clear();
+  num_boundary_elements_ = 0;
+  if (!colored_schedule_) return;
+
+  // Color in the current processing order so a caller-supplied RCM /
+  // multilevel order (§4.2 cache blocking) survives inside each color.
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(mesh_.nspec));
+  for (int e : solid_elements_) order.push_back(e);
+  for (int e : fluid_elements_) order.push_back(e);
+  const std::vector<int> color_of =
+      greedy_element_coloring(element_adjacency(mesh_), order);
+
+  // Split solid elements into boundary (touch a halo point per the
+  // exchanger's interface lists) and interior sets; interior elements are
+  // free to compute while the halo exchange is in flight.
+  std::vector<char> halo_point(static_cast<std::size_t>(mesh_.nglob), 0);
+  if (exchanger_ != nullptr) {
+    for (const smpi::Interface& iface : exchanger_->interfaces())
+      for (int p : iface.local_points)
+        halo_point[static_cast<std::size_t>(p)] = 1;
+  }
+  const int n3 = mesh_.ngll3();
+  auto touches_halo = [&](int e) {
+    const int* ib = mesh_.ibool.data() + mesh_.local_offset(e);
+    for (int p = 0; p < n3; ++p)
+      if (halo_point[static_cast<std::size_t>(ib[p])]) return true;
+    return false;
+  };
+  std::vector<int> boundary, interior;
+  for (int e : solid_elements_)
+    (touches_halo(e) ? boundary : interior).push_back(e);
+  num_boundary_elements_ = static_cast<int>(boundary.size());
+
+  solid_boundary_batches_ = color_batches(boundary, color_of);
+  solid_interior_batches_ = color_batches(interior, color_of);
+  fluid_batches_ = color_batches(fluid_elements_, color_of);
+}
+
+int Simulation::num_solid_batches() const {
+  return static_cast<int>(solid_boundary_batches_.size() +
+                          solid_interior_batches_.size());
 }
 
 void Simulation::build_mass_matrices() {
@@ -167,10 +239,14 @@ void Simulation::build_mass_matrices() {
   for (int e : solid_elements_) accumulate(e, mass_solid, false);
   for (int e : fluid_elements_) accumulate(e, mass_fluid, true);
 
-  // Assemble across ranks so shared points carry the full mass.
+  // Assemble across ranks so shared points carry the full mass. The fluid
+  // exchange must run on every rank or on none (it is pairwise with all
+  // neighbours), so it is gated on the GLOBAL fluid flag, not the local
+  // element list — an all-solid slice of a mesh with an outer core still
+  // participates with zero contributions.
   if (exchanger_ != nullptr) {
     exchanger_->assemble_add(*comm_, mass_solid.data(), 1);
-    if (!fluid_elements_.empty() || true)
+    if (global_has_fluid_)
       exchanger_->assemble_add(*comm_, mass_fluid.data(), 1);
   }
 
@@ -255,6 +331,7 @@ void Simulation::set_solid_element_order(const std::vector<int>& order) {
     seen[static_cast<std::size_t>(e)] = true;
   }
   solid_elements_ = order;
+  build_colored_schedule();
 }
 
 void Simulation::set_initial_condition(
@@ -306,31 +383,43 @@ ElementPointers Simulation::element_pointers(int ispec) const {
   return ep;
 }
 
-void Simulation::gather_element_displ(int ispec) {
-  const std::size_t off = mesh_.local_offset(ispec);
+// The gather/scatter pair is the hot indirection of the solver: one cached
+// ibool pointer per element replaces the per-point offset arithmetic
+// (measurable at NGLL = 5, where each element makes 125 * 6 global
+// accesses).
+void Simulation::gather_element_displ(int ispec, KernelWorkspace& ws) {
+  const int* ib = mesh_.ibool.data() + mesh_.local_offset(ispec);
   const int n3 = mesh_.ngll3();
+  const float* d = displ_.data();
+  float* ux = ws.ux.data();
+  float* uy = ws.uy.data();
+  float* uz = ws.uz.data();
   for (int p = 0; p < n3; ++p) {
-    const auto g = static_cast<std::size_t>(
-        mesh_.ibool[off + static_cast<std::size_t>(p)]);
-    ws_.ux[static_cast<std::size_t>(p)] = displ_[g * 3 + 0];
-    ws_.uy[static_cast<std::size_t>(p)] = displ_[g * 3 + 1];
-    ws_.uz[static_cast<std::size_t>(p)] = displ_[g * 3 + 2];
+    const std::size_t g = static_cast<std::size_t>(ib[p]) * 3;
+    ux[p] = d[g + 0];
+    uy[p] = d[g + 1];
+    uz[p] = d[g + 2];
   }
 }
 
-void Simulation::scatter_element_forces(int ispec) {
-  const std::size_t off = mesh_.local_offset(ispec);
+void Simulation::scatter_element_forces(int ispec,
+                                        const KernelWorkspace& ws) {
+  const int* ib = mesh_.ibool.data() + mesh_.local_offset(ispec);
   const int n3 = mesh_.ngll3();
+  float* a = accel_.data();
+  const float* fx = ws.fx.data();
+  const float* fy = ws.fy.data();
+  const float* fz = ws.fz.data();
   for (int p = 0; p < n3; ++p) {
-    const auto g = static_cast<std::size_t>(
-        mesh_.ibool[off + static_cast<std::size_t>(p)]);
-    accel_[g * 3 + 0] += ws_.fx[static_cast<std::size_t>(p)];
-    accel_[g * 3 + 1] += ws_.fy[static_cast<std::size_t>(p)];
-    accel_[g * 3 + 2] += ws_.fz[static_cast<std::size_t>(p)];
+    const std::size_t g = static_cast<std::size_t>(ib[p]) * 3;
+    a[g + 0] += fx[p];
+    a[g + 1] += fy[p];
+    a[g + 2] += fz[p];
   }
 }
 
-void Simulation::update_memory_variables(int ispec) {
+void Simulation::update_memory_variables(int ispec,
+                                         const KernelWorkspace& ws) {
   const SlsSeries& sls = *cfg_.sls;
   const std::size_t off = mesh_.local_offset(ispec);
   const int n3 = mesh_.ngll3();
@@ -341,26 +430,78 @@ void Simulation::update_memory_variables(int ispec) {
     auto& rl = r_mem_[static_cast<std::size_t>(l)];
     for (int c = 0; c < 5; ++c) {
       float* r = rl[static_cast<std::size_t>(c)].data() + off;
-      const float* eps = ws_.epsdev[c].data();
+      const float* eps = ws.epsdev[c].data();
       const float* fac = att_factor_.data() + off;
       for (int p = 0; p < n3; ++p) r[p] = a * r[p] + b * fac[p] * eps[p];
     }
   }
 }
 
-void Simulation::compute_fluid_forces() {
+void Simulation::process_fluid_element(int ispec, KernelWorkspace& ws) {
+  const int* ib = mesh_.ibool.data() + mesh_.local_offset(ispec);
   const int n3 = mesh_.ngll3();
+  const float* c = chi_.data();
+  float* wchi = ws.chi.data();
+  for (int p = 0; p < n3; ++p)
+    wchi[p] = c[static_cast<std::size_t>(ib[p])];
+  kernel_.compute_acoustic(element_pointers(ispec), ws);
+  float* cdd = chi_ddot_.data();
+  const float* fchi = ws.fchi.data();
+  for (int p = 0; p < n3; ++p)
+    cdd[static_cast<std::size_t>(ib[p])] += fchi[p];
+}
+
+void Simulation::run_solid_batches(
+    const std::vector<std::vector<int>>& batches) {
+  for (const std::vector<int>& batch : batches) {
+    if (pool_ == nullptr) {
+      for (int e : batch) process_solid_element(e, *scratch_[0]);
+    } else {
+      pool_->parallel_for_chunked(
+          batch.size(), [&](int t, std::size_t b, std::size_t n) {
+            ThreadScratch& ts = *scratch_[static_cast<std::size_t>(t)];
+            for (std::size_t i = b; i < n; ++i)
+              process_solid_element(batch[i], ts);
+          });
+    }
+  }
+}
+
+void Simulation::run_fluid_batches(
+    const std::vector<std::vector<int>>& batches) {
+  for (const std::vector<int>& batch : batches) {
+    if (pool_ == nullptr) {
+      for (int e : batch) process_fluid_element(e, scratch_[0]->ws);
+    } else {
+      pool_->parallel_for_chunked(
+          batch.size(), [&](int t, std::size_t b, std::size_t n) {
+            KernelWorkspace& ws = scratch_[static_cast<std::size_t>(t)]->ws;
+            for (std::size_t i = b; i < n; ++i)
+              process_fluid_element(batch[i], ws);
+          });
+    }
+  }
+}
+
+/// Elementwise-independent global update, chunked over the pool. Chunk
+/// boundaries never change results (each index is written once), so this
+/// is bit-identical at any thread count.
+void Simulation::parallel_over(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (pool_ == nullptr) {
+    fn(0, n);
+    return;
+  }
+  pool_->parallel_for_chunked(
+      n, [&](int, std::size_t b, std::size_t e) { fn(b, e); });
+}
+
+void Simulation::compute_fluid_forces() {
   // Element contributions.
-  for (int e : fluid_elements_) {
-    const std::size_t off = mesh_.local_offset(e);
-    for (int p = 0; p < n3; ++p)
-      ws_.chi[static_cast<std::size_t>(p)] = chi_[static_cast<std::size_t>(
-          mesh_.ibool[off + static_cast<std::size_t>(p)])];
-    kernel_.compute_acoustic(element_pointers(e), ws_);
-    for (int p = 0; p < n3; ++p)
-      chi_ddot_[static_cast<std::size_t>(
-          mesh_.ibool[off + static_cast<std::size_t>(p)])] +=
-          ws_.fchi[static_cast<std::size_t>(p)];
+  if (colored_schedule_) {
+    run_fluid_batches(fluid_batches_);
+  } else {
+    for (int e : fluid_elements_) process_fluid_element(e, scratch_[0]->ws);
   }
 
   // Solid -> fluid coupling: continuity of normal displacement supplies
@@ -375,63 +516,75 @@ void Simulation::compute_fluid_forces() {
   if (exchanger_ != nullptr)
     exchanger_->assemble_add(*comm_, chi_ddot_.data(), 1);
 
-  for (std::size_t g = 0; g < chi_ddot_.size(); ++g)
-    chi_ddot_[g] *= rmass_inv_fluid_[g];
+  parallel_over(chi_ddot_.size(), [&](std::size_t b, std::size_t n) {
+    for (std::size_t g = b; g < n; ++g)
+      chi_ddot_[g] *= rmass_inv_fluid_[g];
+  });
+}
+
+void Simulation::process_solid_element(int e, ThreadScratch& scratch) {
+  KernelWorkspace& ws = scratch.ws;
+  const int n3 = mesh_.ngll3();
+  gather_element_displ(e, ws);
+  ElementPointers ep = element_pointers(e);
+  if (cfg_.attenuation) {
+    // Pre-sum the memory variables over the SLSs for this element.
+    const std::size_t off = mesh_.local_offset(e);
+    for (int c = 0; c < 6; ++c) {
+      float* dst = scratch.r_sum[static_cast<std::size_t>(c)].data();
+      for (int p = 0; p < n3; ++p) dst[p] = 0.0f;
+    }
+    for (const auto& rl : r_mem_) {
+      const float* rxx = rl[0].data() + off;
+      const float* ryy = rl[1].data() + off;
+      const float* rxy = rl[2].data() + off;
+      const float* rxz = rl[3].data() + off;
+      const float* ryz = rl[4].data() + off;
+      float* sxx = scratch.r_sum[0].data();
+      float* syy = scratch.r_sum[1].data();
+      float* szz = scratch.r_sum[2].data();
+      float* sxy = scratch.r_sum[3].data();
+      float* sxz = scratch.r_sum[4].data();
+      float* syz = scratch.r_sum[5].data();
+      for (int p = 0; p < n3; ++p) {
+        sxx[p] += rxx[p];
+        syy[p] += ryy[p];
+        szz[p] -= rxx[p] + ryy[p];  // deviatoric: R_zz = -(R_xx + R_yy)
+        sxy[p] += rxy[p];
+        sxz[p] += rxz[p];
+        syz[p] += ryz[p];
+      }
+    }
+    for (int c = 0; c < 6; ++c)
+      ep.r_sum[c] = scratch.r_sum[static_cast<std::size_t>(c)].data();
+  }
+  kernel_.compute_elastic(ep, ws);
+  scatter_element_forces(e, ws);
+  if (cfg_.gravity) {
+    // Collocated body force: accel += w3 * jacobian * h at each node.
+    const std::size_t off = mesh_.local_offset(e);
+    const int* ib = mesh_.ibool.data() + off;
+    for (int p = 0; p < n3; ++p) {
+      const auto g = static_cast<std::size_t>(ib[p]);
+      const float w = w3jac_[off + static_cast<std::size_t>(p)];
+      accel_[g * 3 + 0] += w * ws.gx[static_cast<std::size_t>(p)];
+      accel_[g * 3 + 1] += w * ws.gy[static_cast<std::size_t>(p)];
+      accel_[g * 3 + 2] += w * ws.gz[static_cast<std::size_t>(p)];
+    }
+  }
+  if (cfg_.attenuation) update_memory_variables(e, ws);
 }
 
 void Simulation::compute_solid_forces() {
   const int n3 = mesh_.ngll3();
-  const bool att = cfg_.attenuation;
 
-  for (int e : solid_elements_) {
-    gather_element_displ(e);
-    ElementPointers ep = element_pointers(e);
-    if (att) {
-      // Pre-sum the memory variables over the SLSs for this element.
-      const std::size_t off = mesh_.local_offset(e);
-      for (int c = 0; c < 6; ++c) {
-        float* dst = r_sum_scratch_[static_cast<std::size_t>(c)].data();
-        for (int p = 0; p < n3; ++p) dst[p] = 0.0f;
-      }
-      for (const auto& rl : r_mem_) {
-        const float* rxx = rl[0].data() + off;
-        const float* ryy = rl[1].data() + off;
-        const float* rxy = rl[2].data() + off;
-        const float* rxz = rl[3].data() + off;
-        const float* ryz = rl[4].data() + off;
-        float* sxx = r_sum_scratch_[0].data();
-        float* syy = r_sum_scratch_[1].data();
-        float* szz = r_sum_scratch_[2].data();
-        float* sxy = r_sum_scratch_[3].data();
-        float* sxz = r_sum_scratch_[4].data();
-        float* syz = r_sum_scratch_[5].data();
-        for (int p = 0; p < n3; ++p) {
-          sxx[p] += rxx[p];
-          syy[p] += ryy[p];
-          szz[p] -= rxx[p] + ryy[p];  // deviatoric: R_zz = -(R_xx + R_yy)
-          sxy[p] += rxy[p];
-          sxz[p] += rxz[p];
-          syz[p] += ryz[p];
-        }
-      }
-      for (int c = 0; c < 6; ++c)
-        ep.r_sum[c] = r_sum_scratch_[static_cast<std::size_t>(c)].data();
-    }
-    kernel_.compute_elastic(ep, ws_);
-    scatter_element_forces(e);
-    if (cfg_.gravity) {
-      // Collocated body force: accel += w3 * jacobian * h at each node.
-      const std::size_t off = mesh_.local_offset(e);
-      for (int p = 0; p < n3; ++p) {
-        const std::size_t q = off + static_cast<std::size_t>(p);
-        const auto g = static_cast<std::size_t>(mesh_.ibool[q]);
-        const float w = w3jac_[q];
-        accel_[g * 3 + 0] += w * ws_.gx[static_cast<std::size_t>(p)];
-        accel_[g * 3 + 1] += w * ws_.gy[static_cast<std::size_t>(p)];
-        accel_[g * 3 + 2] += w * ws_.gz[static_cast<std::size_t>(p)];
-      }
-    }
-    if (att) update_memory_variables(e);
+  if (!colored_schedule_) {
+    for (int e : solid_elements_) process_solid_element(e, *scratch_[0]);
+  } else {
+    // Boundary elements first: once they (and the cheap surface terms
+    // below) have contributed, every halo point holds its final local
+    // value and the exchange can start.
+    run_solid_batches(solid_boundary_batches_);
   }
 
   // Fluid -> solid coupling: fluid pressure p = -chi_ddot acts as a
@@ -478,28 +631,51 @@ void Simulation::compute_solid_forces() {
     }
   }
 
-  if (exchanger_ != nullptr)
+  // Comm/compute overlap (§5): open the halo exchange as soon as every
+  // halo point carries its final local value, hide it behind the interior
+  // batches, and only then wait. Interior elements touch no halo point, so
+  // they never race with the exchange snapshot or accumulation.
+  if (colored_schedule_) {
+    if (exchanger_ != nullptr)
+      exchanger_->assemble_add_begin(*comm_, accel_.data(), 3);
+    {
+      WallTimer t_interior;
+      run_solid_batches(solid_interior_batches_);
+      if (exchanger_ != nullptr)
+        overlap_compute_seconds_ += t_interior.seconds();
+    }
+    if (exchanger_ != nullptr) {
+      WallTimer t_wait;
+      exchanger_->assemble_add_end(*comm_);
+      overlap_wait_seconds_ += t_wait.seconds();
+    }
+  } else if (exchanger_ != nullptr) {
     exchanger_->assemble_add(*comm_, accel_.data(), 3);
+  }
 
   const auto ng = static_cast<std::size_t>(mesh_.nglob);
-  for (std::size_t g = 0; g < ng; ++g) {
-    const float rm = rmass_inv_solid_[g];
-    accel_[g * 3 + 0] *= rm;
-    accel_[g * 3 + 1] *= rm;
-    accel_[g * 3 + 2] *= rm;
-  }
+  parallel_over(ng, [&](std::size_t b, std::size_t n) {
+    for (std::size_t g = b; g < n; ++g) {
+      const float rm = rmass_inv_solid_[g];
+      accel_[g * 3 + 0] *= rm;
+      accel_[g * 3 + 1] *= rm;
+      accel_[g * 3 + 2] *= rm;
+    }
+  });
 
   // Coriolis force: a -= 2 omega x v (exact after mass division because
   // the term's weak form shares the diagonal mass matrix).
   if (cfg_.rotation) {
     const double two_om = 2.0 * cfg_.omega_rad_s;
-    for (std::size_t g = 0; g < ng; ++g) {
-      const double vx = veloc_[g * 3 + 0];
-      const double vy = veloc_[g * 3 + 1];
-      if (rmass_inv_solid_[g] == 0.0f) continue;
-      accel_[g * 3 + 0] += static_cast<float>(two_om * vy);
-      accel_[g * 3 + 1] -= static_cast<float>(two_om * vx);
-    }
+    parallel_over(ng, [&](std::size_t b, std::size_t n) {
+      for (std::size_t g = b; g < n; ++g) {
+        const double vx = veloc_[g * 3 + 0];
+        const double vy = veloc_[g * 3 + 1];
+        if (rmass_inv_solid_[g] == 0.0f) continue;
+        accel_[g * 3 + 0] += static_cast<float>(two_om * vy);
+        accel_[g * 3 + 1] -= static_cast<float>(two_om * vx);
+      }
+    });
   }
 }
 
@@ -509,28 +685,40 @@ void Simulation::step() {
   const auto ng = static_cast<std::size_t>(mesh_.nglob);
 
   // ---- Newmark predictor ----
-  for (std::size_t g = 0; g < ng * 3; ++g) {
-    displ_[g] += static_cast<float>(dt * veloc_[g] + dt2 * accel_[g]);
-    veloc_[g] += static_cast<float>(0.5 * dt * accel_[g]);
-    accel_[g] = 0.0f;
-  }
-  if (!fluid_elements_.empty()) {
-    for (std::size_t g = 0; g < ng; ++g) {
-      chi_[g] += static_cast<float>(dt * chi_dot_[g] + dt2 * chi_ddot_[g]);
-      chi_dot_[g] += static_cast<float>(0.5 * dt * chi_ddot_[g]);
-      chi_ddot_[g] = 0.0f;
+  parallel_over(ng * 3, [&](std::size_t b, std::size_t n) {
+    for (std::size_t g = b; g < n; ++g) {
+      displ_[g] += static_cast<float>(dt * veloc_[g] + dt2 * accel_[g]);
+      veloc_[g] += static_cast<float>(0.5 * dt * accel_[g]);
+      accel_[g] = 0.0f;
     }
+  });
+  // The fluid phase is collective (chi_ddot assembly), so it is gated on
+  // the global fluid flag: all-solid ranks of a mixed mesh participate
+  // with zero local contributions.
+  if (global_has_fluid_) {
+    parallel_over(ng, [&](std::size_t b, std::size_t n) {
+      for (std::size_t g = b; g < n; ++g) {
+        chi_[g] += static_cast<float>(dt * chi_dot_[g] + dt2 * chi_ddot_[g]);
+        chi_dot_[g] += static_cast<float>(0.5 * dt * chi_ddot_[g]);
+        chi_ddot_[g] = 0.0f;
+      }
+    });
     compute_fluid_forces();
   }
 
   compute_solid_forces();
 
   // ---- Newmark corrector ----
-  for (std::size_t g = 0; g < ng * 3; ++g)
-    veloc_[g] += static_cast<float>(0.5 * dt * accel_[g]);
-  if (!fluid_elements_.empty())
-    for (std::size_t g = 0; g < ng; ++g)
-      chi_dot_[g] += static_cast<float>(0.5 * dt * chi_ddot_[g]);
+  parallel_over(ng * 3, [&](std::size_t b, std::size_t n) {
+    for (std::size_t g = b; g < n; ++g)
+      veloc_[g] += static_cast<float>(0.5 * dt * accel_[g]);
+  });
+  if (global_has_fluid_) {
+    parallel_over(ng, [&](std::size_t b, std::size_t n) {
+      for (std::size_t g = b; g < n; ++g)
+        chi_dot_[g] += static_cast<float>(0.5 * dt * chi_ddot_[g]);
+    });
+  }
 
   time_ += dt;
   ++it_;
@@ -577,14 +765,15 @@ EnergySnapshot Simulation::compute_energy() {
 
   // Element-wise kinetic and strain energy: safe to sum across ranks
   // because every element is owned by exactly one rank.
+  KernelWorkspace& ws = scratch_[0]->ws;
   for (int e : solid_elements_) {
     const std::size_t off = mesh_.local_offset(e);
-    gather_element_displ(e);
+    gather_element_displ(e, ws);
     ElementPointers ep = element_pointers(e);
     if (cfg_.attenuation) {
       for (int c = 0; c < 6; ++c) ep.r_sum[c] = nullptr;
     }
-    kernel_.compute_elastic(ep, ws_);
+    kernel_.compute_elastic(ep, ws);
     for (int k = 0; k < ngll; ++k) {
       for (int j = 0; j < ngll; ++j) {
         for (int i = 0; i < ngll; ++i) {
@@ -600,11 +789,11 @@ EnergySnapshot Simulation::compute_energy() {
           // strain energy = -1/2 u . f_element (f = -K_e u)
           es.potential -=
               0.5 * (static_cast<double>(displ_[g * 3 + 0]) *
-                         ws_.fx[static_cast<std::size_t>(lp)] +
+                         ws.fx[static_cast<std::size_t>(lp)] +
                      static_cast<double>(displ_[g * 3 + 1]) *
-                         ws_.fy[static_cast<std::size_t>(lp)] +
+                         ws.fy[static_cast<std::size_t>(lp)] +
                      static_cast<double>(displ_[g * 3 + 2]) *
-                         ws_.fz[static_cast<std::size_t>(lp)]);
+                         ws.fz[static_cast<std::size_t>(lp)]);
         }
       }
     }
@@ -615,7 +804,7 @@ EnergySnapshot Simulation::compute_energy() {
   for (int e : fluid_elements_) {
     const std::size_t off = mesh_.local_offset(e);
     for (int p = 0; p < n3; ++p)
-      ws_.chi[static_cast<std::size_t>(p)] = chi_[static_cast<std::size_t>(
+      ws.chi[static_cast<std::size_t>(p)] = chi_[static_cast<std::size_t>(
           mesh_.ibool[off + static_cast<std::size_t>(p)])];
     // Reference-coordinate gradients of chi.
     for (int k = 0; k < ngll; ++k) {
@@ -623,13 +812,13 @@ EnergySnapshot Simulation::compute_energy() {
         for (int i = 0; i < ngll; ++i) {
           double g1 = 0, g2 = 0, g3 = 0;
           for (int l = 0; l < ngll; ++l) {
-            g1 += ws_.chi[static_cast<std::size_t>(
+            g1 += ws.chi[static_cast<std::size_t>(
                       local_index(ngll, l, j, k))] *
                   basis_.hprime(i, l);
-            g2 += ws_.chi[static_cast<std::size_t>(
+            g2 += ws.chi[static_cast<std::size_t>(
                       local_index(ngll, i, l, k))] *
                   basis_.hprime(j, l);
-            g3 += ws_.chi[static_cast<std::size_t>(
+            g3 += ws.chi[static_cast<std::size_t>(
                       local_index(ngll, i, j, l))] *
                   basis_.hprime(k, l);
           }
@@ -681,7 +870,7 @@ std::uint64_t Simulation::flops_per_step() const {
 std::uint64_t Simulation::comm_bytes_per_step() const {
   if (exchanger_ == nullptr) return 0;
   std::uint64_t floats = exchanger_->floats_per_exchange(3);
-  if (!fluid_elements_.empty()) floats += exchanger_->floats_per_exchange(1);
+  if (global_has_fluid_) floats += exchanger_->floats_per_exchange(1);
   return floats * sizeof(float);
 }
 

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "kernels/force_kernel.hpp"
 #include "mesh/faces.hpp"
 #include "mesh/hex_mesh.hpp"
@@ -58,6 +59,18 @@ struct SimulationConfig {
 
   /// Record seismograms every this many steps.
   int record_every = 1;
+
+  /// On-node threads for the element loops and global field updates.
+  /// 1 (the default) is the bit-identical legacy sequential path; > 1
+  /// switches to the colored element schedule (race-free scatter) with
+  /// the halo exchange overlapped by interior-element compute.
+  int num_threads = 1;
+
+  /// Run the colored/overlapped schedule even at num_threads == 1. The
+  /// schedule fixes the per-point summation order independently of the
+  /// thread count, so a forced-colored 1-thread run is bit-identical to
+  /// any multi-threaded run (the determinism reference).
+  bool force_colored_schedule = false;
 };
 
 /// Recorded three-component seismogram at one station.
@@ -134,6 +147,18 @@ class Simulation {
   /// Bytes exchanged per step by the assembly communication on this rank.
   std::uint64_t comm_bytes_per_step() const;
 
+  // ---- comm/compute overlap accounting (colored schedule only) ----
+  /// Accumulated wall time spent computing interior elements inside the
+  /// open halo-exchange window (between assemble_add_begin and _end).
+  double overlap_compute_seconds() const { return overlap_compute_seconds_; }
+  /// Accumulated wall time blocked in assemble_add_end after the interior
+  /// work ran out — the part of the exchange NOT hidden by compute.
+  double overlap_wait_seconds() const { return overlap_wait_seconds_; }
+  int num_boundary_elements() const { return num_boundary_elements_; }
+  /// Number of race-free solid batches (boundary + interior color groups)
+  /// in the colored schedule; 0 on the legacy sequential path.
+  int num_solid_batches() const;
+
  private:
   struct CouplingPoint {
     int iglob;
@@ -153,15 +178,31 @@ class Simulation {
     Seismogram seis;
   };
 
+  /// Per-thread compute state: the kernel workspace plus the attenuation
+  /// memory-variable pre-sums, so every thread processes elements without
+  /// sharing scratch.
+  struct ThreadScratch {
+    KernelWorkspace ws;
+    std::array<aligned_vector<float>, 6> r_sum;
+    ThreadScratch(int ngll, bool attenuation);
+  };
+
   void build_mass_matrices();
   void build_coupling_surface();
   void build_absorbing_points();
+  void build_colored_schedule();
   void compute_fluid_forces();
   void compute_solid_forces();
-  void gather_element_displ(int ispec);
-  void scatter_element_forces(int ispec);
+  void process_solid_element(int ispec, ThreadScratch& scratch);
+  void process_fluid_element(int ispec, KernelWorkspace& ws);
+  void run_solid_batches(const std::vector<std::vector<int>>& batches);
+  void run_fluid_batches(const std::vector<std::vector<int>>& batches);
+  void parallel_over(std::size_t n,
+                     const std::function<void(std::size_t, std::size_t)>& fn);
+  void gather_element_displ(int ispec, KernelWorkspace& ws);
+  void scatter_element_forces(int ispec, const KernelWorkspace& ws);
   ElementPointers element_pointers(int ispec) const;
-  void update_memory_variables(int ispec);
+  void update_memory_variables(int ispec, const KernelWorkspace& ws);
   void record_receivers();
 
   const HexMesh& mesh_;
@@ -172,10 +213,24 @@ class Simulation {
   const smpi::Exchanger* exchanger_;
 
   ForceKernel kernel_;
-  mutable KernelWorkspace ws_;
 
   std::vector<int> solid_elements_;
   std::vector<int> fluid_elements_;
+
+  // Threading (ISSUE 1): per-thread scratch, the pool (null at 1 thread)
+  // and the colored element schedule. Solid colors are split into
+  // boundary batches (elements touching a halo point — computed before the
+  // exchange starts) and interior batches (overlapped with the exchange).
+  std::vector<std::unique_ptr<ThreadScratch>> scratch_;
+  std::unique_ptr<ThreadPool> pool_;
+  bool colored_schedule_ = false;
+  std::vector<std::vector<int>> solid_boundary_batches_;
+  std::vector<std::vector<int>> solid_interior_batches_;
+  std::vector<std::vector<int>> fluid_batches_;
+  int num_boundary_elements_ = 0;
+  bool global_has_fluid_ = false;  ///< fluid anywhere across all ranks
+  double overlap_compute_seconds_ = 0.0;
+  double overlap_wait_seconds_ = 0.0;
 
   // Global fields (nglob * 3 and nglob).
   aligned_vector<float> displ_, veloc_, accel_;
@@ -188,7 +243,6 @@ class Simulation {
   // factor 2 mu_relaxed * (Q_ref / Q_point).
   std::vector<std::array<aligned_vector<float>, 5>> r_mem_;
   aligned_vector<float> att_factor_;
-  std::array<aligned_vector<float>, 6> r_sum_scratch_;
   double exp_a_[10] = {0};  ///< exp(-dt/tau_l)
   double one_minus_a_[10] = {0};
 
