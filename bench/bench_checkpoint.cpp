@@ -1,0 +1,108 @@
+// Checkpoint/restart + fault-layer cost (ISSUE 2). The paper's motivation
+// for the merged mesher+solver was removing a fragile 14-108 TB file
+// handoff (§4.1); a restartable solver reintroduces state files, so their
+// cost must be known: snapshot size per rank, write and restore
+// throughput, and the runtime overhead the reliability layer (sequence
+// numbers + fault checks) adds to the hot messaging path.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/constants.hpp"
+#include "io/snapshot.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/smpi.hpp"
+
+using namespace sfg;
+
+namespace {
+
+std::string temp_snapshot_path() {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp ? tmp : "/tmp") + "/sfg_bench_ckpt.snap";
+}
+
+void bench_checkpoint_io() {
+  bench::GlobeSetup setup(8);
+  Simulation sim = setup.make_simulation();
+  sim.add_receiver(0.0, 0.0, kEarthRadiusM);
+  sim.run(5);  // non-trivial state
+
+  io::SnapshotIdentity id;
+  id.nex = 8;
+  id.nproc = 1;
+  id.nchunks = 6;
+  const std::string path = temp_snapshot_path();
+
+  const double t_write =
+      bench::time_best_of(3, [&] { sim.write_checkpoint(path, id); });
+  const double t_restore =
+      bench::time_best_of(3, [&] { sim.restore_checkpoint(path, id); });
+
+  double mb = 0.0;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fseek(f, 0, SEEK_END);
+    mb = static_cast<double>(std::ftell(f)) / 1e6;
+    std::fclose(f);
+  }
+  std::printf("NEX=8 globe: %d global points, snapshot %.2f MB\n",
+              sim.nglob(), mb);
+  std::printf("  write:   %8.3f ms  (%7.1f MB/s)\n", 1e3 * t_write,
+              mb / t_write);
+  std::printf("  restore: %8.3f ms  (%7.1f MB/s)\n", 1e3 * t_restore,
+              mb / t_restore);
+  std::remove(path.c_str());
+}
+
+/// Ping-pong through the runtime: no plan installed vs an installed plan
+/// whose rules never match — isolates the per-message cost of the
+/// reliability layer's bookkeeping and fault checks.
+double pingpong_seconds(const smpi::FaultPlan* plan, int rounds) {
+  const auto body = [&](smpi::Communicator& comm) {
+    std::vector<float> buf(1024);
+    for (int i = 0; i < rounds; ++i) {
+      if (comm.rank() == 0) {
+        comm.send_n(1, 1, buf.data(), buf.size());
+        comm.recv_n(1, 2, buf.data(), buf.size());
+      } else {
+        comm.recv_n(0, 1, buf.data(), buf.size());
+        comm.send_n(0, 2, buf.data(), buf.size());
+      }
+    }
+  };
+  return bench::time_best_of(3, [&] {
+    if (plan)
+      smpi::run_ranks_with_faults(2, *plan, body);
+    else
+      smpi::run_ranks(2, body);
+  });
+}
+
+void bench_fault_layer_overhead() {
+  const int rounds = 20000;
+  const double base = pingpong_seconds(nullptr, rounds);
+
+  smpi::FaultPlan idle_plan;
+  idle_plan.drop_messages(0, 1, /*tag=*/999999);  // never matches
+  const double with_plan = pingpong_seconds(&idle_plan, rounds);
+
+  std::printf("4 KB ping-pong, %d rounds:\n", rounds);
+  std::printf("  no fault plan:        %8.1f us/round\n",
+              1e6 * base / rounds);
+  std::printf("  non-matching plan:    %8.1f us/round  (%+.1f%%)\n",
+              1e6 * with_plan / rounds, 100.0 * (with_plan / base - 1.0));
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Checkpoint/restart and fault-layer cost",
+      "restartable runs were a precondition for the 62K-core campaigns; "
+      "snapshot I/O and reliability bookkeeping must stay cheap");
+  bench_checkpoint_io();
+  bench_fault_layer_overhead();
+  return 0;
+}

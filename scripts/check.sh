@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI-style gate (ISSUE 2): build, run the fast tier-1 test suite, then
+# build the ThreadSanitizer configuration and run the concurrency-heavy
+# tests (threaded solver, smpi runtime, fault injection) under it.
+#
+# Usage: scripts/check.sh [--no-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+RUN_TSAN=1
+[[ "${1:-}" == "--no-tsan" ]] && RUN_TSAN=0
+
+echo "==> configure + build (build/)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+
+echo "==> tier-1 tests (ctest -L tier1)"
+ctest --test-dir build -L tier1 --output-on-failure -j "${JOBS}"
+
+if [[ "${RUN_TSAN}" == "1" ]]; then
+  echo "==> configure + build ThreadSanitizer config (build-tsan/)"
+  cmake -B build-tsan -S . -DSFG_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" \
+    --target test_threaded_solver test_smpi test_fault_injection
+
+  echo "==> concurrency tests under TSan"
+  for t in test_threaded_solver test_smpi test_fault_injection; do
+    echo "--> ${t}"
+    ./build-tsan/tests/"${t}"
+  done
+fi
+
+echo "==> all checks passed"

@@ -1,0 +1,226 @@
+#include "io/snapshot.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+
+namespace sfg::io {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'S', 'F', 'G', 'S',
+                                        'N', 'A', 'P', '\0'};
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void append_bytes(std::vector<std::byte>& out, const void* data,
+                  std::size_t bytes) {
+  const auto* p = static_cast<const std::byte*>(data);
+  out.insert(out.end(), p, p + bytes);
+}
+
+template <typename T>
+void append_value(std::vector<std::byte>& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  append_bytes(out, &value, sizeof(T));
+}
+
+/// Sequential parser over a loaded file; every read is bounds-checked so a
+/// truncated file fails with a clear message instead of reading garbage.
+class Cursor {
+ public:
+  Cursor(const std::vector<std::byte>& data, const std::string& path)
+      : data_(data), path_(path) {}
+
+  template <typename T>
+  T read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    read_into(&value, sizeof(T));
+    return value;
+  }
+
+  void read_into(void* dest, std::size_t bytes) {
+    SFG_CHECK_MSG(pos_ + bytes <= data_.size(),
+                  "snapshot '" << path_ << "' is truncated (needed "
+                               << bytes << " bytes at offset " << pos_
+                               << ", file has " << data_.size() << ")");
+    std::memcpy(dest, data_.data() + pos_, bytes);
+    pos_ += bytes;
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const std::vector<std::byte>& data_;
+  const std::string& path_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed) {
+  const auto& table = crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i)
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void SnapshotWriter::add_section(const std::string& name, const void* data,
+                                 std::size_t bytes) {
+  SFG_CHECK_MSG(!name.empty(), "snapshot section needs a name");
+  for (const Section& s : sections_)
+    SFG_CHECK_MSG(s.name != name,
+                  "duplicate snapshot section '" << name << "'");
+  Section s;
+  s.name = name;
+  s.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(s.payload.data(), data, bytes);
+  sections_.push_back(std::move(s));
+}
+
+void SnapshotWriter::write(const std::string& path,
+                           const SnapshotIdentity& identity) const {
+  std::vector<std::byte> body;  // everything after the magic, before CRC
+  append_value(body, kSnapshotVersion);
+  append_value(body, identity.nex);
+  append_value(body, identity.nproc);
+  append_value(body, identity.nchunks);
+  append_value(body, identity.rank);
+  append_value(body, identity.nranks);
+  append_value(body, static_cast<std::uint32_t>(sections_.size()));
+  for (const Section& s : sections_) {
+    append_value(body, static_cast<std::uint32_t>(s.name.size()));
+    append_bytes(body, s.name.data(), s.name.size());
+    append_value(body, static_cast<std::uint64_t>(s.payload.size()));
+  }
+  for (const Section& s : sections_)
+    append_bytes(body, s.payload.data(), s.payload.size());
+  const std::uint32_t crc = crc32(body.data(), body.size());
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    SFG_CHECK_MSG(out.good(), "cannot open '" << tmp << "' for writing");
+    out.write(kMagic.data(), kMagic.size());
+    out.write(reinterpret_cast<const char*>(body.data()),
+              static_cast<std::streamsize>(body.size()));
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    SFG_CHECK_MSG(out.good(), "write to '" << tmp << "' failed");
+  }
+  SFG_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "cannot rename '" << tmp << "' to '" << path << "'");
+}
+
+SnapshotReader SnapshotReader::open(const std::string& path,
+                                    const SnapshotIdentity& expected) {
+  std::vector<std::byte> file;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    SFG_CHECK_MSG(in.good(), "cannot open snapshot '" << path << "'");
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    file.resize(static_cast<std::size_t>(size));
+    if (size > 0)
+      in.read(reinterpret_cast<char*>(file.data()), size);
+    SFG_CHECK_MSG(in.good(), "cannot read snapshot '" << path << "'");
+  }
+
+  SFG_CHECK_MSG(file.size() >= kMagic.size() + sizeof(std::uint32_t),
+                "snapshot '" << path << "' is truncated (only "
+                             << file.size() << " bytes)");
+  SFG_CHECK_MSG(std::memcmp(file.data(), kMagic.data(), kMagic.size()) == 0,
+                "'" << path << "' is not an SFG snapshot (bad magic)");
+
+  // Verify the trailing CRC over everything between magic and CRC before
+  // trusting any field.
+  const std::size_t body_size =
+      file.size() - kMagic.size() - sizeof(std::uint32_t);
+  std::uint32_t stored_crc;
+  std::memcpy(&stored_crc, file.data() + kMagic.size() + body_size,
+              sizeof(stored_crc));
+  const std::uint32_t computed_crc =
+      crc32(file.data() + kMagic.size(), body_size);
+  SFG_CHECK_MSG(stored_crc == computed_crc,
+                "snapshot '" << path
+                             << "' failed CRC check (corrupted or "
+                                "truncated file)");
+
+  std::vector<std::byte> body(file.begin() + static_cast<std::ptrdiff_t>(
+                                                 kMagic.size()),
+                              file.end() - sizeof(std::uint32_t));
+  Cursor cur(body, path);
+
+  const std::uint32_t version = cur.read<std::uint32_t>();
+  SFG_CHECK_MSG(version == kSnapshotVersion,
+                "snapshot '" << path << "' has format version " << version
+                             << ", this build reads version "
+                             << kSnapshotVersion);
+
+  SnapshotReader reader;
+  reader.identity_.nex = cur.read<std::int32_t>();
+  reader.identity_.nproc = cur.read<std::int32_t>();
+  reader.identity_.nchunks = cur.read<std::int32_t>();
+  reader.identity_.rank = cur.read<std::int32_t>();
+  reader.identity_.nranks = cur.read<std::int32_t>();
+  SFG_CHECK_MSG(
+      reader.identity_ == expected,
+      "snapshot '" << path << "' was written for NEX=" << reader.identity_.nex
+                   << " NPROC=" << reader.identity_.nproc << " nchunks="
+                   << reader.identity_.nchunks << " rank="
+                   << reader.identity_.rank << "/" << reader.identity_.nranks
+                   << ", but this run expects NEX=" << expected.nex
+                   << " NPROC=" << expected.nproc << " nchunks="
+                   << expected.nchunks << " rank=" << expected.rank << "/"
+                   << expected.nranks);
+
+  const std::uint32_t nsections = cur.read<std::uint32_t>();
+  std::vector<std::pair<std::string, std::uint64_t>> table;
+  table.reserve(nsections);
+  for (std::uint32_t i = 0; i < nsections; ++i) {
+    const std::uint32_t name_len = cur.read<std::uint32_t>();
+    std::string name(name_len, '\0');
+    cur.read_into(name.data(), name_len);
+    const std::uint64_t bytes = cur.read<std::uint64_t>();
+    table.emplace_back(std::move(name), bytes);
+  }
+  for (auto& [name, bytes] : table) {
+    std::vector<std::byte> payload(static_cast<std::size_t>(bytes));
+    cur.read_into(payload.data(), payload.size());
+    reader.sections_.emplace_back(std::move(name), std::move(payload));
+  }
+  SFG_CHECK_MSG(cur.pos() == body.size(),
+                "snapshot '" << path << "' has " << (body.size() - cur.pos())
+                             << " trailing bytes after the last section");
+  return reader;
+}
+
+bool SnapshotReader::has(const std::string& name) const {
+  for (const auto& [n, _] : sections_)
+    if (n == name) return true;
+  return false;
+}
+
+const std::vector<std::byte>& SnapshotReader::section(
+    const std::string& name) const {
+  for (const auto& [n, payload] : sections_)
+    if (n == name) return payload;
+  SFG_CHECK_MSG(false, "snapshot has no section '" << name << "'");
+  throw CheckError("unreachable");
+}
+
+}  // namespace sfg::io

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// Versioned, CRC-protected binary snapshot container used by the solver's
+/// checkpoint/restart path (ISSUE 2). The design follows the shape of
+/// PETSc's DMPlex parallel checkpoint formats: one file per rank, a header
+/// that pins the run configuration (NEX, NPROC, nchunks, rank, nranks) so a
+/// snapshot can never be restored into a mismatched decomposition, named
+/// sections so the layout can evolve without breaking old readers, and a
+/// whole-file CRC32 so corruption and truncation are detected instead of
+/// silently producing wrong physics.
+///
+/// File layout (little-endian, as written by the host):
+///   8 bytes  magic "SFGSNAP\0"
+///   u32      format version (kSnapshotVersion)
+///   5 × i32  SnapshotIdentity {nex, nproc, nchunks, rank, nranks}
+///   u32      section count
+///   per section: u32 name length, name bytes, u64 payload bytes
+///   section payloads, in table order
+///   u32      CRC32 over everything after the magic
+///
+/// All failure modes (bad magic, unknown version, identity mismatch,
+/// truncation, CRC mismatch, missing/short section) throw sfg::CheckError
+/// with a message naming the file and the problem.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace sfg::io {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Chainable via `seed`.
+std::uint32_t crc32(const void* data, std::size_t bytes,
+                    std::uint32_t seed = 0);
+
+/// Pins a snapshot to one run configuration; restore rejects any mismatch.
+struct SnapshotIdentity {
+  std::int32_t nex = 0;      ///< elements per chunk edge (NEX_XI)
+  std::int32_t nproc = 0;    ///< process grid edge per chunk (NPROC_XI)
+  std::int32_t nchunks = 1;  ///< cubed-sphere chunks (or 1 for box runs)
+  std::int32_t rank = 0;     ///< owning rank of this per-rank file
+  std::int32_t nranks = 1;   ///< world size the run was decomposed for
+
+  bool operator==(const SnapshotIdentity&) const = default;
+};
+
+/// Accumulates named sections in memory, then writes one snapshot file.
+class SnapshotWriter {
+ public:
+  void add_section(const std::string& name, const void* data,
+                   std::size_t bytes);
+
+  template <typename T>
+  void add_values(const std::string& name, const T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    add_section(name, data, count * sizeof(T));
+  }
+  template <typename T>
+  void add_vector(const std::string& name, const std::vector<T>& v) {
+    add_values(name, v.data(), v.size());
+  }
+
+  /// Serialize (header + sections + CRC) and write atomically-ish: to
+  /// `path + ".tmp"` first, then rename over `path`.
+  void write(const std::string& path, const SnapshotIdentity& identity) const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::vector<std::byte> payload;
+  };
+  std::vector<Section> sections_;
+};
+
+/// Loads and validates a snapshot file, then serves sections by name.
+class SnapshotReader {
+ public:
+  /// Read `path`, verify magic/version/CRC, and check the stored identity
+  /// against `expected`. Throws CheckError on any mismatch.
+  static SnapshotReader open(const std::string& path,
+                             const SnapshotIdentity& expected);
+
+  const SnapshotIdentity& identity() const { return identity_; }
+
+  bool has(const std::string& name) const;
+  /// Section payload; throws CheckError if absent.
+  const std::vector<std::byte>& section(const std::string& name) const;
+
+  template <typename T>
+  std::vector<T> read_vector(const std::string& name) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto& raw = section(name);
+    SFG_CHECK_MSG(raw.size() % sizeof(T) == 0,
+                  "snapshot section '" << name << "' has " << raw.size()
+                                       << " bytes, not a multiple of "
+                                       << sizeof(T));
+    std::vector<T> out(raw.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  template <typename T>
+  T read_value(const std::string& name) const {
+    const auto v = read_vector<T>(name);
+    SFG_CHECK_MSG(v.size() == 1, "snapshot section '"
+                                     << name << "' holds " << v.size()
+                                     << " values, expected exactly 1");
+    return v[0];
+  }
+
+ private:
+  SnapshotIdentity identity_;
+  std::vector<std::pair<std::string, std::vector<std::byte>>> sections_;
+};
+
+}  // namespace sfg::io

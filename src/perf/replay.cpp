@@ -64,6 +64,19 @@ ReplayResult replay_traces(
           continue;
         }
 
+        if (ev.kind == TraceEvent::Kind::Fault) {
+          // Injected fault or recv-retry timeout: purely local — the rank
+          // burns its compute segment plus the lost wait time recorded in
+          // mpi_seconds. Lets replay price the retry cost of faulty runs.
+          clock[static_cast<std::size_t>(r)] += compute + ev.mpi_seconds;
+          compute_time[static_cast<std::size_t>(r)] += compute;
+          comm_time[static_cast<std::size_t>(r)] += ev.mpi_seconds;
+          total_flops += ev.compute_flops;
+          ++next[static_cast<std::size_t>(r)];
+          progress = true;
+          continue;
+        }
+
         if (ev.kind == TraceEvent::Kind::Recv) {
           auto& ready = send_ready[{ev.peer, r}];
           auto& matched = recv_matched[{ev.peer, r}];

@@ -60,10 +60,15 @@ Exchanger Exchanger::build(Communicator& comm,
   const std::uint64_t global_max_post =
       comm.allreduce_one(my_max_post, ReduceOp::Max);
 
+  // Discovery receives use the bounded-wait path so a faulty transport
+  // surfaces as SimulationAborted rather than a hang during setup.
+  const RecvPolicy build_policy{};
+
   std::vector<std::int64_t> inbuf(static_cast<std::size_t>(global_max_post));
   for (int src = 0; src < nranks; ++src) {
     const std::size_t got =
-        comm.recv_n(src, kTagPost, inbuf.data(), inbuf.size());
+        comm.recv_n_retry(src, kTagPost, inbuf.data(), inbuf.size(),
+                          build_policy);
     for (std::size_t i = 0; i < got; ++i) groups[inbuf[i]].push_back(src);
   }
   comm.wait_all(reqs);
@@ -103,7 +108,8 @@ Exchanger Exchanger::build(Communicator& comm,
   std::vector<std::int64_t> rbuf(static_cast<std::size_t>(global_max_reply));
   for (int src = 0; src < nranks; ++src) {
     const std::size_t got =
-        comm.recv_n(src, kTagReply, rbuf.data(), rbuf.size());
+        comm.recv_n_retry(src, kTagReply, rbuf.data(), rbuf.size(),
+                          build_policy);
     SFG_CHECK(got % 2 == 0);
     for (std::size_t i = 0; i < got; i += 2) {
       const std::int64_t key = rbuf[i];
@@ -140,7 +146,7 @@ void Exchanger::assemble_add(Communicator& comm, float* field,
 
 void Exchanger::assemble_add_begin(Communicator& comm, float* field,
                                    int ncomp) const {
-  constexpr int kTagAssemble = 9100;
+  constexpr int kTagAssemble = kAssembleTag;
   SFG_CHECK_MSG(pending_field_ == nullptr,
                 "assemble_add_begin called with an exchange already in "
                 "flight");
@@ -180,7 +186,9 @@ void Exchanger::assemble_add_begin(Communicator& comm, float* field,
 void Exchanger::assemble_add_end(Communicator& comm) const {
   SFG_CHECK_MSG(pending_field_ != nullptr,
                 "assemble_add_end without a matching assemble_add_begin");
-  comm.wait_all(pending_requests_);
+  // Bounded wait: a dropped halo message triggers retransmit-and-retry
+  // instead of blocking forever (ISSUE 2 exchanger audit).
+  comm.wait_all_retry(pending_requests_, recv_policy_);
 
   float* field = pending_field_;
   const int ncomp = pending_ncomp_;

@@ -40,6 +40,10 @@ struct PointCandidate {
 
 class Exchanger {
  public:
+  /// Tag used for assembly payload exchange; public so tests and fault
+  /// plans can target halo traffic precisely.
+  static constexpr int kAssembleTag = 9100;
+
   /// Collective over all ranks of `comm`: discover which candidate points
   /// are shared with which ranks. Candidates with keys nobody else posted
   /// produce no interface entries.
@@ -74,7 +78,14 @@ class Exchanger {
   /// for communication-volume accounting.
   std::uint64_t floats_per_exchange(int ncomp) const;
 
+  /// Bounded-wait policy applied to every receive in assembly and
+  /// discovery. Receives either complete, retry after a timeout (pulling
+  /// back fault-dropped messages), or abort the world — never hang.
+  void set_recv_policy(const RecvPolicy& policy) { recv_policy_ = policy; }
+  const RecvPolicy& recv_policy() const { return recv_policy_; }
+
  private:
+  RecvPolicy recv_policy_{};
   std::vector<Interface> interfaces_;
   // scratch buffers sized once (mutable usage avoided: sized in build).
   mutable std::vector<std::vector<float>> send_buffers_;

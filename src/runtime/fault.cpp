@@ -1,0 +1,72 @@
+#include "runtime/fault.hpp"
+
+namespace sfg::smpi {
+
+namespace {
+
+/// SplitMix64-style finalizer over the combined message identity. Pure:
+/// the same (seed, src, dst, tag, seq) always yields the same verdict.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double hash_to_unit(std::uint64_t seed, std::uint64_t rule_index, int src,
+                    int dst, int tag, std::uint64_t seq) {
+  std::uint64_t h = seed + 0x9E3779B97F4A7C15ull * (rule_index + 1);
+  h = mix(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) |
+               (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst))
+                << 32)));
+  h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  h = mix(h ^ seq);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool rule_matches(const MessageFaultRule& r, int src, int dst, int tag) {
+  if (r.src != kAnyRank && r.src != src) return false;
+  if (r.dst != kAnyRank && r.dst != dst) return false;
+  // Wildcard tags never match the runtime's internal (negative) channels.
+  if (r.tag == kAnyTag) return tag >= 0;
+  return r.tag == tag;
+}
+
+}  // namespace
+
+FaultPlan::Decision FaultPlan::decide_message(int src, int dst, int tag,
+                                              std::uint64_t seq) const {
+  Decision d;
+  if (message_rules_.empty()) return d;
+  for (std::size_t i = 0; i < message_rules_.size(); ++i) {
+    const MessageFaultRule& r = message_rules_[i];
+    if (!rule_matches(r, src, dst, tag)) continue;
+    if (r.probability < 1.0 &&
+        hash_to_unit(seed_, i, src, dst, tag, seq) >= r.probability)
+      continue;
+    if (r.max_occurrences >= 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (occurrences_[i] >= r.max_occurrences) continue;
+      ++occurrences_[i];
+    }
+    d.fault = true;
+    d.kind = r.kind;
+    d.delay_seconds = r.delay_seconds;
+    return d;  // first matching rule wins
+  }
+  return d;
+}
+
+bool FaultPlan::death_at(int rank, int step) const {
+  for (const RankDeathRule& r : deaths_)
+    if (r.rank == rank && r.step == step) return true;
+  return false;
+}
+
+const CollectiveTimeoutRule* FaultPlan::collective_timeout_at(
+    int rank, std::uint64_t nth) const {
+  for (const CollectiveTimeoutRule& r : coll_timeouts_)
+    if (r.rank == rank && r.nth_collective == nth) return &r;
+  return nullptr;
+}
+
+}  // namespace sfg::smpi

@@ -1,0 +1,174 @@
+#pragma once
+
+/// \file fault.hpp
+/// Deterministic fault injection for the smpi runtime (ISSUE 2).
+///
+/// The paper's 62K-core campaigns (§6) only succeeded because failures at
+/// scale were planned for; this reproduction models them explicitly. A
+/// FaultPlan is a seeded, declarative schedule of injectable faults:
+///
+///   - message drop        : a delivery is diverted to a "limbo" store on
+///                           the destination and only becomes visible after
+///                           the receiver requests a retransmit (modelling
+///                           a transport-level retransmission),
+///   - message duplication : the payload is enqueued twice with the same
+///                           sequence number; the reliability layer in
+///                           World::take discards the duplicate,
+///   - delayed delivery    : the message is enqueued but stays invisible
+///                           until a wall-clock release time,
+///   - rank death          : a rank aborts when the solver reaches a given
+///                           time step (Communicator::notify_step),
+///   - collective timeout  : a rank's n-th collective call times out.
+///
+/// Probabilistic rules draw their verdict from a pure hash of
+/// (seed, src, dst, tag, seq), so a seeded plan injects the *same* faults
+/// on the *same* messages run after run, independent of thread scheduling.
+/// Occurrence-capped wildcard rules are the one exception: the cap is
+/// consumed first-come-first-served across channels.
+///
+/// Plans never match the runtime's internal negative tags (allreduce /
+/// gather plumbing) unless a rule names such a tag exactly — dropping those
+/// would break collectives that have no retry path by design.
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sfg::smpi {
+
+/// Thrown when a run is torn down by the fault layer: a planned rank death
+/// or collective timeout, an exhausted recv retry budget, or any peer
+/// aborting the shared World. All ranks blocked in communication are woken
+/// and throw this instead of deadlocking.
+class SimulationAborted : public std::runtime_error {
+ public:
+  explicit SimulationAborted(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Wildcards for message-fault rules.
+inline constexpr int kAnyRank = -1;
+inline constexpr int kAnyTag = std::numeric_limits<int>::min();
+
+struct MessageFaultRule {
+  enum class Kind : std::uint8_t { Drop, Duplicate, Delay };
+  Kind kind = Kind::Drop;
+  int src = kAnyRank;  ///< sending rank, kAnyRank = any
+  int dst = kAnyRank;  ///< receiving rank, kAnyRank = any
+  int tag = kAnyTag;   ///< kAnyTag matches any *user* tag (>= 0)
+  /// Probability a matching message is hit; decided by a pure hash of
+  /// (plan seed, src, dst, tag, seq) so it is reproducible run-to-run.
+  double probability = 1.0;
+  /// Stop after this many injections (-1 = unlimited).
+  int max_occurrences = -1;
+  /// Delay rules: how long the message stays invisible to the receiver.
+  double delay_seconds = 0.0;
+};
+
+struct RankDeathRule {
+  int rank = 0;
+  int step = 0;  ///< dies when notify_step(step) is reached
+};
+
+struct CollectiveTimeoutRule {
+  int rank = 0;
+  std::uint64_t nth_collective = 1;  ///< 1-based count on that rank
+  double timeout_seconds = 0.0;      ///< modelled cost charged to the trace
+};
+
+/// A seeded, declarative schedule of faults. Built once before run_ranks
+/// and shared read-only by every rank (occurrence counters are internally
+/// synchronized).
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0x5F61F417u) : seed_(seed) {}
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  std::uint64_t seed() const { return seed_; }
+
+  // ---- declarative builders ----
+  void add_message_fault(const MessageFaultRule& rule) {
+    message_rules_.push_back(rule);
+    occurrences_.push_back(0);
+  }
+  void drop_messages(int src, int dst, int tag, double probability = 1.0,
+                     int max_occurrences = -1) {
+    MessageFaultRule r;
+    r.kind = MessageFaultRule::Kind::Drop;
+    r.src = src;
+    r.dst = dst;
+    r.tag = tag;
+    r.probability = probability;
+    r.max_occurrences = max_occurrences;
+    add_message_fault(r);
+  }
+  void duplicate_messages(int src, int dst, int tag,
+                          double probability = 1.0,
+                          int max_occurrences = -1) {
+    MessageFaultRule r;
+    r.kind = MessageFaultRule::Kind::Duplicate;
+    r.src = src;
+    r.dst = dst;
+    r.tag = tag;
+    r.probability = probability;
+    r.max_occurrences = max_occurrences;
+    add_message_fault(r);
+  }
+  void delay_messages(int src, int dst, int tag, double delay_seconds,
+                      double probability = 1.0, int max_occurrences = -1) {
+    MessageFaultRule r;
+    r.kind = MessageFaultRule::Kind::Delay;
+    r.src = src;
+    r.dst = dst;
+    r.tag = tag;
+    r.probability = probability;
+    r.max_occurrences = max_occurrences;
+    r.delay_seconds = delay_seconds;
+    add_message_fault(r);
+  }
+  void kill_rank(int rank, int step) { deaths_.push_back({rank, step}); }
+  void timeout_collective(int rank, std::uint64_t nth_collective,
+                          double timeout_seconds) {
+    coll_timeouts_.push_back({rank, nth_collective, timeout_seconds});
+  }
+
+  bool empty() const {
+    return message_rules_.empty() && deaths_.empty() &&
+           coll_timeouts_.empty();
+  }
+
+  // ---- runtime queries ----
+
+  struct Decision {
+    MessageFaultRule::Kind kind = MessageFaultRule::Kind::Drop;
+    bool fault = false;
+    double delay_seconds = 0.0;
+  };
+
+  /// Verdict for one message, identified by its per-channel sequence
+  /// number. Consumes occurrence budget when a capped rule fires.
+  Decision decide_message(int src, int dst, int tag,
+                          std::uint64_t seq) const;
+
+  /// True if `rank` is scheduled to die at `step`.
+  bool death_at(int rank, int step) const;
+
+  /// Timeout rule (if any) for the given rank's nth collective call.
+  const CollectiveTimeoutRule* collective_timeout_at(
+      int rank, std::uint64_t nth) const;
+
+ private:
+  std::uint64_t seed_;
+  std::vector<MessageFaultRule> message_rules_;
+  mutable std::vector<int> occurrences_;  ///< per-rule injection counts
+  mutable std::mutex mutex_;              ///< guards occurrences_
+  std::vector<RankDeathRule> deaths_;
+  std::vector<CollectiveTimeoutRule> coll_timeouts_;
+};
+
+}  // namespace sfg::smpi

@@ -1,6 +1,8 @@
 #include "runtime/smpi.hpp"
 
+#include <algorithm>
 #include <exception>
+#include <sstream>
 #include <thread>
 
 namespace sfg::smpi {
@@ -24,52 +26,196 @@ Communicator& World::comm(int rank) {
   return *comms_[static_cast<std::size_t>(rank)];
 }
 
+void World::abort(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(abort_mutex_);
+    if (!aborted_.load(std::memory_order_relaxed)) abort_reason_ = reason;
+  }
+  aborted_.store(true, std::memory_order_release);
+  // Wake every rank blocked in a mailbox or the barrier; their wait
+  // predicates observe the abort flag and throw SimulationAborted.
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(barrier_.mutex);
+    barrier_.cv.notify_all();
+  }
+}
+
+void World::throw_aborted() const {
+  std::string reason;
+  {
+    std::lock_guard<std::mutex> lock(abort_mutex_);
+    reason = abort_reason_;
+  }
+  throw SimulationAborted(reason.empty() ? "simulation aborted" : reason);
+}
+
 void World::deliver(int dest, int src, int tag, const void* data,
-                    std::size_t bytes) {
+                    std::size_t bytes, CommStats* sender_stats) {
   SFG_CHECK_MSG(dest >= 0 && dest < nranks_, "send to invalid rank " << dest);
+  check_aborted();
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
+    const auto key = std::make_pair(src, tag);
     Message msg;
     msg.tag = tag;
+    msg.seq = box.next_seq[key]++;
+    msg.release = Clock::now();
     msg.payload.resize(bytes);
     if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
-    box.queues[{src, tag}].push_back(std::move(msg));
+
+    FaultPlan::Decision verdict;
+    if (plan_ != nullptr)
+      verdict = plan_->decide_message(src, dest, tag, msg.seq);
+    if (!verdict.fault) {
+      box.queues[key].push_back(std::move(msg));
+    } else {
+      switch (verdict.kind) {
+        case MessageFaultRule::Kind::Drop:
+          // Held in limbo until the receiver requests a retransmit —
+          // modelling a transport that retransmits on NACK.
+          box.limbo[key].push_back(std::move(msg));
+          if (sender_stats) ++sender_stats->messages_dropped;
+          break;
+        case MessageFaultRule::Kind::Duplicate: {
+          Message copy = msg;  // same sequence number on purpose
+          box.queues[key].push_back(std::move(msg));
+          box.queues[key].push_back(std::move(copy));
+          if (sender_stats) ++sender_stats->messages_duplicated;
+          break;
+        }
+        case MessageFaultRule::Kind::Delay:
+          msg.release = Clock::now() + std::chrono::duration_cast<
+                                           Clock::duration>(
+                                           std::chrono::duration<double>(
+                                               verdict.delay_seconds));
+          box.queues[key].push_back(std::move(msg));
+          if (sender_stats) ++sender_stats->messages_delayed;
+          break;
+      }
+    }
   }
   box.cv.notify_all();
 }
 
-std::size_t World::take(int self, int src, int tag, void* data,
-                        std::size_t max_bytes) {
+std::optional<std::size_t> World::take_impl(
+    int self, int src, int tag, void* data, std::size_t max_bytes,
+    const std::optional<Clock::time_point>& deadline, CommStats* stats) {
   SFG_CHECK_MSG(src >= 0 && src < nranks_, "recv from invalid rank " << src);
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
   std::unique_lock<std::mutex> lock(box.mutex);
   const auto key = std::make_pair(src, tag);
-  box.cv.wait(lock, [&] {
+
+  for (;;) {
+    if (aborted()) throw_aborted();
+    const Clock::time_point now = Clock::now();
     auto it = box.queues.find(key);
-    return it != box.queues.end() && !it->second.empty();
-  });
-  auto it = box.queues.find(key);
-  Message msg = std::move(it->second.front());
-  it->second.erase(it->second.begin());
-  SFG_CHECK_MSG(msg.payload.size() <= max_bytes,
-                "message of " << msg.payload.size()
-                              << " bytes exceeds receive buffer of "
-                              << max_bytes);
-  if (!msg.payload.empty())
-    std::memcpy(data, msg.payload.data(), msg.payload.size());
-  return msg.payload.size();
+    std::optional<Clock::time_point> next_release;
+    if (it != box.queues.end()) {
+      auto& queue = it->second;
+      const std::uint64_t expected = box.expected_seq[key];
+      // Purge stale duplicates (seq already consumed), then look for the
+      // next in-sequence message that has been released.
+      for (std::size_t i = 0; i < queue.size();) {
+        if (queue[i].seq < expected) {
+          queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+          if (stats) ++stats->duplicates_discarded;
+          continue;
+        }
+        if (queue[i].seq == expected) {
+          if (queue[i].release <= now) {
+            Message msg = std::move(queue[i]);
+            queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+            ++box.expected_seq[key];
+            // Purge any remaining copies of the sequence number just
+            // consumed, so duplicate accounting does not wait for a
+            // subsequent receive on this channel.
+            for (std::size_t j = i; j < queue.size();) {
+              if (queue[j].seq < box.expected_seq[key]) {
+                queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(j));
+                if (stats) ++stats->duplicates_discarded;
+              } else {
+                ++j;
+              }
+            }
+            SFG_CHECK_MSG(msg.payload.size() <= max_bytes,
+                          "message of " << msg.payload.size()
+                                        << " bytes exceeds receive buffer of "
+                                        << max_bytes);
+            if (!msg.payload.empty())
+              std::memcpy(data, msg.payload.data(), msg.payload.size());
+            return msg.payload.size();
+          }
+          next_release = queue[i].release;  // delayed: wake when visible
+        }
+        ++i;
+      }
+    }
+
+    // Nothing deliverable yet: sleep until a new message, the release time
+    // of a delayed in-sequence message, or the caller's deadline.
+    std::optional<Clock::time_point> wake = deadline;
+    if (next_release && (!wake || *next_release < *wake))
+      wake = next_release;
+    if (deadline && now >= *deadline) return std::nullopt;
+    if (wake)
+      box.cv.wait_until(lock, *wake);
+    else
+      box.cv.wait(lock);
+  }
+}
+
+std::size_t World::take(int self, int src, int tag, void* data,
+                        std::size_t max_bytes, CommStats* stats) {
+  auto got = take_impl(self, src, tag, data, max_bytes, std::nullopt, stats);
+  SFG_CHECK(got.has_value());
+  return *got;
+}
+
+std::optional<std::size_t> World::take_timeout(int self, int src, int tag,
+                                               void* data,
+                                               std::size_t max_bytes,
+                                               double timeout_seconds,
+                                               CommStats* stats) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_seconds));
+  return take_impl(self, src, tag, data, max_bytes, deadline, stats);
+}
+
+void World::retransmit(int self, int src, int tag, CommStats* stats) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    const auto key = std::make_pair(src, tag);
+    auto it = box.limbo.find(key);
+    if (it != box.limbo.end() && !it->second.empty()) {
+      auto& queue = box.queues[key];
+      for (Message& msg : it->second) queue.push_back(std::move(msg));
+      it->second.clear();
+    }
+  }
+  if (stats) ++stats->retransmits_requested;
+  box.cv.notify_all();
 }
 
 void World::barrier_wait() {
   std::unique_lock<std::mutex> lock(barrier_.mutex);
+  check_aborted();
   const std::uint64_t gen = barrier_.generation;
   if (++barrier_.arrived == nranks_) {
     barrier_.arrived = 0;
     ++barrier_.generation;
     barrier_.cv.notify_all();
   } else {
-    barrier_.cv.wait(lock, [&] { return barrier_.generation != gen; });
+    barrier_.cv.wait(lock, [&] {
+      return barrier_.generation != gen || aborted();
+    });
+    if (barrier_.generation == gen) throw_aborted();
   }
 }
 
@@ -97,10 +243,38 @@ void Communicator::record(TraceEvent::Kind kind, int peer,
   segment_timer_.reset();
 }
 
+void Communicator::notify_step(int step) {
+  if (world_->plan_ == nullptr) return;
+  if (!world_->plan_->death_at(rank_, step)) return;
+  ++stats_.fault_aborts;
+  record(TraceEvent::Kind::Fault, -1, 0, 0.0);
+  std::ostringstream os;
+  os << "rank " << rank_ << " killed by fault plan at step " << step;
+  world_->abort(os.str());
+  throw SimulationAborted(os.str());
+}
+
+void Communicator::check_collective_fault() {
+  world_->check_aborted();
+  if (world_->plan_ == nullptr) return;
+  const CollectiveTimeoutRule* rule =
+      world_->plan_->collective_timeout_at(rank_,
+                                           stats_.collective_count + 1);
+  if (rule == nullptr) return;
+  ++stats_.fault_aborts;
+  // The modelled timeout cost lands in the trace so replay can price it.
+  record(TraceEvent::Kind::Fault, -1, 0, rule->timeout_seconds);
+  std::ostringstream os;
+  os << "collective #" << (stats_.collective_count + 1) << " on rank "
+     << rank_ << " timed out (fault plan)";
+  world_->abort(os.str());
+  throw SimulationAborted(os.str());
+}
+
 void Communicator::send_bytes(int dest, int tag, const void* data,
                               std::size_t bytes) {
   WallTimer t;
-  world_->deliver(dest, rank_, tag, data, bytes);
+  world_->deliver(dest, rank_, tag, data, bytes, &stats_);
   const double dt = t.seconds();
   stats_.send_seconds += dt;
   stats_.bytes_sent += bytes;
@@ -111,7 +285,8 @@ void Communicator::send_bytes(int dest, int tag, const void* data,
 std::size_t Communicator::recv_bytes(int src, int tag, void* data,
                                      std::size_t max_bytes) {
   WallTimer t;
-  const std::size_t got = world_->take(rank_, src, tag, data, max_bytes);
+  const std::size_t got =
+      world_->take(rank_, src, tag, data, max_bytes, &stats_);
   const double dt = t.seconds();
   stats_.recv_seconds += dt;
   stats_.bytes_received += got;
@@ -120,11 +295,53 @@ std::size_t Communicator::recv_bytes(int src, int tag, void* data,
   return got;
 }
 
+std::optional<std::size_t> Communicator::recv_bytes_timeout(
+    int src, int tag, void* data, std::size_t max_bytes,
+    double timeout_seconds) {
+  WallTimer t;
+  const auto got = world_->take_timeout(rank_, src, tag, data, max_bytes,
+                                        timeout_seconds, &stats_);
+  const double dt = t.seconds();
+  if (!got.has_value()) {
+    record(TraceEvent::Kind::Fault, src, 0, dt);
+    return std::nullopt;
+  }
+  stats_.recv_seconds += dt;
+  stats_.bytes_received += *got;
+  ++stats_.recv_count;
+  record(TraceEvent::Kind::Recv, src, *got, dt);
+  return got;
+}
+
+std::size_t Communicator::recv_bytes_retry(int src, int tag, void* data,
+                                           std::size_t max_bytes,
+                                           const RecvPolicy& policy) {
+  for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    const auto got =
+        recv_bytes_timeout(src, tag, data, max_bytes,
+                           policy.timeout_seconds);
+    if (got.has_value()) return *got;
+    if (attempt == policy.max_retries) break;
+    ++stats_.recv_retries;
+    request_retransmit(src, tag);
+  }
+  std::ostringstream os;
+  os << "rank " << rank_ << " recv from " << src << " tag " << tag
+     << " timed out after " << (policy.max_retries + 1) << " attempts of "
+     << policy.timeout_seconds << " s";
+  world_->abort(os.str());
+  throw SimulationAborted(os.str());
+}
+
+void Communicator::request_retransmit(int src, int tag) {
+  world_->retransmit(rank_, src, tag, &stats_);
+}
+
 Request Communicator::isend_bytes(int dest, int tag, const void* data,
                                   std::size_t bytes) {
   // Eager delivery at post time; the Request is a completed handle.
   WallTimer t;
-  world_->deliver(dest, rank_, tag, data, bytes);
+  world_->deliver(dest, rank_, tag, data, bytes, &stats_);
   const double dt = t.seconds();
   stats_.send_seconds += dt;
   stats_.bytes_sent += bytes;
@@ -155,8 +372,9 @@ void Communicator::wait(Request& request) {
       return;  // sends complete at post time
     case Request::Kind::Recv: {
       WallTimer t;
-      request.received_bytes = world_->take(rank_, request.peer, request.tag,
-                                            request.dest, request.max_bytes);
+      request.received_bytes =
+          world_->take(rank_, request.peer, request.tag, request.dest,
+                       request.max_bytes, &stats_);
       const double dt = t.seconds();
       stats_.recv_seconds += dt;
       stats_.bytes_received += request.received_bytes;
@@ -169,11 +387,31 @@ void Communicator::wait(Request& request) {
   }
 }
 
+void Communicator::wait_retry(Request& request, const RecvPolicy& policy) {
+  switch (request.kind) {
+    case Request::Kind::None:
+    case Request::Kind::Send:
+      return;
+    case Request::Kind::Recv:
+      request.received_bytes =
+          recv_bytes_retry(request.peer, request.tag, request.dest,
+                           request.max_bytes, policy);
+      request.kind = Request::Kind::None;
+      return;
+  }
+}
+
 void Communicator::wait_all(std::vector<Request>& requests) {
   for (Request& r : requests) wait(r);
 }
 
+void Communicator::wait_all_retry(std::vector<Request>& requests,
+                                  const RecvPolicy& policy) {
+  for (Request& r : requests) wait_retry(r, policy);
+}
+
 void Communicator::barrier() {
+  check_collective_fault();
   WallTimer t;
   world_->barrier_wait();
   const double dt = t.seconds();
@@ -184,6 +422,7 @@ void Communicator::barrier() {
 
 void Communicator::gather_bytes(int root, const void* data, std::size_t bytes,
                                 void* out) {
+  check_collective_fault();
   WallTimer t;
   constexpr int kGatherTag = -434343;
   if (rank_ == root) {
@@ -195,11 +434,11 @@ void Communicator::gather_bytes(int root, const void* data, std::size_t bytes,
       if (src == root) continue;
       const std::size_t got = world_->take(
           rank_, src, kGatherTag,
-          base + static_cast<std::size_t>(src) * bytes, bytes);
+          base + static_cast<std::size_t>(src) * bytes, bytes, &stats_);
       SFG_CHECK(got == bytes);
     }
   } else {
-    world_->deliver(root, rank_, kGatherTag, data, bytes);
+    world_->deliver(root, rank_, kGatherTag, data, bytes, &stats_);
   }
   const double dt = t.seconds();
   stats_.collective_seconds += dt;
@@ -209,10 +448,14 @@ void Communicator::gather_bytes(int root, const void* data, std::size_t bytes,
 
 // ---- run_ranks ----
 
-std::vector<CommStats> run_ranks(
-    int nranks, const std::function<void(Communicator&)>& body,
-    bool enable_trace, std::vector<std::vector<TraceEvent>>* traces_out) {
+namespace {
+
+std::vector<CommStats> run_ranks_impl(
+    int nranks, const FaultPlan* plan,
+    const std::function<void(Communicator&)>& body, bool enable_trace,
+    std::vector<std::vector<TraceEvent>>* traces_out) {
   World world(nranks);
+  if (plan != nullptr) world.set_fault_plan(plan);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
@@ -225,12 +468,28 @@ std::vector<CommStats> run_ranks(
         body(world.comm(r));
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // A dead rank must not leave its peers blocked forever: tear the
+        // world down so everyone unblocks with SimulationAborted.
+        std::ostringstream os;
+        os << "rank " << r << " terminated with an exception";
+        world.abort(os.str());
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (auto& e : errors)
-    if (e) std::rethrow_exception(e);
+  // Prefer the root cause over the SimulationAborted cascade it triggered.
+  std::exception_ptr first_abort;
+  for (auto& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const SimulationAborted&) {
+      if (!first_abort) first_abort = e;
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
+  }
+  if (first_abort) std::rethrow_exception(first_abort);
 
   std::vector<CommStats> stats;
   stats.reserve(static_cast<std::size_t>(nranks));
@@ -240,6 +499,21 @@ std::vector<CommStats> run_ranks(
     if (traces_out) traces_out->push_back(world.comm(r).trace());
   }
   return stats;
+}
+
+}  // namespace
+
+std::vector<CommStats> run_ranks(
+    int nranks, const std::function<void(Communicator&)>& body,
+    bool enable_trace, std::vector<std::vector<TraceEvent>>* traces_out) {
+  return run_ranks_impl(nranks, nullptr, body, enable_trace, traces_out);
+}
+
+std::vector<CommStats> run_ranks_with_faults(
+    int nranks, const FaultPlan& plan,
+    const std::function<void(Communicator&)>& body, bool enable_trace,
+    std::vector<std::vector<TraceEvent>>* traces_out) {
+  return run_ranks_impl(nranks, &plan, body, enable_trace, traces_out);
 }
 
 }  // namespace sfg::smpi

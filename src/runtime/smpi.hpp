@@ -12,7 +12,17 @@
 /// through a parametric machine model (src/perf). Blocking sends are
 /// eager-buffered so that rank counts far beyond the host's core count
 /// still make progress.
+///
+/// Reliability layer (ISSUE 2): every (src, dst, tag) channel carries
+/// per-message sequence numbers. Receives deliver strictly in sequence
+/// order, discard duplicates, and can time out and request a retransmit of
+/// messages a FaultPlan diverted to limbo. A World-wide abort (planned
+/// rank death, collective timeout, exhausted retries, or any rank dying
+/// with an exception) wakes every blocked rank with SimulationAborted
+/// instead of deadlocking.
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -21,10 +31,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
+#include "runtime/fault.hpp"
 
 namespace sfg::smpi {
 
@@ -41,6 +53,7 @@ struct TraceEvent {
     Barrier,
     Allreduce,
     Gather,
+    Fault,      ///< injected fault or recv retry; mpi_seconds = lost time
   };
   Kind kind;
   int peer = -1;              ///< destination (Send) / source (Recv)
@@ -50,7 +63,8 @@ struct TraceEvent {
   std::uint64_t compute_flops = 0;  ///< virtual work since previous event
 };
 
-/// Per-rank IPM-style summary: time, bytes and counts per call type.
+/// Per-rank IPM-style summary: time, bytes and counts per call type, plus
+/// fault-injection accounting (ISSUE 2).
 struct CommStats {
   double send_seconds = 0.0;
   double recv_seconds = 0.0;
@@ -61,9 +75,29 @@ struct CommStats {
   std::uint64_t recv_count = 0;
   std::uint64_t collective_count = 0;
 
+  // ---- fault counters ----
+  std::uint64_t messages_dropped = 0;     ///< this rank's sends diverted to limbo
+  std::uint64_t messages_duplicated = 0;  ///< this rank's sends enqueued twice
+  std::uint64_t messages_delayed = 0;     ///< this rank's sends held back
+  std::uint64_t duplicates_discarded = 0; ///< stale copies purged on receive
+  std::uint64_t recv_retries = 0;         ///< recv timeouts followed by retry
+  std::uint64_t retransmits_requested = 0;
+  std::uint64_t fault_aborts = 0;         ///< plan-triggered aborts on this rank
+
   double total_seconds() const {
     return send_seconds + recv_seconds + collective_seconds;
   }
+  std::uint64_t faults_injected() const {
+    return messages_dropped + messages_duplicated + messages_delayed;
+  }
+};
+
+/// Bounded-wait policy for receive paths that must not hang: wait up to
+/// `timeout_seconds`, then request a retransmit and try again, at most
+/// `max_retries` times before aborting the world.
+struct RecvPolicy {
+  double timeout_seconds = 30.0;
+  int max_retries = 2;
 };
 
 class World;
@@ -90,6 +124,20 @@ class Communicator {
   /// Blocking receive from `src` with `tag`; returns byte count.
   std::size_t recv_bytes(int src, int tag, void* data, std::size_t max_bytes);
 
+  /// Receive with a deadline: returns std::nullopt if nothing arrived
+  /// within `timeout_seconds` (no retransmit is requested).
+  std::optional<std::size_t> recv_bytes_timeout(int src, int tag, void* data,
+                                                std::size_t max_bytes,
+                                                double timeout_seconds);
+
+  /// Bounded retry-with-timeout receive: on each timeout, request a
+  /// retransmit of limbo messages on (src, tag) and try again. Exhausting
+  /// the retry budget aborts the whole world (every blocked rank throws
+  /// SimulationAborted) — a hang is never an outcome.
+  std::size_t recv_bytes_retry(int src, int tag, void* data,
+                               std::size_t max_bytes,
+                               const RecvPolicy& policy);
+
   /// Nonblocking send: same delivery as send_bytes, but the time is
   /// attributed when posted and the request participates in wait_all.
   Request isend_bytes(int dest, int tag, const void* data, std::size_t bytes);
@@ -98,6 +146,14 @@ class Communicator {
 
   void wait(Request& request);
   void wait_all(std::vector<Request>& requests);
+  /// wait with the bounded retry-with-timeout path on receive requests.
+  void wait_retry(Request& request, const RecvPolicy& policy);
+  void wait_all_retry(std::vector<Request>& requests,
+                      const RecvPolicy& policy);
+
+  /// Move any limbo (fault-dropped) messages on (src, tag) back into the
+  /// live queue, as a transport-level retransmission would.
+  void request_retransmit(int src, int tag);
 
   void barrier();
 
@@ -124,6 +180,12 @@ class Communicator {
     return recv_bytes(src, tag, data, count * sizeof(T)) / sizeof(T);
   }
   template <typename T>
+  std::size_t recv_n_retry(int src, int tag, T* data, std::size_t count,
+                           const RecvPolicy& policy) {
+    return recv_bytes_retry(src, tag, data, count * sizeof(T), policy) /
+           sizeof(T);
+  }
+  template <typename T>
   Request isend_n(int dest, int tag, const T* data, std::size_t count) {
     return isend_bytes(dest, tag, data, count * sizeof(T));
   }
@@ -131,6 +193,10 @@ class Communicator {
   Request irecv_n(int src, int tag, T* data, std::size_t count) {
     return irecv_bytes(src, tag, data, count * sizeof(T));
   }
+
+  /// Solver hook: announce the start of time step `step`. Triggers any
+  /// planned rank death (throws SimulationAborted after waking all peers).
+  void notify_step(int step);
 
   /// Credit `flops` of virtual computation to the trace (used by the
   /// solver so that replay does not depend on oversubscribed wall time).
@@ -147,6 +213,8 @@ class Communicator {
 
   void record(TraceEvent::Kind kind, int peer, std::uint64_t bytes,
               double mpi_seconds);
+  /// Check the planned collective-timeout fault before a collective runs.
+  void check_collective_fault();
 
   World* world_;
   int rank_;
@@ -168,18 +236,37 @@ class World {
   /// The endpoint for `rank`; each must be used by exactly one thread.
   Communicator& comm(int rank);
 
+  /// Install a fault plan (must outlive the World; call before any rank
+  /// communicates). Null disables injection.
+  void set_fault_plan(const FaultPlan* plan) { plan_ = plan; }
+
+  /// Tear the world down: wake every rank blocked in communication; they
+  /// (and any rank entering a call later) throw SimulationAborted.
+  void abort(const std::string& reason);
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
  private:
   friend class Communicator;
 
+  using Clock = std::chrono::steady_clock;
+
   struct Message {
     int tag;
+    std::uint64_t seq = 0;          ///< per-(src, tag) channel sequence
+    Clock::time_point release{};    ///< visible to take() from this time
     std::vector<std::byte> payload;
   };
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable cv;
-    // keyed by (src, tag); FIFO per key preserves MPI ordering semantics.
+    // keyed by (src, tag); delivered in channel-sequence order.
     std::map<std::pair<int, int>, std::vector<Message>> queues;
+    // fault-dropped messages waiting for a retransmit request.
+    std::map<std::pair<int, int>, std::vector<Message>> limbo;
+    // sender-side next sequence number per (src, tag) channel.
+    std::map<std::pair<int, int>, std::uint64_t> next_seq;
+    // receiver-side cursor: the sequence number take() delivers next.
+    std::map<std::pair<int, int>, std::uint64_t> expected_seq;
   };
   struct BarrierState {
     std::mutex mutex;
@@ -187,33 +274,53 @@ class World {
     int arrived = 0;
     std::uint64_t generation = 0;
   };
-  struct ReduceState {
-    std::mutex mutex;
-    std::condition_variable cv;
-    int arrived = 0;
-    std::uint64_t generation = 0;
-    std::vector<std::byte> accumulator;
-    std::function<void(void*, const void*)> combine;
-  };
 
   void deliver(int dest, int src, int tag, const void* data,
-               std::size_t bytes);
+               std::size_t bytes, CommStats* sender_stats);
   std::size_t take(int self, int src, int tag, void* data,
-                   std::size_t max_bytes);
+                   std::size_t max_bytes, CommStats* stats);
+  /// As take(), but gives up after `timeout_seconds` (returns nullopt).
+  std::optional<std::size_t> take_timeout(int self, int src, int tag,
+                                          void* data, std::size_t max_bytes,
+                                          double timeout_seconds,
+                                          CommStats* stats);
+  void retransmit(int self, int src, int tag, CommStats* stats);
   void barrier_wait();
+  [[noreturn]] void throw_aborted() const;
+  void check_aborted() const {
+    if (aborted()) throw_aborted();
+  }
+
+  /// Shared core of take/take_timeout; returns nullopt on timeout.
+  std::optional<std::size_t> take_impl(
+      int self, int src, int tag, void* data, std::size_t max_bytes,
+      const std::optional<Clock::time_point>& deadline, CommStats* stats);
 
   int nranks_;
+  const FaultPlan* plan_ = nullptr;
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex abort_mutex_;  ///< guards abort_reason_
+  std::string abort_reason_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<Communicator>> comms_;
   BarrierState barrier_;
-  ReduceState reduce_;
 };
 
 /// Launch `nranks` threads each running `body(comm)`; joins all threads.
-/// The first exception thrown by any rank is rethrown after join.
+/// The first exception thrown by any rank is rethrown after join (a rank
+/// failing with a non-abort exception aborts the world so no peer
+/// deadlocks, and that root-cause exception is preferred over the
+/// SimulationAborted cascade it triggers).
 /// Returns per-rank comm statistics.
 std::vector<CommStats> run_ranks(
     int nranks, const std::function<void(Communicator&)>& body,
+    bool enable_trace = false,
+    std::vector<std::vector<TraceEvent>>* traces_out = nullptr);
+
+/// As run_ranks, with a fault plan installed before any rank starts.
+std::vector<CommStats> run_ranks_with_faults(
+    int nranks, const FaultPlan& plan,
+    const std::function<void(Communicator&)>& body,
     bool enable_trace = false,
     std::vector<std::vector<TraceEvent>>* traces_out = nullptr);
 
@@ -243,6 +350,7 @@ void Communicator::allreduce(T* values, std::size_t count, ReduceOp op) {
   // Simple two-phase implementation: reduce to rank 0 through the shared
   // accumulator, then broadcast. Counted as one collective per rank.
   static_assert(std::is_trivially_copyable_v<T>);
+  check_collective_fault();
   WallTimer t;
   const std::size_t bytes = count * sizeof(T);
 
@@ -254,16 +362,16 @@ void Communicator::allreduce(T* values, std::size_t count, ReduceOp op) {
     std::vector<T> incoming(count);
     for (int src = 1; src < size(); ++src) {
       const std::size_t got =
-          world_->take(0, src, kReduceTag, incoming.data(), bytes);
+          world_->take(0, src, kReduceTag, incoming.data(), bytes, &stats_);
       SFG_CHECK(got == bytes);
       detail::combine_values(values, incoming.data(), count, op);
     }
     for (int dest = 1; dest < size(); ++dest)
-      world_->deliver(dest, 0, kReduceTag + 1, values, bytes);
+      world_->deliver(dest, 0, kReduceTag + 1, values, bytes, &stats_);
   } else {
-    world_->deliver(0, rank_, kReduceTag, values, bytes);
+    world_->deliver(0, rank_, kReduceTag, values, bytes, &stats_);
     const std::size_t got =
-        world_->take(rank_, 0, kReduceTag + 1, values, bytes);
+        world_->take(rank_, 0, kReduceTag + 1, values, bytes, &stats_);
     SFG_CHECK(got == bytes);
   }
 

@@ -1,0 +1,156 @@
+#include "io/snapshot.hpp"
+#include "solver/simulation.hpp"
+
+/// \file checkpoint.cpp
+/// Simulation::write_checkpoint / restore_checkpoint (ISSUE 2).
+///
+/// The snapshot captures exactly the state the Newmark scheme carries
+/// across a step boundary: displ/veloc/accel (accel at end-of-step feeds
+/// the next predictor), the acoustic potential triple for fluid regions,
+/// the SLS attenuation memory variables, the step index and clock, and the
+/// seismogram samples recorded so far (so the *final* seismograms of a
+/// restarted run equal the uninterrupted ones bit for bit). Sources are
+/// pure functions of time_, so no RNG or source state is needed beyond the
+/// clock itself.
+
+namespace sfg {
+
+namespace {
+
+/// Layout fingerprint stored in the "meta" section, checked on restore so
+/// a snapshot can never be loaded into a structurally different run even
+/// when the SnapshotIdentity happens to match.
+struct CheckpointMeta {
+  std::int64_t step = 0;
+  double time = 0.0;
+  double dt = 0.0;
+  std::int32_t nglob = 0;
+  std::int32_t nspec = 0;
+  std::int32_t ngll = 0;
+  std::int32_t nsls = 0;
+  std::int32_t has_fluid = 0;
+  std::int32_t nreceivers = 0;
+  std::int32_t nsources = 0;
+};
+
+}  // namespace
+
+void Simulation::write_checkpoint(const std::string& path,
+                                  const io::SnapshotIdentity& identity) const {
+  io::SnapshotWriter writer;
+
+  CheckpointMeta meta;
+  meta.step = it_;
+  meta.time = time_;
+  meta.dt = cfg_.dt;
+  meta.nglob = mesh_.nglob;
+  meta.nspec = mesh_.nspec;
+  meta.ngll = mesh_.ngll;
+  meta.nsls = static_cast<std::int32_t>(r_mem_.size());
+  meta.has_fluid = global_has_fluid_ ? 1 : 0;
+  meta.nreceivers = static_cast<std::int32_t>(receivers_.size());
+  meta.nsources = static_cast<std::int32_t>(sources_.size());
+  writer.add_values("meta", &meta, 1);
+
+  writer.add_values("displ", displ_.data(), displ_.size());
+  writer.add_values("veloc", veloc_.data(), veloc_.size());
+  writer.add_values("accel", accel_.data(), accel_.size());
+  if (global_has_fluid_) {
+    writer.add_values("chi", chi_.data(), chi_.size());
+    writer.add_values("chi_dot", chi_dot_.data(), chi_dot_.size());
+    writer.add_values("chi_ddot", chi_ddot_.data(), chi_ddot_.size());
+  }
+  for (std::size_t l = 0; l < r_mem_.size(); ++l)
+    for (int c = 0; c < 5; ++c) {
+      const auto& v = r_mem_[l][static_cast<std::size_t>(c)];
+      writer.add_values("r_mem." + std::to_string(l) + "." +
+                            std::to_string(c),
+                        v.data(), v.size());
+    }
+  for (std::size_t r = 0; r < receivers_.size(); ++r) {
+    const Seismogram& s = receivers_[r].seis;
+    writer.add_vector("recv." + std::to_string(r) + ".time", s.time);
+    writer.add_values("recv." + std::to_string(r) + ".displ",
+                      s.displ.empty() ? nullptr : s.displ.data()->data(),
+                      s.displ.size() * 3);
+  }
+
+  writer.write(path, identity);
+}
+
+void Simulation::restore_checkpoint(const std::string& path,
+                                    const io::SnapshotIdentity& identity) {
+  const io::SnapshotReader reader = io::SnapshotReader::open(path, identity);
+
+  const auto meta = reader.read_value<CheckpointMeta>("meta");
+  SFG_CHECK_MSG(meta.nglob == mesh_.nglob && meta.nspec == mesh_.nspec &&
+                    meta.ngll == mesh_.ngll,
+                "checkpoint '" << path << "' holds a mesh of nglob="
+                               << meta.nglob << " nspec=" << meta.nspec
+                               << " ngll=" << meta.ngll
+                               << ", this simulation has nglob="
+                               << mesh_.nglob << " nspec=" << mesh_.nspec
+                               << " ngll=" << mesh_.ngll);
+  SFG_CHECK_MSG(meta.dt == cfg_.dt, "checkpoint '"
+                                        << path << "' was taken at dt="
+                                        << meta.dt << ", this run uses dt="
+                                        << cfg_.dt);
+  SFG_CHECK_MSG(meta.nsls == static_cast<std::int32_t>(r_mem_.size()),
+                "checkpoint '" << path << "' has " << meta.nsls
+                               << " SLS memory-variable sets, this run has "
+                               << r_mem_.size());
+  SFG_CHECK_MSG(meta.has_fluid == (global_has_fluid_ ? 1 : 0),
+                "checkpoint '" << path
+                               << "' fluid flag does not match this run");
+  SFG_CHECK_MSG(meta.nreceivers ==
+                    static_cast<std::int32_t>(receivers_.size()),
+                "checkpoint '" << path << "' recorded " << meta.nreceivers
+                               << " receivers, this run has "
+                               << receivers_.size());
+  SFG_CHECK_MSG(meta.nsources == static_cast<std::int32_t>(sources_.size()),
+                "checkpoint '" << path << "' had " << meta.nsources
+                               << " sources, this run has "
+                               << sources_.size());
+
+  auto load_field = [&](const char* name, aligned_vector<float>& field) {
+    const auto v = reader.read_vector<float>(name);
+    SFG_CHECK_MSG(v.size() == field.size(),
+                  "checkpoint section '" << name << "' has " << v.size()
+                                         << " floats, expected "
+                                         << field.size());
+    std::copy(v.begin(), v.end(), field.begin());
+  };
+  load_field("displ", displ_);
+  load_field("veloc", veloc_);
+  load_field("accel", accel_);
+  if (global_has_fluid_) {
+    load_field("chi", chi_);
+    load_field("chi_dot", chi_dot_);
+    load_field("chi_ddot", chi_ddot_);
+  }
+  for (std::size_t l = 0; l < r_mem_.size(); ++l)
+    for (int c = 0; c < 5; ++c)
+      load_field(("r_mem." + std::to_string(l) + "." + std::to_string(c))
+                     .c_str(),
+                 r_mem_[l][static_cast<std::size_t>(c)]);
+
+  for (std::size_t r = 0; r < receivers_.size(); ++r) {
+    Seismogram& s = receivers_[r].seis;
+    s.time = reader.read_vector<double>("recv." + std::to_string(r) +
+                                        ".time");
+    const auto flat = reader.read_vector<double>("recv." +
+                                                 std::to_string(r) +
+                                                 ".displ");
+    SFG_CHECK_MSG(flat.size() == s.time.size() * 3,
+                  "checkpoint receiver " << r
+                                         << " sample counts disagree");
+    s.displ.resize(s.time.size());
+    for (std::size_t i = 0; i < s.displ.size(); ++i)
+      s.displ[i] = {flat[i * 3 + 0], flat[i * 3 + 1], flat[i * 3 + 2]};
+  }
+
+  it_ = static_cast<int>(meta.step);
+  time_ = meta.time;
+}
+
+}  // namespace sfg

@@ -680,6 +680,10 @@ void Simulation::compute_solid_forces() {
 }
 
 void Simulation::step() {
+  // Fault-plan hook: a planned rank death fires here, before any of this
+  // step's collective communication, so peers abort instead of deadlock.
+  if (comm_ != nullptr) comm_->notify_step(it_);
+
   const double dt = cfg_.dt;
   const double dt2 = 0.5 * dt * dt;
   const auto ng = static_cast<std::size_t>(mesh_.nglob);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "io/snapshot.hpp"
 #include "kernels/force_kernel.hpp"
 #include "mesh/faces.hpp"
 #include "mesh/hex_mesh.hpp"
@@ -120,6 +121,21 @@ class Simulation {
   void run(int nsteps);
   double time() const { return time_; }
   int step_count() const { return it_; }
+
+  // ---- checkpoint / restart (ISSUE 2) ----
+  /// Write this rank's full time-marching state (wavefields, attenuation
+  /// memory variables, step index, recorded seismogram samples) to a
+  /// versioned, CRC-protected per-rank snapshot. `identity` pins the run
+  /// configuration (NEX/NPROC/nchunks/rank/nranks); restore rejects any
+  /// mismatch. Restoring and running to completion is bit-identical to an
+  /// uninterrupted run — the contract test_checkpoint enforces.
+  void write_checkpoint(const std::string& path,
+                        const io::SnapshotIdentity& identity) const;
+  /// Load a snapshot written by write_checkpoint into a Simulation built
+  /// with the same mesh, materials and config. Throws sfg::CheckError on
+  /// corrupted/truncated files or identity/layout mismatches.
+  void restore_checkpoint(const std::string& path,
+                          const io::SnapshotIdentity& identity);
 
   // ---- observation ----
   const Seismogram& seismogram(int receiver) const;

@@ -1,0 +1,349 @@
+// Checkpoint/restart tests (ISSUE 2). The contract: a run checkpointed at
+// an arbitrary step and restored into a freshly built Simulation produces
+// BIT-IDENTICAL seismograms to an uninterrupted run — for solid-only,
+// mixed fluid/solid (attenuated), threaded-colored and multi-rank
+// configurations. Damaged or mismatched snapshots must be rejected with a
+// clear error, never silently restored.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "io/snapshot.hpp"
+#include "mesh/cartesian.hpp"
+#include "model/attenuation.hpp"
+#include "runtime/exchanger.hpp"
+#include "solver/simulation.hpp"
+
+namespace sfg {
+namespace {
+
+MaterialSample rock() {
+  MaterialSample s;
+  s.rho = 2500.0;
+  s.vp = 3000.0;
+  s.vs = 1800.0;
+  s.q_mu = 80.0;
+  return s;
+}
+
+MaterialSample water() {
+  MaterialSample s;
+  s.rho = 1000.0;
+  s.vp = 1500.0;
+  s.vs = 0.0;
+  s.q_mu = 0.0;
+  return s;
+}
+
+CartesianBoxSpec box_spec() {
+  CartesianBoxSpec spec;
+  spec.nx = spec.ny = spec.nz = 4;
+  spec.lx = spec.ly = spec.lz = 1000.0;
+  return spec;
+}
+
+PointSource test_source() {
+  PointSource src;
+  src.x = 320.0;
+  src.y = 480.0;
+  src.z = 510.0;
+  src.force = {1e9, 5e8, 0.0};
+  src.stf = ricker_wavelet(14.0, 0.09);
+  return src;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+io::SnapshotIdentity test_identity() {
+  io::SnapshotIdentity id;
+  id.nex = 4;
+  id.nproc = 1;
+  id.nchunks = 1;
+  id.rank = 0;
+  id.nranks = 1;
+  return id;
+}
+
+struct RunConfig {
+  bool fluid_layer = false;
+  bool attenuation = false;
+  int num_threads = 1;
+  bool force_colored = false;
+};
+
+/// Build the box problem, optionally checkpoint at `checkpoint_step` into
+/// `path` and STOP there; with restore_from set, start by restoring.
+Seismogram run_box(const RunConfig& rc, int nsteps, int checkpoint_step,
+                   const std::string& checkpoint_path,
+                   const std::string& restore_from) {
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(box_spec(), basis);
+  MaterialFields mat = assign_materials(
+      mesh, [&](double, double, double z) {
+        return (rc.fluid_layer && z >= 250.0 && z < 500.0) ? water()
+                                                           : rock();
+      });
+  SimulationConfig cfg;
+  cfg.dt = 1.5e-3;
+  cfg.num_threads = rc.num_threads;
+  cfg.force_colored_schedule = rc.force_colored;
+  if (rc.attenuation) {
+    const SlsSeries sls = fit_constant_q(80.0, 1.0, 20.0, 3);
+    prepare_attenuation(mat, sls);
+    cfg.attenuation = true;
+    cfg.sls = sls;
+  }
+  Simulation sim(mesh, basis, mat, cfg);
+  sim.add_source(test_source());
+  const int rec = sim.add_receiver(700.0, 510.0, 480.0);
+
+  int start = 0;
+  if (!restore_from.empty()) {
+    sim.restore_checkpoint(restore_from, test_identity());
+    start = sim.step_count();
+  }
+  for (int s = start; s < nsteps; ++s) {
+    sim.step();
+    if (checkpoint_step > 0 && sim.step_count() == checkpoint_step) {
+      sim.write_checkpoint(checkpoint_path, test_identity());
+      return Seismogram{};  // interrupted run: stop right after the dump
+    }
+  }
+  return sim.seismogram(rec);
+}
+
+void expect_bit_identical(const Seismogram& a, const Seismogram& b) {
+  ASSERT_EQ(a.time.size(), b.time.size());
+  ASSERT_FALSE(a.time.empty());
+  for (std::size_t i = 0; i < a.time.size(); ++i) {
+    ASSERT_EQ(a.time[i], b.time[i]) << "time sample " << i;
+    for (int c = 0; c < 3; ++c)
+      ASSERT_EQ(a.displ[i][c], b.displ[i][c])
+          << "sample " << i << " comp " << c << " differs: restart is not "
+          << "bit-identical";
+  }
+}
+
+class CheckpointRoundTrip : public ::testing::TestWithParam<RunConfig> {};
+
+TEST_P(CheckpointRoundTrip, RestoreIsBitIdentical) {
+  const RunConfig rc = GetParam();
+  const int nsteps = 60, k = 23;  // deliberately not a round number
+  const std::string path = temp_path("ckpt_roundtrip.snap");
+
+  const Seismogram uninterrupted =
+      run_box(rc, nsteps, /*checkpoint_step=*/0, "", "");
+  run_box(rc, nsteps, k, path, "");                       // dump at step k
+  const Seismogram restarted = run_box(rc, nsteps, 0, "", path);
+
+  expect_bit_identical(uninterrupted, restarted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CheckpointRoundTrip,
+    ::testing::Values(RunConfig{false, false, 1, false},   // solid, serial
+                      RunConfig{true, false, 1, false},    // fluid/solid
+                      RunConfig{false, true, 1, false},    // attenuation
+                      RunConfig{false, false, 2, true},    // threaded
+                      RunConfig{true, true, 2, true}));    // everything
+
+TEST(Checkpoint, ParallelPerRankRoundTripIsBitIdentical) {
+  const auto spec = box_spec();
+  const int nsteps = 50, k = 17;
+  const double dt = 1.5e-3;
+
+  auto rank_identity = [](int rank) {
+    io::SnapshotIdentity id;
+    id.nex = 4;
+    id.nproc = 2;
+    id.nchunks = 1;
+    id.rank = rank;
+    id.nranks = 2;
+    return id;
+  };
+
+  // mode 0: uninterrupted; mode 1: checkpoint at k and stop;
+  // mode 2: restore from k and finish.
+  auto run = [&](int mode) {
+    Seismogram out;
+    smpi::run_ranks(2, [&](smpi::Communicator& comm) {
+      GllBasis basis(4);
+      const int r = comm.rank();
+      CartesianSlice slice =
+          build_cartesian_slice(spec, basis, 2, 1, 1, r, 0, 0);
+      std::vector<smpi::PointCandidate> cands;
+      for (std::size_t n = 0; n < slice.boundary_keys.size(); ++n)
+        cands.push_back({slice.boundary_keys[n], slice.boundary_points[n]});
+      smpi::Exchanger ex = smpi::Exchanger::build(comm, cands);
+      MaterialFields mat = assign_materials(
+          slice.mesh, [](double, double, double) { return rock(); });
+      SimulationConfig cfg;
+      cfg.dt = dt;
+      Simulation sim(slice.mesh, basis, mat, cfg, &comm, &ex);
+      if (r == 0) sim.add_source(test_source());
+      int rec = -1;
+      if (r == 1) rec = sim.add_receiver(700.0, 510.0, 480.0);
+
+      const std::string path =
+          temp_path("ckpt_rank" + std::to_string(r) + ".snap");
+      int start = 0;
+      if (mode == 2) {
+        sim.restore_checkpoint(path, rank_identity(r));
+        start = sim.step_count();
+      }
+      const int stop = (mode == 1) ? k : nsteps;
+      for (int s = start; s < stop; ++s) sim.step();
+      if (mode == 1) sim.write_checkpoint(path, rank_identity(r));
+      if (mode != 1 && rec >= 0) out = sim.seismogram(rec);
+    });
+    return out;
+  };
+
+  const Seismogram uninterrupted = run(0);
+  run(1);
+  const Seismogram restarted = run(2);
+  expect_bit_identical(uninterrupted, restarted);
+}
+
+// ---- rejection of damaged or mismatched snapshots ----
+
+class CheckpointRejection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = temp_path("ckpt_reject.snap");
+    run_box(RunConfig{}, 60, 10, path_, "");
+  }
+  std::string path_;
+};
+
+TEST_F(CheckpointRejection, CorruptedByteFailsCrc) {
+  std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekp(200);  // somewhere inside the field payloads
+  char byte = 0;
+  f.read(&byte, 1);
+  f.seekp(200);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.write(&byte, 1);
+  f.close();
+
+  try {
+    run_box(RunConfig{}, 60, 0, "", path_);
+    FAIL() << "corrupted snapshot was accepted";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(CheckpointRejection, TruncatedFileRejected) {
+  std::vector<char> bytes;
+  {
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    bytes.resize(static_cast<std::size_t>(in.tellg()) / 2);  // keep half
+    in.seekg(0);
+    in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(run_box(RunConfig{}, 60, 0, "", path_), CheckError);
+}
+
+TEST_F(CheckpointRejection, EmptyAndGarbageFilesRejected) {
+  const std::string garbage = temp_path("ckpt_garbage.snap");
+  {
+    std::ofstream out(garbage, std::ios::binary | std::ios::trunc);
+    out << "this is not a snapshot at all, not even close.....";
+  }
+  try {
+    run_box(RunConfig{}, 60, 0, "", garbage);
+    FAIL() << "garbage file was accepted";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos)
+        << e.what();
+  }
+
+  const std::string empty = temp_path("ckpt_empty.snap");
+  { std::ofstream out(empty, std::ios::binary | std::ios::trunc); }
+  EXPECT_THROW(run_box(RunConfig{}, 60, 0, "", empty), CheckError);
+}
+
+TEST_F(CheckpointRejection, IdentityMismatchRejected) {
+  // The file was written with NEX=4/NPROC=1; opening it under a claimed
+  // NEX=8 decomposition must fail with a message naming both.
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(box_spec(), basis);
+  MaterialFields mat = assign_materials(
+      mesh, [](double, double, double) { return rock(); });
+  SimulationConfig cfg;
+  cfg.dt = 1.5e-3;
+  Simulation sim(mesh, basis, mat, cfg);
+  sim.add_source(test_source());
+  sim.add_receiver(700.0, 510.0, 480.0);
+
+  io::SnapshotIdentity wrong = test_identity();
+  wrong.nex = 8;
+  try {
+    sim.restore_checkpoint(path_, wrong);
+    FAIL() << "NEX-mismatched snapshot was accepted";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("NEX=8"), std::string::npos) << what;
+    EXPECT_NE(what.find("NEX=4"), std::string::npos) << what;
+  }
+
+  io::SnapshotIdentity wrong_rank = test_identity();
+  wrong_rank.rank = 3;
+  wrong_rank.nranks = 4;
+  EXPECT_THROW(sim.restore_checkpoint(path_, wrong_rank), CheckError);
+}
+
+TEST_F(CheckpointRejection, MismatchedRunLayoutRejected) {
+  // Same identity, but the restoring simulation has attenuation on — the
+  // meta fingerprint (nsls) must catch it even though NEX matches.
+  RunConfig rc;
+  rc.attenuation = true;
+  EXPECT_THROW(run_box(rc, 60, 0, "", path_), CheckError);
+}
+
+// ---- container unit checks ----
+
+TEST(Snapshot, Crc32KnownAnswer) {
+  // IEEE CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  EXPECT_EQ(io::crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Snapshot, RoundTripsSectionsAndIdentity) {
+  const std::string path = temp_path("snap_unit.snap");
+  io::SnapshotWriter w;
+  const std::vector<float> field = {1.0f, -2.5f, 3.25f};
+  w.add_vector("field", field);
+  const std::int64_t step = 1234;
+  w.add_values("step", &step, 1);
+  io::SnapshotIdentity id;
+  id.nex = 16;
+  id.nproc = 2;
+  id.nchunks = 6;
+  id.rank = 7;
+  id.nranks = 24;
+  w.write(path, id);
+
+  const auto r = io::SnapshotReader::open(path, id);
+  EXPECT_EQ(r.identity(), id);
+  EXPECT_TRUE(r.has("field"));
+  EXPECT_FALSE(r.has("nope"));
+  EXPECT_EQ(r.read_vector<float>("field"), field);
+  EXPECT_EQ(r.read_value<std::int64_t>("step"), step);
+  EXPECT_THROW(r.section("nope"), CheckError);
+}
+
+}  // namespace
+}  // namespace sfg

@@ -1,0 +1,144 @@
+// Golden-seismogram regression (ISSUE 2): a committed NEX=8 PREM-globe
+// reference seismogram pins the physics. Any kernel, scheduling or mesher
+// change that alters the computed wavefield beyond float roundoff fails
+// this test — silent physics drift is the one regression a unit test
+// cannot catch.
+//
+// Regenerating (only when a change is *supposed* to alter the physics):
+//   SFG_REGEN_GOLDEN=1 ./test_golden_seismogram
+// writes the new reference into the source tree (tests/golden/), then
+// rerun without the variable and commit the diff. See docs/testing.md.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "mesh/quality.hpp"
+#include "solver/simulation.hpp"
+#include "sphere/mesher.hpp"
+
+#ifndef SFG_GOLDEN_DIR
+#error "SFG_GOLDEN_DIR must point at the committed tests/golden directory"
+#endif
+
+namespace sfg {
+namespace {
+
+constexpr int kNex = 8;
+constexpr int kSteps = 150;
+
+/// Small but full-stack run: 6-chunk cubed sphere, PREM (so the fluid
+/// outer core and solid-fluid coupling are in the loop), a shallow
+/// moment-tensor source and one interpolated receiver. The step count is
+/// fixed — goldens are defined by (mesh, dt rule, source, steps), not by
+/// simulated time.
+Seismogram compute_seismogram() {
+  PremModel prem;
+  GlobeMeshSpec spec;
+  spec.nex_xi = kNex;
+  spec.nchunks = 6;
+  spec.model = &prem;
+  GllBasis basis(4);
+  GlobeSlice globe = build_globe_serial(spec, basis);
+
+  const auto q = analyze_mesh_quality(globe.mesh, globe.materials.vp,
+                                      globe.materials.vs);
+  SimulationConfig cfg;
+  cfg.dt = 0.8 * q.dt_stable;
+
+  Simulation sim(globe.mesh, basis, globe.materials, cfg);
+  PointSource src;
+  src.x = 0.0;
+  src.y = 0.0;
+  src.z = kEarthRadiusM - 300e3;
+  src.moment = {1e20, -5e19, -5e19, 3e19, 0.0, 2e19};
+  // Fast wavelet and a nearby station so real signal (not numerical
+  // noise) fills the short fixed-step window. NEX=8 under-resolves a
+  // 20 s period — irrelevant here: the golden pins numerics, not
+  // physical accuracy.
+  src.stf = ricker_wavelet(1.0 / 20.0, 40.0);
+  sim.add_source(src);
+  const int rec = sim.add_receiver(0.0, kEarthRadiusM * std::sin(0.05),
+                                   kEarthRadiusM * std::cos(0.05));
+  sim.run(kSteps);
+  return sim.seismogram(rec);
+}
+
+std::string golden_path() {
+  return std::string(SFG_GOLDEN_DIR) + "/globe_nex8_seismogram.txt";
+}
+
+void write_golden(const std::string& path, const Seismogram& s) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+  out << "# golden seismogram: NEX=" << kNex << " 6-chunk PREM globe, "
+      << kSteps << " steps, dt = 0.8 * dt_stable\n"
+      << "# time ux uy uz\n";
+  out.precision(17);  // full double round-trip
+  out << std::scientific;
+  for (std::size_t i = 0; i < s.time.size(); ++i)
+    out << s.time[i] << ' ' << s.displ[i][0] << ' ' << s.displ[i][1] << ' '
+        << s.displ[i][2] << '\n';
+  ASSERT_TRUE(out.good()) << "write to " << path << " failed";
+}
+
+Seismogram read_golden(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — run SFG_REGEN_GOLDEN=1 ./test_golden_seismogram to create it";
+  Seismogram s;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    double t, ux, uy, uz;
+    ls >> t >> ux >> uy >> uz;
+    EXPECT_FALSE(ls.fail()) << "malformed golden line: " << line;
+    s.time.push_back(t);
+    s.displ.push_back({ux, uy, uz});
+  }
+  return s;
+}
+
+TEST(GoldenSeismogram, MatchesCommittedReference) {
+  const Seismogram got = compute_seismogram();
+  ASSERT_EQ(got.time.size(), static_cast<std::size_t>(kSteps));
+
+  if (std::getenv("SFG_REGEN_GOLDEN") != nullptr) {
+    write_golden(golden_path(), got);
+    GTEST_SKIP() << "regenerated " << golden_path()
+                 << "; rerun without SFG_REGEN_GOLDEN to verify";
+  }
+
+  const Seismogram ref = read_golden(golden_path());
+  ASSERT_EQ(ref.time.size(), got.time.size());
+
+  double peak = 0.0;
+  for (const auto& u : ref.displ)
+    for (double c : u) peak = std::max(peak, std::abs(c));
+  ASSERT_GT(peak, 0.0) << "golden reference is all zeros";
+
+  // Tolerance: float-roundoff headroom (reordered sums from future
+  // scheduling work) but far below any physical change. A deliberately
+  // perturbed kernel moves samples by orders of magnitude more.
+  const double tol = 5e-6 * peak;
+  for (std::size_t i = 0; i < ref.time.size(); ++i) {
+    ASSERT_NEAR(ref.time[i], got.time[i], 1e-12 * ref.time.back())
+        << "time axis changed at sample " << i << " (dt rule drifted?)";
+    for (int c = 0; c < 3; ++c)
+      ASSERT_NEAR(ref.displ[i][c], got.displ[i][c], tol)
+          << "sample " << i << " component " << c
+          << " deviates from the committed reference; if this change is "
+             "intended, regenerate per docs/testing.md";
+  }
+}
+
+}  // namespace
+}  // namespace sfg
