@@ -1,15 +1,24 @@
 #!/usr/bin/env bash
-# CI-style gate (ISSUE 2): build, run the fast tier-1 test suite, then
-# build the ThreadSanitizer configuration and run the concurrency-heavy
-# tests (threaded solver, smpi runtime, fault injection) under it.
+# CI-style gate (ISSUE 2, extended by ISSUE 3): build, run the fast tier-1
+# test suite, then two sanitizer configurations —
+#  * AddressSanitizer + UndefinedBehaviorSanitizer over the memory-heavy
+#    solver/mesh/IO tests (build-asan/),
+#  * ThreadSanitizer over the concurrency-heavy tests (build-tsan/).
 #
-# Usage: scripts/check.sh [--no-tsan]
+# Usage: scripts/check.sh [--no-tsan] [--no-asan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 RUN_TSAN=1
-[[ "${1:-}" == "--no-tsan" ]] && RUN_TSAN=0
+RUN_ASAN=1
+for arg in "$@"; do
+  case "${arg}" in
+    --no-tsan) RUN_TSAN=0 ;;
+    --no-asan) RUN_ASAN=0 ;;
+    *) echo "unknown flag: ${arg}" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> configure + build (build/)"
 cmake -B build -S . >/dev/null
@@ -17,6 +26,23 @@ cmake --build build -j "${JOBS}"
 
 echo "==> tier-1 tests (ctest -L tier1)"
 ctest --test-dir build -L tier1 --output-on-failure -j "${JOBS}"
+
+if [[ "${RUN_ASAN}" == "1" ]]; then
+  ASAN_TESTS=(test_solver test_parallel_solver test_checkpoint test_metrics
+              test_source_ownership test_point_location test_sphere
+              test_exchanger test_io)
+  echo "==> configure + build ASan+UBSan config (build-asan/)"
+  cmake -B build-asan -S . -DSFG_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j "${JOBS}" --target "${ASAN_TESTS[@]}"
+
+  echo "==> memory/UB tests under ASan+UBSan"
+  for t in "${ASAN_TESTS[@]}"; do
+    echo "--> ${t}"
+    ASAN_OPTIONS=detect_leaks=1 \
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+      ./build-asan/tests/"${t}"
+  done
+fi
 
 if [[ "${RUN_TSAN}" == "1" ]]; then
   echo "==> configure + build ThreadSanitizer config (build-tsan/)"

@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/timer.hpp"
 
 namespace sfg {
 
 ThreadPool::ThreadPool(int num_threads) : nthreads_(num_threads) {
   SFG_CHECK_MSG(num_threads >= 1, "thread pool needs at least one thread");
+  thread_time_.resize(static_cast<std::size_t>(num_threads));
   workers_.reserve(static_cast<std::size_t>(num_threads - 1));
   for (int t = 1; t < num_threads; ++t)
     workers_.emplace_back([this, t] { worker_main(t); });
@@ -29,7 +31,26 @@ void ThreadPool::run_chunk(int thread, const ChunkFn& fn, std::size_t n) {
   const std::size_t begin =
       std::min(n, static_cast<std::size_t>(thread) * chunk);
   const std::size_t end = std::min(n, begin + chunk);
-  if (begin < end) fn(thread, begin, end);
+  if (begin < end) {
+    // Each thread writes only its own padded slot; the completion
+    // handshake in parallel_for_chunked publishes it to the caller.
+    WallTimer t;
+    fn(thread, begin, end);
+    thread_time_[static_cast<std::size_t>(thread)].busy += t.seconds();
+  }
+}
+
+double ThreadPool::thread_busy_seconds(int thread) const {
+  SFG_CHECK(thread >= 0 && thread < nthreads_);
+  return thread_time_[static_cast<std::size_t>(thread)].busy;
+}
+
+std::vector<double> ThreadPool::busy_seconds() const {
+  std::vector<double> out(static_cast<std::size_t>(nthreads_));
+  for (int t = 0; t < nthreads_; ++t)
+    out[static_cast<std::size_t>(t)] =
+        thread_time_[static_cast<std::size_t>(t)].busy;
+  return out;
 }
 
 void ThreadPool::worker_main(int thread) {
@@ -60,8 +81,12 @@ void ThreadPool::worker_main(int thread) {
 
 void ThreadPool::parallel_for_chunked(std::size_t n, const ChunkFn& fn) {
   if (n == 0) return;
+  WallTimer span;
   if (nthreads_ == 1) {
     fn(0, 0, n);
+    thread_time_[0].busy += span.seconds();
+    span_seconds_ += span.seconds();
+    ++calls_;
     return;
   }
   {
@@ -90,6 +115,8 @@ void ThreadPool::parallel_for_chunked(std::size_t n, const ChunkFn& fn) {
     error = first_error_ ? first_error_ : my_error;
     first_error_ = nullptr;
   }
+  span_seconds_ += span.seconds();
+  ++calls_;
   if (error) std::rethrow_exception(error);
 }
 

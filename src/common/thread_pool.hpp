@@ -44,12 +44,31 @@ class ThreadPool {
   /// Not reentrant: fn must not call back into the same pool.
   void parallel_for_chunked(std::size_t n, const ChunkFn& fn);
 
+  // ---- busy/idle accounting (ISSUE 3: color-schedule imbalance) ----
+  // Each thread accumulates the wall time it spends inside its chunks;
+  // the caller accumulates the span of every parallel region. Idle time
+  // of thread t is span - busy[t]. Reads are safe any time the pool is
+  // quiescent (parallel_for_chunked synchronizes before returning).
+  double thread_busy_seconds(int thread) const;
+  std::vector<double> busy_seconds() const;
+  /// Summed wall-clock span of all parallel_for_chunked calls.
+  double span_seconds() const { return span_seconds_; }
+  std::uint64_t parallel_calls() const { return calls_; }
+
  private:
   void worker_main(int thread);
   void run_chunk(int thread, const ChunkFn& fn, std::size_t n);
 
   int nthreads_;
   std::vector<std::thread> workers_;
+
+  /// One cache line per thread so chunk-time accumulation never bounces.
+  struct alignas(64) ThreadTime {
+    double busy = 0.0;
+  };
+  std::vector<ThreadTime> thread_time_;
+  double span_seconds_ = 0.0;
+  std::uint64_t calls_ = 0;
 
   std::mutex mutex_;
   std::condition_variable start_cv_;

@@ -279,6 +279,7 @@ void Communicator::send_bytes(int dest, int tag, const void* data,
   stats_.send_seconds += dt;
   stats_.bytes_sent += bytes;
   ++stats_.send_count;
+  ++stats_.sent_size_hist[static_cast<std::size_t>(msg_size_bucket(bytes))];
   record(TraceEvent::Kind::Send, dest, bytes, dt);
 }
 
@@ -346,6 +347,7 @@ Request Communicator::isend_bytes(int dest, int tag, const void* data,
   stats_.send_seconds += dt;
   stats_.bytes_sent += bytes;
   ++stats_.send_count;
+  ++stats_.sent_size_hist[static_cast<std::size_t>(msg_size_bucket(bytes))];
   record(TraceEvent::Kind::Send, dest, bytes, dt);
   Request req;
   req.kind = Request::Kind::Send;

@@ -21,6 +21,7 @@
 /// with an exception) wakes every blocked rank with SimulationAborted
 /// instead of deadlocking.
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -64,8 +65,14 @@ struct TraceEvent {
 };
 
 /// Per-rank IPM-style summary: time, bytes and counts per call type, plus
-/// fault-injection accounting (ISSUE 2).
+/// fault-injection accounting (ISSUE 2) and a fixed-bucket message-size
+/// histogram (ISSUE 3: the sfg_metrics report's comm section).
 struct CommStats {
+  /// Message-size buckets: bucket i counts point-to-point sends of
+  /// size <= 64 << i bytes; the last bucket is unbounded. 16 buckets span
+  /// 64 B .. 2 MiB, the range the assembly exchange actually uses.
+  static constexpr int kMsgSizeBuckets = 16;
+
   double send_seconds = 0.0;
   double recv_seconds = 0.0;
   double collective_seconds = 0.0;
@@ -74,6 +81,7 @@ struct CommStats {
   std::uint64_t send_count = 0;
   std::uint64_t recv_count = 0;
   std::uint64_t collective_count = 0;
+  std::array<std::uint64_t, kMsgSizeBuckets> sent_size_hist{};
 
   // ---- fault counters ----
   std::uint64_t messages_dropped = 0;     ///< this rank's sends diverted to limbo
@@ -91,6 +99,15 @@ struct CommStats {
     return messages_dropped + messages_duplicated + messages_delayed;
   }
 };
+
+/// Bucket index of a message of `bytes` in CommStats::sent_size_hist.
+inline int msg_size_bucket(std::uint64_t bytes) {
+  int b = 0;
+  while (b < CommStats::kMsgSizeBuckets - 1 &&
+         bytes > (std::uint64_t{64} << b))
+    ++b;
+  return b;
+}
 
 /// Bounded-wait policy for receive paths that must not hang: wait up to
 /// `timeout_seconds`, then request a retransmit and try again, at most

@@ -33,6 +33,19 @@ struct CheckpointMeta {
   std::int32_t nsources = 0;
 };
 
+/// Cumulative phase-metric counters (ISSUE 3): saved so a resumed run's
+/// end-of-run report carries the full history of the run it continues.
+/// Wall-clock seconds are machine-dependent and excluded from any
+/// bit-identity contract — only the *counts* are asserted by
+/// test_checkpoint (a restored run must reproduce the same per-phase
+/// segment counts as an uninterrupted one).
+struct MetricsCheckpoint {
+  std::int64_t steps = 0;
+  double total_wall = 0.0;
+  std::uint64_t counts[metrics::kNumPhases] = {0};
+  double seconds[metrics::kNumPhases] = {0.0};
+};
+
 }  // namespace
 
 void Simulation::write_checkpoint(const std::string& path,
@@ -73,6 +86,17 @@ void Simulation::write_checkpoint(const std::string& path,
     writer.add_values("recv." + std::to_string(r) + ".displ",
                       s.displ.empty() ? nullptr : s.displ.data()->data(),
                       s.displ.size() * 3);
+  }
+
+  if (profile_.enabled()) {
+    MetricsCheckpoint mc;
+    mc.steps = profile_.steps();
+    mc.total_wall = profile_.total_wall_seconds();
+    for (int p = 0; p < metrics::kNumPhases; ++p) {
+      mc.counts[p] = profile_.phase_counts()[static_cast<std::size_t>(p)];
+      mc.seconds[p] = profile_.phase_seconds()[static_cast<std::size_t>(p)];
+    }
+    writer.add_values("metrics", &mc, 1);
   }
 
   writer.write(path, identity);
@@ -147,6 +171,20 @@ void Simulation::restore_checkpoint(const std::string& path,
     s.displ.resize(s.time.size());
     for (std::size_t i = 0; i < s.displ.size(); ++i)
       s.displ[i] = {flat[i * 3 + 0], flat[i * 3 + 1], flat[i * 3 + 2]};
+  }
+
+  // Optional section: snapshots written with metrics disabled (or by the
+  // pre-ISSUE-3 format) simply leave the profile at its current state.
+  if (profile_.enabled() && reader.has("metrics")) {
+    const auto mc = reader.read_value<MetricsCheckpoint>("metrics");
+    std::array<std::uint64_t, metrics::kNumPhases> counts{};
+    std::array<double, metrics::kNumPhases> seconds{};
+    for (int p = 0; p < metrics::kNumPhases; ++p) {
+      counts[static_cast<std::size_t>(p)] = mc.counts[p];
+      seconds[static_cast<std::size_t>(p)] = mc.seconds[p];
+    }
+    profile_.restore_counts(static_cast<int>(mc.steps), counts, seconds,
+                            mc.total_wall);
   }
 
   it_ = static_cast<int>(meta.step);

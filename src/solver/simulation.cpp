@@ -1,6 +1,8 @@
 #include "solver/simulation.hpp"
 
 #include <cmath>
+#include <limits>
+#include <ostream>
 
 #include "mesh/coloring.hpp"
 #include "mesh/numbering.hpp"
@@ -25,7 +27,9 @@ Simulation::Simulation(const HexMesh& mesh, const GllBasis& basis,
       cfg_(std::move(config)),
       comm_(comm),
       exchanger_(exchanger),
-      kernel_(basis, cfg_.kernel, cfg_.attenuation) {
+      kernel_(basis, cfg_.kernel, cfg_.attenuation),
+      profile_(cfg_.metrics.enabled, cfg_.metrics.timeline,
+               cfg_.metrics.max_timeline_events) {
   SFG_CHECK(mesh_.numbered() && mesh_.has_jacobians());
   SFG_CHECK(mat_.size() == mesh_.num_local_points());
   SFG_CHECK_MSG(cfg_.dt > 0.0, "time step must be positive");
@@ -319,6 +323,41 @@ int Simulation::add_receiver(double x, double y, double z, bool exact) {
   return static_cast<int>(receivers_.size()) - 1;
 }
 
+// Deterministic owner election for points on slice boundaries (ISSUE 3
+// bugfix). A source/receiver sitting exactly on a shared interface locates
+// with (near-)identical error on every adjacent rank; without a collective
+// decision each of them would add it and the injected amplitude scales
+// with the number of claimants. Elect by allreduce-Min on the location
+// error, then break ties (floating-point-identical errors on shared faces
+// are the common case, not the exception) by lowest rank.
+bool Simulation::elect_owner(double error_m) const {
+  if (comm_ == nullptr) return true;
+  const double best = comm_->allreduce_one(error_m, smpi::ReduceOp::Min);
+  // Everything within a whisker of the best error is a claimant; the
+  // relative slack absorbs cross-rank rounding in the Newton locate.
+  const double slack = 1e-9 * (1.0 + std::abs(best));
+  const std::int64_t claim =
+      error_m <= best + slack ? comm_->rank()
+                              : std::numeric_limits<std::int64_t>::max();
+  return comm_->allreduce_one(claim, smpi::ReduceOp::Min) == comm_->rank();
+}
+
+bool Simulation::add_source_global(const PointSource& source) {
+  const LocatedPoint loc =
+      locate_point_exact(mesh_, basis_, source.x, source.y, source.z);
+  if (!elect_owner(loc.error_m)) return false;
+  add_source(source);
+  return true;
+}
+
+int Simulation::add_receiver_global(double x, double y, double z,
+                                    bool exact) {
+  const LocatedPoint loc = exact ? locate_point_exact(mesh_, basis_, x, y, z)
+                                 : locate_point_nearest(mesh_, basis_, x, y, z);
+  if (!elect_owner(loc.error_m)) return -1;
+  return add_receiver(x, y, z, exact);
+}
+
 void Simulation::set_solid_element_order(const std::vector<int>& order) {
   SFG_CHECK_MSG(order.size() == solid_elements_.size(),
                 "order must cover exactly the solid elements");
@@ -497,25 +536,34 @@ void Simulation::parallel_over(
 }
 
 void Simulation::compute_fluid_forces() {
-  // Element contributions.
-  if (colored_schedule_) {
-    run_fluid_batches(fluid_batches_);
-  } else {
-    for (int e : fluid_elements_) process_fluid_element(e, scratch_[0]->ws);
+  {
+    metrics::PhaseScope ps(&profile_, metrics::Phase::FluidForces);
+
+    // Element contributions.
+    if (colored_schedule_) {
+      run_fluid_batches(fluid_batches_);
+    } else {
+      for (int e : fluid_elements_)
+        process_fluid_element(e, scratch_[0]->ws);
+    }
+
+    // Solid -> fluid coupling: continuity of normal displacement supplies
+    // the boundary term with the solid displacement at t^{n+1}.
+    for (const CouplingPoint& cp : coupling_) {
+      const auto g = static_cast<std::size_t>(cp.iglob);
+      const double un = displ_[g * 3 + 0] * cp.nx +
+                        displ_[g * 3 + 1] * cp.ny +
+                        displ_[g * 3 + 2] * cp.nz;
+      chi_ddot_[g] += static_cast<float>(cp.weight * un);
+    }
   }
 
-  // Solid -> fluid coupling: continuity of normal displacement supplies
-  // the boundary term with the solid displacement at t^{n+1}.
-  for (const CouplingPoint& cp : coupling_) {
-    const auto g = static_cast<std::size_t>(cp.iglob);
-    const double un = displ_[g * 3 + 0] * cp.nx + displ_[g * 3 + 1] * cp.ny +
-                      displ_[g * 3 + 2] * cp.nz;
-    chi_ddot_[g] += static_cast<float>(cp.weight * un);
-  }
-
-  if (exchanger_ != nullptr)
+  if (exchanger_ != nullptr) {
+    metrics::PhaseScope ps(&profile_, metrics::Phase::HaloWait);
     exchanger_->assemble_add(*comm_, chi_ddot_.data(), 1);
+  }
 
+  metrics::PhaseScope ps(&profile_, metrics::Phase::MassUpdate);
   parallel_over(chi_ddot_.size(), [&](std::size_t b, std::size_t n) {
     for (std::size_t g = b; g < n; ++g)
       chi_ddot_[g] *= rmass_inv_fluid_[g];
@@ -572,20 +620,47 @@ void Simulation::process_solid_element(int e, ThreadScratch& scratch) {
       accel_[g * 3 + 2] += w * ws.gz[static_cast<std::size_t>(p)];
     }
   }
-  if (cfg_.attenuation) update_memory_variables(e, ws);
+  if (cfg_.attenuation) {
+    if (profile_.enabled()) {
+      // Per-element nested timing: folded into the AttenuationUpdate
+      // phase once per step by record_attenuation_time(). Each thread
+      // touches only its own scratch slot.
+      WallTimer t_att;
+      update_memory_variables(e, ws);
+      scratch.attenuation_seconds += t_att.seconds();
+    } else {
+      update_memory_variables(e, ws);
+    }
+  }
+}
+
+void Simulation::record_attenuation_time() {
+  if (!profile_.enabled() || !cfg_.attenuation) return;
+  double total = 0.0;
+  for (const auto& s : scratch_) total += s->attenuation_seconds;
+  const double delta = total - att_seconds_reported_;
+  if (delta <= 0.0) return;
+  att_seconds_reported_ = total;
+  profile_.record(metrics::Phase::AttenuationUpdate,
+                  profile_.now() - delta, delta);
 }
 
 void Simulation::compute_solid_forces() {
   const int n3 = mesh_.ngll3();
 
   if (!colored_schedule_) {
+    metrics::PhaseScope ps(&profile_, metrics::Phase::SolidForces);
     for (int e : solid_elements_) process_solid_element(e, *scratch_[0]);
   } else {
     // Boundary elements first: once they (and the cheap surface terms
     // below) have contributed, every halo point holds its final local
     // value and the exchange can start.
+    metrics::PhaseScope ps(&profile_, metrics::Phase::SolidBoundary);
     run_solid_batches(solid_boundary_batches_);
   }
+
+  metrics::PhaseScope ps_surface(&profile_,
+                                 metrics::Phase::SourceInjection);
 
   // Fluid -> solid coupling: fluid pressure p = -chi_ddot acts as a
   // traction chi_ddot * n_solid = -chi_ddot * n_fluid on the solid.
@@ -630,29 +705,36 @@ void Simulation::compute_solid_forces() {
       accel_[g * 3 + 2] += static_cast<float>(f[2] * s);
     }
   }
+  ps_surface.stop();
 
   // Comm/compute overlap (§5): open the halo exchange as soon as every
   // halo point carries its final local value, hide it behind the interior
   // batches, and only then wait. Interior elements touch no halo point, so
   // they never race with the exchange snapshot or accumulation.
   if (colored_schedule_) {
-    if (exchanger_ != nullptr)
+    if (exchanger_ != nullptr) {
+      metrics::PhaseScope ps(&profile_, metrics::Phase::HaloBegin);
       exchanger_->assemble_add_begin(*comm_, accel_.data(), 3);
+    }
     {
+      metrics::PhaseScope ps(&profile_, metrics::Phase::SolidInterior);
       WallTimer t_interior;
       run_solid_batches(solid_interior_batches_);
       if (exchanger_ != nullptr)
         overlap_compute_seconds_ += t_interior.seconds();
     }
     if (exchanger_ != nullptr) {
+      metrics::PhaseScope ps(&profile_, metrics::Phase::HaloWait);
       WallTimer t_wait;
       exchanger_->assemble_add_end(*comm_);
       overlap_wait_seconds_ += t_wait.seconds();
     }
   } else if (exchanger_ != nullptr) {
+    metrics::PhaseScope ps(&profile_, metrics::Phase::HaloWait);
     exchanger_->assemble_add(*comm_, accel_.data(), 3);
   }
 
+  metrics::PhaseScope ps_mass(&profile_, metrics::Phase::MassUpdate);
   const auto ng = static_cast<std::size_t>(mesh_.nglob);
   parallel_over(ng, [&](std::size_t b, std::size_t n) {
     for (std::size_t g = b; g < n; ++g) {
@@ -683,52 +765,66 @@ void Simulation::step() {
   // Fault-plan hook: a planned rank death fires here, before any of this
   // step's collective communication, so peers abort instead of deadlock.
   if (comm_ != nullptr) comm_->notify_step(it_);
+  profile_.begin_step();
+  WallTimer t_step;
 
   const double dt = cfg_.dt;
   const double dt2 = 0.5 * dt * dt;
   const auto ng = static_cast<std::size_t>(mesh_.nglob);
 
-  // ---- Newmark predictor ----
-  parallel_over(ng * 3, [&](std::size_t b, std::size_t n) {
-    for (std::size_t g = b; g < n; ++g) {
-      displ_[g] += static_cast<float>(dt * veloc_[g] + dt2 * accel_[g]);
-      veloc_[g] += static_cast<float>(0.5 * dt * accel_[g]);
-      accel_[g] = 0.0f;
+  {
+    metrics::PhaseScope ps(&profile_, metrics::Phase::NewmarkPredictor);
+    // ---- Newmark predictor ----
+    parallel_over(ng * 3, [&](std::size_t b, std::size_t n) {
+      for (std::size_t g = b; g < n; ++g) {
+        displ_[g] += static_cast<float>(dt * veloc_[g] + dt2 * accel_[g]);
+        veloc_[g] += static_cast<float>(0.5 * dt * accel_[g]);
+        accel_[g] = 0.0f;
+      }
+    });
+    if (global_has_fluid_) {
+      parallel_over(ng, [&](std::size_t b, std::size_t n) {
+        for (std::size_t g = b; g < n; ++g) {
+          chi_[g] +=
+              static_cast<float>(dt * chi_dot_[g] + dt2 * chi_ddot_[g]);
+          chi_dot_[g] += static_cast<float>(0.5 * dt * chi_ddot_[g]);
+          chi_ddot_[g] = 0.0f;
+        }
+      });
     }
-  });
+  }
   // The fluid phase is collective (chi_ddot assembly), so it is gated on
   // the global fluid flag: all-solid ranks of a mixed mesh participate
   // with zero local contributions.
-  if (global_has_fluid_) {
-    parallel_over(ng, [&](std::size_t b, std::size_t n) {
-      for (std::size_t g = b; g < n; ++g) {
-        chi_[g] += static_cast<float>(dt * chi_dot_[g] + dt2 * chi_ddot_[g]);
-        chi_dot_[g] += static_cast<float>(0.5 * dt * chi_ddot_[g]);
-        chi_ddot_[g] = 0.0f;
-      }
-    });
-    compute_fluid_forces();
-  }
+  if (global_has_fluid_) compute_fluid_forces();
 
   compute_solid_forces();
 
-  // ---- Newmark corrector ----
-  parallel_over(ng * 3, [&](std::size_t b, std::size_t n) {
-    for (std::size_t g = b; g < n; ++g)
-      veloc_[g] += static_cast<float>(0.5 * dt * accel_[g]);
-  });
-  if (global_has_fluid_) {
-    parallel_over(ng, [&](std::size_t b, std::size_t n) {
+  {
+    metrics::PhaseScope ps(&profile_, metrics::Phase::NewmarkCorrector);
+    // ---- Newmark corrector ----
+    parallel_over(ng * 3, [&](std::size_t b, std::size_t n) {
       for (std::size_t g = b; g < n; ++g)
-        chi_dot_[g] += static_cast<float>(0.5 * dt * chi_ddot_[g]);
+        veloc_[g] += static_cast<float>(0.5 * dt * accel_[g]);
     });
+    if (global_has_fluid_) {
+      parallel_over(ng, [&](std::size_t b, std::size_t n) {
+        for (std::size_t g = b; g < n; ++g)
+          chi_dot_[g] += static_cast<float>(0.5 * dt * chi_ddot_[g]);
+      });
+    }
   }
 
   time_ += dt;
   ++it_;
 
   if (comm_ != nullptr) comm_->add_virtual_compute(flops_per_step());
-  if (it_ % cfg_.record_every == 0) record_receivers();
+  if (it_ % cfg_.record_every == 0) {
+    metrics::PhaseScope ps(&profile_, metrics::Phase::SeismogramRecord);
+    record_receivers();
+  }
+  record_attenuation_time();
+  profile_.end_step(t_step.seconds());
 }
 
 void Simulation::run(int nsteps) {
@@ -876,6 +972,39 @@ std::uint64_t Simulation::comm_bytes_per_step() const {
   std::uint64_t floats = exchanger_->floats_per_exchange(3);
   if (global_has_fluid_) floats += exchanger_->floats_per_exchange(1);
   return floats * sizeof(float);
+}
+
+metrics::RunReport Simulation::metrics_report(
+    const std::string& label) const {
+  metrics::RunReport r;
+  r.label = label;
+  r.rank = comm_ != nullptr ? comm_->rank() : 0;
+  r.nranks = comm_ != nullptr ? comm_->size() : 1;
+  r.steps = profile_.steps();
+  r.wall_seconds = profile_.total_wall_seconds();
+  r.phase_seconds = profile_.phase_seconds();
+  r.phase_counts = profile_.phase_counts();
+  if (comm_ != nullptr) {
+    r.comm = metrics::summarize_comm(comm_->stats());
+    r.has_comm = true;
+  }
+  if (pool_ != nullptr) {
+    r.thread_busy_seconds = pool_->busy_seconds();
+    r.thread_span_seconds = pool_->span_seconds();
+  }
+  return r;
+}
+
+void Simulation::write_metrics_report(std::ostream& os,
+                                      const std::string& label) const {
+  metrics::write_report(os, metrics_report(label));
+}
+
+metrics::RankTimeline Simulation::metrics_timeline() const {
+  metrics::RankTimeline tl;
+  tl.rank = comm_ != nullptr ? comm_->rank() : 0;
+  tl.events = profile_.timeline();
+  return tl;
 }
 
 }  // namespace sfg

@@ -29,6 +29,7 @@
 #include "mesh/faces.hpp"
 #include "mesh/hex_mesh.hpp"
 #include "model/attenuation.hpp"
+#include "perf/metrics.hpp"
 #include "runtime/exchanger.hpp"
 #include "runtime/smpi.hpp"
 #include "solver/materials.hpp"
@@ -72,6 +73,11 @@ struct SimulationConfig {
   /// thread count, so a forced-colored 1-thread run is bit-identical to
   /// any multi-threaded run (the determinism reference).
   bool force_colored_schedule = false;
+
+  /// IPM-style per-step observability (ISSUE 3): phase timers, comm
+  /// histograms, thread busy fractions. Default on (report-only); the
+  /// Chrome-trace timeline is opt-in.
+  metrics::MetricsConfig metrics;
 };
 
 /// Recorded three-component seismogram at one station.
@@ -104,6 +110,18 @@ class Simulation {
   /// interpolation at the located reference coordinates, exact=false the
   /// nearest-GLL-point shortcut of §4.4.
   int add_receiver(double x, double y, double z, bool exact = true);
+
+  /// Collective source registration (ISSUE 3 bugfix). Every rank calls
+  /// this with the same source; exactly one rank — elected by allreduce on
+  /// (location error, rank), lowest error then lowest rank winning — adds
+  /// it and returns true. Fixes the duplicated-source bug when the point
+  /// lies on a slice boundary shared by several ranks, where the previous
+  /// locate-locally-and-add pattern injected the source once per rank.
+  /// All ranks must call in the same order (two allreduces per call).
+  bool add_source_global(const PointSource& source);
+  /// Collective receiver registration with the same owner election.
+  /// Returns the receiver index on the owning rank, -1 elsewhere.
+  int add_receiver_global(double x, double y, double z, bool exact = true);
   /// Override the order in which solid elements are processed (§4.2 loop
   /// order experiments). Must be a permutation of the solid element list.
   void set_solid_element_order(const std::vector<int>& order);
@@ -175,6 +193,21 @@ class Simulation {
   /// in the colored schedule; 0 on the legacy sequential path.
   int num_solid_batches() const;
 
+  // ---- per-step observability (ISSUE 3) ----
+  /// The raw per-phase profile accumulated while stepping (empty when
+  /// cfg_.metrics.enabled is false).
+  const metrics::StepProfile& step_profile() const { return profile_; }
+  /// Assemble the end-of-run report for this rank: phase breakdown, comm
+  /// summary (from smpi::CommStats, same accounting as bench_fig6),
+  /// per-thread busy fractions.
+  metrics::RunReport metrics_report(const std::string& label = {}) const;
+  /// Write the human-readable report (metrics_report) to `os`.
+  void write_metrics_report(std::ostream& os,
+                            const std::string& label = {}) const;
+  /// This rank's timeline slices (requires cfg_.metrics.timeline). Merge
+  /// the per-rank timelines with metrics::write_chrome_trace.
+  metrics::RankTimeline metrics_timeline() const;
+
  private:
   struct CouplingPoint {
     int iglob;
@@ -200,6 +233,9 @@ class Simulation {
   struct ThreadScratch {
     KernelWorkspace ws;
     std::array<aligned_vector<float>, 6> r_sum;
+    /// Wall time this thread spent in update_memory_variables (nested
+    /// inside the solid phases; only accumulated when metrics are on).
+    double attenuation_seconds = 0.0;
     ThreadScratch(int ngll, bool attenuation);
   };
 
@@ -220,6 +256,12 @@ class Simulation {
   ElementPointers element_pointers(int ispec) const;
   void update_memory_variables(int ispec, const KernelWorkspace& ws);
   void record_receivers();
+  /// True iff this rank wins the (error, rank) allreduce election for a
+  /// point located with error `error_m`. Collective; serial runs own all.
+  bool elect_owner(double error_m) const;
+  /// Fold per-thread attenuation time into the profile as the nested
+  /// AttenuationUpdate phase (called once per step).
+  void record_attenuation_time();
 
   const HexMesh& mesh_;
   const GllBasis& basis_;
@@ -247,6 +289,11 @@ class Simulation {
   bool global_has_fluid_ = false;  ///< fluid anywhere across all ranks
   double overlap_compute_seconds_ = 0.0;
   double overlap_wait_seconds_ = 0.0;
+
+  // Observability (ISSUE 3): the per-step phase profile and the running
+  // total of per-thread attenuation time already folded into it.
+  metrics::StepProfile profile_;
+  double att_seconds_reported_ = 0.0;
 
   // Global fields (nglob * 3 and nglob).
   aligned_vector<float> displ_, veloc_, accel_;

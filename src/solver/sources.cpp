@@ -106,17 +106,56 @@ bool invert3(const double m[3][3], double inv[3][3]) {
   return true;
 }
 
-/// Index of the nearest local GLL point (brute force over the rank-local
-/// mesh — mirrors the mesher's per-slice search).
-std::size_t nearest_local_point(const HexMesh& mesh, double x, double y,
-                                double z) {
+inline double dist2_to(const HexMesh& mesh, std::size_t p, double x,
+                       double y, double z) {
+  const double dx = mesh.xstore[p] - x;
+  const double dy = mesh.ystore[p] - y;
+  const double dz = mesh.zstore[p] - z;
+  return dx * dx + dy * dy + dz * dz;
+}
+
+/// Local index of the GLL node at the middle of the element — always an
+/// actual mesh point, so its distance is a valid upper bound for the
+/// nearest-point search.
+inline int center_node(int ngll) {
+  const int m = ngll / 2;
+  return local_index(ngll, m, m, m);
+}
+
+/// Inflation applied to the corner-based element radius below: on curved
+/// (cubed-sphere) elements a mid-face GLL node can sit slightly farther
+/// from the center node than any corner, so the raw corner maximum could
+/// under-estimate the true point-set radius and wrongly prune an element.
+/// 25% covers any realistic element curvature at the cost of scanning a
+/// few extra elements.
+constexpr double kRadiusSafety = 1.25;
+
+/// Element radius estimate: max distance of the 8 corner nodes to the
+/// center node (scale with kRadiusSafety before using as a pruning bound).
+double element_radius(const HexMesh& mesh, int e) {
+  const int n = mesh.ngll;
+  const std::size_t off = mesh.local_offset(e);
+  const std::size_t c = off + static_cast<std::size_t>(center_node(n));
+  double r2 = 0.0;
+  for (int k = 0; k < n; k += n - 1)
+    for (int j = 0; j < n; j += n - 1)
+      for (int i = 0; i < n; i += n - 1) {
+        const std::size_t p =
+            off + static_cast<std::size_t>(local_index(n, i, j, k));
+        r2 = std::max(r2, dist2_to(mesh, p, mesh.xstore[c], mesh.ystore[c],
+                                   mesh.zstore[c]));
+      }
+  return std::sqrt(r2);
+}
+
+}  // namespace
+
+std::size_t nearest_local_point_brute(const HexMesh& mesh, double x,
+                                      double y, double z) {
   double best = std::numeric_limits<double>::max();
   std::size_t best_p = 0;
   for (std::size_t p = 0; p < mesh.num_local_points(); ++p) {
-    const double dx = mesh.xstore[p] - x;
-    const double dy = mesh.ystore[p] - y;
-    const double dz = mesh.zstore[p] - z;
-    const double d2 = dx * dx + dy * dy + dz * dz;
+    const double d2 = dist2_to(mesh, p, x, y, z);
     if (d2 < best) {
       best = d2;
       best_p = p;
@@ -125,7 +164,52 @@ std::size_t nearest_local_point(const HexMesh& mesh, double x, double y,
   return best_p;
 }
 
-}  // namespace
+std::size_t nearest_local_point(const HexMesh& mesh, double x, double y,
+                                double z) {
+  // Element-centroid prefilter (ISSUE 3 perf fix). The old brute-force
+  // scan touched every local GLL point — O(nspec * ngll^3) per station,
+  // which dominates setup when locating hundreds of stations on a large
+  // slice. Pass 1 prices every element by its center node (an actual mesh
+  // point, so the minimum is a valid upper bound U); pass 2 scans the
+  // points of only those elements whose ball [center, radius] can beat U.
+  // Elements are visited in index order with strict '<' updates, so the
+  // winner (lowest point index among equal distances) is IDENTICAL to the
+  // brute-force scan — test_point_location asserts this.
+  const int n3 = mesh.ngll3();
+  if (mesh.nspec == 0 || n3 == 0) return 0;
+
+  const int cnode = center_node(mesh.ngll);
+  std::vector<double> center_d2(static_cast<std::size_t>(mesh.nspec));
+  double upper2 = std::numeric_limits<double>::max();
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const std::size_t c =
+        mesh.local_offset(e) + static_cast<std::size_t>(cnode);
+    const double d2 = dist2_to(mesh, c, x, y, z);
+    center_d2[static_cast<std::size_t>(e)] = d2;
+    upper2 = std::min(upper2, d2);
+  }
+  const double upper = std::sqrt(upper2);
+
+  double best = std::numeric_limits<double>::max();
+  std::size_t best_p = 0;
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const double dc = std::sqrt(center_d2[static_cast<std::size_t>(e)]);
+    // Conservative lower bound on the distance to any point of e; the
+    // relative slack absorbs sqrt rounding so no candidate is ever lost.
+    const double lb = dc - kRadiusSafety * element_radius(mesh, e);
+    if (lb > upper * (1.0 + 1e-12) + 1e-300) continue;
+    const std::size_t off = mesh.local_offset(e);
+    for (int p = 0; p < n3; ++p) {
+      const double d2 = dist2_to(mesh, off + static_cast<std::size_t>(p),
+                                 x, y, z);
+      if (d2 < best) {
+        best = d2;
+        best_p = off + static_cast<std::size_t>(p);
+      }
+    }
+  }
+  return best_p;
+}
 
 LocatedPoint locate_point_nearest(const HexMesh& mesh, const GllBasis& basis,
                                   double x, double y, double z) {
@@ -196,12 +280,14 @@ LocatedPoint locate_point_exact(const HexMesh& mesh, const GllBasis& basis,
   LocatedPoint best;
   best.error_m = std::numeric_limits<double>::max();
   const int ngll3 = mesh.ngll3();
+  std::vector<char> tried(static_cast<std::size_t>(mesh.nspec), 0);
   for (int e = 0; e < mesh.nspec; ++e) {
     const std::size_t off = mesh.local_offset(e);
     bool shares = false;
     for (int p = 0; p < ngll3 && !shares; ++p)
       shares = mesh.ibool[off + static_cast<std::size_t>(p)] == seed_glob;
     if (!shares) continue;
+    tried[static_cast<std::size_t>(e)] = 1;
     // Seed at the shared point's reference coordinates within THIS element.
     double sxi = 0, seta = 0, sgam = 0;
     for (int p = 0; p < ngll3; ++p) {
@@ -217,6 +303,36 @@ LocatedPoint locate_point_exact(const HexMesh& mesh, const GllBasis& basis,
     if (cand.error_m < best.error_m) best = cand;
   }
   if (best.ispec < 0) return seed;  // degenerate mesh: fall back
+
+  // Mislocation fix (ISSUE 3): on curved elements the target can lie
+  // inside an element that does NOT touch the nearest GLL node, and the
+  // clamped Newton iteration above then converges to a point on a face of
+  // the wrong element. The old code returned that clamped result silently
+  // flagged exact=true. Validate the converged residual against a
+  // tolerance scaled to the local element size and, if it fails, widen the
+  // candidate set to every element whose bounding ball could contain the
+  // target before giving up.
+  const double scale = element_radius(mesh, best.ispec);
+  const double tol = std::max(1e-6 * scale, 1e-9);
+  if (best.error_m > tol) {
+    for (int e = 0; e < mesh.nspec; ++e) {
+      if (tried[static_cast<std::size_t>(e)]) continue;
+      const std::size_t c = mesh.local_offset(e) +
+                            static_cast<std::size_t>(center_node(mesh.ngll));
+      const double dc = std::sqrt(dist2_to(mesh, c, x, y, z));
+      if (dc - kRadiusSafety * element_radius(mesh, e) > best.error_m)
+        continue;
+      const LocatedPoint cand =
+          newton_in_element(mesh, basis, e, x, y, z, 0.0, 0.0, 0.0);
+      if (cand.error_m < best.error_m) best = cand;
+      if (best.error_m <= tol) break;
+    }
+  }
+  // Honest degrade: points outside this rank's slice (or outside the mesh
+  // entirely) report the true residual and exact=false instead of a
+  // silently clamped "exact" location. error_m stays the tie-break key of
+  // Simulation::elect_owner.
+  best.exact = best.error_m <= tol;
   return best;
 }
 

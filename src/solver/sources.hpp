@@ -35,8 +35,22 @@ struct LocatedPoint {
   int ispec = -1;
   double xi = 0.0, eta = 0.0, gamma = 0.0;
   double error_m = 0.0;  ///< distance between target and located position
-  bool exact = false;    ///< true if Newton interpolation was used
+  /// True iff the Newton iteration CONVERGED within the element-size
+  /// tolerance. False for nearest-GLL snaps and for targets outside this
+  /// rank's slice (where the located point is the clamped best fit and
+  /// error_m the honest residual).
+  bool exact = false;
 };
+
+/// Index of the nearest rank-local GLL point. Element-centroid prefiltered
+/// (ISSUE 3): prices each element by its center node plus a conservative
+/// radius, and scans only the elements whose ball can beat the best upper
+/// bound. Returns exactly the brute-force winner.
+std::size_t nearest_local_point(const HexMesh& mesh, double x, double y,
+                                double z);
+/// Reference O(num_local_points) scan (kept for tests/benchmarks).
+std::size_t nearest_local_point_brute(const HexMesh& mesh, double x,
+                                      double y, double z);
 
 /// The costly "nonlinear algorithm" (§4.4): find the closest GLL point,
 /// then Newton-iterate the inverse of the isoparametric mapping to locate

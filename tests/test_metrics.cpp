@@ -1,0 +1,391 @@
+// sfg_metrics invariants (ISSUE 3): registry primitives, histogram
+// bucketing, the per-step phase-sum-equals-wall-time invariant of the
+// StepProfile, comm summaries fed from smpi::CommStats and from captured
+// traces, and the Chrome-tracing timeline exporter (JSON structure and
+// time ordering).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mesh/cartesian.hpp"
+#include "perf/metrics.hpp"
+#include "runtime/exchanger.hpp"
+#include "solver/simulation.hpp"
+
+namespace sfg {
+namespace {
+
+// ---- registry primitives ----
+
+TEST(Registry, CountersGaugesRoundTrip) {
+  metrics::Registry reg;
+  reg.counter("steps").inc();
+  reg.counter("steps").inc(41);
+  EXPECT_EQ(reg.counter("steps").value(), 42u);
+  reg.gauge("overlap").set(0.75);
+  EXPECT_DOUBLE_EQ(reg.gauge("overlap").value(), 0.75);
+  EXPECT_EQ(reg.counters().size(), 1u);
+  EXPECT_EQ(reg.gauges().size(), 1u);
+}
+
+TEST(HistogramMetric, BucketsByUpperBound) {
+  metrics::Registry reg;
+  metrics::Histogram& h = reg.histogram("lat", {1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.0, 1.5, 2.0, 3.9, 4.0, 4.1, 100.0}) h.record(v);
+  // bucket i counts v <= bounds[i]; last bucket is overflow.
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);  // 0.5, 1.0
+  EXPECT_EQ(h.counts()[1], 2u);  // 1.5, 2.0
+  EXPECT_EQ(h.counts()[2], 2u);  // 3.9, 4.0
+  EXPECT_EQ(h.counts()[3], 2u);  // 4.1, 100
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 3.9 + 4.0 + 4.1 + 100.0,
+              1e-12);
+  // Same name returns the same histogram, new bounds ignored.
+  EXPECT_EQ(&reg.histogram("lat", {9.0}), &h);
+}
+
+TEST(HistogramMetric, MessageSizeBucketing) {
+  // Bucket i counts sends of <= 64 << i bytes; last bucket unbounded.
+  EXPECT_EQ(smpi::msg_size_bucket(0), 0);
+  EXPECT_EQ(smpi::msg_size_bucket(64), 0);
+  EXPECT_EQ(smpi::msg_size_bucket(65), 1);
+  EXPECT_EQ(smpi::msg_size_bucket(128), 1);
+  EXPECT_EQ(smpi::msg_size_bucket(129), 2);
+  EXPECT_EQ(smpi::msg_size_bucket(std::uint64_t{1} << 60),
+            smpi::CommStats::kMsgSizeBuckets - 1);
+  EXPECT_EQ(metrics::msg_size_bucket_bound(0), 64u);
+  EXPECT_EQ(metrics::msg_size_bucket_bound(3), 512u);
+}
+
+// ---- the solver-facing StepProfile ----
+
+MaterialSample rock() {
+  MaterialSample s;
+  s.rho = 2500.0;
+  s.vp = 3000.0;
+  s.vs = 1800.0;
+  s.q_mu = 80.0;
+  return s;
+}
+
+CartesianBoxSpec box_spec() {
+  CartesianBoxSpec spec;
+  spec.nx = spec.ny = spec.nz = 3;
+  spec.lx = spec.ly = spec.lz = 1000.0;
+  return spec;
+}
+
+PointSource test_source() {
+  PointSource src;
+  src.x = 320.0;
+  src.y = 480.0;
+  src.z = 510.0;
+  src.force = {1e9, 5e8, 0.0};
+  src.stf = ricker_wavelet(14.0, 0.09);
+  return src;
+}
+
+Simulation make_box_sim(const HexMesh& mesh, const GllBasis& basis,
+                        const MaterialFields& mat, bool metrics_on,
+                        bool timeline) {
+  SimulationConfig cfg;
+  cfg.dt = 1.5e-3;
+  cfg.metrics.enabled = metrics_on;
+  cfg.metrics.timeline = timeline;
+  return Simulation(mesh, basis, mat, cfg);
+}
+
+TEST(StepProfile, PhaseSumsMatchWallTime) {
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(box_spec(), basis);
+  MaterialFields mat =
+      assign_materials(mesh, [](double, double, double) { return rock(); });
+  Simulation sim = make_box_sim(mesh, basis, mat, true, false);
+  sim.add_source(test_source());
+  sim.add_receiver(700.0, 510.0, 480.0);
+  const int nsteps = 25;
+  sim.run(nsteps);
+
+  const metrics::StepProfile& p = sim.step_profile();
+  EXPECT_EQ(p.steps(), nsteps);
+  EXPECT_GT(p.total_wall_seconds(), 0.0);
+
+  // Top-level phases are disjoint and cover the step body: their sum must
+  // land within timer overhead + loop glue of the measured wall time.
+  const double accounted = p.accounted_seconds();
+  EXPECT_GT(accounted, 0.5 * p.total_wall_seconds());
+  EXPECT_LT(accounted, 1.10 * p.total_wall_seconds() + 1e-3);
+
+  // Deterministic per-step segment counts: every step runs each phase a
+  // fixed number of times on this serial solid-only config.
+  const auto& counts = p.phase_counts();
+  const auto n = static_cast<std::uint64_t>(nsteps);
+  auto count_of = [&](metrics::Phase ph) {
+    return counts[static_cast<std::size_t>(ph)];
+  };
+  EXPECT_EQ(count_of(metrics::Phase::NewmarkPredictor), n);
+  EXPECT_EQ(count_of(metrics::Phase::SolidForces), n);
+  EXPECT_EQ(count_of(metrics::Phase::SourceInjection), n);
+  EXPECT_EQ(count_of(metrics::Phase::MassUpdate), n);
+  EXPECT_EQ(count_of(metrics::Phase::NewmarkCorrector), n);
+  EXPECT_EQ(count_of(metrics::Phase::SeismogramRecord), n);
+  // No fluid, no halo, no colored schedule, no attenuation on this config.
+  EXPECT_EQ(count_of(metrics::Phase::FluidForces), 0u);
+  EXPECT_EQ(count_of(metrics::Phase::HaloBegin), 0u);
+  EXPECT_EQ(count_of(metrics::Phase::HaloWait), 0u);
+  EXPECT_EQ(count_of(metrics::Phase::SolidBoundary), 0u);
+  EXPECT_EQ(count_of(metrics::Phase::AttenuationUpdate), 0u);
+
+  // The last-step breakdown obeys the same invariant.
+  double last = 0.0;
+  for (int ph = 0; ph < metrics::kNumPhases; ++ph)
+    if (!metrics::phase_is_nested(static_cast<metrics::Phase>(ph)))
+      last += p.last_step_seconds()[static_cast<std::size_t>(ph)];
+  EXPECT_LT(last, 1.10 * p.last_step_wall_seconds() + 1e-3);
+}
+
+TEST(StepProfile, DisabledProfileCollectsNothing) {
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(box_spec(), basis);
+  MaterialFields mat =
+      assign_materials(mesh, [](double, double, double) { return rock(); });
+  Simulation sim = make_box_sim(mesh, basis, mat, false, false);
+  sim.add_source(test_source());
+  sim.run(10);
+  const metrics::StepProfile& p = sim.step_profile();
+  EXPECT_FALSE(p.enabled());
+  EXPECT_EQ(p.steps(), 0);
+  EXPECT_EQ(p.total_wall_seconds(), 0.0);
+  EXPECT_TRUE(p.timeline().empty());
+  for (auto c : p.phase_counts()) EXPECT_EQ(c, 0u);
+}
+
+TEST(StepProfile, ReportOnlyModeStoresNoTimeline) {
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(box_spec(), basis);
+  MaterialFields mat =
+      assign_materials(mesh, [](double, double, double) { return rock(); });
+  Simulation sim = make_box_sim(mesh, basis, mat, true, false);
+  sim.run(5);
+  EXPECT_GT(sim.step_profile().steps(), 0);
+  EXPECT_TRUE(sim.step_profile().timeline().empty());
+}
+
+// ---- timeline exporter ----
+
+/// Minimal JSON well-formedness scan: balanced braces/brackets outside
+/// strings and no trailing commas. Enough to catch every way the writer
+/// could emit a file Perfetto would reject, without a JSON dependency.
+void expect_parseable_json(const std::string& s) {
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  char prev_significant = 0;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped)
+        escaped = false;
+      else if (c == '\\')
+        escaped = true;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      prev_significant = c;
+      continue;
+    }
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      --depth;
+      ASSERT_NE(prev_significant, ',') << "trailing comma before " << c;
+    }
+    ASSERT_GE(depth, 0);
+    if (!std::isspace(static_cast<unsigned char>(c))) prev_significant = c;
+  }
+  EXPECT_EQ(depth, 0) << "unbalanced braces/brackets";
+  EXPECT_FALSE(in_string) << "unterminated string";
+}
+
+TEST(Timeline, ChromeTraceIsParseableAndTimeOrdered) {
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(box_spec(), basis);
+  MaterialFields mat =
+      assign_materials(mesh, [](double, double, double) { return rock(); });
+  Simulation sim = make_box_sim(mesh, basis, mat, true, true);
+  sim.add_source(test_source());
+  sim.run(8);
+
+  const metrics::RankTimeline tl = sim.metrics_timeline();
+  ASSERT_FALSE(tl.events.empty());
+  for (const metrics::TimelineEvent& ev : tl.events) {
+    EXPECT_GE(ev.start_s, 0.0);
+    EXPECT_GE(ev.dur_s, 0.0);
+    EXPECT_GE(ev.step, 0);
+    EXPECT_LT(ev.step, 8);
+    EXPECT_GE(ev.phase, 0);
+    EXPECT_LT(ev.phase, metrics::kNumPhases);
+  }
+
+  std::ostringstream os;
+  metrics::write_chrome_trace(os, {tl});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("newmark_predictor"), std::string::npos);
+  expect_parseable_json(json);
+
+  // Events are written sorted by start time: the ts values must be
+  // non-decreasing through the file.
+  double prev_ts = -1.0;
+  std::size_t pos = 0, seen = 0;
+  while ((pos = json.find("\"ts\":", pos)) != std::string::npos) {
+    pos += 5;
+    const double ts = std::stod(json.substr(pos));
+    EXPECT_GE(ts, prev_ts) << "timeline not time-ordered";
+    prev_ts = ts;
+    ++seen;
+  }
+  EXPECT_EQ(seen, tl.events.size());
+}
+
+TEST(Timeline, EventCapBoundsMemory) {
+  metrics::StepProfile p(true, true, /*max_timeline_events=*/10);
+  p.begin_step();
+  for (int i = 0; i < 100; ++i)
+    p.record(metrics::Phase::SolidForces, i * 1.0, 0.5);
+  p.end_step(100.0);
+  EXPECT_EQ(p.timeline().size(), 10u);
+  // Counters keep counting past the cap.
+  EXPECT_EQ(p.phase_counts()[static_cast<std::size_t>(
+                metrics::Phase::SolidForces)],
+            100u);
+}
+
+// ---- comm summaries ----
+
+TEST(CommSummary, FromLiveStatsOnTwoRanks) {
+  CartesianBoxSpec spec = box_spec();
+  spec.nx = 4;  // even split across 2 ranks
+  metrics::CommSummary summaries[2];
+  std::array<double, metrics::kNumPhases> phase_s{};
+  smpi::run_ranks(2, [&](smpi::Communicator& comm) {
+    GllBasis basis(4);
+    CartesianSlice slice =
+        build_cartesian_slice(spec, basis, 2, 1, 1, comm.rank(), 0, 0);
+    std::vector<smpi::PointCandidate> cands;
+    for (std::size_t n = 0; n < slice.boundary_keys.size(); ++n)
+      cands.push_back({slice.boundary_keys[n], slice.boundary_points[n]});
+    smpi::Exchanger ex = smpi::Exchanger::build(comm, cands);
+    MaterialFields mat = assign_materials(
+        slice.mesh, [](double, double, double) { return rock(); });
+    SimulationConfig cfg;
+    cfg.dt = 1.5e-3;
+    Simulation sim(slice.mesh, basis, mat, cfg, &comm, &ex);
+    sim.run(12);
+    const metrics::RunReport r = sim.metrics_report("2-rank box");
+    EXPECT_TRUE(r.has_comm);
+    EXPECT_EQ(r.nranks, 2);
+    summaries[comm.rank()] = r.comm;
+    if (comm.rank() == 0) phase_s = r.phase_seconds;
+  });
+
+  for (const metrics::CommSummary& c : summaries) {
+    EXPECT_GT(c.send_count, 0u);
+    EXPECT_GT(c.bytes_sent, 0u);
+    // The message-size histogram partitions the send count.
+    std::uint64_t hist_total = 0;
+    for (auto n : c.sent_size_hist) hist_total += n;
+    EXPECT_EQ(hist_total, c.send_count);
+    const double f = c.comm_fraction(1.0);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, 1.0);
+  }
+  // The parallel run accounts halo time into the HaloWait phase.
+  EXPECT_GT(phase_s[static_cast<std::size_t>(metrics::Phase::HaloWait)],
+            0.0);
+}
+
+TEST(CommSummary, FromCapturedTrace) {
+  using smpi::TraceEvent;
+  std::vector<TraceEvent> trace;
+  TraceEvent send;
+  send.kind = TraceEvent::Kind::Send;
+  send.bytes = 100;
+  send.mpi_seconds = 0.25;
+  trace.push_back(send);
+  send.bytes = 5000;
+  trace.push_back(send);
+  TraceEvent recv;
+  recv.kind = TraceEvent::Kind::Recv;
+  recv.bytes = 100;
+  recv.mpi_seconds = 0.5;
+  trace.push_back(recv);
+  TraceEvent coll;
+  coll.kind = TraceEvent::Kind::Allreduce;
+  coll.mpi_seconds = 0.25;
+  trace.push_back(coll);
+  TraceEvent fault;
+  fault.kind = TraceEvent::Kind::Fault;
+  fault.mpi_seconds = 99.0;  // lost time, not communication
+  trace.push_back(fault);
+
+  const metrics::CommSummary s = metrics::summarize_comm_trace(trace);
+  EXPECT_EQ(s.send_count, 2u);
+  EXPECT_EQ(s.bytes_sent, 5100u);
+  EXPECT_EQ(s.recv_count, 1u);
+  EXPECT_EQ(s.bytes_received, 100u);
+  EXPECT_EQ(s.collective_count, 1u);
+  EXPECT_DOUBLE_EQ(s.total_seconds(), 1.25);
+  EXPECT_EQ(s.sent_size_hist[static_cast<std::size_t>(
+                smpi::msg_size_bucket(100))],
+            1u);
+  EXPECT_EQ(s.sent_size_hist[static_cast<std::size_t>(
+                smpi::msg_size_bucket(5000))],
+            1u);
+  // comm fraction: 1.25 comm vs 3.75 compute = 25%.
+  EXPECT_NEAR(s.comm_fraction(3.75), 0.25, 1e-12);
+}
+
+// ---- report writer ----
+
+TEST(RunReportWriter, PrintsPhasesCommAndThreads) {
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(box_spec(), basis);
+  MaterialFields mat =
+      assign_materials(mesh, [](double, double, double) { return rock(); });
+  SimulationConfig cfg;
+  cfg.dt = 1.5e-3;
+  cfg.num_threads = 2;
+  Simulation sim(mesh, basis, mat, cfg);
+  sim.add_source(test_source());
+  sim.run(10);
+
+  std::ostringstream os;
+  sim.write_metrics_report(os, "unit box");
+  const std::string rep = os.str();
+  EXPECT_NE(rep.find("sfg_metrics report"), std::string::npos);
+  EXPECT_NE(rep.find("unit box"), std::string::npos);
+  EXPECT_NE(rep.find("solid_boundary"), std::string::npos);  // colored
+  EXPECT_NE(rep.find("newmark_predictor"), std::string::npos);
+  EXPECT_NE(rep.find("thread 0"), std::string::npos);
+  EXPECT_NE(rep.find("thread 1"), std::string::npos);
+
+  // Thread accounting is live on the pool.
+  const metrics::RunReport r = sim.metrics_report();
+  ASSERT_EQ(r.thread_busy_seconds.size(), 2u);
+  EXPECT_GT(r.thread_span_seconds, 0.0);
+  for (double b : r.thread_busy_seconds) EXPECT_GE(b, 0.0);
+  EXPECT_GT(r.thread_busy_seconds[0] + r.thread_busy_seconds[1], 0.0);
+}
+
+}  // namespace
+}  // namespace sfg

@@ -1,0 +1,170 @@
+// Point-location fixes (ISSUE 3): the element-centroid prefilter in
+// nearest_local_point must return EXACTLY the brute-force winner — asserted
+// on the curved cubed-sphere slices of an NEX=8 globe, where corner-based
+// element radii are least trustworthy — and locate_point_exact must report
+// honest convergence (exact=false with the true residual for points the
+// Newton iteration cannot reach, instead of silently clamping).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/constants.hpp"
+
+#include "mesh/cartesian.hpp"
+#include "model/earth_model.hpp"
+#include "solver/simulation.hpp"
+#include "sphere/mesher.hpp"
+
+namespace sfg {
+namespace {
+
+GlobeMeshSpec globe_spec(const EarthModel* model) {
+  GlobeMeshSpec spec;
+  spec.nex_xi = 8;
+  spec.nproc_xi = 1;
+  spec.nchunks = 6;
+  spec.model = model;
+  return spec;
+}
+
+/// Query points exercising every prefilter regime on a globe slice:
+/// surface points, interior points, the slice's own GLL points (distance
+/// zero), and far-outside points (centroid bound still must not prune the
+/// true winner).
+std::vector<std::array<double, 3>> globe_queries(const HexMesh& mesh) {
+  std::vector<std::array<double, 3>> q;
+  const double re = kEarthRadiusM;
+  for (double lat : {-60.0, -15.0, 0.0, 30.0, 75.0})
+    for (double lon : {-150.0, -45.0, 0.0, 60.0, 135.0})
+      for (double r : {0.55 * re, 0.9 * re, re, 1.5 * re}) {
+        const double cl = std::cos(lat * kPi / 180.0);
+        q.push_back({r * cl * std::cos(lon * kPi / 180.0),
+                     r * cl * std::sin(lon * kPi / 180.0),
+                     r * std::sin(lat * kPi / 180.0)});
+      }
+  // Exact mesh points and near-misses.
+  const std::size_t npts = mesh.num_local_points();
+  for (std::size_t p = 0; p < npts;
+       p += std::max<std::size_t>(1, npts / 13)) {
+    q.push_back({mesh.xstore[p], mesh.ystore[p], mesh.zstore[p]});
+    q.push_back({mesh.xstore[p] + 1500.0, mesh.ystore[p] - 800.0,
+                 mesh.zstore[p] + 400.0});
+  }
+  return q;
+}
+
+TEST(NearestLocalPoint, PrefilterMatchesBruteForceOnGlobe) {
+  PremModel prem;
+  GllBasis basis(4);
+  const GlobeMeshSpec spec = globe_spec(&prem);
+  for (int rank = 0; rank < globe_rank_count(spec); ++rank) {
+    GlobeSlice slice = build_globe_slice(spec, basis, rank);
+    for (const auto& [x, y, z] : globe_queries(slice.mesh)) {
+      const std::size_t fast = nearest_local_point(slice.mesh, x, y, z);
+      const std::size_t brute =
+          nearest_local_point_brute(slice.mesh, x, y, z);
+      ASSERT_EQ(fast, brute)
+          << "rank " << rank << " query (" << x << ", " << y << ", " << z
+          << ")";
+    }
+  }
+}
+
+TEST(NearestLocalPoint, PrefilterMatchesBruteForceOnBox) {
+  CartesianBoxSpec spec;
+  spec.nx = spec.ny = spec.nz = 4;
+  spec.lx = spec.ly = spec.lz = 1000.0;
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(spec, basis);
+  for (double x : {-500.0, 0.0, 13.7, 499.9, 500.0, 860.2, 1000.0, 2500.0})
+    for (double y : {-20.0, 250.0, 777.0, 1020.0})
+      for (double z : {0.0, 333.3, 1000.0}) {
+        EXPECT_EQ(nearest_local_point(mesh, x, y, z),
+                  nearest_local_point_brute(mesh, x, y, z))
+            << "(" << x << ", " << y << ", " << z << ")";
+      }
+}
+
+TEST(LocatePointExact, InsidePointConvergesAndIsExact) {
+  CartesianBoxSpec spec;
+  spec.nx = spec.ny = spec.nz = 4;
+  spec.lx = spec.ly = spec.lz = 1000.0;
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(spec, basis);
+  const LocatedPoint loc = locate_point_exact(mesh, basis, 317.3, 481.9,
+                                              502.4);
+  EXPECT_TRUE(loc.exact);
+  EXPECT_GE(loc.ispec, 0);
+  EXPECT_LT(loc.error_m, 1e-6);
+  EXPECT_LE(std::abs(loc.xi), 1.0 + 1e-9);
+  EXPECT_LE(std::abs(loc.eta), 1.0 + 1e-9);
+  EXPECT_LE(std::abs(loc.gamma), 1.0 + 1e-9);
+}
+
+TEST(LocatePointExact, OutsidePointReportsHonestResidual) {
+  CartesianBoxSpec spec;
+  spec.nx = spec.ny = spec.nz = 4;
+  spec.lx = spec.ly = spec.lz = 1000.0;
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(spec, basis);
+  // 400 m outside the box: Newton clamps to the face; the pre-fix code
+  // returned this as a successful location with a stale error.
+  const LocatedPoint loc = locate_point_exact(mesh, basis, 1400.0, 500.0,
+                                              500.0);
+  EXPECT_FALSE(loc.exact) << "clamped location must not claim convergence";
+  EXPECT_NEAR(loc.error_m, 400.0, 1.0);
+}
+
+TEST(LocatePointExact, CurvedGlobeElementsConvergeForInteriorPoints) {
+  // The mislocation bug on curved elements: the nearest-GLL seed can sit
+  // in a neighbouring element whose Newton solve clamps at the boundary.
+  // The widened fallback must still find the containing element and
+  // converge: points strictly inside the globe must come back exact with
+  // a sub-metre residual at every depth.
+  PremModel prem;
+  GllBasis basis(4);
+  HexMesh mesh = build_globe_serial(globe_spec(&prem), basis).mesh;
+  const double re = kEarthRadiusM;
+  for (double lat : {-47.0, -3.0, 12.5, 58.0})
+    for (double lon : {-120.0, -10.0, 44.0, 170.0})
+      for (double r : {0.99 * re, 0.85 * re, 0.6 * re}) {
+        const double cl = std::cos(lat * kPi / 180.0);
+        const double x = r * cl * std::cos(lon * kPi / 180.0);
+        const double y = r * cl * std::sin(lon * kPi / 180.0);
+        const double z = r * std::sin(lat * kPi / 180.0);
+        const LocatedPoint loc = locate_point_exact(mesh, basis, x, y, z);
+        EXPECT_TRUE(loc.exact) << "lat " << lat << " lon " << lon << " r "
+                               << r / re << " error_m " << loc.error_m;
+        EXPECT_LT(loc.error_m, 1.0)
+            << "lat " << lat << " lon " << lon << " r " << r / re;
+      }
+
+  // On the TRUE sphere surface the degree-4 element geometry deviates from
+  // the sphere by up to a few hundred metres at NEX=8. The fix reports
+  // that residual honestly instead of claiming convergence; it must stay
+  // bounded by the geometric discretization error.
+  double worst_surface = 0.0;
+  for (double lat : {-47.0, -3.0, 12.5, 58.0})
+    for (double lon : {-120.0, -10.0, 44.0, 170.0}) {
+      const double cl = std::cos(lat * kPi / 180.0);
+      const LocatedPoint loc = locate_point_exact(
+          mesh, basis, re * cl * std::cos(lon * kPi / 180.0),
+          re * cl * std::sin(lon * kPi / 180.0),
+          re * std::sin(lat * kPi / 180.0));
+      worst_surface = std::max(worst_surface, loc.error_m);
+    }
+  EXPECT_LT(worst_surface, 1000.0)
+      << "surface residual beyond geometry discretization error: "
+      << "mislocated element";
+
+  // A point well above the surface must be reported as not exact.
+  const LocatedPoint sky =
+      locate_point_exact(mesh, basis, 0.0, 0.0, 1.2 * re);
+  EXPECT_FALSE(sky.exact);
+  EXPECT_GT(sky.error_m, 0.1 * re);
+}
+
+}  // namespace
+}  // namespace sfg

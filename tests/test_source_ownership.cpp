@@ -1,0 +1,213 @@
+// Regression test for the duplicated source/receiver bug (ISSUE 3): a
+// source sitting exactly on the interface between two slices is located by
+// BOTH ranks with error ~0 — naive "add it where it locates" injects it
+// twice, doubling the wavefield. add_source_global / add_receiver_global
+// run a deterministic owner election (allreduce on (error, rank), lowest
+// rank wins ties) so exactly one rank owns each point and the parallel
+// seismogram matches the serial reference.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "mesh/cartesian.hpp"
+#include "runtime/exchanger.hpp"
+#include "solver/simulation.hpp"
+
+namespace sfg {
+namespace {
+
+MaterialSample rock() {
+  MaterialSample s;
+  s.rho = 2500.0;
+  s.vp = 3000.0;
+  s.vs = 1800.0;
+  s.q_mu = 80.0;
+  return s;
+}
+
+CartesianBoxSpec global_spec() {
+  CartesianBoxSpec spec;
+  spec.nx = spec.ny = spec.nz = 4;
+  spec.lx = spec.ly = spec.lz = 1000.0;
+  return spec;
+}
+
+/// A source pinned EXACTLY on the x = 500 plane: the shared interface of
+/// the 2x1x1 decomposition (and an element face of the serial mesh, so
+/// both ranks locate it with the same ~roundoff error).
+PointSource interface_source() {
+  PointSource src;
+  src.x = 500.0;
+  src.y = 480.0;
+  src.z = 510.0;
+  src.force = {1e9, 5e8, 0.0};
+  src.stf = ricker_wavelet(14.0, 0.09);
+  return src;
+}
+
+constexpr double kRecX = 700.0, kRecY = 510.0, kRecZ = 480.0;
+constexpr double kDt = 1.5e-3;
+constexpr int kSteps = 150;
+
+Seismogram run_serial() {
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(global_spec(), basis);
+  MaterialFields mat =
+      assign_materials(mesh, [](double, double, double) { return rock(); });
+  SimulationConfig cfg;
+  cfg.dt = kDt;
+  Simulation sim(mesh, basis, mat, cfg);
+  EXPECT_TRUE(sim.add_source_global(interface_source()));  // serial owns all
+  const int rec = sim.add_receiver_global(kRecX, kRecY, kRecZ);
+  EXPECT_GE(rec, 0);
+  sim.run(kSteps);
+  return sim.seismogram(rec);
+}
+
+/// Two-rank run split across the source plane. `elect` switches between
+/// the fixed collective API and the buggy "every rank that locates it adds
+/// it" behaviour this test guards against.
+Seismogram run_two_ranks(bool elect, int* owners_out = nullptr) {
+  Seismogram result;
+  int owners = 0;
+  smpi::run_ranks(2, [&](smpi::Communicator& comm) {
+    GllBasis basis(4);
+    CartesianSlice slice = build_cartesian_slice(global_spec(), basis, 2, 1,
+                                                 1, comm.rank(), 0, 0);
+    std::vector<smpi::PointCandidate> cands;
+    for (std::size_t n = 0; n < slice.boundary_keys.size(); ++n)
+      cands.push_back({slice.boundary_keys[n], slice.boundary_points[n]});
+    smpi::Exchanger ex = smpi::Exchanger::build(comm, cands);
+    MaterialFields mat = assign_materials(
+        slice.mesh, [](double, double, double) { return rock(); });
+    SimulationConfig cfg;
+    cfg.dt = kDt;
+    Simulation sim(slice.mesh, basis, mat, cfg, &comm, &ex);
+
+    bool owns_source = false;
+    if (elect) {
+      owns_source = sim.add_source_global(interface_source());
+    } else {
+      // The pre-fix behaviour: both slices contain the x = 500 plane, both
+      // locate the source with ~zero error, both inject it.
+      const LocatedPoint loc = locate_point_exact(
+          slice.mesh, basis, interface_source().x, interface_source().y,
+          interface_source().z);
+      if (loc.exact) {
+        sim.add_source(interface_source());
+        owns_source = true;
+      }
+    }
+    const int n_owners = static_cast<int>(
+        comm.allreduce_one(owns_source ? 1 : 0, smpi::ReduceOp::Sum));
+    if (comm.rank() == 0) owners = n_owners;
+
+    // The receiver is strictly inside rank 1's slice; the election must
+    // hand it to that rank and nobody else.
+    int rec = -1;
+    if (elect) {
+      rec = sim.add_receiver_global(kRecX, kRecY, kRecZ);
+    } else if (kRecX >= comm.rank() * 500.0 &&
+               (comm.rank() == 1 || kRecX < 500.0)) {
+      rec = sim.add_receiver(kRecX, kRecY, kRecZ);
+    }
+    sim.run(kSteps);
+    if (rec >= 0) result = sim.seismogram(rec);
+  });
+  if (owners_out != nullptr) *owners_out = owners;
+  return result;
+}
+
+void expect_seismograms_match(const Seismogram& a, const Seismogram& b,
+                              double rel_tol) {
+  ASSERT_EQ(a.displ.size(), b.displ.size());
+  ASSERT_FALSE(a.displ.empty());
+  double peak = 0.0;
+  for (const auto& u : a.displ)
+    for (double c : u) peak = std::max(peak, std::abs(c));
+  ASSERT_GT(peak, 0.0);
+  for (std::size_t i = 0; i < a.displ.size(); ++i)
+    for (int c = 0; c < 3; ++c)
+      EXPECT_NEAR(a.displ[i][c], b.displ[i][c], rel_tol * peak)
+          << "sample " << i << " comp " << c;
+}
+
+double peak_amplitude(const Seismogram& s) {
+  double peak = 0.0;
+  for (const auto& u : s.displ)
+    for (double c : u) peak = std::max(peak, std::abs(c));
+  return peak;
+}
+
+TEST(SourceOwnership, InterfaceSourceInjectedExactlyOnce) {
+  int owners = -1;
+  const Seismogram elected = run_two_ranks(/*elect=*/true, &owners);
+  EXPECT_EQ(owners, 1) << "owner election must pick exactly one rank";
+  // The amplitude matches the single-rank reference: no double injection.
+  const Seismogram serial = run_serial();
+  expect_seismograms_match(serial, elected, 5e-5);
+}
+
+TEST(SourceOwnership, NaiveLocalAddDoublesTheSource) {
+  // Demonstrate the bug the election fixes: adding the source on every
+  // rank that locates it doubles the injected force, so the recorded
+  // wavefield comes out ~2x the reference amplitude.
+  int owners = -1;
+  const Seismogram doubled = run_two_ranks(/*elect=*/false, &owners);
+  EXPECT_EQ(owners, 2) << "both slices should locate an interface source";
+  const Seismogram serial = run_serial();
+  const double ratio = peak_amplitude(doubled) / peak_amplitude(serial);
+  EXPECT_NEAR(ratio, 2.0, 0.05);
+}
+
+TEST(SourceOwnership, TieBreaksToLowestRank) {
+  // Both ranks see identical (~0) location error for the interface source,
+  // so the election's deterministic tie-break must hand it to rank 0.
+  smpi::run_ranks(2, [&](smpi::Communicator& comm) {
+    GllBasis basis(4);
+    CartesianSlice slice = build_cartesian_slice(global_spec(), basis, 2, 1,
+                                                 1, comm.rank(), 0, 0);
+    std::vector<smpi::PointCandidate> cands;
+    for (std::size_t n = 0; n < slice.boundary_keys.size(); ++n)
+      cands.push_back({slice.boundary_keys[n], slice.boundary_points[n]});
+    smpi::Exchanger ex = smpi::Exchanger::build(comm, cands);
+    MaterialFields mat = assign_materials(
+        slice.mesh, [](double, double, double) { return rock(); });
+    SimulationConfig cfg;
+    cfg.dt = kDt;
+    Simulation sim(slice.mesh, basis, mat, cfg, &comm, &ex);
+    const bool owns = sim.add_source_global(interface_source());
+    EXPECT_EQ(owns, comm.rank() == 0);
+  });
+}
+
+TEST(SourceOwnership, InteriorPointOwnedByContainingRank) {
+  // A receiver strictly inside one slice: the other rank's best location
+  // error is the distance to the interface, so the election is not a tie.
+  smpi::run_ranks(2, [&](smpi::Communicator& comm) {
+    GllBasis basis(4);
+    CartesianSlice slice = build_cartesian_slice(global_spec(), basis, 2, 1,
+                                                 1, comm.rank(), 0, 0);
+    std::vector<smpi::PointCandidate> cands;
+    for (std::size_t n = 0; n < slice.boundary_keys.size(); ++n)
+      cands.push_back({slice.boundary_keys[n], slice.boundary_points[n]});
+    smpi::Exchanger ex = smpi::Exchanger::build(comm, cands);
+    MaterialFields mat = assign_materials(
+        slice.mesh, [](double, double, double) { return rock(); });
+    SimulationConfig cfg;
+    cfg.dt = kDt;
+    Simulation sim(slice.mesh, basis, mat, cfg, &comm, &ex);
+    const int rec = sim.add_receiver_global(kRecX, kRecY, kRecZ);  // x=700
+    if (comm.rank() == 1) {
+      EXPECT_GE(rec, 0);
+    } else {
+      EXPECT_EQ(rec, -1);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace sfg
