@@ -1,6 +1,10 @@
 #include "mesh/coloring.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <queue>
+#include <sstream>
+#include <utility>
 
 namespace sfg {
 
@@ -55,6 +59,380 @@ std::vector<std::vector<int>> color_batches(const std::vector<int>& elements,
                                }),
                 batches.end());
   return batches;
+}
+
+namespace {
+
+/// Marker for upper-color elements with no lower-color neighbour in their
+/// pair: emitted at the end of their unit (they reuse nothing anyway).
+constexpr std::size_t kNoAnchor = std::numeric_limits<std::size_t>::max();
+
+/// Append `batch` split into num_slots balanced contiguous units.
+void emit_plain_round(const std::vector<int>& batch, int tag, int num_slots,
+                      ElementSchedule& out) {
+  if (batch.empty()) return;
+  const std::size_t base = out.items.size();
+  out.items.insert(out.items.end(), batch.begin(), batch.end());
+  ThreadPool::WorkRound round;
+  round.tag = tag;
+  const std::size_t n = batch.size();
+  const std::size_t chunk =
+      (n + static_cast<std::size_t>(num_slots) - 1) /
+      static_cast<std::size_t>(num_slots);
+  for (int s = 0; s < num_slots; ++s) {
+    const std::size_t b = std::min(n, static_cast<std::size_t>(s) * chunk);
+    const std::size_t e = std::min(n, b + chunk);
+    round.units.push_back({base + b, base + e});
+  }
+  out.work.rounds.push_back(std::move(round));
+}
+
+/// Single-slot locality order: the closest order to the proximity (RCM)
+/// traversal that still sums every global point in ascending color order.
+/// The per-point constraint is a DAG (edges go from lower to upper color);
+/// Kahn's algorithm with a min-heap keyed by proximity rank emits, at
+/// every step, the most proximity-local element whose lower-color
+/// point-sharing neighbours are all done. One round, one unit — with a
+/// single consumer there is nothing to keep disjoint, only the per-point
+/// color order to respect.
+void emit_greedy_proximity_order(const HexMesh& mesh,
+                                 const std::vector<std::vector<int>>& batches,
+                                 const ScheduleOptions& opts,
+                                 ElementSchedule& out) {
+  std::size_t nsub = 0;
+  for (const auto& b : batches) nsub += b.size();
+
+  // Local ids in ascending-color order; priority = proximity rank (or the
+  // flattened batch order when no rank is supplied, preserving today's
+  // within-color sort).
+  std::vector<int> elem_of(nsub);
+  std::vector<std::size_t> prio(nsub);
+  {
+    std::size_t id = 0;
+    for (const auto& b : batches)
+      for (int e : b) {
+        elem_of[id] = e;
+        prio[id] = opts.proximity_rank.empty()
+                       ? id
+                       : opts.proximity_rank[static_cast<std::size_t>(e)];
+        ++id;
+      }
+  }
+
+  // Chain edges per global point: consecutive touchers in color order.
+  // Chains are enough — transitivity gives the full per-point order.
+  const int n3 = mesh.ngll3();
+  std::vector<std::size_t> prev(static_cast<std::size_t>(mesh.nglob),
+                                kNoAnchor);
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t id = 0; id < nsub; ++id) {
+    const int* ib = mesh.ibool.data() + mesh.local_offset(elem_of[id]);
+    for (int p = 0; p < n3; ++p) {
+      const auto g = static_cast<std::size_t>(ib[p]);
+      if (prev[g] != kNoAnchor && prev[g] != id)
+        edges.push_back({prev[g], id});
+      prev[g] = id;
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  std::vector<std::vector<std::size_t>> succ(nsub);
+  std::vector<std::size_t> indeg(nsub, 0);
+  for (const auto& [a, b] : edges) {
+    succ[a].push_back(b);
+    ++indeg[b];
+  }
+
+  using Key = std::pair<std::size_t, std::size_t>;  // (priority, id)
+  std::priority_queue<Key, std::vector<Key>, std::greater<Key>> ready;
+  for (std::size_t id = 0; id < nsub; ++id)
+    if (indeg[id] == 0) ready.push({prio[id], id});
+
+  const std::size_t base = out.items.size();
+  while (!ready.empty()) {
+    const std::size_t id = ready.top().second;
+    ready.pop();
+    out.items.push_back(elem_of[id]);
+    for (std::size_t s : succ[id])
+      if (--indeg[s] == 0) ready.push({prio[s], s});
+  }
+  SFG_CHECK_MSG(out.items.size() - base == nsub,
+                "constraint graph has a cycle — coloring is not a proper "
+                "point-adjacency coloring");
+
+  ThreadPool::WorkRound round;
+  round.tag = kSchedRoundPaired;
+  round.units.push_back({base, out.items.size()});
+  out.work.rounds.push_back(std::move(round));
+}
+
+}  // namespace
+
+ElementSchedule build_element_schedule(const HexMesh& mesh,
+                                       const std::vector<int>& elements,
+                                       const std::vector<int>& color_of,
+                                       const ScheduleOptions& opts) {
+  SFG_CHECK(mesh.numbered());
+  SFG_CHECK_MSG(opts.num_slots >= 1, "schedule needs at least one slot");
+  SFG_CHECK_MSG(opts.block_size >= 1, "block_size must be positive");
+  ElementSchedule out;
+  out.num_slots = opts.num_slots;
+  if (elements.empty()) return out;
+  out.items.reserve(elements.size());
+
+  std::vector<std::vector<int>> batches = color_batches(elements, color_of);
+
+  // (a) within-color RCM proximity order: restores the §4.2 cache
+  // blocking that coloring destroyed. Per-point summation order does not
+  // depend on within-color order (one contribution per color per point),
+  // so this is bit-neutral.
+  if (!opts.proximity_rank.empty()) {
+    SFG_CHECK(opts.proximity_rank.size() ==
+              static_cast<std::size_t>(mesh.nspec));
+    for (auto& b : batches)
+      std::stable_sort(b.begin(), b.end(), [&](int x, int y) {
+        return opts.proximity_rank[static_cast<std::size_t>(x)] <
+               opts.proximity_rank[static_cast<std::size_t>(y)];
+      });
+  }
+
+  if (!opts.interleave_pairs) {
+    for (const auto& b : batches)
+      emit_plain_round(b, kSchedRoundPlain, opts.num_slots, out);
+    return out;
+  }
+
+  // (b) one slot: no concurrency to protect, so the pair construction
+  // below would only limit locality. Emit the globally best order instead
+  // — greedy proximity under the per-point ascending-color constraint.
+  if (opts.num_slots == 1) {
+    emit_greedy_proximity_order(mesh, batches, opts, out);
+    return out;
+  }
+
+  // (c) interleaved color pairs. Point ownership within the lower color
+  // is single-valued (no two same-color elements share a point), so one
+  // stamped array resolves every upper-color element's footprint.
+  const int n3 = mesh.ngll3();
+  const int slots = opts.num_slots;
+  std::vector<std::size_t> owner_pos(static_cast<std::size_t>(mesh.nglob));
+  std::vector<int> owner_stamp(static_cast<std::size_t>(mesh.nglob), -1);
+
+  for (std::size_t pair = 0; pair < batches.size(); pair += 2) {
+    const std::vector<int>& lower = batches[pair];
+    if (pair + 1 >= batches.size()) {
+      // Odd tail: no partner color to interleave with.
+      emit_plain_round(lower, kSchedRoundPlain, slots, out);
+      break;
+    }
+    const std::vector<int>& upper = batches[pair + 1];
+    const std::size_t nl = lower.size();
+
+    // Slot cuts of the lower color: balanced, aligned to block_size
+    // multiples when the rounding stays monotone (cache blocks survive
+    // whole inside one unit).
+    std::vector<std::size_t> cut(static_cast<std::size_t>(slots) + 1, 0);
+    cut[static_cast<std::size_t>(slots)] = nl;
+    const auto bs = static_cast<std::size_t>(opts.block_size);
+    for (int s = 1; s < slots; ++s) {
+      const std::size_t ideal =
+          nl * static_cast<std::size_t>(s) / static_cast<std::size_t>(slots);
+      std::size_t aligned = (ideal + bs / 2) / bs * bs;
+      aligned = std::min(aligned, nl);
+      cut[static_cast<std::size_t>(s)] =
+          std::max(aligned, cut[static_cast<std::size_t>(s) - 1]);
+    }
+    auto slot_of_pos = [&](std::size_t pos) {
+      int s = 0;
+      while (pos >= cut[static_cast<std::size_t>(s) + 1]) ++s;
+      return s;
+    };
+
+    const int stamp = static_cast<int>(pair);
+    for (std::size_t i = 0; i < nl; ++i) {
+      const int* ib = mesh.ibool.data() + mesh.local_offset(lower[i]);
+      for (int p = 0; p < n3; ++p) {
+        const auto g = static_cast<std::size_t>(ib[p]);
+        owner_pos[g] = i;
+        owner_stamp[g] = stamp;
+      }
+    }
+
+    // Classify the upper color: (anchor position, element) per slot, or
+    // residual when the footprint straddles slots.
+    std::vector<std::vector<std::pair<std::size_t, int>>> per_slot(
+        static_cast<std::size_t>(slots));
+    std::vector<int> residual;
+    std::vector<std::size_t> load(static_cast<std::size_t>(slots));
+    for (int s = 0; s < slots; ++s)
+      load[static_cast<std::size_t>(s)] =
+          cut[static_cast<std::size_t>(s) + 1] -
+          cut[static_cast<std::size_t>(s)];
+    for (int e : upper) {
+      const int* ib = mesh.ibool.data() + mesh.local_offset(e);
+      int found_slot = -1;
+      std::size_t anchor = kNoAnchor;
+      bool straddles = false;
+      for (int p = 0; p < n3; ++p) {
+        const auto g = static_cast<std::size_t>(ib[p]);
+        if (owner_stamp[g] != stamp) continue;
+        const std::size_t pos = owner_pos[g];
+        const int s = slot_of_pos(pos);
+        if (found_slot < 0) {
+          found_slot = s;
+          anchor = pos;
+        } else if (s != found_slot) {
+          straddles = true;
+          if (!opts.unsafe_skip_straddler_demotion) break;
+        } else if (anchor == kNoAnchor || pos > anchor) {
+          anchor = pos;
+        }
+      }
+      if (straddles && !opts.unsafe_skip_straddler_demotion) {
+        residual.push_back(e);
+        continue;
+      }
+      if (found_slot < 0) {
+        // No lower-color neighbour at all: free to go anywhere; pick the
+        // lightest slot (lowest index on ties) for balance.
+        found_slot = 0;
+        for (int s = 1; s < slots; ++s)
+          if (load[static_cast<std::size_t>(s)] <
+              load[static_cast<std::size_t>(found_slot)])
+            found_slot = s;
+      }
+      per_slot[static_cast<std::size_t>(found_slot)].push_back({anchor, e});
+      ++load[static_cast<std::size_t>(found_slot)];
+    }
+
+    // Emit the pair round: per slot, merge the lower-color block with its
+    // upper-color dependents, each placed right after the LAST lower
+    // neighbour it touches — maximal reuse, and the c-before-c+1 per-point
+    // order that keeps the schedule bit-identical to plain batches.
+    ThreadPool::WorkRound round;
+    round.tag = kSchedRoundPaired;
+    for (int s = 0; s < slots; ++s) {
+      auto& dep = per_slot[static_cast<std::size_t>(s)];
+      std::stable_sort(dep.begin(), dep.end(),
+                       [](const auto& x, const auto& y) {
+                         return x.first < y.first;
+                       });
+      const std::size_t ub = out.items.size();
+      std::size_t d = 0;
+      for (std::size_t i = cut[static_cast<std::size_t>(s)];
+           i < cut[static_cast<std::size_t>(s) + 1]; ++i) {
+        out.items.push_back(lower[i]);
+        while (d < dep.size() && dep[d].first == i)
+          out.items.push_back(dep[d++].second);
+      }
+      while (d < dep.size()) out.items.push_back(dep[d++].second);
+      round.units.push_back({ub, out.items.size()});
+    }
+    out.work.rounds.push_back(std::move(round));
+
+    out.residual_elements += static_cast<int>(residual.size());
+    emit_plain_round(residual, kSchedRoundResidual, slots, out);
+  }
+  return out;
+}
+
+std::string check_element_schedule(const HexMesh& mesh,
+                                   const std::vector<int>& elements,
+                                   const std::vector<int>& color_of,
+                                   const ElementSchedule& schedule) {
+  SFG_CHECK(mesh.numbered());
+  SFG_CHECK(color_of.size() == static_cast<std::size_t>(mesh.nspec));
+  std::ostringstream err;
+  const std::size_t n = elements.size();
+
+  // Invariant 1: the flat item list is exactly the input element set.
+  if (schedule.items.size() != n) {
+    err << "schedule holds " << schedule.items.size() << " items, expected "
+        << n;
+    return err.str();
+  }
+  std::vector<int> times(static_cast<std::size_t>(mesh.nspec), 0);
+  for (int e : schedule.items) {
+    if (e < 0 || e >= mesh.nspec) {
+      err << "scheduled element " << e << " out of range";
+      return err.str();
+    }
+    if (++times[static_cast<std::size_t>(e)] > 1) {
+      err << "element " << e << " scheduled more than once";
+      return err.str();
+    }
+  }
+  for (int e : elements)
+    if (times[static_cast<std::size_t>(e)] != 1) {
+      err << "element " << e << " of the input list is never scheduled";
+      return err.str();
+    }
+
+  // Work units must tile the item list exactly once.
+  std::vector<char> covered(n, 0);
+  for (std::size_t r = 0; r < schedule.work.rounds.size(); ++r) {
+    for (const ThreadPool::WorkUnit& u : schedule.work.rounds[r].units) {
+      if (u.begin > u.end || u.end > n) {
+        err << "round " << r << ": unit range [" << u.begin << ", " << u.end
+            << ") out of bounds";
+        return err.str();
+      }
+      for (std::size_t i = u.begin; i < u.end; ++i) {
+        if (covered[i]) {
+          err << "item " << i << " covered by two work units";
+          return err.str();
+        }
+        covered[i] = 1;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    if (!covered[i]) {
+      err << "item " << i << " (element " << schedule.items[i]
+          << ") not covered by any work unit";
+      return err.str();
+    }
+
+  // Invariant 2: within a round, concurrently-runnable units have
+  // pairwise-disjoint GLL point footprints. Invariant 3: at every global
+  // point, contributions arrive in strictly ascending color order (the
+  // walk below is a valid per-point linearization exactly because of
+  // invariant 2: at most one unit per round touches a point).
+  const int n3 = mesh.ngll3();
+  const auto ng = static_cast<std::size_t>(mesh.nglob);
+  std::vector<std::size_t> pt_round(ng, kNoAnchor);
+  std::vector<std::size_t> pt_unit(ng, 0);
+  std::vector<int> last_color(ng, -1);
+  for (std::size_t r = 0; r < schedule.work.rounds.size(); ++r) {
+    const auto& units = schedule.work.rounds[r].units;
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      for (std::size_t i = units[u].begin; i < units[u].end; ++i) {
+        const int e = schedule.items[i];
+        const int c = color_of[static_cast<std::size_t>(e)];
+        const int* ib = mesh.ibool.data() + mesh.local_offset(e);
+        for (int p = 0; p < n3; ++p) {
+          const auto g = static_cast<std::size_t>(ib[p]);
+          if (pt_round[g] == r && pt_unit[g] != u) {
+            err << "round " << r << ": units " << pt_unit[g] << " and " << u
+                << " share global point " << g << " (element " << e << ")";
+            return err.str();
+          }
+          pt_round[g] = r;
+          pt_unit[g] = u;
+          if (c <= last_color[g]) {
+            err << "global point " << g << ": color " << c << " of element "
+                << e << " scheduled after color " << last_color[g]
+                << " — per-point summation order diverges from plain "
+                   "color batches";
+            return err.str();
+          }
+          last_color[g] = c;
+        }
+      }
+    }
+  }
+  return std::string();
 }
 
 bool coloring_is_valid(const HexMesh& mesh,

@@ -60,12 +60,20 @@ const char* phase_name(Phase p) {
     case Phase::NewmarkCorrector: return "newmark_corrector";
     case Phase::SeismogramRecord: return "seismogram_record";
     case Phase::AttenuationUpdate: return "attenuation_update";
+    case Phase::SchedulePaired: return "schedule_paired";
+    case Phase::ScheduleResidual: return "schedule_residual";
     case Phase::Count: break;
   }
   return "?";
 }
 
-bool phase_is_nested(Phase p) { return p == Phase::AttenuationUpdate; }
+bool phase_is_nested(Phase p) {
+  // Nested phases run inside a top-level phase (attenuation inside the
+  // solid loops; schedule rounds inside SolidBoundary/SolidInterior/
+  // FluidForces) and are excluded from the wall-time-sum invariant.
+  return p == Phase::AttenuationUpdate || p == Phase::SchedulePaired ||
+         p == Phase::ScheduleResidual;
+}
 
 // ---- StepProfile ----
 

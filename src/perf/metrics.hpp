@@ -136,6 +136,8 @@ enum class Phase : int {
   NewmarkCorrector,      ///< velocity corrector half-steps
   SeismogramRecord,      ///< receiver interpolation + append
   AttenuationUpdate,     ///< NESTED: SLS memory-variable update
+  SchedulePaired,        ///< NESTED: interleaved paired/plain rounds
+  ScheduleResidual,      ///< NESTED: demoted-straddler residual rounds
   Count
 };
 

@@ -59,7 +59,23 @@ Simulation::Simulation(const HexMesh& mesh, const GllBasis& basis,
                                                        cfg_.attenuation));
   if (cfg_.num_threads > 1)
     pool_ = std::make_unique<ThreadPool>(cfg_.num_threads);
-  colored_schedule_ = cfg_.num_threads > 1 || cfg_.force_colored_schedule;
+
+  // Resolve the schedule variant (ISSUE 4). Auto keeps the historical
+  // default at one thread (sequential, or plain colored when forced) and
+  // upgrades threaded runs to the locality-aware interleaved schedule —
+  // bit-identical to plain colored by the ascending-color summation order.
+  schedule_ = cfg_.schedule;
+  if (schedule_ == SolverSchedule::Auto) {
+    if (cfg_.num_threads > 1)
+      schedule_ = SolverSchedule::Interleaved;
+    else
+      schedule_ = cfg_.force_colored_schedule ? SolverSchedule::Colored
+                                              : SolverSchedule::Sequential;
+  }
+  SFG_CHECK_MSG(
+      schedule_ != SolverSchedule::Sequential || cfg_.num_threads == 1,
+      "the sequential schedule requires num_threads == 1");
+  colored_schedule_ = schedule_ != SolverSchedule::Sequential;
 
   const auto ng = static_cast<std::size_t>(mesh_.nglob);
   displ_.assign(ng * 3, 0.0f);
@@ -171,6 +187,9 @@ void Simulation::build_colored_schedule() {
   solid_boundary_batches_.clear();
   solid_interior_batches_.clear();
   fluid_batches_.clear();
+  sched_solid_boundary_ = ElementSchedule{};
+  sched_solid_interior_ = ElementSchedule{};
+  sched_fluid_ = ElementSchedule{};
   num_boundary_elements_ = 0;
   if (!colored_schedule_) return;
 
@@ -180,8 +199,8 @@ void Simulation::build_colored_schedule() {
   order.reserve(static_cast<std::size_t>(mesh_.nspec));
   for (int e : solid_elements_) order.push_back(e);
   for (int e : fluid_elements_) order.push_back(e);
-  const std::vector<int> color_of =
-      greedy_element_coloring(element_adjacency(mesh_), order);
+  const std::vector<std::vector<int>> adjacency = element_adjacency(mesh_);
+  const std::vector<int> color_of = greedy_element_coloring(adjacency, order);
 
   // Split solid elements into boundary (touch a halo point per the
   // exchanger's interface lists) and interior sets; interior elements are
@@ -207,11 +226,45 @@ void Simulation::build_colored_schedule() {
   solid_boundary_batches_ = color_batches(boundary, color_of);
   solid_interior_batches_ = color_batches(interior, color_of);
   fluid_batches_ = color_batches(fluid_elements_, color_of);
+  if (schedule_ != SolverSchedule::Interleaved) return;
+
+  // Second-level locality pass (ISSUE 4): order elements within each
+  // color by RCM proximity, then interleave color pairs into per-slot
+  // work units with disjoint point footprints. The three schedule
+  // invariants are re-proven here against the built result, so a broken
+  // builder can never reach the time loop.
+  ScheduleOptions opts;
+  opts.num_slots = cfg_.num_threads;
+  // Proximity reference = the legacy processing order itself (the mesher
+  // already stores elements in its §4.2 cache-blocked order, and the
+  // element-indexed arrays stream in exactly that order). Re-deriving an
+  // RCM permutation here would fight the storage order it is meant to
+  // approximate.
+  opts.proximity_rank.assign(static_cast<std::size_t>(mesh_.nspec), 0);
+  for (std::size_t pos = 0; pos < order.size(); ++pos)
+    opts.proximity_rank[static_cast<std::size_t>(order[pos])] =
+        static_cast<int>(pos);
+  auto build_checked = [&](const std::vector<int>& elems) {
+    ElementSchedule s = build_element_schedule(mesh_, elems, color_of, opts);
+    const std::string err =
+        check_element_schedule(mesh_, elems, color_of, s);
+    SFG_CHECK_MSG(err.empty(), "schedule invariant violated: " << err);
+    return s;
+  };
+  sched_solid_boundary_ = build_checked(boundary);
+  sched_solid_interior_ = build_checked(interior);
+  sched_fluid_ = build_checked(fluid_elements_);
 }
 
 int Simulation::num_solid_batches() const {
   return static_cast<int>(solid_boundary_batches_.size() +
                           solid_interior_batches_.size());
+}
+
+int Simulation::num_residual_elements() const {
+  return sched_solid_boundary_.residual_elements +
+         sched_solid_interior_.residual_elements +
+         sched_fluid_.residual_elements;
 }
 
 void Simulation::build_mass_matrices() {
@@ -522,6 +575,48 @@ void Simulation::run_fluid_batches(
   }
 }
 
+void Simulation::run_element_schedule(const ElementSchedule& schedule,
+                                      bool solid) {
+  const std::vector<int>& items = schedule.items;
+  auto run_range = [&](int t, std::size_t b, std::size_t e) {
+    ThreadScratch& ts = *scratch_[static_cast<std::size_t>(t)];
+    if (solid) {
+      for (std::size_t i = b; i < e; ++i)
+        process_solid_element(items[i], ts);
+    } else {
+      for (std::size_t i = b; i < e; ++i)
+        process_fluid_element(items[i], ts.ws);
+    }
+  };
+  // Paired and plain rounds both feed SchedulePaired; residual rounds are
+  // reported separately so the report shows how much work the straddler
+  // demotion costs. Both are nested inside the enclosing solid/fluid
+  // phase and excluded from the wall-time-sum invariant.
+  auto record_round = [&](int /*round*/, int tag, double seconds) {
+    if (!profile_.enabled()) return;
+    const metrics::Phase phase = tag == kSchedRoundResidual
+                                     ? metrics::Phase::ScheduleResidual
+                                     : metrics::Phase::SchedulePaired;
+    profile_.record(phase, profile_.now() - seconds, seconds);
+  };
+  if (pool_ == nullptr) {
+    // Inline path (1 slot): same round/unit traversal order, same
+    // per-point summation order, hence bit-identical to the pooled path.
+    for (const ThreadPool::WorkRound& round : schedule.work.rounds) {
+      if (round.units.empty()) continue;
+      std::size_t n = 0;
+      for (const ThreadPool::WorkUnit& u : round.units) n += u.size();
+      if (n == 0) continue;
+      WallTimer t_round;
+      for (const ThreadPool::WorkUnit& u : round.units)
+        if (u.begin < u.end) run_range(0, u.begin, u.end);
+      record_round(0, round.tag, t_round.seconds());
+    }
+  } else {
+    pool_->parallel_for_schedule(schedule.work, run_range, record_round);
+  }
+}
+
 /// Elementwise-independent global update, chunked over the pool. Chunk
 /// boundaries never change results (each index is written once), so this
 /// is bit-identical at any thread count.
@@ -540,7 +635,9 @@ void Simulation::compute_fluid_forces() {
     metrics::PhaseScope ps(&profile_, metrics::Phase::FluidForces);
 
     // Element contributions.
-    if (colored_schedule_) {
+    if (schedule_ == SolverSchedule::Interleaved) {
+      run_element_schedule(sched_fluid_, /*solid=*/false);
+    } else if (colored_schedule_) {
       run_fluid_batches(fluid_batches_);
     } else {
       for (int e : fluid_elements_)
@@ -656,7 +753,10 @@ void Simulation::compute_solid_forces() {
     // below) have contributed, every halo point holds its final local
     // value and the exchange can start.
     metrics::PhaseScope ps(&profile_, metrics::Phase::SolidBoundary);
-    run_solid_batches(solid_boundary_batches_);
+    if (schedule_ == SolverSchedule::Interleaved)
+      run_element_schedule(sched_solid_boundary_, /*solid=*/true);
+    else
+      run_solid_batches(solid_boundary_batches_);
   }
 
   metrics::PhaseScope ps_surface(&profile_,
@@ -719,7 +819,10 @@ void Simulation::compute_solid_forces() {
     {
       metrics::PhaseScope ps(&profile_, metrics::Phase::SolidInterior);
       WallTimer t_interior;
-      run_solid_batches(solid_interior_batches_);
+      if (schedule_ == SolverSchedule::Interleaved)
+        run_element_schedule(sched_solid_interior_, /*solid=*/true);
+      else
+        run_solid_batches(solid_interior_batches_);
       if (exchanger_ != nullptr)
         overlap_compute_seconds_ += t_interior.seconds();
     }

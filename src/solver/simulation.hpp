@@ -26,6 +26,7 @@
 #include "common/thread_pool.hpp"
 #include "io/snapshot.hpp"
 #include "kernels/force_kernel.hpp"
+#include "mesh/coloring.hpp"
 #include "mesh/faces.hpp"
 #include "mesh/hex_mesh.hpp"
 #include "model/attenuation.hpp"
@@ -36,6 +37,26 @@
 #include "solver/sources.hpp"
 
 namespace sfg {
+
+/// Element-schedule variants for the time loop (ISSUE 4). All colored
+/// variants share one per-point summation order (ascending color), so
+/// every {Colored, Interleaved} x thread-count combination produces
+/// BIT-IDENTICAL results; only Sequential (the legacy element-order loop)
+/// differs, by float-summation reordering within roundoff.
+enum class SolverSchedule {
+  /// Sequential at num_threads == 1, Interleaved when threaded (or
+  /// Colored at 1 thread when force_colored_schedule is set).
+  Auto,
+  /// Legacy element-order loop. Requires num_threads == 1.
+  Sequential,
+  /// Plain color batches (PR 1): race-free but cache-hostile (~25%
+  /// single-thread tax — within one color no two elements share points).
+  Colored,
+  /// Locality-aware interleaved color pairs (mesh/coloring.hpp second-
+  /// level pass): recovers the gather/scatter reuse inside each work
+  /// unit while footprint disjointness is proven at schedule build.
+  Interleaved,
+};
 
 struct SimulationConfig {
   double dt = 0.0;
@@ -71,8 +92,13 @@ struct SimulationConfig {
   /// Run the colored/overlapped schedule even at num_threads == 1. The
   /// schedule fixes the per-point summation order independently of the
   /// thread count, so a forced-colored 1-thread run is bit-identical to
-  /// any multi-threaded run (the determinism reference).
+  /// any multi-threaded run (the determinism reference). Legacy alias:
+  /// only consulted when `schedule` is Auto (maps to Colored).
   bool force_colored_schedule = false;
+
+  /// Element-schedule selection; Auto resolves from num_threads and
+  /// force_colored_schedule (see SolverSchedule).
+  SolverSchedule schedule = SolverSchedule::Auto;
 
   /// IPM-style per-step observability (ISSUE 3): phase timers, comm
   /// histograms, thread busy fractions. Default on (report-only); the
@@ -192,6 +218,11 @@ class Simulation {
   /// Number of race-free solid batches (boundary + interior color groups)
   /// in the colored schedule; 0 on the legacy sequential path.
   int num_solid_batches() const;
+  /// The schedule variant actually running (config Auto resolved).
+  SolverSchedule active_schedule() const { return schedule_; }
+  /// Upper-color elements demoted to residual rounds across the solid and
+  /// fluid interleaved schedules (0 unless Interleaved with > 1 slot).
+  int num_residual_elements() const;
 
   // ---- per-step observability (ISSUE 3) ----
   /// The raw per-phase profile accumulated while stepping (empty when
@@ -249,6 +280,10 @@ class Simulation {
   void process_fluid_element(int ispec, KernelWorkspace& ws);
   void run_solid_batches(const std::vector<std::vector<int>>& batches);
   void run_fluid_batches(const std::vector<std::vector<int>>& batches);
+  /// Execute a precomputed interleaved schedule (solid or fluid), via the
+  /// pool when threaded or inline at one thread; paired/residual round
+  /// times feed the SchedulePaired/ScheduleResidual nested phase timers.
+  void run_element_schedule(const ElementSchedule& schedule, bool solid);
   void parallel_over(std::size_t n,
                      const std::function<void(std::size_t, std::size_t)>& fn);
   void gather_element_displ(int ispec, KernelWorkspace& ws);
@@ -281,10 +316,15 @@ class Simulation {
   // exchange starts) and interior batches (overlapped with the exchange).
   std::vector<std::unique_ptr<ThreadScratch>> scratch_;
   std::unique_ptr<ThreadPool> pool_;
-  bool colored_schedule_ = false;
+  SolverSchedule schedule_ = SolverSchedule::Sequential;  ///< resolved
+  bool colored_schedule_ = false;  ///< any colored variant active
   std::vector<std::vector<int>> solid_boundary_batches_;
   std::vector<std::vector<int>> solid_interior_batches_;
   std::vector<std::vector<int>> fluid_batches_;
+  // Interleaved color-pair schedules (ISSUE 4), validated at build time.
+  ElementSchedule sched_solid_boundary_;
+  ElementSchedule sched_solid_interior_;
+  ElementSchedule sched_fluid_;
   int num_boundary_elements_ = 0;
   bool global_has_fluid_ = false;  ///< fluid anywhere across all ranks
   double overlap_compute_seconds_ = 0.0;

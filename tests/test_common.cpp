@@ -1,11 +1,16 @@
 // Unit tests for src/common: error handling, aligned allocation,
-// array views, RNG determinism, table rendering, and the paper's
+// array views, RNG determinism, the thread pool's chunked and
+// schedule-driven primitives, table rendering, and the paper's
 // resolution/core-count relations from constants.hpp.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "common/aligned.hpp"
 #include "common/array_view.hpp"
@@ -13,6 +18,7 @@
 #include "common/constants.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 
 namespace sfg {
@@ -162,6 +168,105 @@ TEST(PaperRelations, CoreCountsMatchReportedRuns) {
   EXPECT_EQ(cores_for_nproc_xi(70), 29400);  // Jaguar ~29K
   EXPECT_EQ(cores_for_nproc_xi(73), 31974);  // Ranger ~32K
   EXPECT_EQ(cores_for_nproc_xi(102), 62424); // the 62K target
+}
+
+// ---- thread pool primitives (ISSUE 4) ----
+
+TEST(ThreadPool, ChunkedCoversRangeWithoutOverlap) {
+  for (int nthreads : {1, 2, 4}) {
+    ThreadPool pool(nthreads);
+    const std::size_t n = 1001;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h = 0;
+    pool.parallel_for_chunked(n, [&](int, std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) ++hits[i];
+    });
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ChunkedWithZeroItemsIsDocumentedNoOp) {
+  // n == 0 must not invoke fn, wake workers, or touch the busy/span/call
+  // accounting — the contract the empty-batch paths of the solver rely on.
+  for (int nthreads : {1, 3}) {
+    ThreadPool pool(nthreads);
+    // Prime the accounting with one real call.
+    pool.parallel_for_chunked(10, [](int, std::size_t, std::size_t) {});
+    const double span_before = pool.span_seconds();
+    const std::uint64_t calls_before = pool.parallel_calls();
+    const std::vector<double> busy_before = pool.busy_seconds();
+
+    bool invoked = false;
+    pool.parallel_for_chunked(
+        0, [&](int, std::size_t, std::size_t) { invoked = true; });
+
+    EXPECT_FALSE(invoked);
+    EXPECT_EQ(pool.span_seconds(), span_before);
+    EXPECT_EQ(pool.parallel_calls(), calls_before);
+    EXPECT_EQ(pool.busy_seconds(), busy_before);
+  }
+}
+
+TEST(ThreadPool, ScheduleRunsEveryUnitOnceWithRoundBarriers) {
+  ThreadPool::WorkSchedule sched;
+  sched.rounds.push_back({{{0, 3}, {3, 6}}, 7});
+  sched.rounds.push_back({{{6, 6}, {6, 10}}, 9});  // one empty unit
+  EXPECT_EQ(sched.total_items(), 10u);
+
+  for (int nthreads : {1, 2, 4}) {
+    ThreadPool pool(nthreads);
+    std::vector<std::atomic<int>> hits(10);
+    for (auto& h : hits) h = 0;
+    std::vector<std::pair<int, int>> rounds_seen;  // (round, tag)
+    pool.parallel_for_schedule(
+        sched,
+        [&](int, std::size_t b, std::size_t e) {
+          ASSERT_LT(b, e);  // empty units must never reach fn
+          for (std::size_t i = b; i < e; ++i) ++hits[i];
+        },
+        [&](int round, int tag, double seconds) {
+          rounds_seen.push_back({round, tag});
+          EXPECT_GE(seconds, 0.0);
+        });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    ASSERT_EQ(rounds_seen.size(), 2u);
+    EXPECT_EQ(rounds_seen[0], (std::pair<int, int>{0, 7}));
+    EXPECT_EQ(rounds_seen[1], (std::pair<int, int>{1, 9}));
+  }
+}
+
+TEST(ThreadPool, ScheduleSkipsAllEmptyRoundsEntirely) {
+  // Rounds whose units are all empty (or absent) are skipped: fn is not
+  // called and the observer does not fire for them.
+  ThreadPool pool(2);
+  ThreadPool::WorkSchedule sched;
+  sched.rounds.push_back({{{0, 0}, {0, 0}}, 1});  // all units empty
+  sched.rounds.push_back({{}, 2});                // no units at all
+  sched.rounds.push_back({{{0, 2}}, 3});
+  EXPECT_EQ(sched.total_items(), 2u);
+  int fn_calls = 0;
+  std::vector<int> tags;
+  pool.parallel_for_schedule(
+      sched, [&](int, std::size_t, std::size_t) { ++fn_calls; },
+      [&](int, int tag, double) { tags.push_back(tag); });
+  EXPECT_EQ(fn_calls, 1);
+  EXPECT_EQ(tags, (std::vector<int>{3}));
+}
+
+TEST(ThreadPool, SchedulePropagatesExceptions) {
+  for (int nthreads : {1, 2}) {
+    ThreadPool pool(nthreads);
+    ThreadPool::WorkSchedule sched;
+    sched.rounds.push_back({{{0, 4}}, 0});
+    EXPECT_THROW(pool.parallel_for_schedule(
+                     sched,
+                     [](int, std::size_t, std::size_t) {
+                       throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error);
+  }
 }
 
 }  // namespace

@@ -142,6 +142,71 @@ TEST(Exchanger, FloatsPerExchangeCountsBothDirections) {
   });
 }
 
+// ---- split-assembly edge cases (ISSUE 4) ----
+
+TEST(Exchanger, SplitAssemblyWithNoNeighborsIsANoOp) {
+  // A rank whose keys are all private posts no messages; begin
+  // immediately followed by end (the zero-element interior batch: nothing
+  // to overlap) must leave the field untouched.
+  run_ranks(4, [](Communicator& comm) {
+    std::vector<PointCandidate> cand = {
+        {static_cast<std::int64_t>(comm.rank() * 1000 + 1), 0},
+        {static_cast<std::int64_t>(comm.rank() * 1000 + 2), 1}};
+    Exchanger ex = Exchanger::build(comm, cand);
+    std::vector<float> field = {5.f, -2.f};
+    ex.assemble_add_begin(comm, field.data(), 1);
+    ex.assemble_add_end(comm);
+    EXPECT_FLOAT_EQ(field[0], 5.f);
+    EXPECT_FLOAT_EQ(field[1], -2.f);
+  });
+}
+
+TEST(Exchanger, ImmediateBeginEndMatchesBlockingAssembly) {
+  // With zero interior work between begin and end, the split assembly
+  // must still produce exactly the blocking assemble_add sum — the
+  // all-boundary-slice case where every element feeds the halo.
+  const int n = 4;
+  run_ranks(n, [&](Communicator& comm) {
+    const int r = comm.rank();
+    std::vector<PointCandidate> cand;
+    const int npts = 11;
+    for (int p = 0; p < npts; ++p)
+      cand.push_back({static_cast<std::int64_t>(10 * r + p), p});
+    Exchanger ex = Exchanger::build(comm, cand);
+
+    std::vector<float> split(static_cast<std::size_t>(npts));
+    std::vector<float> blocking(static_cast<std::size_t>(npts));
+    for (int p = 0; p < npts; ++p)
+      split[static_cast<std::size_t>(p)] =
+          blocking[static_cast<std::size_t>(p)] =
+              static_cast<float>(r * 100 + p);
+
+    ex.assemble_add_begin(comm, split.data(), 1);
+    ex.assemble_add_end(comm);
+    ex.assemble_add(comm, blocking.data(), 1);
+    for (int p = 0; p < npts; ++p)
+      EXPECT_EQ(split[static_cast<std::size_t>(p)],
+                blocking[static_cast<std::size_t>(p)])
+          << "rank " << r << " point " << p;
+  });
+}
+
+TEST(Exchanger, SplitAssemblyOverlapWindowAcceptsInteriorWrites) {
+  // Writes to NON-shared points inside the open window must neither
+  // corrupt the exchange nor be overwritten by it (the property the
+  // interior-batch overlap in the solver relies on).
+  run_ranks(2, [](Communicator& comm) {
+    std::vector<PointCandidate> cand = {{7, 0}};  // point 0 shared
+    Exchanger ex = Exchanger::build(comm, cand);
+    std::vector<float> field = {static_cast<float>(comm.rank() + 1), 0.f};
+    ex.assemble_add_begin(comm, field.data(), 1);
+    field[1] += 42.f;  // interior work while the exchange is in flight
+    ex.assemble_add_end(comm);
+    EXPECT_FLOAT_EQ(field[0], 3.f);
+    EXPECT_FLOAT_EQ(field[1], 42.f);
+  });
+}
+
 TEST(Exchanger, DuplicateKeysOnOneRankRejected) {
   EXPECT_THROW(
       run_ranks(2,

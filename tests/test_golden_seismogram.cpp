@@ -4,9 +4,15 @@
 // this test — silent physics drift is the one regression a unit test
 // cannot catch.
 //
+// ISSUE 4 extends the gate to a MATRIX: the same committed references must
+// be reproduced by the threaded interleaved schedule (2 and 4 threads) on
+// the globe, and — on a second mixed fluid/solid box golden — by every
+// {threads} x {ranks} x {schedule} combination, all within the same
+// 5e-6 * peak float-roundoff tolerance.
+//
 // Regenerating (only when a change is *supposed* to alter the physics):
 //   SFG_REGEN_GOLDEN=1 ./test_golden_seismogram
-// writes the new reference into the source tree (tests/golden/), then
+// writes the new references into the source tree (tests/golden/), then
 // rerun without the variable and commit the diff. See docs/testing.md.
 
 #include <gtest/gtest.h>
@@ -19,7 +25,9 @@
 #include <vector>
 
 #include "common/constants.hpp"
+#include "mesh/cartesian.hpp"
 #include "mesh/quality.hpp"
+#include "runtime/exchanger.hpp"
 #include "solver/simulation.hpp"
 #include "sphere/mesher.hpp"
 
@@ -38,7 +46,9 @@ constexpr int kSteps = 150;
 /// moment-tensor source and one interpolated receiver. The step count is
 /// fixed — goldens are defined by (mesh, dt rule, source, steps), not by
 /// simulated time.
-Seismogram compute_seismogram() {
+Seismogram compute_seismogram(int num_threads = 1,
+                              SolverSchedule schedule =
+                                  SolverSchedule::Auto) {
   PremModel prem;
   GlobeMeshSpec spec;
   spec.nex_xi = kNex;
@@ -51,6 +61,8 @@ Seismogram compute_seismogram() {
                                       globe.materials.vs);
   SimulationConfig cfg;
   cfg.dt = 0.8 * q.dt_stable;
+  cfg.num_threads = num_threads;
+  cfg.schedule = schedule;
 
   Simulation sim(globe.mesh, basis, globe.materials, cfg);
   PointSource src;
@@ -74,11 +86,15 @@ std::string golden_path() {
   return std::string(SFG_GOLDEN_DIR) + "/globe_nex8_seismogram.txt";
 }
 
-void write_golden(const std::string& path, const Seismogram& s) {
+std::string box_golden_path() {
+  return std::string(SFG_GOLDEN_DIR) + "/box_mixed_seismogram.txt";
+}
+
+void write_golden(const std::string& path, const Seismogram& s,
+                  const std::string& header) {
   std::ofstream out(path);
   ASSERT_TRUE(out.good()) << "cannot write " << path;
-  out << "# golden seismogram: NEX=" << kNex << " 6-chunk PREM globe, "
-      << kSteps << " steps, dt = 0.8 * dt_stable\n"
+  out << "# " << header << "\n"
       << "# time ux uy uz\n";
   out.precision(17);  // full double round-trip
   out << std::scientific;
@@ -107,37 +123,174 @@ Seismogram read_golden(const std::string& path) {
   return s;
 }
 
+// Tolerance: float-roundoff headroom (reordered sums between schedule
+// variants / decompositions) but far below any physical change. A
+// deliberately perturbed kernel moves samples by orders of magnitude more.
+void expect_matches_golden(const Seismogram& ref, const Seismogram& got,
+                           const std::string& leg) {
+  ASSERT_EQ(ref.time.size(), got.time.size()) << leg;
+  double peak = 0.0;
+  for (const auto& u : ref.displ)
+    for (double c : u) peak = std::max(peak, std::abs(c));
+  ASSERT_GT(peak, 0.0) << "golden reference is all zeros";
+  const double tol = 5e-6 * peak;
+  for (std::size_t i = 0; i < ref.time.size(); ++i) {
+    ASSERT_NEAR(ref.time[i], got.time[i], 1e-12 * ref.time.back())
+        << leg << ": time axis changed at sample " << i
+        << " (dt rule drifted?)";
+    for (int c = 0; c < 3; ++c)
+      ASSERT_NEAR(ref.displ[i][c], got.displ[i][c], tol)
+          << leg << ": sample " << i << " component " << c
+          << " deviates from the committed reference; if this change is "
+             "intended, regenerate per docs/testing.md";
+  }
+}
+
 TEST(GoldenSeismogram, MatchesCommittedReference) {
   const Seismogram got = compute_seismogram();
   ASSERT_EQ(got.time.size(), static_cast<std::size_t>(kSteps));
 
   if (std::getenv("SFG_REGEN_GOLDEN") != nullptr) {
-    write_golden(golden_path(), got);
+    write_golden(golden_path(), got,
+                 "golden seismogram: NEX=" + std::to_string(kNex) +
+                     " 6-chunk PREM globe, " + std::to_string(kSteps) +
+                     " steps, dt = 0.8 * dt_stable");
     GTEST_SKIP() << "regenerated " << golden_path()
                  << "; rerun without SFG_REGEN_GOLDEN to verify";
   }
 
   const Seismogram ref = read_golden(golden_path());
-  ASSERT_EQ(ref.time.size(), got.time.size());
+  expect_matches_golden(ref, got, "serial sequential");
+}
 
-  double peak = 0.0;
-  for (const auto& u : ref.displ)
-    for (double c : u) peak = std::max(peak, std::abs(c));
-  ASSERT_GT(peak, 0.0) << "golden reference is all zeros";
+// ---- matrix leg 1: threaded interleaved schedule on the globe golden ----
 
-  // Tolerance: float-roundoff headroom (reordered sums from future
-  // scheduling work) but far below any physical change. A deliberately
-  // perturbed kernel moves samples by orders of magnitude more.
-  const double tol = 5e-6 * peak;
-  for (std::size_t i = 0; i < ref.time.size(); ++i) {
-    ASSERT_NEAR(ref.time[i], got.time[i], 1e-12 * ref.time.back())
-        << "time axis changed at sample " << i << " (dt rule drifted?)";
-    for (int c = 0; c < 3; ++c)
-      ASSERT_NEAR(ref.displ[i][c], got.displ[i][c], tol)
-          << "sample " << i << " component " << c
-          << " deviates from the committed reference; if this change is "
-             "intended, regenerate per docs/testing.md";
+TEST(GoldenSeismogram, ThreadedInterleavedMatchesReference) {
+  if (std::getenv("SFG_REGEN_GOLDEN") != nullptr)
+    GTEST_SKIP() << "regeneration runs the serial reference only";
+  const Seismogram ref = read_golden(golden_path());
+  for (int threads : {2, 4}) {
+    const Seismogram got =
+        compute_seismogram(threads, SolverSchedule::Interleaved);
+    expect_matches_golden(
+        ref, got, "globe interleaved x " + std::to_string(threads) + "T");
   }
+}
+
+// ---- matrix leg 2: mixed fluid/solid box across threads x ranks ----
+
+constexpr double kBoxDt = 1.0e-3;
+constexpr int kBoxSteps = 150;
+
+CartesianBoxSpec mixed_box_spec() {
+  CartesianBoxSpec spec;
+  spec.nx = spec.ny = spec.nz = 4;
+  spec.lx = spec.ly = spec.lz = 1000.0;
+  return spec;
+}
+
+MaterialSample box_material(double, double, double z) {
+  MaterialSample s;
+  if (z < 250.0) {  // water layer at the bottom: fluid elements in play
+    s.rho = 1000.0;
+    s.vp = 1500.0;
+    s.vs = 0.0;
+    s.q_mu = 0.0;
+  } else {
+    s.rho = 2500.0;
+    s.vp = 3000.0;
+    s.vs = 1800.0;
+    s.q_mu = 80.0;
+  }
+  return s;
+}
+
+PointSource box_source() {
+  PointSource src;
+  src.x = 480.0;
+  src.y = 520.0;
+  src.z = 760.0;  // solid upper half
+  src.force = {0.0, 0.0, 1e9};
+  src.stf = ricker_wavelet(10.0, 0.12);
+  return src;
+}
+
+constexpr double kBoxRecX = 520.0, kBoxRecY = 480.0, kBoxRecZ = 810.0;
+
+Seismogram compute_box_serial(int num_threads, SolverSchedule schedule) {
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(mixed_box_spec(), basis);
+  MaterialFields mat = assign_materials(mesh, box_material);
+  SimulationConfig cfg;
+  cfg.dt = kBoxDt;
+  cfg.num_threads = num_threads;
+  cfg.schedule = schedule;
+  Simulation sim(mesh, basis, mat, cfg);
+  EXPECT_GT(sim.num_fluid_elements(), 0);
+  sim.add_source(box_source());
+  const int rec = sim.add_receiver(kBoxRecX, kBoxRecY, kBoxRecZ);
+  sim.run(kBoxSteps);
+  return sim.seismogram(rec);
+}
+
+/// Two-rank leg (z-split: rank 1 is all solid), collective source /
+/// receiver registration, per-rank thread pools.
+Seismogram compute_box_two_ranks(int num_threads, SolverSchedule schedule) {
+  Seismogram out;
+  smpi::run_ranks(2, [&](smpi::Communicator& comm) {
+    GllBasis basis(4);
+    CartesianSlice slice = build_cartesian_slice(mixed_box_spec(), basis, 1,
+                                                 1, 2, 0, 0, comm.rank());
+    std::vector<smpi::PointCandidate> cands;
+    for (std::size_t n = 0; n < slice.boundary_keys.size(); ++n)
+      cands.push_back({slice.boundary_keys[n], slice.boundary_points[n]});
+    smpi::Exchanger ex = smpi::Exchanger::build(comm, cands);
+    MaterialFields mat = assign_materials(slice.mesh, box_material);
+    SimulationConfig cfg;
+    cfg.dt = kBoxDt;
+    cfg.num_threads = num_threads;
+    cfg.schedule = schedule;
+    Simulation sim(slice.mesh, basis, mat, cfg, &comm, &ex);
+    sim.add_source_global(box_source());
+    const int rec =
+        sim.add_receiver_global(kBoxRecX, kBoxRecY, kBoxRecZ);
+    sim.run(kBoxSteps);
+    if (rec >= 0) out = sim.seismogram(rec);
+  });
+  EXPECT_EQ(out.time.size(), static_cast<std::size_t>(kBoxSteps));
+  return out;
+}
+
+TEST(GoldenSeismogram, BoxMatrixMatchesCommittedReference) {
+  const Seismogram serial =
+      compute_box_serial(1, SolverSchedule::Sequential);
+  ASSERT_EQ(serial.time.size(), static_cast<std::size_t>(kBoxSteps));
+
+  if (std::getenv("SFG_REGEN_GOLDEN") != nullptr) {
+    write_golden(box_golden_path(), serial,
+                 "golden seismogram: 4^3 mixed fluid/solid box, " +
+                     std::to_string(kBoxSteps) + " steps, dt = 1e-3");
+    GTEST_SKIP() << "regenerated " << box_golden_path()
+                 << "; rerun without SFG_REGEN_GOLDEN to verify";
+  }
+
+  const Seismogram ref = read_golden(box_golden_path());
+  expect_matches_golden(ref, serial, "box serial sequential");
+
+  // threads x schedule, one rank.
+  for (int threads : {2, 4})
+    expect_matches_golden(
+        ref, compute_box_serial(threads, SolverSchedule::Interleaved),
+        "box interleaved x " + std::to_string(threads) + "T");
+
+  // threads x schedule, two ranks (collective source/receiver election).
+  for (int threads : {2, 4})
+    expect_matches_golden(
+        ref, compute_box_two_ranks(threads, SolverSchedule::Interleaved),
+        "box 2-rank interleaved x " + std::to_string(threads) + "T");
+  expect_matches_golden(ref,
+                        compute_box_two_ranks(2, SolverSchedule::Colored),
+                        "box 2-rank colored x 2T");
 }
 
 }  // namespace

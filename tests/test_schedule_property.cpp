@@ -1,0 +1,394 @@
+// Seeded property-based harness for the locality-aware element schedule
+// (ISSUE 4, mesh/coloring.hpp second-level pass). Across ~50 randomized
+// meshes (varying box dimensions, GLL orders, fluid/solid-style subset
+// splits, slot counts and block sizes, plus small globe shells) it asserts
+// the three schedule invariants INDEPENDENTLY of check_element_schedule:
+//
+//  1. every input element is scheduled exactly once;
+//  2. no two concurrently-runnable work units (units of one round) share
+//     a GLL point — interleaved-pair footprints are disjoint per slot;
+//  3. per-point contributions arrive in strictly ascending color order
+//     (the bit-identity property).
+//
+// It then proves the harness has teeth: an injected builder bug (the
+// TEST-ONLY unsafe_skip_straddler_demotion option) and a mutated schedule
+// must both be flagged by check_element_schedule.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "common/rng.hpp"
+#include "mesh/cartesian.hpp"
+#include "mesh/coloring.hpp"
+#include "mesh/rcm.hpp"
+#include "model/earth_model.hpp"
+#include "sphere/mesher.hpp"
+
+namespace sfg {
+namespace {
+
+// ---- independent invariant checks (deliberately NOT reusing
+// check_element_schedule, which is itself under test) ----
+
+void expect_scheduled_exactly_once(const HexMesh& mesh,
+                                   const std::vector<int>& elements,
+                                   const ElementSchedule& s,
+                                   const std::string& ctx) {
+  std::vector<int> count(static_cast<std::size_t>(mesh.nspec), 0);
+  for (int e : s.items) {
+    ASSERT_GE(e, 0) << ctx;
+    ASSERT_LT(e, mesh.nspec) << ctx;
+    ++count[static_cast<std::size_t>(e)];
+  }
+  std::vector<char> in_input(static_cast<std::size_t>(mesh.nspec), 0);
+  for (int e : elements) in_input[static_cast<std::size_t>(e)] = 1;
+  for (int e = 0; e < mesh.nspec; ++e) {
+    EXPECT_EQ(count[static_cast<std::size_t>(e)],
+              in_input[static_cast<std::size_t>(e)] ? 1 : 0)
+        << ctx << ": element " << e;
+  }
+  // Units must also tile the item list: total unit coverage == items.
+  EXPECT_EQ(s.work.total_items(), s.items.size()) << ctx;
+}
+
+void expect_round_footprints_disjoint(const HexMesh& mesh,
+                                      const ElementSchedule& s,
+                                      const std::string& ctx) {
+  const int n3 = mesh.ngll3();
+  const auto ng = static_cast<std::size_t>(mesh.nglob);
+  // Stamp (round, unit) per point; a re-visit in the same round from a
+  // different unit is a race between concurrently-runnable units.
+  std::vector<long> pt_round(ng, -1);
+  std::vector<std::size_t> pt_unit(ng, 0);
+  for (std::size_t r = 0; r < s.work.rounds.size(); ++r) {
+    const auto& units = s.work.rounds[r].units;
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      for (std::size_t i = units[u].begin; i < units[u].end; ++i) {
+        const int e = s.items[i];
+        const int* ib = mesh.ibool.data() + mesh.local_offset(e);
+        for (int p = 0; p < n3; ++p) {
+          const auto g = static_cast<std::size_t>(ib[p]);
+          if (pt_round[g] == static_cast<long>(r)) {
+            ASSERT_EQ(pt_unit[g], u)
+                << ctx << ": round " << r << " units " << pt_unit[g]
+                << " and " << u << " share point " << g;
+          }
+          pt_round[g] = static_cast<long>(r);
+          pt_unit[g] = u;
+        }
+      }
+    }
+  }
+}
+
+void expect_ascending_color_per_point(const HexMesh& mesh,
+                                      const std::vector<int>& color_of,
+                                      const ElementSchedule& s,
+                                      const std::string& ctx) {
+  const int n3 = mesh.ngll3();
+  std::vector<int> last(static_cast<std::size_t>(mesh.nglob), -1);
+  // Rounds in order; within a round the per-point order is well defined
+  // because footprints are unit-disjoint (checked separately).
+  for (const auto& round : s.work.rounds) {
+    for (const auto& unit : round.units) {
+      for (std::size_t i = unit.begin; i < unit.end; ++i) {
+        const int e = s.items[i];
+        const int c = color_of[static_cast<std::size_t>(e)];
+        const int* ib = mesh.ibool.data() + mesh.local_offset(e);
+        for (int p = 0; p < n3; ++p) {
+          const auto g = static_cast<std::size_t>(ib[p]);
+          ASSERT_GT(c, last[g])
+              << ctx << ": point " << g << " receives color " << c
+              << " after color " << last[g];
+          last[g] = c;
+        }
+      }
+    }
+  }
+}
+
+void expect_residual_accounting(const ElementSchedule& s,
+                                const std::string& ctx) {
+  std::size_t residual_items = 0;
+  for (const auto& round : s.work.rounds)
+    if (round.tag == kSchedRoundResidual)
+      for (const auto& u : round.units) residual_items += u.size();
+  EXPECT_EQ(residual_items, static_cast<std::size_t>(s.residual_elements))
+      << ctx;
+}
+
+struct RandomCase {
+  HexMesh mesh;
+  std::vector<int> color_of;
+  std::vector<int> subset_a;  ///< "solid"-style subset, shuffled order
+  std::vector<int> subset_b;  ///< "fluid"-style complement
+  ScheduleOptions opts;
+  std::string ctx;
+};
+
+// Build one randomized case: a box mesh with random dimensions and GLL
+// order, a coloring computed in a shuffled processing order, a random
+// two-way subset split (mimicking fluid/solid element lists) and random
+// schedule options.
+RandomCase make_random_case(SplitMix64& rng, int index) {
+  RandomCase rc;
+  CartesianBoxSpec spec;
+  spec.nx = 1 + static_cast<int>(rng.next_below(4));
+  spec.ny = 1 + static_cast<int>(rng.next_below(4));
+  spec.nz = 1 + static_cast<int>(rng.next_below(5));
+  spec.lx = spec.ly = spec.lz = 1000.0;
+  const int ngll = 2 + static_cast<int>(rng.next_below(4));  // 2..5
+  GllBasis basis(ngll);
+  rc.mesh = build_cartesian_box(spec, basis);
+
+  // Shuffled processing order (Fisher-Yates on SplitMix64).
+  std::vector<int> order(static_cast<std::size_t>(rc.mesh.nspec));
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  rc.color_of = greedy_element_coloring(element_adjacency(rc.mesh), order);
+
+  // Random subset split: roughly `frac` of elements to subset A, in the
+  // shuffled order (subsets of the solver are ordered lists, not sorted).
+  const double frac = rng.uniform(0.2, 1.0);
+  for (int e : order)
+    (rng.next_double() < frac ? rc.subset_a : rc.subset_b).push_back(e);
+
+  rc.opts.num_slots = 1 + static_cast<int>(rng.next_below(8));
+  rc.opts.interleave_pairs = true;
+  const int block_choices[] = {1, 2, 4, 8, 64};
+  rc.opts.block_size = block_choices[rng.next_below(5)];
+  if (rng.next_double() < 0.5) {
+    const auto rcm = reverse_cuthill_mckee(element_adjacency(rc.mesh));
+    rc.opts.proximity_rank.assign(
+        static_cast<std::size_t>(rc.mesh.nspec), 0);
+    for (std::size_t pos = 0; pos < rcm.size(); ++pos)
+      rc.opts.proximity_rank[static_cast<std::size_t>(rcm[pos])] =
+          static_cast<int>(pos);
+  }
+
+  rc.ctx = "case " + std::to_string(index) + " (" +
+           std::to_string(spec.nx) + "x" + std::to_string(spec.ny) + "x" +
+           std::to_string(spec.nz) + " ngll " + std::to_string(ngll) +
+           " slots " + std::to_string(rc.opts.num_slots) + " block " +
+           std::to_string(rc.opts.block_size) + ")";
+  return rc;
+}
+
+void check_all_invariants(const HexMesh& mesh,
+                          const std::vector<int>& color_of,
+                          const std::vector<int>& elements,
+                          const ElementSchedule& s, const std::string& ctx) {
+  expect_scheduled_exactly_once(mesh, elements, s, ctx);
+  expect_round_footprints_disjoint(mesh, s, ctx);
+  expect_ascending_color_per_point(mesh, color_of, s, ctx);
+  expect_residual_accounting(s, ctx);
+  // The production validator must agree with the independent checks.
+  EXPECT_EQ(check_element_schedule(mesh, elements, color_of, s),
+            std::string())
+      << ctx;
+}
+
+TEST(ScheduleProperty, RandomizedMeshesSatisfyAllInvariants) {
+  SplitMix64 rng(0x5eed5eedULL);
+  int interleaved_rounds_seen = 0;
+  int residuals_seen = 0;
+  for (int i = 0; i < 48; ++i) {
+    RandomCase rc = make_random_case(rng, i);
+    for (const std::vector<int>* subset : {&rc.subset_a, &rc.subset_b}) {
+      const ElementSchedule s =
+          build_element_schedule(rc.mesh, *subset, rc.color_of, rc.opts);
+      check_all_invariants(rc.mesh, rc.color_of, *subset, s, rc.ctx);
+      for (const auto& round : s.work.rounds)
+        if (round.tag == kSchedRoundPaired) ++interleaved_rounds_seen;
+      residuals_seen += s.residual_elements;
+    }
+  }
+  // The sweep must actually exercise the interesting machinery, not just
+  // degenerate plain rounds.
+  EXPECT_GT(interleaved_rounds_seen, 20);
+  EXPECT_GT(residuals_seen, 0);
+}
+
+TEST(ScheduleProperty, PlainModeSatisfiesInvariantsToo) {
+  SplitMix64 rng(0xb10cULL);
+  for (int i = 0; i < 8; ++i) {
+    RandomCase rc = make_random_case(rng, i);
+    rc.opts.interleave_pairs = false;
+    const ElementSchedule s = build_element_schedule(
+        rc.mesh, rc.subset_a, rc.color_of, rc.opts);
+    check_all_invariants(rc.mesh, rc.color_of, rc.subset_a, s,
+                         rc.ctx + " [plain]");
+    for (const auto& round : s.work.rounds)
+      EXPECT_EQ(round.tag, kSchedRoundPlain) << rc.ctx;
+  }
+}
+
+TEST(ScheduleProperty, GlobeShellSlicesSatisfyAllInvariants) {
+  MaterialSample s;
+  s.rho = 3000.0;
+  s.vp = 8000.0;
+  s.vs = 4500.0;
+  s.q_mu = 300.0;
+  HomogeneousModel model(s, kEarthRadiusM);
+  GlobeMeshSpec spec;
+  spec.nex_xi = 4;
+  spec.r_min = 0.8 * kEarthRadiusM;
+  spec.model = &model;
+  GllBasis basis(4);
+  for (int nchunks : {1, 6}) {
+    spec.nchunks = nchunks;
+    GlobeSlice globe = build_globe_serial(spec, basis);
+    std::vector<int> all(static_cast<std::size_t>(globe.mesh.nspec));
+    std::iota(all.begin(), all.end(), 0);
+    const auto color_of =
+        greedy_element_coloring(element_adjacency(globe.mesh), all);
+    ScheduleOptions opts;
+    opts.num_slots = 4;
+    const ElementSchedule sched =
+        build_element_schedule(globe.mesh, all, color_of, opts);
+    check_all_invariants(globe.mesh, color_of, all, sched,
+                         "globe nchunks=" + std::to_string(nchunks));
+  }
+}
+
+// ---- the harness must FAIL on an injected schedule bug ----
+
+TEST(ScheduleProperty, CheckerFlagsInjectedStraddlerBug) {
+  // unsafe_skip_straddler_demotion deliberately keeps footprint-straddling
+  // upper-color elements inside the pair round (invariant 2 violation).
+  // Across the sweep, every build whose safe twin demotes at least one
+  // straddler at >= 2 slots must be flagged by check_element_schedule.
+  SplitMix64 rng(0xdeadULL);
+  int buggy_builds = 0, flagged = 0;
+  for (int i = 0; i < 24; ++i) {
+    RandomCase rc = make_random_case(rng, i);
+    if (rc.opts.num_slots < 2) rc.opts.num_slots = 2;
+    const ElementSchedule safe = build_element_schedule(
+        rc.mesh, rc.subset_a, rc.color_of, rc.opts);
+    if (safe.residual_elements == 0) continue;  // bug has nothing to bite
+    ScheduleOptions bad = rc.opts;
+    bad.unsafe_skip_straddler_demotion = true;
+    const ElementSchedule buggy =
+        build_element_schedule(rc.mesh, rc.subset_a, rc.color_of, bad);
+    ++buggy_builds;
+    const std::string err =
+        check_element_schedule(rc.mesh, rc.subset_a, rc.color_of, buggy);
+    if (!err.empty()) {
+      ++flagged;
+      EXPECT_NE(err.find("share global point"), std::string::npos)
+          << rc.ctx << ": unexpected violation kind: " << err;
+    }
+  }
+  ASSERT_GT(buggy_builds, 0) << "sweep produced no straddlers to inject";
+  EXPECT_EQ(flagged, buggy_builds)
+      << "checker missed an injected invariant-2 violation";
+}
+
+TEST(ScheduleProperty, CheckerFlagsMutatedSchedules) {
+  SplitMix64 rng(0xfaceULL);
+  RandomCase rc = make_random_case(rng, 0);
+  // Make sure the case is non-trivial.
+  while (rc.subset_a.size() < 8) rc = make_random_case(rng, 1);
+  const ElementSchedule good = build_element_schedule(
+      rc.mesh, rc.subset_a, rc.color_of, rc.opts);
+  ASSERT_EQ(check_element_schedule(rc.mesh, rc.subset_a, rc.color_of, good),
+            std::string());
+
+  // Duplicate an element (drops another): invariant 1.
+  {
+    ElementSchedule bad = good;
+    bad.items[0] = bad.items[1];
+    EXPECT_NE(check_element_schedule(rc.mesh, rc.subset_a, rc.color_of, bad),
+              std::string());
+  }
+  // Truncate the last unit: an item is no longer covered by any unit.
+  {
+    ElementSchedule bad = good;
+    for (auto rit = bad.work.rounds.rbegin(); rit != bad.work.rounds.rend();
+         ++rit) {
+      for (auto uit = rit->units.rbegin(); uit != rit->units.rend(); ++uit) {
+        if (uit->size() > 0) {
+          --uit->end;
+          goto truncated;
+        }
+      }
+    }
+  truncated:
+    EXPECT_NE(check_element_schedule(rc.mesh, rc.subset_a, rc.color_of, bad),
+              std::string());
+  }
+  // Swap a later-color element before an earlier-color neighbour sharing a
+  // point: invariant 3. Find two adjacent-in-items elements of different
+  // colors that share a point and swap them.
+  {
+    ElementSchedule bad = good;
+    const int n3 = rc.mesh.ngll3();
+    bool swapped = false;
+    for (std::size_t i = 0; i + 1 < bad.items.size() && !swapped; ++i) {
+      const int a = bad.items[i], b = bad.items[i + 1];
+      if (rc.color_of[static_cast<std::size_t>(a)] >=
+          rc.color_of[static_cast<std::size_t>(b)])
+        continue;
+      const int* ia = rc.mesh.ibool.data() + rc.mesh.local_offset(a);
+      const int* ib = rc.mesh.ibool.data() + rc.mesh.local_offset(b);
+      for (int p = 0; p < n3 && !swapped; ++p)
+        for (int q = 0; q < n3; ++q)
+          if (ia[p] == ib[q]) {
+            std::swap(bad.items[i], bad.items[i + 1]);
+            swapped = true;
+            break;
+          }
+    }
+    if (swapped) {
+      EXPECT_NE(
+          check_element_schedule(rc.mesh, rc.subset_a, rc.color_of, bad),
+          std::string());
+    }
+  }
+}
+
+// Bit-identity witness at the schedule level: two different slot counts
+// (and the plain schedule) visit every global point in the same ascending
+// color order, so the per-point float summation is literally the same
+// sequence. Verified by comparing the per-point color sequences.
+TEST(ScheduleProperty, PerPointColorSequenceIndependentOfSlots) {
+  SplitMix64 rng(0x0b15ULL);
+  RandomCase rc = make_random_case(rng, 0);
+  auto point_sequence = [&](const ElementSchedule& s) {
+    std::vector<std::vector<int>> seq(
+        static_cast<std::size_t>(rc.mesh.nglob));
+    const int n3 = rc.mesh.ngll3();
+    for (const auto& round : s.work.rounds)
+      for (const auto& unit : round.units)
+        for (std::size_t i = unit.begin; i < unit.end; ++i) {
+          const int e = s.items[i];
+          const int* ib =
+              rc.mesh.ibool.data() + rc.mesh.local_offset(e);
+          for (int p = 0; p < n3; ++p)
+            seq[static_cast<std::size_t>(ib[p])].push_back(
+                rc.color_of[static_cast<std::size_t>(e)]);
+        }
+    return seq;
+  };
+  ScheduleOptions o1 = rc.opts, o4 = rc.opts, oplain = rc.opts;
+  o1.num_slots = 1;
+  o4.num_slots = 4;
+  oplain.interleave_pairs = false;
+  const auto s1 = point_sequence(
+      build_element_schedule(rc.mesh, rc.subset_a, rc.color_of, o1));
+  const auto s4 = point_sequence(
+      build_element_schedule(rc.mesh, rc.subset_a, rc.color_of, o4));
+  const auto sp = point_sequence(
+      build_element_schedule(rc.mesh, rc.subset_a, rc.color_of, oplain));
+  EXPECT_EQ(s1, s4);
+  EXPECT_EQ(s1, sp);
+}
+
+}  // namespace
+}  // namespace sfg

@@ -146,6 +146,32 @@ void expect_close(const FinalState& a, const FinalState& b, double rel_tol) {
     EXPECT_NEAR(a.displ[i], b.displ[i], rel_tol * peak) << "dof " << i;
 }
 
+FinalState run_box_sched(int num_threads, SolverSchedule schedule,
+                         bool attenuation, int nsteps) {
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(box_spec(), basis);
+  MaterialFields mat =
+      assign_materials(mesh, [](double, double, double) { return rock(); });
+  SimulationConfig cfg;
+  cfg.dt = 1.5e-3;
+  cfg.num_threads = num_threads;
+  cfg.schedule = schedule;
+  if (attenuation) {
+    SlsSeries sls = fit_constant_q(80.0, 1.0, 20.0, 3);
+    prepare_attenuation(mat, sls);
+    cfg.attenuation = true;
+    cfg.sls = sls;
+  }
+  Simulation sim(mesh, basis, mat, cfg);
+  EXPECT_EQ(sim.active_schedule(), schedule);
+  sim.add_source(test_source());
+  sim.run(nsteps);
+  FinalState fs;
+  fs.displ = sim.displ();
+  fs.veloc = sim.veloc();
+  return fs;
+}
+
 TEST(ThreadedSolver, ThreadCountsAreBitIdentical) {
   const int nsteps = 120;
   // The colored schedule fixes the per-point summation order regardless of
@@ -165,6 +191,127 @@ TEST(ThreadedSolver, ColoredScheduleMatchesLegacySequential) {
   const FinalState seq = run_box(1, false, false, nsteps);
   const FinalState thr = run_box(4, false, false, nsteps);
   expect_close(seq, thr, 5e-6);
+}
+
+// ---- locality-aware interleaved schedule (ISSUE 4) ----
+
+TEST(ThreadedSolver, InterleavedScheduleIsBitIdenticalToColoredAnyThreads) {
+  const int nsteps = 120;
+  // All colored variants share the ascending-color per-point summation
+  // order, so plain colored and interleaved agree to the LAST BIT at any
+  // thread count.
+  const FinalState colored =
+      run_box_sched(1, SolverSchedule::Colored, false, nsteps);
+  expect_bit_identical(
+      colored, run_box_sched(1, SolverSchedule::Interleaved, false, nsteps));
+  expect_bit_identical(
+      colored, run_box_sched(2, SolverSchedule::Interleaved, false, nsteps));
+  expect_bit_identical(
+      colored, run_box_sched(4, SolverSchedule::Interleaved, false, nsteps));
+}
+
+TEST(ThreadedSolver, InterleavedMatchesLegacySequentialWithinRoundoff) {
+  const int nsteps = 120;
+  const FinalState seq =
+      run_box_sched(1, SolverSchedule::Sequential, false, nsteps);
+  expect_close(seq, run_box_sched(4, SolverSchedule::Interleaved, false,
+                                  nsteps),
+               5e-6);
+}
+
+TEST(ThreadedSolver, InterleavedWithAttenuationIsBitIdenticalToColored) {
+  const int nsteps = 120;
+  const FinalState colored =
+      run_box_sched(1, SolverSchedule::Colored, true, nsteps);
+  expect_bit_identical(
+      colored, run_box_sched(4, SolverSchedule::Interleaved, true, nsteps));
+}
+
+TEST(ThreadedSolver, AutoResolvesToInterleavedWhenThreaded) {
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(box_spec(), basis);
+  MaterialFields mat =
+      assign_materials(mesh, [](double, double, double) { return rock(); });
+  SimulationConfig cfg;
+  cfg.dt = 1.5e-3;
+  cfg.num_threads = 2;
+  Simulation threaded(mesh, basis, mat, cfg);
+  EXPECT_EQ(threaded.active_schedule(), SolverSchedule::Interleaved);
+  EXPECT_GE(threaded.num_residual_elements(), 0);
+
+  cfg.num_threads = 1;
+  Simulation serial(mesh, basis, mat, cfg);
+  EXPECT_EQ(serial.active_schedule(), SolverSchedule::Sequential);
+  cfg.force_colored_schedule = true;
+  Simulation forced(mesh, basis, mat, cfg);
+  EXPECT_EQ(forced.active_schedule(), SolverSchedule::Colored);
+
+  // Sequential at >1 threads is a config error.
+  cfg.num_threads = 2;
+  cfg.schedule = SolverSchedule::Sequential;
+  EXPECT_THROW({ Simulation bad(mesh, basis, mat, cfg); }, CheckError);
+}
+
+TEST(ThreadedSolver, AllBoundarySliceRunsWithEmptyInteriorSchedule) {
+  // A 2x1x1 box cut into two single-element slices: EVERY element touches
+  // the halo, so the interior batches and the interior interleaved
+  // schedule are empty — the overlap window opens and closes with zero
+  // elements in between. The run must still complete and match serial.
+  CartesianBoxSpec spec;
+  spec.nx = 2;
+  spec.ny = 1;
+  spec.nz = 1;
+  spec.lx = spec.ly = spec.lz = 1000.0;
+  const double dt = 1.0e-3;
+  const int nsteps = 100;
+  constexpr double kRecX = 700.0, kRecY = 510.0, kRecZ = 480.0;
+
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(spec, basis);
+  MaterialFields mat =
+      assign_materials(mesh, [](double, double, double) { return rock(); });
+  SimulationConfig cfg;
+  cfg.dt = dt;
+  Simulation serial(mesh, basis, mat, cfg);
+  serial.add_source(test_source());
+  const int rec = serial.add_receiver(kRecX, kRecY, kRecZ);
+  serial.run(nsteps);
+  const Seismogram& ref = serial.seismogram(rec);
+
+  Seismogram par;
+  smpi::run_ranks(2, [&](smpi::Communicator& comm) {
+    GllBasis b(4);
+    CartesianSlice slice =
+        build_cartesian_slice(spec, b, 2, 1, 1, comm.rank(), 0, 0);
+    std::vector<smpi::PointCandidate> cands;
+    for (std::size_t n = 0; n < slice.boundary_keys.size(); ++n)
+      cands.push_back({slice.boundary_keys[n], slice.boundary_points[n]});
+    smpi::Exchanger ex = smpi::Exchanger::build(comm, cands);
+    MaterialFields m = assign_materials(
+        slice.mesh, [](double, double, double) { return rock(); });
+    SimulationConfig c;
+    c.dt = dt;
+    c.num_threads = 2;
+    c.schedule = SolverSchedule::Interleaved;
+    Simulation sim(slice.mesh, b, m, c, &comm, &ex);
+    // The single element of each slice is a boundary element.
+    EXPECT_EQ(sim.num_boundary_elements(), slice.mesh.nspec);
+    if (comm.rank() == 0) sim.add_source(test_source());
+    int r = -1;
+    if (comm.rank() == 1) r = sim.add_receiver(kRecX, kRecY, kRecZ);
+    sim.run(nsteps);
+    if (r >= 0) par = sim.seismogram(r);
+  });
+
+  ASSERT_EQ(ref.displ.size(), par.displ.size());
+  double peak = 0.0;
+  for (const auto& u : ref.displ)
+    for (double c : u) peak = std::max(peak, std::abs(c));
+  ASSERT_GT(peak, 0.0);
+  for (std::size_t i = 0; i < ref.displ.size(); ++i)
+    for (int c = 0; c < 3; ++c)
+      EXPECT_NEAR(ref.displ[i][c], par.displ[i][c], 5e-5 * peak)
+          << "sample " << i << " comp " << c;
 }
 
 TEST(ThreadedSolver, AttenuationThreadedIsDeterministicAndMatchesSequential) {
