@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Service-level benchmark runner (ISSUE 5): builds and runs the campaign
+# throughput bench and captures its machine-readable record.
+#
+#   scripts/bench.sh [out.json]
+#
+# Writes BENCH_service.json (or the given path) in the repo root: one JSON
+# object with jobs/minute, cache hit rate, retry overhead and the priced
+# checkpoint-recovery saving versus a cold re-run. Human-readable
+# narration streams to stderr while the bench runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_service.json}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> build bench_campaign (build/)" >&2
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}" --target bench_campaign >/dev/null
+
+echo "==> run campaign bench" >&2
+./build/bench/bench_campaign > "${OUT}"
+
+echo "==> wrote ${OUT}:" >&2
+cat "${OUT}"

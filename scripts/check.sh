@@ -53,10 +53,10 @@ if [[ "${RUN_TSAN}" == "1" ]]; then
   echo "==> configure + build ThreadSanitizer config (build-tsan/)"
   cmake -B build-tsan -S . -DSFG_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "${JOBS}" \
-    --target test_threaded_solver test_smpi test_fault_injection
+    --target test_threaded_solver test_smpi test_fault_injection test_service
 
   echo "==> concurrency tests under TSan"
-  for t in test_threaded_solver test_smpi test_fault_injection; do
+  for t in test_threaded_solver test_smpi test_fault_injection test_service; do
     echo "--> ${t}"
     ./build-tsan/tests/"${t}"
   done
@@ -67,6 +67,7 @@ if [[ "${RUN_COV}" == "1" ]]; then
   # directory. Measured at introduction: mesh 98.1%, runtime 99.4%.
   COV_FLOOR_MESH=90
   COV_FLOOR_RUNTIME=90
+  COV_FLOOR_PERF=90
 
   echo "==> configure + build coverage config (build-cov/)"
   cmake -B build-cov -S . -DSFG_COVERAGE=ON >/dev/null
@@ -82,21 +83,26 @@ if [[ "${RUN_COV}" == "1" ]]; then
   find build-cov/src -name '*.gcda' -print0 \
     | xargs -0 gcov -n 2>/dev/null \
     | awk -v floor_mesh="${COV_FLOOR_MESH}" \
-          -v floor_runtime="${COV_FLOOR_RUNTIME}" '
+          -v floor_runtime="${COV_FLOOR_RUNTIME}" \
+          -v floor_perf="${COV_FLOOR_PERF}" '
       /^File /  { f = $2; gsub(/\x27/, "", f) }
       /^Lines executed:/ {
         split($0, a, /[:% ]+/); pct = a[3]; n = a[5];
         if (f ~ /src\/mesh\/.*\.cpp$/)    { me += pct * n / 100; mt += n }
         if (f ~ /src\/runtime\/.*\.cpp$/) { re += pct * n / 100; rt += n }
+        if (f ~ /src\/perf\/.*\.cpp$/)    { pe += pct * n / 100; pt += n }
       }
       END {
         mp = mt ? 100 * me / mt : 0; rp = rt ? 100 * re / rt : 0;
+        pp = pt ? 100 * pe / pt : 0;
         printf "    src/mesh    : %5.1f%% of %d lines (floor %d%%)\n", mp, mt, floor_mesh;
         printf "    src/runtime : %5.1f%% of %d lines (floor %d%%)\n", rp, rt, floor_runtime;
+        printf "    src/perf    : %5.1f%% of %d lines (floor %d%%)\n", pp, pt, floor_perf;
         fail = 0;
-        if (mt == 0 || rt == 0) { print "FAIL: no coverage data found"; fail = 1 }
+        if (mt == 0 || rt == 0 || pt == 0) { print "FAIL: no coverage data found"; fail = 1 }
         if (mp < floor_mesh)    { printf "FAIL: src/mesh line coverage %.1f%% below floor %d%%\n", mp, floor_mesh; fail = 1 }
         if (rp < floor_runtime) { printf "FAIL: src/runtime line coverage %.1f%% below floor %d%%\n", rp, floor_runtime; fail = 1 }
+        if (pp < floor_perf)    { printf "FAIL: src/perf line coverage %.1f%% below floor %d%%\n", pp, floor_perf; fail = 1 }
         exit fail;
       }'
 fi

@@ -1,26 +1,54 @@
 #include "io/seismogram_io.hpp"
 
 #include <cstdio>
+#include <memory>
 
 #include "common/check.hpp"
 
 namespace sfg {
 
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
 std::uint64_t write_seismogram(const std::string& prefix,
                                const Seismogram& seis) {
+  SFG_CHECK_MSG(seis.displ.size() == seis.time.size(),
+                "seismogram has " << seis.time.size() << " time samples but "
+                                  << seis.displ.size()
+                                  << " displacement samples");
   const char* comp_name[3] = {"X", "Y", "Z"};
   std::uint64_t bytes = 0;
   for (int c = 0; c < 3; ++c) {
     const std::string path = prefix + "." + comp_name[c] + ".semd";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    SFG_CHECK_MSG(f != nullptr, "cannot open " << path);
+    FilePtr f(std::fopen(path.c_str(), "w"));
+    SFG_CHECK_MSG(f != nullptr,
+                  "cannot open " << path << " for writing (missing directory "
+                                 << "or unwritable prefix?)");
     for (std::size_t i = 0; i < seis.time.size(); ++i) {
-      const int n = std::fprintf(f, "%.9e %.9e\n", seis.time[i],
+      const int n = std::fprintf(f.get(), "%.9e %.9e\n", seis.time[i],
                                  seis.displ[i][static_cast<std::size_t>(c)]);
-      SFG_CHECK(n > 0);
+      // fprintf reports short writes (full disk, I/O error) as a negative
+      // return; treat anything but the full line as failure.
+      SFG_CHECK_MSG(n > 0 && std::ferror(f.get()) == 0,
+                    "short write to " << path << " at sample " << i
+                                      << " (disk full?)");
       bytes += static_cast<std::uint64_t>(n);
     }
-    std::fclose(f);
+    // Errors buffered by stdio may only surface at flush/close: a clean
+    // fclose is part of the durability contract.
+    std::FILE* raw = f.release();
+    const bool flush_ok = std::fflush(raw) == 0 && std::ferror(raw) == 0;
+    const bool close_ok = std::fclose(raw) == 0;
+    SFG_CHECK_MSG(flush_ok && close_ok,
+                  "failed to flush " << path << " (disk full?)");
   }
   return bytes;
 }
@@ -28,17 +56,30 @@ std::uint64_t write_seismogram(const std::string& prefix,
 Seismogram read_seismogram_component(const std::string& path,
                                      int component) {
   SFG_CHECK(component >= 0 && component < 3);
-  std::FILE* f = std::fopen(path.c_str(), "r");
+  FilePtr f(std::fopen(path.c_str(), "r"));
   SFG_CHECK_MSG(f != nullptr, "cannot open " << path);
   Seismogram seis;
   double t, v;
-  while (std::fscanf(f, "%lf %lf", &t, &v) == 2) {
+  int matched;
+  while ((matched = std::fscanf(f.get(), "%lf %lf", &t, &v)) == 2) {
     seis.time.push_back(t);
     std::array<double, 3> u{0.0, 0.0, 0.0};
     u[static_cast<std::size_t>(component)] = v;
     seis.displ.push_back(u);
   }
-  std::fclose(f);
+  SFG_CHECK_MSG(std::ferror(f.get()) == 0,
+                "I/O error while reading " << path);
+  // A half-parsed pair (time with no value) means the file was truncated
+  // mid-sample; leftover non-numeric bytes mean it is not a seismogram.
+  SFG_CHECK_MSG(matched != 1,
+                path << " is truncated: trailing time sample "
+                     << seis.time.size() << " has no displacement value");
+  const int trailing = std::fgetc(f.get());
+  SFG_CHECK_MSG(trailing == EOF,
+                path << " has non-numeric bytes after sample "
+                     << seis.time.size() << " — not a *.semd seismogram?");
+  SFG_CHECK_MSG(!seis.time.empty(),
+                path << " holds no samples (empty or non-numeric file)");
   return seis;
 }
 

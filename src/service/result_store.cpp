@@ -1,0 +1,108 @@
+#include "service/result_store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/check.hpp"
+#include "io/snapshot.hpp"
+
+namespace sfg::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// The snapshot identity pins the key the file claims to hold: low/high
+/// 32 bits of the request hash in the nex/nproc fields, so a file moved
+/// to the wrong name (or a hash mismatch) is rejected at open.
+io::SnapshotIdentity identity_for(RequestKey key) {
+  io::SnapshotIdentity id;
+  id.nex = static_cast<std::int32_t>(static_cast<std::uint32_t>(key));
+  id.nproc = static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(key >> 32));
+  id.nchunks = 0;
+  id.rank = 0;
+  id.nranks = 0;
+  return id;
+}
+
+}  // namespace
+
+ResultStore::ResultStore(const std::string& dir) : dir_(dir) {
+  fs::create_directories(dir_);
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    if (!e.is_regular_file() || e.path().extension() != ".res") continue;
+    const std::string stem = e.path().stem().string();
+    if (stem.size() != 16) continue;
+    RequestKey key = 0;
+    if (std::sscanf(stem.c_str(), "%16lx", &key) == 1) index_.insert(key);
+  }
+}
+
+std::string ResultStore::key_hex(RequestKey key) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016lx",
+                static_cast<unsigned long>(key));
+  return buf;
+}
+
+std::string ResultStore::path_for(RequestKey key) const {
+  return dir_ + "/" + key_hex(key) + ".res";
+}
+
+bool ResultStore::contains(RequestKey key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.count(key) != 0;
+}
+
+std::optional<JobResult> ResultStore::load(RequestKey key) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index_.count(key) == 0) return std::nullopt;
+  }
+  const auto reader = io::SnapshotReader::open(path_for(key),
+                                               identity_for(key));
+  const auto nstations = reader.read_value<std::int32_t>("nstations");
+  JobResult result;
+  result.seismograms.resize(static_cast<std::size_t>(nstations));
+  for (std::int32_t s = 0; s < nstations; ++s) {
+    Seismogram& seis = result.seismograms[static_cast<std::size_t>(s)];
+    const std::string base = "s" + std::to_string(s) + ".";
+    seis.time = reader.read_vector<double>(base + "time");
+    const auto flat = reader.read_vector<double>(base + "displ");
+    SFG_CHECK_MSG(flat.size() == seis.time.size() * 3,
+                  "result station " << s << " sample counts disagree in "
+                                    << path_for(key));
+    seis.displ.resize(seis.time.size());
+    for (std::size_t i = 0; i < seis.displ.size(); ++i)
+      seis.displ[i] = {flat[i * 3 + 0], flat[i * 3 + 1], flat[i * 3 + 2]};
+  }
+  return result;
+}
+
+void ResultStore::store(RequestKey key, const JobResult& result) {
+  io::SnapshotWriter writer;
+  const auto nstations = static_cast<std::int32_t>(
+      result.seismograms.size());
+  writer.add_values("nstations", &nstations, 1);
+  for (std::int32_t s = 0; s < nstations; ++s) {
+    const Seismogram& seis =
+        result.seismograms[static_cast<std::size_t>(s)];
+    const std::string base = "s" + std::to_string(s) + ".";
+    writer.add_vector(base + "time", seis.time);
+    writer.add_values(base + "displ",
+                      seis.displ.empty() ? nullptr
+                                         : seis.displ.data()->data(),
+                      seis.displ.size() * 3);
+  }
+  writer.write(path_for(key), identity_for(key));
+  std::lock_guard<std::mutex> lock(mutex_);
+  index_.insert(key);
+}
+
+std::size_t ResultStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+}  // namespace sfg::service

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file result_store.hpp
+/// Content-addressed result cache of the campaign service (ISSUE 5).
+///
+/// Results (the per-station seismograms of one job) are stored under the
+/// request's content hash in the versioned CRC-32 `sfg_snapshot` container
+/// (io/snapshot.*) — the same format the solver's checkpoints use, so
+/// corruption and truncation are detected on load instead of serving wrong
+/// physics. One file per key: `<dir>/<16-hex-digits>.res`, written
+/// tmp+rename (the snapshot writer's atomic-ish protocol), so a crashed
+/// writer never leaves a half-result that a later campaign would trust.
+///
+/// The store is shared by all workers and submitters; an in-memory index
+/// mirrors the directory (scanned once at construction, so a store
+/// reopened over an old campaign directory serves the previous results —
+/// cross-campaign caching for free).
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "service/job.hpp"
+#include "solver/simulation.hpp"
+
+namespace sfg::service {
+
+/// The physics output of one job: one seismogram per requested station,
+/// in station order.
+struct JobResult {
+  std::vector<Seismogram> seismograms;
+};
+
+class ResultStore {
+ public:
+  /// Opens (and creates if needed) `dir`, indexing any existing results.
+  explicit ResultStore(const std::string& dir);
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  bool contains(RequestKey key) const;
+
+  /// Load the result stored under `key`; nullopt when absent. Throws
+  /// sfg::CheckError if the file exists but is corrupt (CRC/format).
+  std::optional<JobResult> load(RequestKey key) const;
+
+  /// Store `result` under `key` (overwrites an existing entry with the
+  /// same key — content addressing makes that a no-op by construction).
+  void store(RequestKey key, const JobResult& result);
+
+  std::size_t size() const;
+  const std::string& dir() const { return dir_; }
+
+  static std::string key_hex(RequestKey key);
+  std::string path_for(RequestKey key) const;
+
+ private:
+  std::string dir_;
+  mutable std::mutex mutex_;
+  std::set<RequestKey> index_;
+};
+
+}  // namespace sfg::service

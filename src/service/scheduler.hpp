@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// Cost-aware admission and pricing for the campaign service (ISSUE 5).
+///
+/// The paper's campaigns were PLANNED: the §5 capacity models priced every
+/// run in core-seconds before it was submitted. The service does the same
+/// with the repo's reproduction of those models (src/perf/capacity.*):
+/// each job's predicted core-seconds gate admission (a per-job ceiling and
+/// a whole-campaign budget), and the same price feeds the queue's
+/// cheapest-completion-first order. After execution the SAME model prices
+/// the steps a job *actually* marched — including the steps a failed
+/// attempt wasted and the steps a checkpoint restart skipped — which is
+/// how the report shows retry-from-checkpoint beating a cold re-run.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "perf/machines.hpp"
+#include "service/job.hpp"
+
+namespace sfg::service {
+
+/// Pricing context: the machine whose sustained per-core rate converts
+/// model flops into core-seconds (capacity.hpp's calibrated §5 rate).
+struct CostModel {
+  const MachineSpec* machine = nullptr;  ///< null = franklin()
+  /// Seconds of one core for one model flop on `machine`.
+  double seconds_per_flop() const;
+};
+
+/// Analytic flops of one time step of `r` across all its ranks (box of
+/// nex^3 elements priced with the SEM kernel profile; fluid elements are
+/// priced at the solid rate — a deliberate upper bound).
+double predict_job_flops_per_step(const JobRequest& r);
+
+/// Admission-time price: core-seconds to march the full request once.
+double predict_core_seconds(const JobRequest& r, const CostModel& model);
+
+/// Replay-style price of `steps_executed` per-rank steps of `r` (the same
+/// per-step flop pricing applied to what actually ran).
+double priced_core_seconds(const JobRequest& r, std::int64_t steps_executed,
+                           const CostModel& model);
+
+/// Admission gates. Defaults admit everything.
+struct AdmissionPolicy {
+  /// Reject any single job predicted above this (core-seconds).
+  double max_job_core_seconds = 1e18;
+  /// Reject once the sum of admitted predictions would exceed this.
+  double max_campaign_core_seconds = 1e18;
+};
+
+/// Why a job was refused (empty optional from Scheduler::admit).
+struct RejectionReason {
+  std::string message;
+};
+
+/// Thread-safe admission controller: validates the request, prices it,
+/// and consumes campaign budget. Pure bookkeeping — queue insertion stays
+/// with the service.
+class Scheduler {
+ public:
+  Scheduler(const AdmissionPolicy& policy, const CostModel& model);
+
+  /// Price and admit `r`. Returns the predicted core-seconds, or nullopt
+  /// with `why` filled when the request is invalid or over budget.
+  std::optional<double> admit(const JobRequest& r, RejectionReason* why);
+
+  /// Budget already committed to admitted jobs (core-seconds).
+  double committed_core_seconds() const;
+
+  const CostModel& cost_model() const { return model_; }
+
+ private:
+  const AdmissionPolicy policy_;
+  const CostModel model_;
+  mutable std::mutex mutex_;
+  double committed_ = 0.0;
+};
+
+}  // namespace sfg::service

@@ -1,0 +1,359 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace sfg::service {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CampaignService::CampaignService(const ServiceConfig& config)
+    : cfg_(config),
+      basis_(4),
+      scheduler_(config.admission, CostModel{config.pricing_machine}),
+      queue_(config.queue_capacity),
+      store_(config.work_dir + "/results"),
+      mesh_cache_(basis_) {
+  SFG_CHECK_MSG(cfg_.num_workers >= 1, "service needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(cfg_.num_workers));
+  for (int w = 0; w < cfg_.num_workers; ++w)
+    workers_.emplace_back([this] { worker_main(); });
+}
+
+CampaignService::~CampaignService() { shutdown(); }
+
+int CampaignService::submit(const JobRequest& request) {
+  const RequestKey key = request_key(request);
+  int id = -1;
+  bool enqueue = false;
+  QueueEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = static_cast<int>(records_.size());
+    JobRecord rec;
+    rec.id = id;
+    rec.request = request;
+    rec.key = key;
+    ++stats_.submitted;
+
+    if (store_.contains(key)) {
+      // Served straight from the content-addressed store.
+      rec.state = JobState::Done;
+      rec.cache_hit = true;
+      ++stats_.completed;
+      ++stats_.cache_hits;
+      registry_.histogram("service.job_wall_seconds", {0.1, 1, 10, 60})
+          .record(0.0);
+      records_.push_back(std::move(rec));
+      return id;
+    }
+    if (auto it = inflight_.find(key); it != inflight_.end()) {
+      // Same physics already queued or running: coalesce onto it.
+      rec.state = JobState::Coalesced;
+      waiters_[key].push_back(id);
+      ++pending_;
+      records_.push_back(std::move(rec));
+      return id;
+    }
+
+    RejectionReason why;
+    const std::optional<double> cost = scheduler_.admit(request, &why);
+    if (!cost.has_value()) {
+      rec.state = JobState::Rejected;
+      rec.error = why.message;
+      ++stats_.rejected;
+      records_.push_back(std::move(rec));
+      return id;
+    }
+    rec.state = JobState::Queued;
+    rec.predicted_core_seconds = *cost;
+    stats_.predicted_core_seconds += *cost;
+    inflight_[key] = id;
+    ++pending_;
+    records_.push_back(std::move(rec));
+
+    entry.job_id = id;
+    entry.priority = request.priority;
+    entry.cost_core_seconds = *cost;
+    enqueue = true;
+  }
+  // Blocking backpressure OUTSIDE the service lock: a full queue stalls
+  // this submitter without stalling workers or other submitters.
+  if (enqueue && !queue_.submit(entry))
+    fail_job(id, key, "service shut down before the job could be queued");
+  return id;
+}
+
+void CampaignService::worker_main() {
+  while (auto entry = queue_.pop()) run_one(*entry);
+}
+
+void CampaignService::run_one(const QueueEntry& entry) {
+  JobRequest request;
+  RequestKey key = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    JobRecord& rec = record_locked(entry.job_id);
+    rec.state = JobState::Running;
+    request = rec.request;
+    key = rec.key;
+  }
+  // Execution-time store check: a reopened store or an earlier identical
+  // campaign may already hold the result.
+  if (store_.contains(key)) {
+    complete_job(entry.job_id, key, /*cache_hit=*/true);
+    return;
+  }
+
+  const std::string scratch =
+      cfg_.work_dir + "/jobs/" + std::to_string(entry.job_id);
+  WallTimer timer;
+  try {
+    ExecutionOutcome out =
+        execute_job(request, mesh_cache_, scratch, cfg_.max_retries);
+    store_.store(key, out.result);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      JobRecord& rec = record_locked(entry.job_id);
+      rec.attempts = out.attempts;
+      rec.resumed_from_step = out.resumed_from_step;
+      rec.steps_executed = out.steps_executed;
+      rec.wall_seconds = timer.seconds();
+      stats_.retries += static_cast<std::uint64_t>(
+          std::max(0, out.attempts - 1));
+      const CostModel& model = scheduler_.cost_model();
+      const double executed =
+          priced_core_seconds(request, out.steps_executed, model);
+      const double clean =
+          priced_core_seconds(request, request.nsteps, model);
+      stats_.priced_core_seconds += executed;
+      stats_.retry_overhead_core_seconds += executed - clean;
+      // What the same fault would have cost without checkpoints: the dead
+      // attempt's steps plus a full cold re-run.
+      if (out.attempts > 1 && !request.fault.empty()) {
+        const std::int64_t cold_steps =
+            request.nsteps +
+            std::min(request.fault.kill_step, request.nsteps);
+        stats_.cold_restart_core_seconds +=
+            priced_core_seconds(request, cold_steps, model);
+      } else {
+        stats_.cold_restart_core_seconds += executed;
+      }
+      registry_.histogram("service.job_wall_seconds", {0.1, 1, 10, 60})
+          .record(rec.wall_seconds);
+    }
+    complete_job(entry.job_id, key, /*cache_hit=*/false);
+  } catch (const std::exception& e) {
+    fail_job(entry.job_id, key, e.what());
+  }
+}
+
+void CampaignService::complete_job(int id, RequestKey key, bool cache_hit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobRecord& rec = record_locked(id);
+  rec.state = JobState::Done;
+  rec.cache_hit = cache_hit;
+  ++stats_.completed;
+  if (cache_hit) ++stats_.cache_hits;
+  SFG_CHECK(pending_ > 0);
+  --pending_;
+  inflight_.erase(key);
+  if (auto it = waiters_.find(key); it != waiters_.end()) {
+    for (int w : it->second) {
+      JobRecord& wrec = record_locked(w);
+      wrec.state = JobState::Done;
+      wrec.cache_hit = true;
+      ++stats_.completed;
+      ++stats_.cache_hits;
+      SFG_CHECK(pending_ > 0);
+      --pending_;
+    }
+    waiters_.erase(it);
+  }
+  all_done_.notify_all();
+}
+
+void CampaignService::fail_job(int id, RequestKey key,
+                               const std::string& error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobRecord& rec = record_locked(id);
+  rec.state = JobState::Failed;
+  rec.error = error;
+  ++stats_.failed;
+  SFG_CHECK(pending_ > 0);
+  --pending_;
+  inflight_.erase(key);
+  if (auto it = waiters_.find(key); it != waiters_.end()) {
+    for (int w : it->second) {
+      JobRecord& wrec = record_locked(w);
+      wrec.state = JobState::Failed;
+      wrec.error = "primary job " + std::to_string(id) + " failed: " + error;
+      ++stats_.failed;
+      SFG_CHECK(pending_ > 0);
+      --pending_;
+    }
+    waiters_.erase(it);
+  }
+  all_done_.notify_all();
+}
+
+void CampaignService::wait_all() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void CampaignService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.close();  // pending entries drain, then workers exit
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+}
+
+JobRecord CampaignService::job(int id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return record_locked(id);
+}
+
+std::vector<JobRecord> CampaignService::jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::optional<JobResult> CampaignService::result(int id) const {
+  RequestKey key = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const JobRecord& rec = record_locked(id);
+    if (rec.state != JobState::Done) return std::nullopt;
+    key = rec.key;
+  }
+  return store_.load(key);
+}
+
+JobRecord& CampaignService::record_locked(int id) {
+  SFG_CHECK_MSG(id >= 0 && id < static_cast<int>(records_.size()),
+                "unknown job id " << id);
+  return records_[static_cast<std::size_t>(id)];
+}
+
+const JobRecord& CampaignService::record_locked(int id) const {
+  SFG_CHECK_MSG(id >= 0 && id < static_cast<int>(records_.size()),
+                "unknown job id " << id);
+  return records_[static_cast<std::size_t>(id)];
+}
+
+CampaignStats CampaignService::stats_locked() const {
+  CampaignStats s = stats_;
+  s.mesh_cache_hits = mesh_cache_.hits();
+  s.mesh_cache_misses = mesh_cache_.misses();
+  s.queue_peak = queue_.peak_size();
+  s.wall_seconds = lifetime_.seconds();
+  return s;
+}
+
+CampaignStats CampaignService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_locked();
+}
+
+const metrics::Registry& CampaignService::registry() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const CampaignStats s = stats_locked();
+  registry_.counter("service.jobs_submitted").inc(
+      s.submitted - registry_.counter("service.jobs_submitted").value());
+  registry_.counter("service.jobs_completed").inc(
+      s.completed - registry_.counter("service.jobs_completed").value());
+  registry_.counter("service.jobs_failed").inc(
+      s.failed - registry_.counter("service.jobs_failed").value());
+  registry_.counter("service.jobs_rejected").inc(
+      s.rejected - registry_.counter("service.jobs_rejected").value());
+  registry_.counter("service.cache_hits").inc(
+      s.cache_hits - registry_.counter("service.cache_hits").value());
+  registry_.counter("service.retries").inc(
+      s.retries - registry_.counter("service.retries").value());
+  registry_.counter("service.mesh_cache_hits").inc(
+      s.mesh_cache_hits -
+      registry_.counter("service.mesh_cache_hits").value());
+  registry_.gauge("service.queue_peak")
+      .set(static_cast<double>(s.queue_peak));
+  registry_.gauge("service.cache_hit_rate").set(s.cache_hit_rate());
+  registry_.gauge("service.jobs_per_minute").set(s.jobs_per_minute());
+  registry_.gauge("service.retry_overhead_core_seconds")
+      .set(s.retry_overhead_core_seconds);
+  return registry_;
+}
+
+void CampaignService::write_json_report(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const CampaignStats s = stats_locked();
+  os << "{\n  \"campaign\": {\n";
+  os << "    \"jobs_submitted\": " << s.submitted << ",\n";
+  os << "    \"jobs_completed\": " << s.completed << ",\n";
+  os << "    \"jobs_failed\": " << s.failed << ",\n";
+  os << "    \"jobs_rejected\": " << s.rejected << ",\n";
+  os << "    \"cache_hits\": " << s.cache_hits << ",\n";
+  os << "    \"cache_hit_rate\": " << s.cache_hit_rate() << ",\n";
+  os << "    \"retries\": " << s.retries << ",\n";
+  os << "    \"mesh_cache_hits\": " << s.mesh_cache_hits << ",\n";
+  os << "    \"mesh_cache_misses\": " << s.mesh_cache_misses << ",\n";
+  os << "    \"queue_peak\": " << s.queue_peak << ",\n";
+  os << "    \"predicted_core_seconds\": " << s.predicted_core_seconds
+     << ",\n";
+  os << "    \"priced_core_seconds\": " << s.priced_core_seconds << ",\n";
+  os << "    \"retry_overhead_core_seconds\": "
+     << s.retry_overhead_core_seconds << ",\n";
+  os << "    \"cold_restart_core_seconds\": "
+     << s.cold_restart_core_seconds << ",\n";
+  os << "    \"wall_seconds\": " << s.wall_seconds << ",\n";
+  os << "    \"jobs_per_minute\": " << s.jobs_per_minute() << "\n";
+  os << "  },\n  \"jobs\": [\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const JobRecord& r = records_[i];
+    os << "    {\"id\": " << r.id << ", \"state\": \""
+       << job_state_name(r.state) << "\", \"priority\": "
+       << r.request.priority << ", \"key\": \""
+       << ResultStore::key_hex(r.key) << "\", \"cache_hit\": "
+       << (r.cache_hit ? "true" : "false") << ", \"attempts\": "
+       << r.attempts << ", \"resumed_from_step\": " << r.resumed_from_step
+       << ", \"steps_executed\": " << r.steps_executed
+       << ", \"predicted_core_seconds\": " << r.predicted_core_seconds
+       << ", \"wall_seconds\": " << r.wall_seconds << ", \"error\": \""
+       << json_escape(r.error) << "\"}"
+       << (i + 1 < records_.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace sfg::service

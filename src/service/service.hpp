@@ -1,0 +1,164 @@
+#pragma once
+
+/// \file service.hpp
+/// CampaignService (ISSUE 5): the front door that turns single simulation
+/// runs into a served workload — the paper's §6 multi-machine campaign as
+/// a long-running process.
+///
+/// Flow of one submission:
+///
+///   submit(request)
+///     ├─ result store already has the content key  → Done (cache hit)
+///     ├─ same key already queued/running           → Coalesced (waits on
+///     │                                              the primary, served
+///     │                                              from the store)
+///     ├─ Scheduler::admit rejects (capacity gate)  → Rejected
+///     └─ else → bounded MPMC queue (blocks on backpressure), picked up
+///        by a worker thread: executes over an smpi::World with periodic
+///        checkpoints, retries aborted attempts from the last consistent
+///        checkpoint set, stores the result content-addressed, completes
+///        the job and every coalesced duplicate.
+///
+/// Metrics go through src/perf/metrics.*: a service-owned Registry holds
+/// the aggregate counters/histograms; per-job figures live on JobRecord;
+/// write_json_report emits the end-of-campaign machine-readable report
+/// (jobs/min, cache hit rate, retry overhead in priced core-seconds).
+
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "perf/metrics.hpp"
+#include "quadrature/gll.hpp"
+#include "service/job.hpp"
+#include "service/queue.hpp"
+#include "service/result_store.hpp"
+#include "service/scheduler.hpp"
+#include "service/worker.hpp"
+
+namespace sfg::service {
+
+struct ServiceConfig {
+  int num_workers = 2;
+  std::size_t queue_capacity = 64;
+  /// Retries per job after the first attempt (fault-aborted attempts
+  /// resume from the last consistent checkpoint set).
+  int max_retries = 2;
+  /// Root directory: results under <work_dir>/results, per-job scratch
+  /// (periodic checkpoints) under <work_dir>/jobs/<id>.
+  std::string work_dir = "campaign_work";
+  AdmissionPolicy admission;
+  /// Pricing machine for admission and the report (null = franklin()).
+  const MachineSpec* pricing_machine = nullptr;
+};
+
+/// Aggregate campaign counters (also exported via the metrics Registry).
+struct CampaignStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;   ///< Done, including cache hits
+  std::uint64_t failed = 0;
+  std::uint64_t cache_hits = 0;  ///< store hits + coalesced duplicates
+  std::uint64_t retries = 0;     ///< extra attempts beyond the first
+  std::uint64_t mesh_cache_hits = 0;
+  std::uint64_t mesh_cache_misses = 0;
+  double predicted_core_seconds = 0.0;  ///< admitted predictions
+  double priced_core_seconds = 0.0;     ///< executed steps, model-priced
+  /// Core-seconds of work re-marched because of faults (executed minus
+  /// the fault-free price of every computed job) — what retry costs.
+  double retry_overhead_core_seconds = 0.0;
+  /// What the same faults would have cost with cold re-runs instead of
+  /// retry-from-checkpoint (model-priced; compare with the line above).
+  double cold_restart_core_seconds = 0.0;
+  double wall_seconds = 0.0;  ///< service lifetime so far
+  std::size_t queue_peak = 0;
+
+  double cache_hit_rate() const {
+    return completed > 0
+               ? static_cast<double>(cache_hits) /
+                     static_cast<double>(completed)
+               : 0.0;
+  }
+  double jobs_per_minute() const {
+    return wall_seconds > 0.0
+               ? 60.0 * static_cast<double>(completed) / wall_seconds
+               : 0.0;
+  }
+};
+
+class CampaignService {
+ public:
+  explicit CampaignService(const ServiceConfig& config);
+  ~CampaignService();  ///< shutdown() if still running
+
+  CampaignService(const CampaignService&) = delete;
+  CampaignService& operator=(const CampaignService&) = delete;
+
+  /// Submit one request. Blocks while the queue is full (backpressure).
+  /// Always returns a job id — rejected submissions get a JobRecord in
+  /// state Rejected with the reason in `error`.
+  int submit(const JobRequest& request);
+
+  /// Block until every submitted job reached a terminal state.
+  void wait_all();
+
+  /// Stop accepting work, drain the queue, join the workers. Idempotent.
+  void shutdown();
+
+  JobRecord job(int id) const;
+  std::vector<JobRecord> jobs() const;
+  /// The job's result (from the content-addressed store); nullopt unless
+  /// the job is Done.
+  std::optional<JobResult> result(int id) const;
+
+  CampaignStats stats() const;
+  const ResultStore& store() const { return store_; }
+
+  /// Snapshot the aggregate counters into the service's metrics Registry
+  /// and return it (service.* counters/gauges + job-seconds histogram).
+  const metrics::Registry& registry();
+
+  /// End-of-campaign machine-readable report: one JSON object with a
+  /// "campaign" aggregate block and a per-job "jobs" array.
+  void write_json_report(std::ostream& os) const;
+
+ private:
+  void worker_main();
+  void run_one(const QueueEntry& entry);
+  /// Mark `id` Done (and serve every coalesced waiter of `key`).
+  void complete_job(int id, RequestKey key, bool cache_hit);
+  void fail_job(int id, RequestKey key, const std::string& error);
+  JobRecord& record_locked(int id);
+  const JobRecord& record_locked(int id) const;
+  CampaignStats stats_locked() const;
+
+  const ServiceConfig cfg_;
+  const GllBasis basis_;
+  Scheduler scheduler_;
+  JobQueue queue_;
+  ResultStore store_;
+  MeshCache mesh_cache_;
+  metrics::Registry registry_;
+  WallTimer lifetime_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable all_done_;
+  std::vector<JobRecord> records_;
+  /// Content key -> primary job id, for requests queued or running.
+  std::map<RequestKey, int> inflight_;
+  /// Content key -> coalesced duplicate job ids waiting on the primary.
+  std::map<RequestKey, std::vector<int>> waiters_;
+  std::uint64_t pending_ = 0;  ///< jobs not yet terminal
+  CampaignStats stats_;
+  std::vector<std::thread> workers_;
+  bool shut_down_ = false;
+};
+
+}  // namespace sfg::service

@@ -1,0 +1,282 @@
+#include "service/worker.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "runtime/exchanger.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/smpi.hpp"
+#include "solver/simulation.hpp"
+
+namespace sfg::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+MaterialSample rock_sample() {
+  MaterialSample s;
+  s.rho = 2500.0;
+  s.vp = 3000.0;
+  s.vs = 1800.0;
+  s.q_mu = 80.0;
+  return s;
+}
+
+MaterialSample water_sample() {
+  MaterialSample s;
+  s.rho = 1000.0;
+  s.vp = 1500.0;
+  s.vs = 0.0;
+  s.q_mu = 0.0;
+  return s;
+}
+
+/// The model axis of the cache key as a material sampler. The fluid band
+/// of FluidLayer sits at z in [extent/4, extent/2), as in the mixed
+/// fluid/solid validation boxes of the test suite.
+MaterialSample sample_model(BoxModel model, double extent, double z) {
+  if (model == BoxModel::FluidLayer && z >= 0.25 * extent &&
+      z < 0.5 * extent)
+    return water_sample();
+  return rock_sample();
+}
+
+CartesianBoxSpec box_spec_for(const JobRequest& r) {
+  CartesianBoxSpec spec;
+  spec.nx = spec.ny = spec.nz = r.nex;
+  spec.lx = spec.ly = spec.lz = r.extent_m;
+  return spec;
+}
+
+std::string slice_key(const JobRequest& r, int rank) {
+  std::ostringstream os;
+  os << "box nex=" << r.nex << " nranks=" << r.nranks << " rank=" << rank
+     << " model=" << static_cast<int>(r.model) << " extent=" << r.extent_m;
+  return os.str();
+}
+
+PointSource point_source_for(const JobRequest& r) {
+  PointSource src;
+  src.x = r.source.x;
+  src.y = r.source.y;
+  src.z = r.source.z;
+  src.force = r.source.force;
+  src.stf = ricker_wavelet(r.source.f0, r.source.t0);
+  return src;
+}
+
+io::SnapshotIdentity rank_identity(const JobRequest& r, int rank) {
+  io::SnapshotIdentity id;
+  id.nex = r.nex;
+  id.nproc = r.nranks;
+  id.nchunks = 1;
+  id.rank = rank;
+  id.nranks = r.nranks;
+  return id;
+}
+
+std::string rank_checkpoint_path(const std::string& scratch_dir, int rank) {
+  return scratch_dir + "/rank" + std::to_string(rank) + ".snap";
+}
+
+/// The step all ranks' periodic checkpoints agree on, or -1 when there is
+/// no complete consistent set (missing file, unreadable file, or ranks
+/// torn down between cadence boundaries with different last steps).
+int consistent_checkpoint_step(const JobRequest& r,
+                               const std::string& scratch_dir) {
+  std::int64_t step = -1;
+  for (int rank = 0; rank < r.nranks; ++rank) {
+    const std::int64_t s = checkpoint_step(
+        rank_checkpoint_path(scratch_dir, rank), rank_identity(r, rank));
+    if (s <= 0) return -1;
+    if (rank == 0)
+      step = s;
+    else if (s != step)
+      return -1;
+  }
+  return static_cast<int>(step);
+}
+
+SimulationConfig config_for(const JobRequest& r,
+                            const std::string& scratch_dir, int rank) {
+  SimulationConfig cfg;
+  cfg.dt = r.dt;
+  if (r.checkpoint_interval_steps > 0) {
+    cfg.checkpoint_interval_steps = r.checkpoint_interval_steps;
+    cfg.checkpoint_path = rank_checkpoint_path(scratch_dir, rank);
+    cfg.checkpoint_identity = rank_identity(r, rank);
+  }
+  return cfg;
+}
+
+}  // namespace
+
+std::shared_ptr<const CachedSlice> MeshCache::get(const JobRequest& r,
+                                                  int rank) {
+  const std::string key = slice_key(r, rank);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = slices_.find(key);
+    if (it != slices_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Build outside the lock: slices are deterministic, so two threads
+  // racing on the same key build identical objects and the loser's copy
+  // is simply dropped.
+  auto slice = std::make_shared<CachedSlice>();
+  const CartesianBoxSpec spec = box_spec_for(r);
+  if (r.nranks == 1) {
+    slice->mesh = build_cartesian_box(spec, basis_);
+  } else {
+    CartesianSlice cs = build_cartesian_slice(spec, basis_, r.nranks, 1, 1,
+                                              rank, 0, 0);
+    slice->mesh = std::move(cs.mesh);
+    slice->boundary_keys = std::move(cs.boundary_keys);
+    slice->boundary_points = std::move(cs.boundary_points);
+  }
+  slice->materials = assign_materials(
+      slice->mesh, [&](double, double, double z) {
+        return sample_model(r.model, r.extent_m, z);
+      });
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = slices_.emplace(key, std::move(slice));
+  if (inserted)
+    ++misses_;
+  else
+    ++hits_;
+  return it->second;
+}
+
+std::uint64_t MeshCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t MeshCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+namespace {
+
+/// One serial attempt (nranks == 1). Returns the collected result.
+JobResult run_serial_attempt(const JobRequest& r, MeshCache& cache,
+                             const std::string& scratch_dir,
+                             int restore_step) {
+  const auto slice = cache.get(r, 0);
+  Simulation sim(slice->mesh, cache.basis(), slice->materials,
+                 config_for(r, scratch_dir, 0));
+  sim.add_source(point_source_for(r));
+  std::vector<int> recv_ids;
+  for (const StationSpec& st : r.stations)
+    recv_ids.push_back(sim.add_receiver(st.x, st.y, st.z));
+  if (restore_step > 0) {
+    sim.restore_checkpoint(rank_checkpoint_path(scratch_dir, 0),
+                           rank_identity(r, 0));
+    SFG_CHECK(sim.step_count() == restore_step);
+  }
+  sim.run(r.nsteps - (restore_step > 0 ? restore_step : 0));
+  JobResult result;
+  for (int id : recv_ids) result.seismograms.push_back(sim.seismogram(id));
+  return result;
+}
+
+/// One parallel attempt over a fresh smpi::World; `plan` (may be null)
+/// is the injected fault schedule. Station slots are written by their
+/// owning ranks only (disjoint indices; run_ranks joins before we read).
+JobResult run_parallel_attempt(const JobRequest& r, MeshCache& cache,
+                               const std::string& scratch_dir,
+                               int restore_step,
+                               const smpi::FaultPlan* plan) {
+  JobResult result;
+  result.seismograms.resize(r.stations.size());
+
+  auto body = [&](smpi::Communicator& comm) {
+    const int rank = comm.rank();
+    const auto slice = cache.get(r, rank);
+    std::vector<smpi::PointCandidate> cands;
+    cands.reserve(slice->boundary_keys.size());
+    for (std::size_t n = 0; n < slice->boundary_keys.size(); ++n)
+      cands.push_back({slice->boundary_keys[n], slice->boundary_points[n]});
+    smpi::Exchanger ex = smpi::Exchanger::build(comm, cands);
+    Simulation sim(slice->mesh, cache.basis(), slice->materials,
+                   config_for(r, scratch_dir, rank), &comm, &ex);
+    sim.add_source_global(point_source_for(r));
+    // (station index, local receiver id) pairs this rank owns.
+    std::vector<std::pair<std::size_t, int>> owned;
+    for (std::size_t s = 0; s < r.stations.size(); ++s) {
+      const StationSpec& st = r.stations[s];
+      const int id = sim.add_receiver_global(st.x, st.y, st.z);
+      if (id >= 0) owned.emplace_back(s, id);
+    }
+    if (restore_step > 0) {
+      sim.restore_checkpoint(rank_checkpoint_path(scratch_dir, rank),
+                             rank_identity(r, rank));
+      SFG_CHECK(sim.step_count() == restore_step);
+    }
+    sim.run(r.nsteps - (restore_step > 0 ? restore_step : 0));
+    for (const auto& [s, id] : owned)
+      result.seismograms[s] = sim.seismogram(id);
+  };
+
+  if (plan != nullptr)
+    smpi::run_ranks_with_faults(r.nranks, *plan, body);
+  else
+    smpi::run_ranks(r.nranks, body);
+  return result;
+}
+
+}  // namespace
+
+ExecutionOutcome execute_job(const JobRequest& r, MeshCache& cache,
+                             const std::string& scratch_dir,
+                             int max_retries) {
+  fs::create_directories(scratch_dir);
+  ExecutionOutcome out;
+  std::string last_error;
+
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    // Retry placement: resume from the last consistent checkpoint set if
+    // one exists; otherwise cold.
+    const int restore_step =
+        attempt == 0 ? -1 : consistent_checkpoint_step(r, scratch_dir);
+    const int start_step = restore_step > 0 ? restore_step : 0;
+
+    // The fault fires on the first attempt only: the model is a failed
+    // node replaced before the retry, not a deterministic repeat crash.
+    smpi::FaultPlan plan;
+    const bool faulted = attempt == 0 && !r.fault.empty();
+    if (faulted) plan.kill_rank(r.fault.kill_rank, r.fault.kill_step);
+
+    try {
+      out.attempts = attempt + 1;
+      JobResult result =
+          r.nranks == 1
+              ? run_serial_attempt(r, cache, scratch_dir, restore_step)
+              : run_parallel_attempt(r, cache, scratch_dir, restore_step,
+                                     faulted ? &plan : nullptr);
+      out.steps_executed += r.nsteps - start_step;
+      out.resumed_from_step = restore_step > 0 ? restore_step : -1;
+      out.result = std::move(result);
+      std::error_code ec;
+      fs::remove_all(scratch_dir, ec);  // best-effort scratch cleanup
+      return out;
+    } catch (const smpi::SimulationAborted& e) {
+      last_error = e.what();
+      // Price the work the dead attempt completed: a planned death at
+      // step K means every rank marched up to ~K steps before the abort
+      // (per-rank lockstep via the per-step halo exchange).
+      if (faulted && r.fault.kill_step > start_step)
+        out.steps_executed +=
+            std::min(r.fault.kill_step, r.nsteps) - start_step;
+    }
+  }
+  throw CheckError("job failed after " + std::to_string(max_retries + 1) +
+                   " attempts; last error: " + last_error);
+}
+
+}  // namespace sfg::service

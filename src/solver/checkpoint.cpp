@@ -102,6 +102,17 @@ void Simulation::write_checkpoint(const std::string& path,
   writer.write(path, identity);
 }
 
+std::int64_t checkpoint_step(const std::string& path,
+                             const io::SnapshotIdentity& identity) {
+  try {
+    const io::SnapshotReader reader =
+        io::SnapshotReader::open(path, identity);
+    return reader.read_value<CheckpointMeta>("meta").step;
+  } catch (const CheckError&) {
+    return -1;  // missing / truncated / corrupted / wrong identity
+  }
+}
+
 void Simulation::restore_checkpoint(const std::string& path,
                                     const io::SnapshotIdentity& identity) {
   const io::SnapshotReader reader = io::SnapshotReader::open(path, identity);

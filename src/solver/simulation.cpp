@@ -928,6 +928,13 @@ void Simulation::step() {
   }
   record_attenuation_time();
   profile_.end_step(t_step.seconds());
+
+  // Periodic checkpoint cadence (ISSUE 5). After the profile close so the
+  // snapshot carries this step's metric counters, and gated on it_ so a
+  // restored run re-checkpoints on the same schedule it was saved under.
+  if (cfg_.checkpoint_interval_steps > 0 &&
+      it_ % cfg_.checkpoint_interval_steps == 0)
+    write_checkpoint(cfg_.checkpoint_path, cfg_.checkpoint_identity);
 }
 
 void Simulation::run(int nsteps) {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -104,7 +105,23 @@ struct SimulationConfig {
   /// histograms, thread busy fractions. Default on (report-only); the
   /// Chrome-trace timeline is opt-in.
   metrics::MetricsConfig metrics;
+
+  /// Periodic checkpointing (ISSUE 5): when > 0, write_checkpoint fires
+  /// after every step whose index is a multiple of this cadence,
+  /// overwriting `checkpoint_path` with `checkpoint_identity` (the
+  /// snapshot write is atomic: tmp file + rename). 0 disables.
+  int checkpoint_interval_steps = 0;
+  std::string checkpoint_path;
+  io::SnapshotIdentity checkpoint_identity;
 };
+
+/// Peek at a checkpoint file without a Simulation: the step index stored
+/// in `path` when it opens cleanly under `identity`, or -1 when the file
+/// is missing, corrupted, truncated, or pinned to a different identity.
+/// Lets a supervisor decide whether a set of per-rank checkpoints is a
+/// consistent restart point before building any rank state.
+std::int64_t checkpoint_step(const std::string& path,
+                             const io::SnapshotIdentity& identity);
 
 /// Recorded three-component seismogram at one station.
 struct Seismogram {

@@ -18,6 +18,7 @@
 #include "mesh/cartesian.hpp"
 #include "model/attenuation.hpp"
 #include "runtime/exchanger.hpp"
+#include "runtime/fault.hpp"
 #include "solver/simulation.hpp"
 
 namespace sfg {
@@ -211,6 +212,127 @@ TEST(Checkpoint, ParallelPerRankRoundTripIsBitIdentical) {
   run(1);
   const Seismogram restarted = run(2);
   expect_bit_identical(uninterrupted, restarted);
+}
+
+// ---- periodic checkpoint cadence (ISSUE 5) ----
+
+TEST(Checkpoint, PeriodicCadenceWritesAndOverwritesAtInterval) {
+  const std::string path = temp_path("ckpt_periodic.snap");
+  std::remove(path.c_str());
+
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(box_spec(), basis);
+  MaterialFields mat = assign_materials(
+      mesh, [](double, double, double) { return rock(); });
+  SimulationConfig cfg;
+  cfg.dt = 1.5e-3;
+  cfg.checkpoint_interval_steps = 10;
+  cfg.checkpoint_path = path;
+  cfg.checkpoint_identity = test_identity();
+  Simulation sim(mesh, basis, mat, cfg);
+  sim.add_source(test_source());
+  sim.add_receiver(700.0, 510.0, 480.0);
+
+  // The peek helper reports -1 for a missing file...
+  EXPECT_EQ(checkpoint_step(path, test_identity()), -1);
+  sim.run(9);  // below the cadence: still nothing on disk
+  EXPECT_EQ(checkpoint_step(path, test_identity()), -1);
+  sim.run(1);  // step 10: first periodic dump
+  EXPECT_EQ(checkpoint_step(path, test_identity()), 10);
+  sim.run(15);  // steps 11..25: dump at 20 overwrites the one at 10
+  EXPECT_EQ(checkpoint_step(path, test_identity()), 20);
+
+  // ...and -1 (not an exception) for an identity mismatch or garbage.
+  io::SnapshotIdentity wrong = test_identity();
+  wrong.nex = 8;
+  EXPECT_EQ(checkpoint_step(path, wrong), -1);
+  const std::string garbage = temp_path("ckpt_peek_garbage.snap");
+  {
+    std::ofstream out(garbage, std::ios::binary | std::ios::trunc);
+    out << "not a snapshot";
+  }
+  EXPECT_EQ(checkpoint_step(garbage, test_identity()), -1);
+}
+
+TEST(Checkpoint, MidRunRankDeathRestartsBitIdentical) {
+  // The ISSUE 5 recovery scenario end to end, at the solver level: a
+  // 2-rank run with a 10-step periodic cadence loses rank 1 at step 25;
+  // every rank's last periodic checkpoint is step 20 (per-step halo
+  // exchange keeps ranks in lockstep, so nobody reached step 30); a new
+  // world restored from that consistent set finishes the run and its
+  // seismograms are bit-identical to a never-faulted run's.
+  const auto spec = box_spec();
+  const int nsteps = 50, interval = 10, kill_step = 25;
+  const double dt = 1.5e-3;
+
+  auto rank_identity = [](int rank) {
+    io::SnapshotIdentity id;
+    id.nex = 4;
+    id.nproc = 2;
+    id.nchunks = 1;
+    id.rank = rank;
+    id.nranks = 2;
+    return id;
+  };
+  auto rank_path = [&](int rank) {
+    return temp_path("ckpt_death_rank" + std::to_string(rank) + ".snap");
+  };
+
+  // mode 0: uninterrupted, no checkpoints; mode 1: periodic cadence +
+  // rank 1 dies at kill_step; mode 2: restore from the consistent set.
+  auto run = [&](int mode) {
+    Seismogram out;
+    auto body = [&](smpi::Communicator& comm) {
+      GllBasis basis(4);
+      const int r = comm.rank();
+      CartesianSlice slice =
+          build_cartesian_slice(spec, basis, 2, 1, 1, r, 0, 0);
+      std::vector<smpi::PointCandidate> cands;
+      for (std::size_t n = 0; n < slice.boundary_keys.size(); ++n)
+        cands.push_back({slice.boundary_keys[n], slice.boundary_points[n]});
+      smpi::Exchanger ex = smpi::Exchanger::build(comm, cands);
+      MaterialFields mat = assign_materials(
+          slice.mesh, [](double, double, double) { return rock(); });
+      SimulationConfig cfg;
+      cfg.dt = dt;
+      if (mode != 0) {
+        cfg.checkpoint_interval_steps = interval;
+        cfg.checkpoint_path = rank_path(r);
+        cfg.checkpoint_identity = rank_identity(r);
+      }
+      Simulation sim(slice.mesh, basis, mat, cfg, &comm, &ex);
+      if (r == 0) sim.add_source(test_source());
+      int rec = -1;
+      if (r == 1) rec = sim.add_receiver(700.0, 510.0, 480.0);
+
+      int start = 0;
+      if (mode == 2) {
+        sim.restore_checkpoint(rank_path(r), rank_identity(r));
+        start = sim.step_count();
+        EXPECT_EQ(start, 20);
+      }
+      sim.run(nsteps - start);
+      if (rec >= 0) out = sim.seismogram(rec);
+    };
+    if (mode == 1) {
+      smpi::FaultPlan plan;
+      plan.kill_rank(1, kill_step);
+      EXPECT_THROW(smpi::run_ranks_with_faults(2, plan, body),
+                   smpi::SimulationAborted);
+    } else {
+      smpi::run_ranks(2, body);
+    }
+    return out;
+  };
+
+  const Seismogram uninterrupted = run(0);
+  run(1);  // the faulted run: dies at step 25, leaves checkpoints at 20
+  for (int r = 0; r < 2; ++r)
+    ASSERT_EQ(checkpoint_step(rank_path(r), rank_identity(r)), 20)
+        << "rank " << r
+        << ": the last periodic set before the death must be consistent";
+  const Seismogram recovered = run(2);
+  expect_bit_identical(uninterrupted, recovered);
 }
 
 // ---- rejection of damaged or mismatched snapshots ----

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 
 #include "common/constants.hpp"
 #include "io/mesh_files.hpp"
@@ -157,6 +158,71 @@ TEST(SeismogramIo, RoundTrip) {
                   seis.displ[i][static_cast<std::size_t>(c)], 1e-8);  // 10-digit ASCII
     }
   }
+}
+
+TEST(SeismogramIo, WriteToUnwritablePrefixFails) {
+  TmpDir tmp;
+  Seismogram seis;
+  seis.time = {0.0, 0.1};
+  seis.displ = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  // Directory component of the prefix does not exist: fopen fails.
+  EXPECT_THROW(write_seismogram(tmp.path + "/missing_dir/STA", seis),
+               CheckError);
+  // A regular file in the directory position makes the prefix unwritable.
+  write_seismogram(tmp.path + "/STA", seis);
+  EXPECT_THROW(
+      write_seismogram(tmp.path + "/STA.X.semd/nested", seis), CheckError);
+}
+
+TEST(SeismogramIo, WriteRejectsMismatchedSampleCounts) {
+  TmpDir tmp;
+  Seismogram seis;
+  seis.time = {0.0, 0.1, 0.2};
+  seis.displ = {{1.0, 2.0, 3.0}};  // fewer displ samples than times
+  EXPECT_THROW(write_seismogram(tmp.path + "/BAD", seis), CheckError);
+}
+
+TEST(SeismogramIo, ReadDetectsTruncatedFile) {
+  TmpDir tmp;
+  const std::string path = tmp.path + "/trunc.X.semd";
+  {
+    std::ofstream os(path);
+    os << "0.000000000e+00 1.000000000e-03\n";
+    os << "1.000000000e-02\n";  // time with no displacement value
+  }
+  EXPECT_THROW(read_seismogram_component(path, 0), CheckError);
+}
+
+TEST(SeismogramIo, ReadDetectsGarbageFile) {
+  TmpDir tmp;
+  const std::string path = tmp.path + "/garbage.X.semd";
+  {
+    std::ofstream os(path);
+    os << "this is not a seismogram\n";
+  }
+  EXPECT_THROW(read_seismogram_component(path, 0), CheckError);
+}
+
+TEST(SeismogramIo, ReadDetectsTrailingJunk) {
+  TmpDir tmp;
+  const std::string path = tmp.path + "/junk.Y.semd";
+  {
+    std::ofstream os(path);
+    os << "0.000000000e+00 1.000000000e-03\n";
+    os << "1.000000000e-02 2.000000000e-03\n";
+    os << "# appended comment\n";  // valid samples, then non-numeric bytes
+  }
+  EXPECT_THROW(read_seismogram_component(path, 1), CheckError);
+}
+
+TEST(SeismogramIo, ReadRejectsEmptyFile) {
+  TmpDir tmp;
+  const std::string path = tmp.path + "/empty.Z.semd";
+  { std::ofstream os(path); }
+  EXPECT_THROW(read_seismogram_component(path, 2), CheckError);
+  EXPECT_THROW(read_seismogram_component(tmp.path + "/absent.semd", 0),
+               CheckError);
+  EXPECT_THROW(read_seismogram_component(path, 3), CheckError);  // bad comp
 }
 
 TEST(DirectoryAccounting, EmptyAndMissingDirs) {

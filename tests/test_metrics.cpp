@@ -387,5 +387,54 @@ TEST(RunReportWriter, PrintsPhasesCommAndThreads) {
   EXPECT_GT(r.thread_busy_seconds[0] + r.thread_busy_seconds[1], 0.0);
 }
 
+TEST(RunReportWriter, FormatsCommBannerAcrossUnitScales) {
+  // Synthetic report exercising every formatter branch: seconds >= 1 s,
+  // byte counts in the B / KiB / MiB / GiB bands, every phase name, and
+  // the nested-phase flag.
+  metrics::RunReport r;
+  r.label = "synthetic";
+  r.rank = 3;
+  r.nranks = 64;
+  r.nex = 256;
+  r.steps = 1000;
+  r.wall_seconds = 125.0;
+  for (int p = 0; p < metrics::kNumPhases; ++p) {
+    r.phase_seconds[static_cast<std::size_t>(p)] = 2.0 + p;
+    r.phase_counts[static_cast<std::size_t>(p)] = 1000;
+  }
+  r.has_comm = true;
+  r.comm.send_seconds = 1.5;
+  r.comm.recv_seconds = 2.5;
+  r.comm.collective_seconds = 0.25;
+  r.comm.bytes_sent = 3ull << 30;      // GiB band
+  r.comm.bytes_received = 5ull << 20;  // MiB band
+  r.comm.send_count = 4000;
+  r.comm.recv_count = 4000;
+  r.comm.collective_count = 10;
+  r.comm.sent_size_hist[0] = 100;   // <= 64 B
+  r.comm.sent_size_hist[5] = 200;   // KiB band bound
+  r.comm.sent_size_hist[metrics::kMsgSizeBuckets - 1] = 7;  // "inf"
+  r.thread_busy_seconds = {100.0, 90.0};
+  r.thread_span_seconds = 110.0;
+
+  std::ostringstream os;
+  metrics::write_report(os, r);
+  const std::string rep = os.str();
+  for (int p = 0; p < metrics::kNumPhases; ++p)
+    EXPECT_NE(rep.find(metrics::phase_name(static_cast<metrics::Phase>(p))),
+              std::string::npos)
+        << "phase " << p << " missing from the report";
+  EXPECT_NE(rep.find("(nested)"), std::string::npos);
+  EXPECT_NE(rep.find("3.00 GiB"), std::string::npos);
+  EXPECT_NE(rep.find("5.00 MiB"), std::string::npos);
+  EXPECT_NE(rep.find("KiB"), std::string::npos);
+  EXPECT_NE(rep.find("inf"), std::string::npos);
+  EXPECT_NE(rep.find("comm fraction"), std::string::npos);
+  EXPECT_NE(rep.find("125.000 s"), std::string::npos);
+  EXPECT_NE(rep.find("thread 0"), std::string::npos);
+  // Unknown phase values print "?", never crash.
+  EXPECT_STREQ(metrics::phase_name(metrics::Phase::Count), "?");
+}
+
 }  // namespace
 }  // namespace sfg

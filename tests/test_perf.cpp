@@ -304,5 +304,75 @@ TEST(Replay, RealSolverTraceHasSmallCommFraction) {
   EXPECT_GT(res.sustained_gflops, 0.5);
 }
 
+TEST(Replay, FaultEventsArePricedAsLocalLostTime) {
+  using smpi::TraceEvent;
+  // One rank: 1 ms of compute, then a fault that burned 5 ms of wait.
+  std::vector<std::vector<TraceEvent>> traces(1);
+  TraceEvent fault;
+  fault.kind = TraceEvent::Kind::Fault;
+  fault.compute_flops = 1000000;  // 1 ms at 1e-9 s/flop
+  fault.mpi_seconds = 5e-3;
+  traces[0].push_back(fault);
+  NetworkModel net{1e-6, 1e9};
+  const ReplayResult res = replay_traces(traces, 1e-9, net);
+  EXPECT_NEAR(res.wall_seconds, 1e-3 + 5e-3, 1e-9);
+  EXPECT_NEAR(res.total_comm_seconds, 5e-3, 1e-9);
+  EXPECT_NEAR(res.total_compute_seconds, 1e-3, 1e-9);
+  EXPECT_EQ(res.total_flops, 1000000u);
+}
+
+TEST(Replay, GatherCostScalesWithRanksTimesBytes) {
+  using smpi::TraceEvent;
+  const int n = 4;
+  std::vector<std::vector<TraceEvent>> traces(static_cast<std::size_t>(n));
+  TraceEvent gather;
+  gather.kind = TraceEvent::Kind::Gather;
+  gather.bytes = 1000000;  // 1 MB per rank
+  for (auto& t : traces) t.push_back(gather);
+  NetworkModel net{1e-6, 1e9};
+  const ReplayResult res = replay_traces(traces, 1e-9, net);
+  // log2(4) * 1 us latency + 4 ranks * 1 ms serialized root inflow.
+  EXPECT_NEAR(res.wall_seconds, 2e-6 + 4e-3, 1e-6);
+}
+
+TEST(Replay, RejectsEmptyTraceSet) {
+  NetworkModel net{1e-6, 1e9};
+  EXPECT_THROW(replay_traces({}, 1e-9, net), CheckError);
+}
+
+TEST(Replay, ReportsDeadlockWhenRecvHasNoSend) {
+  using smpi::TraceEvent;
+  std::vector<std::vector<TraceEvent>> traces(2);
+  TraceEvent recv;
+  recv.kind = TraceEvent::Kind::Recv;
+  recv.peer = 1;
+  traces[0].push_back(recv);  // rank 1 never sends: rank 0 cannot finish
+  NetworkModel net{1e-6, 1e9};
+  try {
+    replay_traces(traces, 1e-9, net);
+    FAIL() << "unmatched recv must be reported";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Machines, LookupByNameCoversCatalogueAndRejectsUnknown) {
+  for (const MachineSpec& m : all_machines())
+    EXPECT_EQ(&machine_by_name(m.name), &machine_by_name(m.name));
+  EXPECT_EQ(machine_by_name("Franklin").name, "Franklin");
+  EXPECT_EQ(machine_by_name("Ranger").name, "Ranger");
+  EXPECT_EQ(machine_by_name("Kraken").name, "Kraken");
+  EXPECT_EQ(machine_by_name("Jaguar").name, "Jaguar");
+  EXPECT_THROW(machine_by_name("BlueGene/L"), CheckError);
+}
+
+TEST(Predictions, RejectsNonPositiveMeshOrDecomposition) {
+  EXPECT_THROW(predict_run(franklin(), 0, 1, 1800.0, false, 0.1, 256),
+               CheckError);
+  EXPECT_THROW(predict_run(franklin(), 256, 0, 1800.0, false, 0.1, 256),
+               CheckError);
+}
+
 }  // namespace
 }  // namespace sfg
