@@ -14,6 +14,8 @@
 // schedule and reports honest (oversubscribed) timings.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -24,21 +26,67 @@ using namespace sfg;
 
 namespace {
 
-/// Per-step wall time of `steps` solver steps with a given thread count
-/// and schedule variant.
+/// Per-step wall time of `steps` solver steps with a given thread count,
+/// schedule variant and kernel variant.
 double time_steps(bench::GlobeSetup& setup, int num_threads,
-                  SolverSchedule schedule, int steps) {
+                  SolverSchedule schedule, int steps,
+                  KernelVariant kernel = KernelVariant::Auto) {
   SimulationConfig cfg;
   cfg.num_threads = num_threads;
   cfg.schedule = schedule;
+  cfg.kernel = kernel;
   Simulation sim = setup.make_simulation(cfg);
   sim.run(2);  // warm up
   return bench::time_best_of(3, [&] { sim.run(steps); }) / steps;
 }
 
+/// --json <path> (scripts/bench.sh): end-to-end per-step wall time of the
+/// Reference vs Batched (Auto) kernels through the full solver — gather,
+/// kernel, scatter, Newmark updates — written as a JSON fragment. Skips
+/// the interactive sweep.
+int run_json_mode(const std::string& path) {
+  bench::GlobeSetup setup(8);
+  const int steps = 6;
+  const double seq_ref = time_steps(setup, 1, SolverSchedule::Sequential,
+                                    steps, KernelVariant::Reference);
+  const double seq_bat = time_steps(setup, 1, SolverSchedule::Sequential,
+                                    steps, KernelVariant::Auto);
+  const double inter_ref = time_steps(setup, 1, SolverSchedule::Interleaved,
+                                      steps, KernelVariant::Reference);
+  const double inter_bat = time_steps(setup, 1, SolverSchedule::Interleaved,
+                                      steps, KernelVariant::Auto);
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"mesh_elements\": %d,\n"
+               "  \"per_step_ms\": {\n"
+               "    \"sequential_reference\": %.6g,\n"
+               "    \"sequential_batched\": %.6g,\n"
+               "    \"interleaved_reference\": %.6g,\n"
+               "    \"interleaved_batched\": %.6g\n"
+               "  },\n"
+               "  \"batched_speedup_sequential\": %.4g,\n"
+               "  \"batched_speedup_interleaved\": %.4g\n"
+               "}\n",
+               setup.globe.mesh.nspec, 1e3 * seq_ref, 1e3 * seq_bat,
+               1e3 * inter_ref, 1e3 * inter_bat, seq_ref / seq_bat,
+               inter_ref / inter_bat);
+  std::fclose(f);
+  std::printf("wrote %s (batched end-to-end speedup: %.3gx sequential, "
+              "%.3gx interleaved)\n",
+              path.c_str(), seq_ref / seq_bat, inter_ref / inter_bat);
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) return run_json_mode(argv[i + 1]);
   bench::banner(
       "Thread-parallel colored time stepping",
       "colored/interleaved element schedules keep seismograms bit-identical "

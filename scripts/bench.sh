@@ -1,25 +1,53 @@
 #!/usr/bin/env bash
-# Service-level benchmark runner (ISSUE 5): builds and runs the campaign
-# throughput bench and captures its machine-readable record.
+# Benchmark runner (ISSUE 5, extended by ISSUE 6): builds and runs the
+# machine-readable benches.
 #
-#   scripts/bench.sh [out.json]
+#   scripts/bench.sh [service_out.json] [kernels_out.json]
 #
-# Writes BENCH_service.json (or the given path) in the repo root: one JSON
-# object with jobs/minute, cache hit rate, retry overhead and the priced
-# checkpoint-recovery saving versus a cold re-run. Human-readable
-# narration streams to stderr while the bench runs.
+# Writes two JSON records in the repo root:
+#  * BENCH_service.json  — campaign throughput (jobs/minute, cache hit
+#    rate, retry overhead, checkpoint-recovery saving),
+#  * BENCH_kernels.json  — per-variant force-kernel elements/s
+#    (bench_sse_kernels) plus end-to-end per-step solver time under the
+#    Reference vs Batched kernels (bench_threaded_solver). HARD GATES:
+#    Batched >= Sse >= Reference elements/s; the script fails when the
+#    bench reports gates_ok=false.
+# Human-readable narration streams to stderr while the benches run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_service.json}"
+KOUT="${2:-BENCH_kernels.json}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> build bench_campaign (build/)" >&2
+echo "==> build bench targets (build/)" >&2
 cmake -B build -S . >/dev/null
-cmake --build build -j "${JOBS}" --target bench_campaign >/dev/null
+cmake --build build -j "${JOBS}" \
+  --target bench_campaign bench_sse_kernels bench_threaded_solver >/dev/null
 
 echo "==> run campaign bench" >&2
 ./build/bench/bench_campaign > "${OUT}"
 
 echo "==> wrote ${OUT}:" >&2
 cat "${OUT}"
+
+echo "==> run force-kernel variant bench" >&2
+./build/bench/bench_sse_kernels --json /tmp/bench_kernels_frag.json >&2
+
+echo "==> run end-to-end solver step bench" >&2
+./build/bench/bench_threaded_solver --json /tmp/bench_solver_frag.json >&2
+
+jq -n \
+  --slurpfile k /tmp/bench_kernels_frag.json \
+  --slurpfile s /tmp/bench_solver_frag.json \
+  '{kernels: $k[0], solver_step: $s[0]}' > "${KOUT}"
+rm -f /tmp/bench_kernels_frag.json /tmp/bench_solver_frag.json
+
+echo "==> wrote ${KOUT}:" >&2
+cat "${KOUT}"
+
+if [[ "$(jq -r '.kernels.gates_ok' "${KOUT}")" != "true" ]]; then
+  echo "FAIL: kernel perf gates violated (need batched >= sse >= reference elements/s)" >&2
+  exit 1
+fi
+echo "==> kernel perf gates passed (batched >= sse >= reference)" >&2

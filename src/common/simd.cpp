@@ -1,0 +1,51 @@
+#include "common/simd.hpp"
+
+namespace sfg::simd {
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar: return "scalar";
+    case Isa::Sse: return "sse";
+    case Isa::Avx2: return "avx2";
+    case Isa::Avx512: return "avx512";
+    case Isa::Neon: return "neon";
+  }
+  return "?";
+}
+
+bool cpu_supports(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar:
+      return true;
+    case Isa::Sse:
+#if defined(__x86_64__) || defined(__i386__)
+      // __builtin_cpu_supports folds in the OS XSAVE state checks.
+      return __builtin_cpu_supports("sse4.1") != 0;
+#else
+      return false;
+#endif
+    case Isa::Avx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Isa::Avx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+    case Isa::Neon:
+#if defined(__ARM_NEON)
+      // NEON is baseline on AArch64; on 32-bit ARM the compile flag
+      // already implies the target guarantees it.
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+}  // namespace sfg::simd

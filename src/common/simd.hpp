@@ -1,0 +1,181 @@
+#pragma once
+
+/// \file simd.hpp
+/// Portable fixed-width float vector layer for the batched force kernels
+/// (ISSUE 6). Each backend is a small struct of static operations over an
+/// opaque register type:
+///
+///   V::width                     lanes per register
+///   V::reg                       the register type
+///   V::load(p) / V::store(p, r)  unaligned contiguous load / store
+///   V::set1(x) / V::zero()       broadcast / all-zero
+///   V::add / V::sub / V::mul     lanewise arithmetic
+///   V::madd(a, b, c)             a * b + c, DELIBERATELY UNFUSED
+///
+/// madd is a separate multiply and add in every backend — never an FMA
+/// instruction — and the translation unit instantiating the batched
+/// kernels is compiled with -ffp-contract=off so the scalar backend cannot
+/// be contracted either. That is what makes the batched kernel's output
+/// BIT-IDENTICAL across scalar/SSE/AVX2/AVX-512 backends (the lane-order
+/// bit-identity contract, see docs/kernels.md). Backends trade a little
+/// peak FLOPS for that property; the kernels are bandwidth-bound (paper
+/// §4.3), so the cost is noise.
+///
+/// Backends compile only where their ISA is available at compile time
+/// (__SSE2__ / __AVX2__ / __AVX512F__ / __ARM_NEON); whether the CPU can
+/// execute them is a separate RUNTIME question answered by cpu_supports().
+/// The kernels layer combines both into the widest usable backend
+/// (best_batched_isa in kernels/force_kernel.hpp).
+
+#if defined(__SSE2__) || defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+#if defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace sfg::simd {
+
+/// Instruction-set tiers, narrowest to widest. Scalar is always available.
+enum class Isa { Scalar, Sse, Avx2, Avx512, Neon };
+
+const char* isa_name(Isa isa);
+
+/// Vector width (float lanes) of an ISA tier.
+constexpr int isa_width(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar: return 4;  // batched scalar packs 4 lanes by default
+    case Isa::Sse: return 4;
+    case Isa::Avx2: return 8;
+    case Isa::Avx512: return 16;
+    case Isa::Neon: return 4;
+  }
+  return 1;
+}
+
+/// Runtime CPU-feature test (cpuid / platform macros). True when the
+/// HARDWARE can execute the tier — independent of whether this binary
+/// compiled a backend for it.
+bool cpu_supports(Isa isa);
+
+/// Scalar reference backend with a compile-time lane count. With
+/// -ffp-contract=off it produces bit-identical results to the SIMD
+/// backends of the same width — the property the batched kernel tests pin.
+template <int W>
+struct ScalarVec {
+  static constexpr int width = W;
+  struct reg {
+    float v[W];
+  };
+  static reg load(const float* p) {
+    reg r;
+    for (int i = 0; i < W; ++i) r.v[i] = p[i];
+    return r;
+  }
+  static void store(float* p, reg r) {
+    for (int i = 0; i < W; ++i) p[i] = r.v[i];
+  }
+  static reg set1(float x) {
+    reg r;
+    for (int i = 0; i < W; ++i) r.v[i] = x;
+    return r;
+  }
+  static reg zero() { return set1(0.0f); }
+  static reg add(reg a, reg b) {
+    reg r;
+    for (int i = 0; i < W; ++i) r.v[i] = a.v[i] + b.v[i];
+    return r;
+  }
+  static reg sub(reg a, reg b) {
+    reg r;
+    for (int i = 0; i < W; ++i) r.v[i] = a.v[i] - b.v[i];
+    return r;
+  }
+  static reg mul(reg a, reg b) {
+    reg r;
+    for (int i = 0; i < W; ++i) r.v[i] = a.v[i] * b.v[i];
+    return r;
+  }
+  static reg div(reg a, reg b) {
+    reg r;
+    for (int i = 0; i < W; ++i) r.v[i] = a.v[i] / b.v[i];
+    return r;
+  }
+  static reg madd(reg a, reg b, reg c) { return add(mul(a, b), c); }
+};
+
+#if defined(__SSE2__)
+struct SseVec {
+  static constexpr int width = 4;
+  using reg = __m128;
+  static reg load(const float* p) { return _mm_loadu_ps(p); }
+  static void store(float* p, reg r) { _mm_storeu_ps(p, r); }
+  static reg set1(float x) { return _mm_set1_ps(x); }
+  static reg zero() { return _mm_setzero_ps(); }
+  static reg add(reg a, reg b) { return _mm_add_ps(a, b); }
+  static reg sub(reg a, reg b) { return _mm_sub_ps(a, b); }
+  static reg mul(reg a, reg b) { return _mm_mul_ps(a, b); }
+  static reg div(reg a, reg b) { return _mm_div_ps(a, b); }
+  static reg madd(reg a, reg b, reg c) {
+    return _mm_add_ps(_mm_mul_ps(a, b), c);  // unfused on purpose
+  }
+};
+#endif
+
+#if defined(__AVX2__)
+struct Avx2Vec {
+  static constexpr int width = 8;
+  using reg = __m256;
+  static reg load(const float* p) { return _mm256_loadu_ps(p); }
+  static void store(float* p, reg r) { _mm256_storeu_ps(p, r); }
+  static reg set1(float x) { return _mm256_set1_ps(x); }
+  static reg zero() { return _mm256_setzero_ps(); }
+  static reg add(reg a, reg b) { return _mm256_add_ps(a, b); }
+  static reg sub(reg a, reg b) { return _mm256_sub_ps(a, b); }
+  static reg mul(reg a, reg b) { return _mm256_mul_ps(a, b); }
+  static reg div(reg a, reg b) { return _mm256_div_ps(a, b); }
+  static reg madd(reg a, reg b, reg c) {
+    return _mm256_add_ps(_mm256_mul_ps(a, b), c);  // unfused on purpose
+  }
+};
+#endif
+
+#if defined(__AVX512F__)
+struct Avx512Vec {
+  static constexpr int width = 16;
+  using reg = __m512;
+  static reg load(const float* p) { return _mm512_loadu_ps(p); }
+  static void store(float* p, reg r) { _mm512_storeu_ps(p, r); }
+  static reg set1(float x) { return _mm512_set1_ps(x); }
+  static reg zero() { return _mm512_setzero_ps(); }
+  static reg add(reg a, reg b) { return _mm512_add_ps(a, b); }
+  static reg sub(reg a, reg b) { return _mm512_sub_ps(a, b); }
+  static reg mul(reg a, reg b) { return _mm512_mul_ps(a, b); }
+  static reg div(reg a, reg b) { return _mm512_div_ps(a, b); }
+  static reg madd(reg a, reg b, reg c) {
+    return _mm512_add_ps(_mm512_mul_ps(a, b), c);  // unfused on purpose
+  }
+};
+#endif
+
+#if defined(__ARM_NEON)
+struct NeonVec {
+  static constexpr int width = 4;
+  using reg = float32x4_t;
+  static reg load(const float* p) { return vld1q_f32(p); }
+  static void store(float* p, reg r) { vst1q_f32(p, r); }
+  static reg set1(float x) { return vdupq_n_f32(x); }
+  static reg zero() { return vdupq_n_f32(0.0f); }
+  static reg add(reg a, reg b) { return vaddq_f32(a, b); }
+  static reg sub(reg a, reg b) { return vsubq_f32(a, b); }
+  static reg mul(reg a, reg b) { return vmulq_f32(a, b); }
+  static reg div(reg a, reg b) { return vdivq_f32(a, b); }
+  static reg madd(reg a, reg b, reg c) {
+    // vmlaq may fuse on some cores; explicit mul + add keeps the
+    // bit-identity contract.
+    return vaddq_f32(vmulq_f32(a, b), c);
+  }
+};
+#endif
+
+}  // namespace sfg::simd

@@ -1,0 +1,578 @@
+/// \file elastic_batched.cpp
+/// The Batched kernel variant (ISSUE 6): B elements packed in SoA
+/// [point][lane] layout, the whole Newmark force kernel (both derivative
+/// stages, pointwise stress incl. attenuation and gravity, and the
+/// acoustic kernel) executed as one vector op per point across lanes.
+/// Vertical vectorization needs no NGLL specialization — unlike the Sse
+/// variant's 4+1 cutplane trick, every ngll works and there is no scalar
+/// 5th-element tail.
+///
+/// THIS TRANSLATION UNIT IS COMPILED WITH -ffp-contract=off (see
+/// src/kernels/CMakeLists.txt). Together with the unfused simd::*::madd
+/// this guarantees every backend (scalar included) performs the exact
+/// same IEEE operation sequence per lane, which is what makes the output
+/// bit-identical across backends and independent of a lane's batch
+/// companions — the lane-order bit-identity contract (docs/kernels.md),
+/// pinned by tests/test_kernels.cpp the same way schedule invariants are.
+/// The TU also gets -mavx512f so the widest x86 backend exists wherever
+/// the toolchain can emit it; runtime dispatch never selects a backend
+/// the CPU cannot execute.
+
+#include "common/check.hpp"
+#include "kernels/force_kernel.hpp"
+
+namespace sfg {
+
+bool batched_backend_compiled(simd::Isa isa) {
+  switch (isa) {
+    case simd::Isa::Scalar:
+      return true;
+    case simd::Isa::Sse:
+#if defined(__SSE2__)
+      return true;
+#else
+      return false;
+#endif
+    case simd::Isa::Avx2:
+#if defined(__AVX2__)
+      return true;
+#else
+      return false;
+#endif
+    case simd::Isa::Avx512:
+#if defined(__AVX512F__)
+      return true;
+#else
+      return false;
+#endif
+    case simd::Isa::Neon:
+#if defined(__ARM_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+simd::Isa best_batched_isa() {
+  // Widest first. NEON and the x86 tiers are mutually exclusive targets,
+  // so the order among them is moot; listing them all keeps this portable.
+  for (simd::Isa isa : {simd::Isa::Avx512, simd::Isa::Avx2, simd::Isa::Sse,
+                        simd::Isa::Neon})
+    if (batched_backend_compiled(isa) && simd::cpu_supports(isa)) return isa;
+  return simd::Isa::Scalar;
+}
+
+namespace {
+
+inline int idx(int ngll, int i, int j, int k) {
+  return (k * ngll + j) * ngll + i;
+}
+
+/// Elastic kernel across V::width SoA lanes. Mirrors elastic_reference /
+/// pointwise_stress_and_second_stage expression by expression; the only
+/// difference is that every scalar became a lane vector.
+template <class V>
+void elastic_batched_impl(int n, const float* h, const float* hw,
+                          const float* w, bool attenuation,
+                          const BatchPointers& bp, BatchWorkspace& ws) {
+  constexpr int W = V::width;
+  using reg = typename V::reg;
+  const int n3 = n * n * n;
+
+  const float* ux = ws.ux.data();
+  const float* uy = ws.uy.data();
+  const float* uz = ws.uz.data();
+  float* t1x = ws.t1x.data();
+  float* t1y = ws.t1y.data();
+  float* t1z = ws.t1z.data();
+  float* t2x = ws.t2x.data();
+  float* t2y = ws.t2y.data();
+  float* t2z = ws.t2z.data();
+  float* t3x = ws.t3x.data();
+  float* t3y = ws.t3y.data();
+  float* t3z = ws.t3z.data();
+
+  // Stage 1: gradient temporaries along the three cutplane directions.
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        reg sx1 = V::zero(), sy1 = V::zero(), sz1 = V::zero();
+        reg sx2 = V::zero(), sy2 = V::zero(), sz2 = V::zero();
+        reg sx3 = V::zero(), sy3 = V::zero(), sz3 = V::zero();
+        for (int l = 0; l < n; ++l) {
+          const reg hil = V::set1(h[i * n + l]);
+          const int p1 = idx(n, l, j, k) * W;
+          sx1 = V::madd(V::load(ux + p1), hil, sx1);
+          sy1 = V::madd(V::load(uy + p1), hil, sy1);
+          sz1 = V::madd(V::load(uz + p1), hil, sz1);
+
+          const reg hjl = V::set1(h[j * n + l]);
+          const int p2 = idx(n, i, l, k) * W;
+          sx2 = V::madd(V::load(ux + p2), hjl, sx2);
+          sy2 = V::madd(V::load(uy + p2), hjl, sy2);
+          sz2 = V::madd(V::load(uz + p2), hjl, sz2);
+
+          const reg hkl = V::set1(h[k * n + l]);
+          const int p3 = idx(n, i, j, l) * W;
+          sx3 = V::madd(V::load(ux + p3), hkl, sx3);
+          sy3 = V::madd(V::load(uy + p3), hkl, sy3);
+          sz3 = V::madd(V::load(uz + p3), hkl, sz3);
+        }
+        const int p = idx(n, i, j, k) * W;
+        V::store(t1x + p, sx1);
+        V::store(t1y + p, sy1);
+        V::store(t1z + p, sz1);
+        V::store(t2x + p, sx2);
+        V::store(t2y + p, sy2);
+        V::store(t2z + p, sz2);
+        V::store(t3x + p, sx3);
+        V::store(t3y + p, sy3);
+        V::store(t3z + p, sz3);
+      }
+    }
+  }
+
+  // Stage 2: pointwise stress (attenuation, gravity) and the "new temp"
+  // arrays, one vector of lanes per point.
+  float* n1x = ws.n1x.data();
+  float* n1y = ws.n1y.data();
+  float* n1z = ws.n1z.data();
+  float* n2x = ws.n2x.data();
+  float* n2y = ws.n2y.data();
+  float* n2z = ws.n2z.data();
+  float* n3x = ws.n3x.data();
+  float* n3y = ws.n3y.data();
+  float* n3z = ws.n3z.data();
+
+  const reg two_thirds = V::set1(2.0f / 3.0f);
+  const reg two = V::set1(2.0f);
+  const reg half = V::set1(0.5f);
+  const reg three = V::set1(3.0f);
+
+  for (int p = 0; p < n3; ++p) {
+    const int q = p * W;
+    const reg xixl = V::load(bp.xix + q);
+    const reg xiyl = V::load(bp.xiy + q);
+    const reg xizl = V::load(bp.xiz + q);
+    const reg etaxl = V::load(bp.etax + q);
+    const reg etayl = V::load(bp.etay + q);
+    const reg etazl = V::load(bp.etaz + q);
+    const reg gxl = V::load(bp.gammax + q);
+    const reg gyl = V::load(bp.gammay + q);
+    const reg gzl = V::load(bp.gammaz + q);
+    const reg jac = V::load(bp.jacobian + q);
+
+    const reg v1x = V::load(t1x + q), v2x = V::load(t2x + q),
+              v3x = V::load(t3x + q);
+    const reg v1y = V::load(t1y + q), v2y = V::load(t2y + q),
+              v3y = V::load(t3y + q);
+    const reg v1z = V::load(t1z + q), v2z = V::load(t2z + q),
+              v3z = V::load(t3z + q);
+
+    const reg duxdx =
+        V::add(V::add(V::mul(xixl, v1x), V::mul(etaxl, v2x)),
+               V::mul(gxl, v3x));
+    const reg duxdy =
+        V::add(V::add(V::mul(xiyl, v1x), V::mul(etayl, v2x)),
+               V::mul(gyl, v3x));
+    const reg duxdz =
+        V::add(V::add(V::mul(xizl, v1x), V::mul(etazl, v2x)),
+               V::mul(gzl, v3x));
+    const reg duydx =
+        V::add(V::add(V::mul(xixl, v1y), V::mul(etaxl, v2y)),
+               V::mul(gxl, v3y));
+    const reg duydy =
+        V::add(V::add(V::mul(xiyl, v1y), V::mul(etayl, v2y)),
+               V::mul(gyl, v3y));
+    const reg duydz =
+        V::add(V::add(V::mul(xizl, v1y), V::mul(etazl, v2y)),
+               V::mul(gzl, v3y));
+    const reg duzdx =
+        V::add(V::add(V::mul(xixl, v1z), V::mul(etaxl, v2z)),
+               V::mul(gxl, v3z));
+    const reg duzdy =
+        V::add(V::add(V::mul(xiyl, v1z), V::mul(etayl, v2z)),
+               V::mul(gyl, v3z));
+    const reg duzdz =
+        V::add(V::add(V::mul(xizl, v1z), V::mul(etazl, v2z)),
+               V::mul(gzl, v3z));
+
+    const reg mul = V::load(bp.muv + q);
+    const reg lambdal =
+        V::sub(V::load(bp.kappav + q), V::mul(two_thirds, mul));
+    const reg trace = V::add(V::add(duxdx, duydy), duzdz);
+
+    reg sxx = V::add(V::mul(lambdal, trace),
+                     V::mul(V::mul(two, mul), duxdx));
+    reg syy = V::add(V::mul(lambdal, trace),
+                     V::mul(V::mul(two, mul), duydy));
+    reg szz = V::add(V::mul(lambdal, trace),
+                     V::mul(V::mul(two, mul), duzdz));
+    reg sxy = V::mul(mul, V::add(duxdy, duydx));
+    reg sxz = V::mul(mul, V::add(duxdz, duzdx));
+    reg syz = V::mul(mul, V::add(duydz, duzdy));
+
+    if (attenuation) {
+      const reg tr3 = V::div(trace, three);
+      V::store(ws.epsdev[0].data() + q, V::sub(duxdx, tr3));
+      V::store(ws.epsdev[1].data() + q, V::sub(duydy, tr3));
+      V::store(ws.epsdev[2].data() + q, V::mul(half, V::add(duxdy, duydx)));
+      V::store(ws.epsdev[3].data() + q, V::mul(half, V::add(duxdz, duzdx)));
+      V::store(ws.epsdev[4].data() + q, V::mul(half, V::add(duydz, duzdy)));
+      if (bp.r_sum[0] != nullptr) {
+        sxx = V::sub(sxx, V::load(bp.r_sum[0] + q));
+        syy = V::sub(syy, V::load(bp.r_sum[1] + q));
+        szz = V::sub(szz, V::load(bp.r_sum[2] + q));
+        sxy = V::sub(sxy, V::load(bp.r_sum[3] + q));
+        sxz = V::sub(sxz, V::load(bp.r_sum[4] + q));
+        syz = V::sub(syz, V::load(bp.r_sum[5] + q));
+      }
+    }
+
+    if (bp.grav_g != nullptr) {
+      // Cowling-approximation gravity body force — same hydrostatic-
+      // prestress form and sign conventions as the reference kernel.
+      const reg g = V::load(bp.grav_g + q);
+      const reg gp = V::load(bp.grav_dgdr + q);
+      const reg rhop = V::load(bp.grav_drhodr + q);
+      const reg rx = V::load(bp.grav_rx + q);
+      const reg ry = V::load(bp.grav_ry + q);
+      const reg rz = V::load(bp.grav_rz + q);
+      const reg invr = V::load(bp.grav_invr + q);
+      const reg rho = V::load(bp.rho + q);
+      const reg sx = V::load(ux + q);
+      const reg sy = V::load(uy + q);
+      const reg sz = V::load(uz + q);
+      const reg sr = V::add(V::add(V::mul(sx, rx), V::mul(sy, ry)),
+                            V::mul(sz, rz));
+      const reg grad_sr_x =
+          V::add(V::add(V::add(V::mul(rx, duxdx), V::mul(ry, duydx)),
+                        V::mul(rz, duzdx)),
+                 V::mul(V::sub(sx, V::mul(sr, rx)), invr));
+      const reg grad_sr_y =
+          V::add(V::add(V::add(V::mul(rx, duxdy), V::mul(ry, duydy)),
+                        V::mul(rz, duzdy)),
+                 V::mul(V::sub(sy, V::mul(sr, ry)), invr));
+      const reg grad_sr_z =
+          V::add(V::add(V::add(V::mul(rx, duxdz), V::mul(ry, duydz)),
+                        V::mul(rz, duzdz)),
+                 V::mul(V::sub(sz, V::mul(sr, rz)), invr));
+      const reg radial =
+          V::sub(V::mul(g, V::add(V::mul(rho, trace), V::mul(rhop, sr))),
+                 V::mul(rho, V::mul(gp, sr)));
+      V::store(ws.gx.data() + q,
+               V::sub(V::mul(radial, rx),
+                      V::mul(rho, V::mul(g, grad_sr_x))));
+      V::store(ws.gy.data() + q,
+               V::sub(V::mul(radial, ry),
+                      V::mul(rho, V::mul(g, grad_sr_y))));
+      V::store(ws.gz.data() + q,
+               V::sub(V::mul(radial, rz),
+                      V::mul(rho, V::mul(g, grad_sr_z))));
+    }
+
+    V::store(n1x + q,
+             V::mul(jac, V::add(V::add(V::mul(sxx, xixl), V::mul(sxy, xiyl)),
+                                V::mul(sxz, xizl))));
+    V::store(n1y + q,
+             V::mul(jac, V::add(V::add(V::mul(sxy, xixl), V::mul(syy, xiyl)),
+                                V::mul(syz, xizl))));
+    V::store(n1z + q,
+             V::mul(jac, V::add(V::add(V::mul(sxz, xixl), V::mul(syz, xiyl)),
+                                V::mul(szz, xizl))));
+    V::store(n2x + q,
+             V::mul(jac,
+                    V::add(V::add(V::mul(sxx, etaxl), V::mul(sxy, etayl)),
+                           V::mul(sxz, etazl))));
+    V::store(n2y + q,
+             V::mul(jac,
+                    V::add(V::add(V::mul(sxy, etaxl), V::mul(syy, etayl)),
+                           V::mul(syz, etazl))));
+    V::store(n2z + q,
+             V::mul(jac,
+                    V::add(V::add(V::mul(sxz, etaxl), V::mul(syz, etayl)),
+                           V::mul(szz, etazl))));
+    V::store(n3x + q,
+             V::mul(jac, V::add(V::add(V::mul(sxx, gxl), V::mul(sxy, gyl)),
+                                V::mul(sxz, gzl))));
+    V::store(n3y + q,
+             V::mul(jac, V::add(V::add(V::mul(sxy, gxl), V::mul(syy, gyl)),
+                                V::mul(syz, gzl))));
+    V::store(n3z + q,
+             V::mul(jac, V::add(V::add(V::mul(sxz, gxl), V::mul(syz, gyl)),
+                                V::mul(szz, gzl))));
+  }
+
+  // Stage 3: transpose derivative application with quadrature weights.
+  float* fx = ws.fx.data();
+  float* fy = ws.fy.data();
+  float* fz = ws.fz.data();
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      const float wjk = w[j] * w[k];
+      for (int i = 0; i < n; ++i) {
+        const reg vwjk = V::set1(wjk);
+        const reg vwik = V::set1(w[i] * w[k]);
+        const reg vwij = V::set1(w[i] * w[j]);
+        reg ax = V::zero(), ay = V::zero(), az = V::zero();
+        reg bx = V::zero(), by = V::zero(), bz = V::zero();
+        reg cx = V::zero(), cy = V::zero(), cz = V::zero();
+        for (int l = 0; l < n; ++l) {
+          const reg hwli = V::set1(hw[l * n + i]);
+          const int p1 = idx(n, l, j, k) * W;
+          ax = V::madd(V::load(n1x + p1), hwli, ax);
+          ay = V::madd(V::load(n1y + p1), hwli, ay);
+          az = V::madd(V::load(n1z + p1), hwli, az);
+
+          const reg hwlj = V::set1(hw[l * n + j]);
+          const int p2 = idx(n, i, l, k) * W;
+          bx = V::madd(V::load(n2x + p2), hwlj, bx);
+          by = V::madd(V::load(n2y + p2), hwlj, by);
+          bz = V::madd(V::load(n2z + p2), hwlj, bz);
+
+          const reg hwlk = V::set1(hw[l * n + k]);
+          const int p3 = idx(n, i, j, l) * W;
+          cx = V::madd(V::load(n3x + p3), hwlk, cx);
+          cy = V::madd(V::load(n3y + p3), hwlk, cy);
+          cz = V::madd(V::load(n3z + p3), hwlk, cz);
+        }
+        const int p = idx(n, i, j, k) * W;
+        V::store(fx + p,
+                 V::sub(V::zero(),
+                        V::add(V::add(V::mul(vwjk, ax), V::mul(vwik, bx)),
+                               V::mul(vwij, cx))));
+        V::store(fy + p,
+                 V::sub(V::zero(),
+                        V::add(V::add(V::mul(vwjk, ay), V::mul(vwik, by)),
+                               V::mul(vwij, cy))));
+        V::store(fz + p,
+                 V::sub(V::zero(),
+                        V::add(V::add(V::mul(vwjk, az), V::mul(vwik, bz)),
+                               V::mul(vwij, cz))));
+      }
+    }
+  }
+}
+
+/// Acoustic kernel across lanes, mirroring ForceKernel::compute_acoustic.
+template <class V>
+void acoustic_batched_impl(int n, const float* h, const float* hw,
+                           const float* w, const BatchPointers& bp,
+                           BatchWorkspace& ws) {
+  constexpr int W = V::width;
+  using reg = typename V::reg;
+  const int n3 = n * n * n;
+
+  const float* chi = ws.chi.data();
+  float* tc1 = ws.tc1.data();
+  float* tc2 = ws.tc2.data();
+  float* tc3 = ws.tc3.data();
+
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        reg s1 = V::zero(), s2 = V::zero(), s3 = V::zero();
+        for (int l = 0; l < n; ++l) {
+          s1 = V::madd(V::load(chi + idx(n, l, j, k) * W),
+                       V::set1(h[i * n + l]), s1);
+          s2 = V::madd(V::load(chi + idx(n, i, l, k) * W),
+                       V::set1(h[j * n + l]), s2);
+          s3 = V::madd(V::load(chi + idx(n, i, j, l) * W),
+                       V::set1(h[k * n + l]), s3);
+        }
+        const int p = idx(n, i, j, k) * W;
+        V::store(tc1 + p, s1);
+        V::store(tc2 + p, s2);
+        V::store(tc3 + p, s3);
+      }
+    }
+  }
+
+  float* nc1 = ws.nc1.data();
+  float* nc2 = ws.nc2.data();
+  float* nc3 = ws.nc3.data();
+  for (int p = 0; p < n3; ++p) {
+    const int q = p * W;
+    const reg c1 = V::load(tc1 + q);
+    const reg c2 = V::load(tc2 + q);
+    const reg c3 = V::load(tc3 + q);
+    const reg xixl = V::load(bp.xix + q);
+    const reg xiyl = V::load(bp.xiy + q);
+    const reg xizl = V::load(bp.xiz + q);
+    const reg etaxl = V::load(bp.etax + q);
+    const reg etayl = V::load(bp.etay + q);
+    const reg etazl = V::load(bp.etaz + q);
+    const reg gxl = V::load(bp.gammax + q);
+    const reg gyl = V::load(bp.gammay + q);
+    const reg gzl = V::load(bp.gammaz + q);
+    const reg dchidx =
+        V::add(V::add(V::mul(xixl, c1), V::mul(etaxl, c2)), V::mul(gxl, c3));
+    const reg dchidy =
+        V::add(V::add(V::mul(xiyl, c1), V::mul(etayl, c2)), V::mul(gyl, c3));
+    const reg dchidz =
+        V::add(V::add(V::mul(xizl, c1), V::mul(etazl, c2)), V::mul(gzl, c3));
+    // u_fluid = (1/rho) grad(chi): the weak form carries jac / rho.
+    const reg fac = V::div(V::load(bp.jacobian + q), V::load(bp.rho + q));
+    V::store(nc1 + q,
+             V::mul(fac, V::add(V::add(V::mul(dchidx, xixl),
+                                       V::mul(dchidy, xiyl)),
+                                V::mul(dchidz, xizl))));
+    V::store(nc2 + q,
+             V::mul(fac, V::add(V::add(V::mul(dchidx, etaxl),
+                                       V::mul(dchidy, etayl)),
+                                V::mul(dchidz, etazl))));
+    V::store(nc3 + q,
+             V::mul(fac, V::add(V::add(V::mul(dchidx, gxl),
+                                       V::mul(dchidy, gyl)),
+                                V::mul(dchidz, gzl))));
+  }
+
+  float* fchi = ws.fchi.data();
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      const float wjk = w[j] * w[k];
+      for (int i = 0; i < n; ++i) {
+        reg a = V::zero(), b = V::zero(), c = V::zero();
+        for (int l = 0; l < n; ++l) {
+          a = V::madd(V::load(nc1 + idx(n, l, j, k) * W),
+                      V::set1(hw[l * n + i]), a);
+          b = V::madd(V::load(nc2 + idx(n, i, l, k) * W),
+                      V::set1(hw[l * n + j]), b);
+          c = V::madd(V::load(nc3 + idx(n, i, j, l) * W),
+                      V::set1(hw[l * n + k]), c);
+        }
+        V::store(fchi + idx(n, i, j, k) * W,
+                 V::sub(V::zero(),
+                        V::add(V::add(V::mul(V::set1(wjk), a),
+                                      V::mul(V::set1(w[i] * w[k]), b)),
+                               V::mul(V::set1(w[i] * w[j]), c))));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void ForceKernel::compute_elastic_batched(const BatchPointers& bp,
+                                          BatchWorkspace& ws) const {
+  SFG_CHECK_MSG(variant_ == KernelVariant::Batched,
+                "compute_elastic_batched requires the Batched variant");
+  SFG_ASSERT(ws.ngll == ngll_ && ws.lanes == lanes_);
+  const float* h = hprime_.data();
+  const float* hw = hprimewgll_.data();
+  const float* w = wgll_.data();
+  switch (isa_) {
+    case simd::Isa::Scalar:
+      switch (lanes_) {
+        case 4:
+          elastic_batched_impl<simd::ScalarVec<4>>(ngll_, h, hw, w,
+                                                   attenuation_, bp, ws);
+          return;
+        case 8:
+          elastic_batched_impl<simd::ScalarVec<8>>(ngll_, h, hw, w,
+                                                   attenuation_, bp, ws);
+          return;
+        case 16:
+          elastic_batched_impl<simd::ScalarVec<16>>(ngll_, h, hw, w,
+                                                    attenuation_, bp, ws);
+          return;
+        default: break;
+      }
+      break;
+    case simd::Isa::Sse:
+#if defined(__SSE2__)
+      elastic_batched_impl<simd::SseVec>(ngll_, h, hw, w, attenuation_, bp,
+                                         ws);
+      return;
+#else
+      break;
+#endif
+    case simd::Isa::Avx2:
+#if defined(__AVX2__)
+      elastic_batched_impl<simd::Avx2Vec>(ngll_, h, hw, w, attenuation_, bp,
+                                          ws);
+      return;
+#else
+      break;
+#endif
+    case simd::Isa::Avx512:
+#if defined(__AVX512F__)
+      elastic_batched_impl<simd::Avx512Vec>(ngll_, h, hw, w, attenuation_,
+                                            bp, ws);
+      return;
+#else
+      break;
+#endif
+    case simd::Isa::Neon:
+#if defined(__ARM_NEON)
+      elastic_batched_impl<simd::NeonVec>(ngll_, h, hw, w, attenuation_, bp,
+                                          ws);
+      return;
+#else
+      break;
+#endif
+  }
+  SFG_CHECK_MSG(false, "no batched elastic backend for isa="
+                           << simd::isa_name(isa_) << " lanes=" << lanes_);
+}
+
+void ForceKernel::compute_acoustic_batched(const BatchPointers& bp,
+                                           BatchWorkspace& ws) const {
+  SFG_CHECK_MSG(variant_ == KernelVariant::Batched,
+                "compute_acoustic_batched requires the Batched variant");
+  SFG_ASSERT(ws.ngll == ngll_ && ws.lanes == lanes_);
+  const float* h = hprime_.data();
+  const float* hw = hprimewgll_.data();
+  const float* w = wgll_.data();
+  switch (isa_) {
+    case simd::Isa::Scalar:
+      switch (lanes_) {
+        case 4:
+          acoustic_batched_impl<simd::ScalarVec<4>>(ngll_, h, hw, w, bp, ws);
+          return;
+        case 8:
+          acoustic_batched_impl<simd::ScalarVec<8>>(ngll_, h, hw, w, bp, ws);
+          return;
+        case 16:
+          acoustic_batched_impl<simd::ScalarVec<16>>(ngll_, h, hw, w, bp,
+                                                     ws);
+          return;
+        default: break;
+      }
+      break;
+    case simd::Isa::Sse:
+#if defined(__SSE2__)
+      acoustic_batched_impl<simd::SseVec>(ngll_, h, hw, w, bp, ws);
+      return;
+#else
+      break;
+#endif
+    case simd::Isa::Avx2:
+#if defined(__AVX2__)
+      acoustic_batched_impl<simd::Avx2Vec>(ngll_, h, hw, w, bp, ws);
+      return;
+#else
+      break;
+#endif
+    case simd::Isa::Avx512:
+#if defined(__AVX512F__)
+      acoustic_batched_impl<simd::Avx512Vec>(ngll_, h, hw, w, bp, ws);
+      return;
+#else
+      break;
+#endif
+    case simd::Isa::Neon:
+#if defined(__ARM_NEON)
+      acoustic_batched_impl<simd::NeonVec>(ngll_, h, hw, w, bp, ws);
+      return;
+#else
+      break;
+#endif
+  }
+  SFG_CHECK_MSG(false, "no batched acoustic backend for isa="
+                           << simd::isa_name(isa_) << " lanes=" << lanes_);
+}
+
+}  // namespace sfg

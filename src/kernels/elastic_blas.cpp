@@ -40,6 +40,17 @@ void ForceKernel::elastic_blas(const ElementPointers& ep,
   const int n = ngll_;
   const int n2 = n * n;
 
+  // The staging buffers are only ever needed by this variant, so
+  // KernelWorkspace no longer allocates them up front; size them on the
+  // first call (n^2 floats each suffice, padded_block_size keeps the
+  // historical 4-wide alignment headroom).
+  const auto scratch = static_cast<std::size_t>(padded_block_size(n));
+  if (ws.scratch_a.size() < scratch) {
+    ws.scratch_a.assign(scratch, 0.0f);
+    ws.scratch_b.assign(scratch, 0.0f);
+    ws.scratch_c.assign(scratch, 0.0f);
+  }
+
   // Column-major operand views:
   //  * hprimeT_[l*n+i] == h(i,l): H as a column-major (i,l) matrix.
   //  * hprime_[i*n+l]  == h(i,l): H^T as a column-major (l,i) matrix.

@@ -1,5 +1,8 @@
 #include "kernels/force_kernel.hpp"
 
+#include <cstring>
+#include <string>
+
 #include "common/check.hpp"
 
 namespace sfg {
@@ -9,6 +12,8 @@ const char* kernel_variant_name(KernelVariant v) {
     case KernelVariant::Reference: return "reference";
     case KernelVariant::BlasLike: return "blas";
     case KernelVariant::Sse: return "sse";
+    case KernelVariant::Batched: return "batched";
+    case KernelVariant::Auto: return "auto";
   }
   return "?";
 }
@@ -25,17 +30,111 @@ KernelWorkspace::KernelWorkspace(int ngll_in)
   gx.assign(n, 0.0f);
   gy.assign(n, 0.0f);
   gz.assign(n, 0.0f);
-  scratch_a.assign(n, 0.0f);
-  scratch_b.assign(n, 0.0f);
-  scratch_c.assign(n, 0.0f);
+  // scratch_a/b/c deliberately stay empty: only the BlasLike variant
+  // needs the cutplane copies, and it sizes them on first use.
+}
+
+BatchWorkspace::BatchWorkspace(int ngll_in, int lanes_in)
+    : ngll(ngll_in),
+      lanes(lanes_in),
+      stride(static_cast<std::size_t>(padded_block_size(ngll_in, lanes_in)) *
+             static_cast<std::size_t>(lanes_in)) {
+  SFG_CHECK_MSG(lanes == 4 || lanes == 8 || lanes == 16,
+                "batch lane count must be 4, 8 or 16, got " << lanes);
+  for (auto* v : {&ux, &uy, &uz, &fx, &fy, &fz, &gx, &gy, &gz, &t1x, &t1y,
+                  &t1z, &t2x, &t2y, &t2z, &t3x, &t3y, &t3z, &n1x, &n1y,
+                  &n1z, &n2x, &n2y, &n2z, &n3x, &n3y, &n3z, &chi, &fchi,
+                  &tc1, &tc2, &tc3, &nc1, &nc2, &nc3})
+    v->assign(stride, 0.0f);
+  for (auto& e : epsdev) e.assign(stride, 0.0f);
+}
+
+KernelChoice resolve_kernel_choice(KernelVariant requested, int ngll,
+                                   const char* override_spec) {
+  KernelChoice c;
+  c.variant = requested;
+  // The override spec (SFG_KERNEL) wins over the requested variant.
+  std::string spec = override_spec != nullptr ? override_spec : "";
+  if (!spec.empty()) {
+    if (spec == "reference") {
+      c.variant = KernelVariant::Reference;
+    } else if (spec == "blas") {
+      c.variant = KernelVariant::BlasLike;
+    } else if (spec == "sse") {
+      c.variant = KernelVariant::Sse;
+    } else if (spec == "auto") {
+      c.variant = KernelVariant::Auto;
+    } else if (spec == "batched") {
+      c.variant = KernelVariant::Batched;
+    } else if (spec.rfind("batched-", 0) == 0) {
+      c.variant = KernelVariant::Batched;
+      const std::string back = spec.substr(8);
+      if (back == "scalar") c.isa = simd::Isa::Scalar;
+      else if (back == "sse") c.isa = simd::Isa::Sse;
+      else if (back == "avx2") c.isa = simd::Isa::Avx2;
+      else if (back == "avx512") c.isa = simd::Isa::Avx512;
+      else if (back == "neon") c.isa = simd::Isa::Neon;
+      else
+        SFG_CHECK_MSG(false, "unknown batched backend '" << back
+                             << "' in kernel spec '" << spec << "'");
+      SFG_CHECK_MSG(batched_backend_compiled(c.isa),
+                    "batched backend '" << back
+                    << "' is not compiled into this binary");
+      SFG_CHECK_MSG(simd::cpu_supports(c.isa),
+                    "this CPU cannot execute the '" << back
+                    << "' batched backend");
+      c.lanes = simd::isa_width(c.isa);
+      return c;
+    } else {
+      SFG_CHECK_MSG(false, "unknown kernel spec '" << spec
+                           << "' (reference|blas|sse|batched|auto|"
+                              "batched-<isa>)");
+    }
+  }
+  if (c.variant == KernelVariant::Auto ||
+      c.variant == KernelVariant::Batched) {
+    c.variant = KernelVariant::Batched;
+    c.isa = best_batched_isa();
+    c.lanes = simd::isa_width(c.isa);
+  }
+  SFG_CHECK_MSG(c.variant != KernelVariant::Sse || ngll == 5,
+                "the SSE kernel is specialized for NGLL = 5 (degree 4), as "
+                "in SPECFEM3D_GLOBE");
+  return c;
 }
 
 ForceKernel::ForceKernel(const GllBasis& basis, KernelVariant variant,
                          bool attenuation)
-    : ngll_(basis.num_points()), variant_(variant), attenuation_(attenuation) {
-  SFG_CHECK_MSG(variant != KernelVariant::Sse || ngll_ == 5,
+    : ForceKernel(basis,
+                  resolve_kernel_choice(variant, basis.num_points()),
+                  attenuation) {}
+
+ForceKernel::ForceKernel(const GllBasis& basis, const KernelChoice& choice,
+                         bool attenuation)
+    : ngll_(basis.num_points()),
+      variant_(choice.variant),
+      attenuation_(attenuation) {
+  SFG_CHECK_MSG(variant_ != KernelVariant::Auto,
+                "Auto must be resolved before kernel construction");
+  SFG_CHECK_MSG(variant_ != KernelVariant::Sse || ngll_ == 5,
                 "the SSE kernel is specialized for NGLL = 5 (degree 4), as "
                 "in SPECFEM3D_GLOBE");
+  if (variant_ == KernelVariant::Batched) {
+    isa_ = choice.isa;
+    lanes_ = choice.lanes > 0 ? choice.lanes : simd::isa_width(isa_);
+    SFG_CHECK_MSG(batched_backend_compiled(isa_),
+                  "batched backend '" << simd::isa_name(isa_)
+                  << "' is not compiled into this binary");
+    SFG_CHECK_MSG(simd::cpu_supports(isa_),
+                  "this CPU cannot execute the '" << simd::isa_name(isa_)
+                  << "' batched backend");
+    SFG_CHECK_MSG(
+        isa_ != simd::Isa::Scalar
+            ? lanes_ == simd::isa_width(isa_)
+            : (lanes_ == 4 || lanes_ == 8 || lanes_ == 16),
+        "lane count " << lanes_ << " does not match backend "
+                      << simd::isa_name(isa_));
+  }
   const auto n2 = static_cast<std::size_t>(ngll_ * ngll_);
   hprime_.resize(n2);
   hprimeT_.resize(n2);
@@ -61,7 +160,12 @@ void ForceKernel::compute_elastic(const ElementPointers& ep,
     case KernelVariant::Reference: elastic_reference(ep, ws); return;
     case KernelVariant::BlasLike: elastic_blas(ep, ws); return;
     case KernelVariant::Sse: elastic_sse(ep, ws); return;
+    // Single-element API of the batched variant: the reference path (the
+    // batched entry points are compute_*_batched).
+    case KernelVariant::Batched: elastic_reference(ep, ws); return;
+    case KernelVariant::Auto: break;  // resolved at construction
   }
+  SFG_CHECK_MSG(false, "unresolved kernel variant");
 }
 
 namespace {

@@ -167,6 +167,55 @@ void emit_greedy_proximity_order(const HexMesh& mesh,
   out.work.rounds.push_back(std::move(round));
 }
 
+/// Batch-formation post-pass (ISSUE 6): group each work unit's items into
+/// contiguous same-color runs of at most batch_lanes elements, recording
+/// the cuts. Only permutes items WITHIN a unit (stable sort by color), so
+/// invariants 1 and 2 are untouched, and the within-unit order stays
+/// ascending in color — invariant 3 holds batch-wise exactly as it did
+/// element-wise. Same-color lanes share no GLL point by the coloring
+/// property, which is batch invariant B (disjoint lane footprints).
+void form_batches(const std::vector<int>& color_of,
+                  const ScheduleOptions& opts, ElementSchedule& out) {
+  out.batch_lanes = opts.batch_lanes;
+  out.batch_cut.clear();
+  if (opts.batch_lanes <= 1) return;
+  const auto lanes = static_cast<std::size_t>(opts.batch_lanes);
+
+  // Units tile the item list; walk them in item order.
+  std::vector<ThreadPool::WorkUnit> units;
+  for (const auto& round : out.work.rounds)
+    for (const ThreadPool::WorkUnit& u : round.units)
+      if (u.begin < u.end) units.push_back(u);
+  std::sort(units.begin(), units.end(),
+            [](const ThreadPool::WorkUnit& a, const ThreadPool::WorkUnit& b) {
+              return a.begin < b.begin;
+            });
+
+  auto color = [&](std::size_t i) {
+    return color_of[static_cast<std::size_t>(out.items[i])];
+  };
+  out.batch_cut.push_back(0);
+  for (const ThreadPool::WorkUnit& u : units) {
+    std::stable_sort(
+        out.items.begin() + static_cast<std::ptrdiff_t>(u.begin),
+        out.items.begin() + static_cast<std::ptrdiff_t>(u.end),
+        [&](int x, int y) {
+          return color_of[static_cast<std::size_t>(x)] <
+                 color_of[static_cast<std::size_t>(y)];
+        });
+    std::size_t start = u.begin;
+    for (std::size_t i = u.begin; i < u.end; ++i) {
+      const bool full = i + 1 - start == lanes;
+      const bool color_break = i + 1 < u.end && color(i + 1) != color(i) &&
+                               !opts.unsafe_batch_across_colors;
+      if (i + 1 == u.end || full || color_break) {
+        out.batch_cut.push_back(i + 1);
+        start = i + 1;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 ElementSchedule build_element_schedule(const HexMesh& mesh,
@@ -176,9 +225,13 @@ ElementSchedule build_element_schedule(const HexMesh& mesh,
   SFG_CHECK(mesh.numbered());
   SFG_CHECK_MSG(opts.num_slots >= 1, "schedule needs at least one slot");
   SFG_CHECK_MSG(opts.block_size >= 1, "block_size must be positive");
+  SFG_CHECK_MSG(opts.batch_lanes >= 1, "batch_lanes must be positive");
   ElementSchedule out;
   out.num_slots = opts.num_slots;
-  if (elements.empty()) return out;
+  if (elements.empty()) {
+    form_batches(color_of, opts, out);
+    return out;
+  }
   out.items.reserve(elements.size());
 
   std::vector<std::vector<int>> batches = color_batches(elements, color_of);
@@ -200,6 +253,7 @@ ElementSchedule build_element_schedule(const HexMesh& mesh,
   if (!opts.interleave_pairs) {
     for (const auto& b : batches)
       emit_plain_round(b, kSchedRoundPlain, opts.num_slots, out);
+    form_batches(color_of, opts, out);
     return out;
   }
 
@@ -208,6 +262,7 @@ ElementSchedule build_element_schedule(const HexMesh& mesh,
   // — greedy proximity under the per-point ascending-color constraint.
   if (opts.num_slots == 1) {
     emit_greedy_proximity_order(mesh, batches, opts, out);
+    form_batches(color_of, opts, out);
     return out;
   }
 
@@ -334,6 +389,7 @@ ElementSchedule build_element_schedule(const HexMesh& mesh,
     out.residual_elements += static_cast<int>(residual.size());
     emit_plain_round(residual, kSchedRoundResidual, slots, out);
   }
+  form_batches(color_of, opts, out);
   return out;
 }
 
@@ -393,6 +449,75 @@ std::string check_element_schedule(const HexMesh& mesh,
           << ") not covered by any work unit";
       return err.str();
     }
+
+  // Batched schedules: the cuts must tile the item list without crossing
+  // a unit boundary, and every batch's lanes must have pairwise-disjoint
+  // point footprints (invariant B — checked FIRST, it is the property the
+  // SoA scatter relies on) and carry a single color.
+  if (schedule.batch_lanes > 1) {
+    const auto& cut = schedule.batch_cut;
+    if (cut.empty() || cut.front() != 0 || cut.back() != n) {
+      err << "batch cuts do not tile the item list (got " << cut.size()
+          << " cuts over " << n << " items)";
+      return err.str();
+    }
+    std::vector<ThreadPool::WorkUnit> units;
+    for (const auto& round : schedule.work.rounds)
+      for (const ThreadPool::WorkUnit& u : round.units)
+        if (u.begin < u.end) units.push_back(u);
+    std::sort(units.begin(), units.end(),
+              [](const ThreadPool::WorkUnit& a,
+                 const ThreadPool::WorkUnit& b) { return a.begin < b.begin; });
+    const int n3b = mesh.ngll3();
+    std::vector<std::size_t> pt_batch(static_cast<std::size_t>(mesh.nglob),
+                                      kNoAnchor);
+    std::vector<int> pt_elem(static_cast<std::size_t>(mesh.nglob), -1);
+    std::size_t unit_at = 0;
+    for (std::size_t b = 0; b + 1 < cut.size(); ++b) {
+      const std::size_t b0 = cut[b];
+      const std::size_t b1 = cut[b + 1];
+      if (b1 <= b0) {
+        err << "batch " << b << " is empty or cuts are not ascending";
+        return err.str();
+      }
+      if (b1 - b0 > static_cast<std::size_t>(schedule.batch_lanes)) {
+        err << "batch " << b << " holds " << (b1 - b0)
+            << " elements, more than batch_lanes=" << schedule.batch_lanes;
+        return err.str();
+      }
+      while (unit_at < units.size() && units[unit_at].end <= b0) ++unit_at;
+      if (unit_at >= units.size() || b0 < units[unit_at].begin ||
+          b1 > units[unit_at].end) {
+        err << "batch " << b << " [" << b0 << ", " << b1
+            << ") straddles a work-unit boundary";
+        return err.str();
+      }
+      for (std::size_t i = b0; i < b1; ++i) {
+        const int e = schedule.items[i];
+        const int* ib = mesh.ibool.data() + mesh.local_offset(e);
+        for (int p = 0; p < n3b; ++p) {
+          const auto g = static_cast<std::size_t>(ib[p]);
+          if (pt_batch[g] == b && pt_elem[g] != e) {
+            err << "batch " << b << ": lanes (elements " << pt_elem[g]
+                << " and " << e << ") share global point " << g
+                << " — SoA lane footprints must be disjoint";
+            return err.str();
+          }
+          pt_batch[g] = b;
+          pt_elem[g] = e;
+        }
+      }
+      for (std::size_t i = b0 + 1; i < b1; ++i)
+        if (color_of[static_cast<std::size_t>(schedule.items[i])] !=
+            color_of[static_cast<std::size_t>(schedule.items[b0])]) {
+          err << "batch " << b << " mixes colors "
+              << color_of[static_cast<std::size_t>(schedule.items[b0])]
+              << " and "
+              << color_of[static_cast<std::size_t>(schedule.items[i])];
+          return err.str();
+        }
+    }
+  }
 
   // Invariant 2: within a round, concurrently-runnable units have
   // pairwise-disjoint GLL point footprints. Invariant 3: at every global

@@ -103,6 +103,17 @@ struct ScheduleOptions {
   /// property harness uses it to prove the checker catches a broken
   /// builder. Never set in production code.
   bool unsafe_skip_straddler_demotion = false;
+  /// SIMD batch width for the Batched kernel variant (ISSUE 6): when > 1,
+  /// a post-pass groups each work unit's items into contiguous batches of
+  /// at most this many same-color elements (batch invariant B below) and
+  /// records the cuts in ElementSchedule::batch_cut. 1 = no batching.
+  int batch_lanes = 1;
+  /// TEST ONLY: let a batch run across a color boundary inside a unit.
+  /// Point-sharing neighbours always carry different colors, so this
+  /// deliberately VIOLATES batch invariant B (disjoint lane footprints);
+  /// the property harness uses it to prove check_element_schedule rejects
+  /// a straddling batch. Never set in production code.
+  bool unsafe_batch_across_colors = false;
 };
 
 /// A built schedule: `work` units index into the flat `items` element
@@ -113,6 +124,16 @@ struct ElementSchedule {
   ThreadPool::WorkSchedule work;   ///< rounds of per-slot ranges in items
   int num_slots = 0;
   int residual_elements = 0;       ///< demoted to residual rounds
+  /// SIMD element batches (filled when ScheduleOptions::batch_lanes > 1):
+  /// batch b is items[batch_cut[b], batch_cut[b+1]), never larger than
+  /// batch_lanes, never crossing a work-unit boundary, and — batch
+  /// invariant B — all lanes share one color, so by the coloring property
+  /// their GLL point footprints are pairwise disjoint and the lanes can be
+  /// packed/scattered as one SoA block. Invariants 1-3 are untouched: the
+  /// batch pass only permutes items WITHIN a unit (stable color grouping),
+  /// which preserves the per-point ascending-color order.
+  std::vector<std::size_t> batch_cut;
+  int batch_lanes = 1;
   bool empty() const { return items.empty(); }
 };
 
@@ -123,10 +144,13 @@ ElementSchedule build_element_schedule(const HexMesh& mesh,
                                        const std::vector<int>& color_of,
                                        const ScheduleOptions& opts);
 
-/// Verify the three schedule invariants above against the mesh. Returns
-/// an empty string when the schedule is sound, else a description of the
-/// first violation. Used at schedule-build time (SFG_CHECK) and by the
-/// property-test harness.
+/// Verify the three schedule invariants above against the mesh — plus,
+/// for batched schedules (batch_lanes > 1), that the batch cuts tile the
+/// item list inside unit boundaries and that every batch's lanes have
+/// pairwise-disjoint point footprints and a single color (invariant B).
+/// Returns an empty string when the schedule is sound, else a description
+/// of the first violation. Used at schedule-build time (SFG_CHECK) and by
+/// the property-test harness.
 std::string check_element_schedule(const HexMesh& mesh,
                                    const std::vector<int>& elements,
                                    const std::vector<int>& color_of,

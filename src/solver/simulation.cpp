@@ -1,20 +1,33 @@
 #include "solver/simulation.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <ostream>
 
+#include "common/log.hpp"
 #include "mesh/coloring.hpp"
 #include "mesh/numbering.hpp"
 #include "mesh/rcm.hpp"
 
 namespace sfg {
 
-Simulation::ThreadScratch::ThreadScratch(int ngll, bool attenuation)
+Simulation::ThreadScratch::ThreadScratch(int ngll, bool attenuation,
+                                         const ForceKernel& kernel)
     : ws(ngll) {
-  if (attenuation)
+  // Per-variant allocation (ISSUE 6 satellite): SoA batch scratch only
+  // under the Batched kernel, element-wise r_sum only on the
+  // element-at-a-time paths; BlasLike sizes its staging buffers lazily
+  // inside elastic_blas.
+  if (kernel.variant() == KernelVariant::Batched) {
+    bws = std::make_unique<BatchWorkspace>(ngll, kernel.lanes());
+    if (attenuation)
+      for (auto& comp : r_sum_soa) comp.assign(bws->stride, 0.0f);
+  } else if (attenuation) {
     for (auto& comp : r_sum)
       comp.assign(static_cast<std::size_t>(ws.padded), 0.0f);
+  }
 }
 
 Simulation::Simulation(const HexMesh& mesh, const GllBasis& basis,
@@ -27,7 +40,10 @@ Simulation::Simulation(const HexMesh& mesh, const GllBasis& basis,
       cfg_(std::move(config)),
       comm_(comm),
       exchanger_(exchanger),
-      kernel_(basis, cfg_.kernel, cfg_.attenuation),
+      kernel_(basis,
+              resolve_kernel_choice(cfg_.kernel, basis.num_points(),
+                                    std::getenv("SFG_KERNEL")),
+              cfg_.attenuation),
       profile_(cfg_.metrics.enabled, cfg_.metrics.timeline,
                cfg_.metrics.max_timeline_events) {
   SFG_CHECK(mesh_.numbered() && mesh_.has_jacobians());
@@ -36,6 +52,16 @@ Simulation::Simulation(const HexMesh& mesh, const GllBasis& basis,
   SFG_CHECK_MSG((comm_ == nullptr) == (exchanger_ == nullptr),
                 "parallel runs need both a communicator and an exchanger");
   SFG_CHECK_MSG(cfg_.num_threads >= 1, "num_threads must be at least 1");
+
+  // One-line ISA/variant report (ISSUE 6 satellite): what the Auto/env
+  // resolution actually picked for this run.
+  batched_ = kernel_.variant() == KernelVariant::Batched;
+  SFG_INFO("force kernel: variant="
+           << kernel_variant_name(kernel_.variant())
+           << " isa=" << simd::isa_name(kernel_.isa())
+           << " lanes=" << kernel_.lanes()
+           << (std::getenv("SFG_KERNEL") != nullptr ? " (SFG_KERNEL override)"
+                                                    : ""));
 
   for (int e = 0; e < mesh_.nspec; ++e) {
     if (mat_.element_is_fluid[static_cast<std::size_t>(e)])
@@ -55,8 +81,8 @@ Simulation::Simulation(const HexMesh& mesh, const GllBasis& basis,
 
   scratch_.reserve(static_cast<std::size_t>(cfg_.num_threads));
   for (int t = 0; t < cfg_.num_threads; ++t)
-    scratch_.push_back(std::make_unique<ThreadScratch>(basis.num_points(),
-                                                       cfg_.attenuation));
+    scratch_.push_back(std::make_unique<ThreadScratch>(
+        basis.num_points(), cfg_.attenuation, kernel_));
   if (cfg_.num_threads > 1)
     pool_ = std::make_unique<ThreadPool>(cfg_.num_threads);
 
@@ -190,8 +216,23 @@ void Simulation::build_colored_schedule() {
   sched_solid_boundary_ = ElementSchedule{};
   sched_solid_interior_ = ElementSchedule{};
   sched_fluid_ = ElementSchedule{};
+  packed_solid_boundary_ = PackedBatches{};
+  packed_solid_interior_ = PackedBatches{};
+  packed_fluid_ = PackedBatches{};
+  packed_seq_solid_ = PackedBatches{};
+  packed_seq_fluid_ = PackedBatches{};
   num_boundary_elements_ = 0;
-  if (!colored_schedule_) return;
+  if (!colored_schedule_) {
+    if (batched_) {
+      // Sequential + batched: consecutive legacy-order runs. Lanes are
+      // arithmetically independent and scattered one by one in item
+      // order, so the per-point summation order is exactly the legacy
+      // element loop's.
+      packed_seq_solid_ = pack_sequential(solid_elements_);
+      packed_seq_fluid_ = pack_sequential(fluid_elements_);
+    }
+    return;
+  }
 
   // Color in the current processing order so a caller-supplied RCM /
   // multilevel order (§4.2 cache blocking) survives inside each color.
@@ -226,7 +267,10 @@ void Simulation::build_colored_schedule() {
   solid_boundary_batches_ = color_batches(boundary, color_of);
   solid_interior_batches_ = color_batches(interior, color_of);
   fluid_batches_ = color_batches(fluid_elements_, color_of);
-  if (schedule_ != SolverSchedule::Interleaved) return;
+  // The Batched kernel always executes colored variants through element
+  // schedules (plain rounds for Colored), so the SoA batch cuts exist
+  // and are invariant-checked for every variant.
+  if (schedule_ != SolverSchedule::Interleaved && !batched_) return;
 
   // Second-level locality pass (ISSUE 4): order elements within each
   // color by RCM proximity, then interleave color pairs into per-slot
@@ -235,6 +279,8 @@ void Simulation::build_colored_schedule() {
   // builder can never reach the time loop.
   ScheduleOptions opts;
   opts.num_slots = cfg_.num_threads;
+  opts.interleave_pairs = schedule_ == SolverSchedule::Interleaved;
+  opts.batch_lanes = batched_ ? kernel_.lanes() : 1;
   // Proximity reference = the legacy processing order itself (the mesher
   // already stores elements in its §4.2 cache-blocked order, and the
   // element-indexed arrays stream in exactly that order). Re-deriving an
@@ -254,6 +300,91 @@ void Simulation::build_colored_schedule() {
   sched_solid_boundary_ = build_checked(boundary);
   sched_solid_interior_ = build_checked(interior);
   sched_fluid_ = build_checked(fluid_elements_);
+  if (batched_) {
+    packed_solid_boundary_ = pack_batches(sched_solid_boundary_.items,
+                                          sched_solid_boundary_.batch_cut);
+    packed_solid_interior_ = pack_batches(sched_solid_interior_.items,
+                                          sched_solid_interior_.batch_cut);
+    packed_fluid_ = pack_batches(sched_fluid_.items, sched_fluid_.batch_cut);
+  }
+}
+
+Simulation::PackedBatches Simulation::pack_batches(
+    const std::vector<int>& items, const std::vector<std::size_t>& cut) const {
+  PackedBatches pb;
+  pb.lanes = kernel_.lanes();
+  const int lanes = pb.lanes;
+  pb.stride = static_cast<std::size_t>(
+                  padded_block_size(mesh_.ngll, lanes)) *
+              static_cast<std::size_t>(lanes);
+  pb.cut = cut;
+  const std::size_t nb = cut.empty() ? 0 : cut.size() - 1;
+  pb.elems.assign(nb * static_cast<std::size_t>(lanes), -1);
+  pb.counts.assign(nb, 0);
+  const std::size_t total = nb * pb.stride;
+  for (auto* v : {&pb.xix, &pb.xiy, &pb.xiz, &pb.etax, &pb.etay, &pb.etaz,
+                  &pb.gammax, &pb.gammay, &pb.gammaz, &pb.jacobian,
+                  &pb.kappav, &pb.muv, &pb.rho})
+    v->assign(total, 0.0f);
+  if (cfg_.gravity)
+    for (auto* v : {&pb.grav_g, &pb.grav_dgdr, &pb.grav_drhodr, &pb.grav_rx,
+                    &pb.grav_ry, &pb.grav_rz, &pb.grav_invr})
+      v->assign(total, 0.0f);
+
+  const int n3 = mesh_.ngll3();
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::size_t b0 = cut[b];
+    const std::size_t count = cut[b + 1] - b0;
+    SFG_CHECK(count >= 1 && count <= static_cast<std::size_t>(lanes));
+    pb.counts[b] = static_cast<int>(count);
+    for (int l = 0; l < lanes; ++l) {
+      const bool real = static_cast<std::size_t>(l) < count;
+      // Pad lanes replicate lane 0's tables: valid numerics everywhere,
+      // and their results are simply never scattered.
+      const int e = items[b0 + (real ? static_cast<std::size_t>(l) : 0)];
+      if (real) pb.elems[b * static_cast<std::size_t>(lanes) +
+                         static_cast<std::size_t>(l)] = e;
+      const std::size_t off = mesh_.local_offset(e);
+      auto pack = [&](const float* src, aligned_vector<float>& dst) {
+        float* d = dst.data() + b * pb.stride + static_cast<std::size_t>(l);
+        for (int p = 0; p < n3; ++p)
+          d[static_cast<std::size_t>(p) * static_cast<std::size_t>(lanes)] =
+              src[p];
+      };
+      pack(mesh_.xix.data() + off, pb.xix);
+      pack(mesh_.xiy.data() + off, pb.xiy);
+      pack(mesh_.xiz.data() + off, pb.xiz);
+      pack(mesh_.etax.data() + off, pb.etax);
+      pack(mesh_.etay.data() + off, pb.etay);
+      pack(mesh_.etaz.data() + off, pb.etaz);
+      pack(mesh_.gammax.data() + off, pb.gammax);
+      pack(mesh_.gammay.data() + off, pb.gammay);
+      pack(mesh_.gammaz.data() + off, pb.gammaz);
+      pack(mesh_.jacobian.data() + off, pb.jacobian);
+      pack(mat_.kappav.data() + off, pb.kappav);
+      pack(mat_.muv.data() + off, pb.muv);
+      pack(mat_.rho.data() + off, pb.rho);
+      if (cfg_.gravity) {
+        pack(grav_g_.data() + off, pb.grav_g);
+        pack(grav_dgdr_.data() + off, pb.grav_dgdr);
+        pack(grav_drhodr_.data() + off, pb.grav_drhodr);
+        pack(grav_rx_.data() + off, pb.grav_rx);
+        pack(grav_ry_.data() + off, pb.grav_ry);
+        pack(grav_rz_.data() + off, pb.grav_rz);
+        pack(grav_invr_.data() + off, pb.grav_invr);
+      }
+    }
+  }
+  return pb;
+}
+
+Simulation::PackedBatches Simulation::pack_sequential(
+    const std::vector<int>& elems) const {
+  const auto lanes = static_cast<std::size_t>(kernel_.lanes());
+  std::vector<std::size_t> cut{0};
+  while (cut.back() < elems.size())
+    cut.push_back(std::min(elems.size(), cut.back() + lanes));
+  return pack_batches(elems, cut);
 }
 
 int Simulation::num_solid_batches() const {
@@ -543,6 +674,209 @@ void Simulation::process_fluid_element(int ispec, KernelWorkspace& ws) {
     cdd[static_cast<std::size_t>(ib[p])] += fchi[p];
 }
 
+void Simulation::process_fluid_batch(const PackedBatches& pb, std::size_t b,
+                                     ThreadScratch& scratch) {
+  BatchWorkspace& ws = *scratch.bws;
+  const int lanes = pb.lanes;
+  const int count = pb.counts[b];
+  const int n3 = mesh_.ngll3();
+  const auto ln = static_cast<std::size_t>(lanes);
+
+  const float* c = chi_.data();
+  for (int l = 0; l < lanes; ++l) {
+    // Pad lanes replicate lane 0 (never scattered).
+    const int e =
+        pb.elems[b * ln + static_cast<std::size_t>(l < count ? l : 0)];
+    const int* ib = mesh_.ibool.data() + mesh_.local_offset(e);
+    float* wchi = ws.chi.data() + static_cast<std::size_t>(l);
+    for (int p = 0; p < n3; ++p)
+      wchi[static_cast<std::size_t>(p) * ln] =
+          c[static_cast<std::size_t>(ib[p])];
+  }
+
+  BatchPointers bp;
+  const std::size_t boff = b * pb.stride;
+  bp.xix = pb.xix.data() + boff;
+  bp.xiy = pb.xiy.data() + boff;
+  bp.xiz = pb.xiz.data() + boff;
+  bp.etax = pb.etax.data() + boff;
+  bp.etay = pb.etay.data() + boff;
+  bp.etaz = pb.etaz.data() + boff;
+  bp.gammax = pb.gammax.data() + boff;
+  bp.gammay = pb.gammay.data() + boff;
+  bp.gammaz = pb.gammaz.data() + boff;
+  bp.jacobian = pb.jacobian.data() + boff;
+  bp.kappav = pb.kappav.data() + boff;
+  bp.muv = pb.muv.data() + boff;
+  bp.rho = pb.rho.data() + boff;
+
+  kernel_.compute_acoustic_batched(bp, ws);
+
+  float* cdd = chi_ddot_.data();
+  for (int l = 0; l < count; ++l) {
+    const int e = pb.elems[b * ln + static_cast<std::size_t>(l)];
+    const int* ib = mesh_.ibool.data() + mesh_.local_offset(e);
+    const float* fchi = ws.fchi.data() + static_cast<std::size_t>(l);
+    for (int p = 0; p < n3; ++p)
+      cdd[static_cast<std::size_t>(ib[p])] +=
+          fchi[static_cast<std::size_t>(p) * ln];
+  }
+}
+
+void Simulation::process_solid_batch(const PackedBatches& pb, std::size_t b,
+                                     ThreadScratch& scratch) {
+  BatchWorkspace& ws = *scratch.bws;
+  const int lanes = pb.lanes;
+  const int count = pb.counts[b];
+  const int n3 = mesh_.ngll3();
+  const auto ln = static_cast<std::size_t>(lanes);
+
+  // Gather: real lanes from their elements, pad lanes replicate lane 0
+  // (their results are never scattered).
+  const float* d = displ_.data();
+  for (int l = 0; l < lanes; ++l) {
+    const int e = pb.elems[b * ln + static_cast<std::size_t>(l < count ? l : 0)];
+    const int* ib = mesh_.ibool.data() + mesh_.local_offset(e);
+    float* ux = ws.ux.data() + static_cast<std::size_t>(l);
+    float* uy = ws.uy.data() + static_cast<std::size_t>(l);
+    float* uz = ws.uz.data() + static_cast<std::size_t>(l);
+    for (int p = 0; p < n3; ++p) {
+      const std::size_t g = static_cast<std::size_t>(ib[p]) * 3;
+      const std::size_t q = static_cast<std::size_t>(p) * ln;
+      ux[q] = d[g + 0];
+      uy[q] = d[g + 1];
+      uz[q] = d[g + 2];
+    }
+  }
+
+  BatchPointers bp;
+  const std::size_t boff = b * pb.stride;
+  bp.xix = pb.xix.data() + boff;
+  bp.xiy = pb.xiy.data() + boff;
+  bp.xiz = pb.xiz.data() + boff;
+  bp.etax = pb.etax.data() + boff;
+  bp.etay = pb.etay.data() + boff;
+  bp.etaz = pb.etaz.data() + boff;
+  bp.gammax = pb.gammax.data() + boff;
+  bp.gammay = pb.gammay.data() + boff;
+  bp.gammaz = pb.gammaz.data() + boff;
+  bp.jacobian = pb.jacobian.data() + boff;
+  bp.kappav = pb.kappav.data() + boff;
+  bp.muv = pb.muv.data() + boff;
+  bp.rho = pb.rho.data() + boff;
+  if (cfg_.gravity) {
+    bp.grav_g = pb.grav_g.data() + boff;
+    bp.grav_dgdr = pb.grav_dgdr.data() + boff;
+    bp.grav_drhodr = pb.grav_drhodr.data() + boff;
+    bp.grav_rx = pb.grav_rx.data() + boff;
+    bp.grav_ry = pb.grav_ry.data() + boff;
+    bp.grav_rz = pb.grav_rz.data() + boff;
+    bp.grav_invr = pb.grav_invr.data() + boff;
+  }
+
+  if (cfg_.attenuation) {
+    // Strided memory-variable pre-sums, mirroring the element path per
+    // lane (pad lanes stay zero — harmless, never scattered).
+    const std::size_t used = static_cast<std::size_t>(n3) * ln;
+    for (auto& comp : scratch.r_sum_soa)
+      std::fill(comp.data(), comp.data() + used, 0.0f);
+    for (int l = 0; l < count; ++l) {
+      const int e = pb.elems[b * ln + static_cast<std::size_t>(l)];
+      const std::size_t off = mesh_.local_offset(e);
+      float* sxx = scratch.r_sum_soa[0].data() + static_cast<std::size_t>(l);
+      float* syy = scratch.r_sum_soa[1].data() + static_cast<std::size_t>(l);
+      float* szz = scratch.r_sum_soa[2].data() + static_cast<std::size_t>(l);
+      float* sxy = scratch.r_sum_soa[3].data() + static_cast<std::size_t>(l);
+      float* sxz = scratch.r_sum_soa[4].data() + static_cast<std::size_t>(l);
+      float* syz = scratch.r_sum_soa[5].data() + static_cast<std::size_t>(l);
+      for (const auto& rl : r_mem_) {
+        const float* rxx = rl[0].data() + off;
+        const float* ryy = rl[1].data() + off;
+        const float* rxy = rl[2].data() + off;
+        const float* rxz = rl[3].data() + off;
+        const float* ryz = rl[4].data() + off;
+        for (int p = 0; p < n3; ++p) {
+          const std::size_t q = static_cast<std::size_t>(p) * ln;
+          sxx[q] += rxx[p];
+          syy[q] += ryy[p];
+          szz[q] -= rxx[p] + ryy[p];  // deviatoric: R_zz = -(R_xx + R_yy)
+          sxy[q] += rxy[p];
+          sxz[q] += rxz[p];
+          syz[q] += ryz[p];
+        }
+      }
+    }
+    for (int c6 = 0; c6 < 6; ++c6)
+      bp.r_sum[c6] = scratch.r_sum_soa[static_cast<std::size_t>(c6)].data();
+  }
+
+  kernel_.compute_elastic_batched(bp, ws);
+
+  // Scatter real lanes one by one in item order — the same per-point
+  // summation order as the element-at-a-time path.
+  float* a = accel_.data();
+  for (int l = 0; l < count; ++l) {
+    const int e = pb.elems[b * ln + static_cast<std::size_t>(l)];
+    const std::size_t off = mesh_.local_offset(e);
+    const int* ib = mesh_.ibool.data() + off;
+    const float* fx = ws.fx.data() + static_cast<std::size_t>(l);
+    const float* fy = ws.fy.data() + static_cast<std::size_t>(l);
+    const float* fz = ws.fz.data() + static_cast<std::size_t>(l);
+    for (int p = 0; p < n3; ++p) {
+      const std::size_t g = static_cast<std::size_t>(ib[p]) * 3;
+      const std::size_t q = static_cast<std::size_t>(p) * ln;
+      a[g + 0] += fx[q];
+      a[g + 1] += fy[q];
+      a[g + 2] += fz[q];
+    }
+    if (cfg_.gravity) {
+      const float* gx = ws.gx.data() + static_cast<std::size_t>(l);
+      const float* gy = ws.gy.data() + static_cast<std::size_t>(l);
+      const float* gz = ws.gz.data() + static_cast<std::size_t>(l);
+      for (int p = 0; p < n3; ++p) {
+        const auto g = static_cast<std::size_t>(ib[p]);
+        const float w = w3jac_[off + static_cast<std::size_t>(p)];
+        const std::size_t q = static_cast<std::size_t>(p) * ln;
+        a[g * 3 + 0] += w * gx[q];
+        a[g * 3 + 1] += w * gy[q];
+        a[g * 3 + 2] += w * gz[q];
+      }
+    }
+  }
+
+  if (cfg_.attenuation) {
+    auto update = [&] {
+      const SlsSeries& sls = *cfg_.sls;
+      for (int l = 0; l < count; ++l) {
+        const int e = pb.elems[b * ln + static_cast<std::size_t>(l)];
+        const std::size_t off = mesh_.local_offset(e);
+        for (int s = 0; s < sls.num_sls(); ++s) {
+          const auto ea = static_cast<float>(exp_a_[s]);
+          const auto eb = static_cast<float>(
+              one_minus_a_[s] * sls.y[static_cast<std::size_t>(s)]);
+          auto& rl = r_mem_[static_cast<std::size_t>(s)];
+          for (int c5 = 0; c5 < 5; ++c5) {
+            float* r = rl[static_cast<std::size_t>(c5)].data() + off;
+            const float* eps =
+                ws.epsdev[c5].data() + static_cast<std::size_t>(l);
+            const float* fac = att_factor_.data() + off;
+            for (int p = 0; p < n3; ++p)
+              r[p] = ea * r[p] +
+                     eb * fac[p] * eps[static_cast<std::size_t>(p) * ln];
+          }
+        }
+      }
+    };
+    if (profile_.enabled()) {
+      WallTimer t_att;
+      update();
+      scratch.attenuation_seconds += t_att.seconds();
+    } else {
+      update();
+    }
+  }
+}
+
 void Simulation::run_solid_batches(
     const std::vector<std::vector<int>>& batches) {
   for (const std::vector<int>& batch : batches) {
@@ -576,11 +910,24 @@ void Simulation::run_fluid_batches(
 }
 
 void Simulation::run_element_schedule(const ElementSchedule& schedule,
+                                      const PackedBatches* packed,
                                       bool solid) {
   const std::vector<int>& items = schedule.items;
   auto run_range = [&](int t, std::size_t b, std::size_t e) {
     ThreadScratch& ts = *scratch_[static_cast<std::size_t>(t)];
-    if (solid) {
+    if (packed != nullptr) {
+      // Batched kernel: whole batches tile every unit range (checked at
+      // schedule build), so walk the cuts covering [b, e).
+      const auto& cut = packed->cut;
+      auto bi = static_cast<std::size_t>(
+          std::lower_bound(cut.begin(), cut.end(), b) - cut.begin());
+      for (; bi + 1 < cut.size() && cut[bi] < e; ++bi) {
+        if (solid)
+          process_solid_batch(*packed, bi, ts);
+        else
+          process_fluid_batch(*packed, bi, ts);
+      }
+    } else if (solid) {
       for (std::size_t i = b; i < e; ++i)
         process_solid_element(items[i], ts);
     } else {
@@ -635,10 +982,15 @@ void Simulation::compute_fluid_forces() {
     metrics::PhaseScope ps(&profile_, metrics::Phase::FluidForces);
 
     // Element contributions.
-    if (schedule_ == SolverSchedule::Interleaved) {
-      run_element_schedule(sched_fluid_, /*solid=*/false);
+    if (colored_schedule_ &&
+        (schedule_ == SolverSchedule::Interleaved || batched_)) {
+      run_element_schedule(sched_fluid_, batched_ ? &packed_fluid_ : nullptr,
+                           /*solid=*/false);
     } else if (colored_schedule_) {
       run_fluid_batches(fluid_batches_);
+    } else if (batched_) {
+      for (std::size_t b = 0; b < packed_seq_fluid_.num_batches(); ++b)
+        process_fluid_batch(packed_seq_fluid_, b, *scratch_[0]);
     } else {
       for (int e : fluid_elements_)
         process_fluid_element(e, scratch_[0]->ws);
@@ -747,14 +1099,21 @@ void Simulation::compute_solid_forces() {
 
   if (!colored_schedule_) {
     metrics::PhaseScope ps(&profile_, metrics::Phase::SolidForces);
-    for (int e : solid_elements_) process_solid_element(e, *scratch_[0]);
+    if (batched_) {
+      for (std::size_t b = 0; b < packed_seq_solid_.num_batches(); ++b)
+        process_solid_batch(packed_seq_solid_, b, *scratch_[0]);
+    } else {
+      for (int e : solid_elements_) process_solid_element(e, *scratch_[0]);
+    }
   } else {
     // Boundary elements first: once they (and the cheap surface terms
     // below) have contributed, every halo point holds its final local
     // value and the exchange can start.
     metrics::PhaseScope ps(&profile_, metrics::Phase::SolidBoundary);
-    if (schedule_ == SolverSchedule::Interleaved)
-      run_element_schedule(sched_solid_boundary_, /*solid=*/true);
+    if (schedule_ == SolverSchedule::Interleaved || batched_)
+      run_element_schedule(sched_solid_boundary_,
+                           batched_ ? &packed_solid_boundary_ : nullptr,
+                           /*solid=*/true);
     else
       run_solid_batches(solid_boundary_batches_);
   }
@@ -819,8 +1178,10 @@ void Simulation::compute_solid_forces() {
     {
       metrics::PhaseScope ps(&profile_, metrics::Phase::SolidInterior);
       WallTimer t_interior;
-      if (schedule_ == SolverSchedule::Interleaved)
-        run_element_schedule(sched_solid_interior_, /*solid=*/true);
+      if (schedule_ == SolverSchedule::Interleaved || batched_)
+        run_element_schedule(sched_solid_interior_,
+                             batched_ ? &packed_solid_interior_ : nullptr,
+                             /*solid=*/true);
       else
         run_solid_batches(solid_interior_batches_);
       if (exchanger_ != nullptr)

@@ -61,7 +61,13 @@ enum class SolverSchedule {
 
 struct SimulationConfig {
   double dt = 0.0;
-  KernelVariant kernel = KernelVariant::Reference;
+  /// Force-kernel variant (ISSUE 6). Auto resolves to the SIMD-batched
+  /// kernel on the widest ISA this build compiled AND this CPU supports
+  /// (scalar lanes otherwise) — see resolve_kernel_choice. The env var
+  /// SFG_KERNEL=reference|blas|sse|batched|auto|batched-<isa> overrides
+  /// whatever is set here; the resolved choice is SFG_INFO-logged once
+  /// at construction.
+  KernelVariant kernel = KernelVariant::Auto;
 
   /// Anelastic attenuation (paper §6: 1.8x runtime when on).
   bool attenuation = false;
@@ -277,14 +283,39 @@ class Simulation {
 
   /// Per-thread compute state: the kernel workspace plus the attenuation
   /// memory-variable pre-sums, so every thread processes elements without
-  /// sharing scratch.
+  /// sharing scratch. Allocation is per-variant (ISSUE 6 satellite): the
+  /// SoA batch workspace and strided r_sum exist only under the Batched
+  /// kernel, the element-wise r_sum only on the element-at-a-time paths —
+  /// each sized once at construction, never per call.
   struct ThreadScratch {
     KernelWorkspace ws;
     std::array<aligned_vector<float>, 6> r_sum;
+    /// Batched-variant scratch: the [point][lane] workspace and the
+    /// matching strided attenuation pre-sums.
+    std::unique_ptr<BatchWorkspace> bws;
+    std::array<aligned_vector<float>, 6> r_sum_soa;
     /// Wall time this thread spent in update_memory_variables (nested
     /// inside the solid phases; only accumulated when metrics are on).
     double attenuation_seconds = 0.0;
-    ThreadScratch(int ngll, bool attenuation);
+    ThreadScratch(int ngll, bool attenuation, const ForceKernel& kernel);
+  };
+
+  /// SoA-packed static element tables for the Batched kernel (ISSUE 6):
+  /// per batch, up to `lanes` elements' Jacobian/material/gravity tables
+  /// interleaved [point][lane], packed ONCE at schedule build. Pad lanes
+  /// replicate lane 0 so every lane computes valid numerics (rho != 0
+  /// under the acoustic division); only real lanes are scattered.
+  struct PackedBatches {
+    int lanes = 0;
+    std::size_t stride = 0;        ///< floats per field per batch
+    std::vector<std::size_t> cut;  ///< batch b = items[cut[b], cut[b+1])
+    std::vector<int> elems;        ///< [batch * lanes + lane], -1 = pad
+    std::vector<int> counts;       ///< real lanes per batch
+    aligned_vector<float> xix, xiy, xiz, etax, etay, etaz, gammax, gammay,
+        gammaz, jacobian, kappav, muv, rho;
+    aligned_vector<float> grav_g, grav_dgdr, grav_drhodr, grav_rx, grav_ry,
+        grav_rz, grav_invr;
+    std::size_t num_batches() const { return counts.size(); }
   };
 
   void build_mass_matrices();
@@ -297,10 +328,27 @@ class Simulation {
   void process_fluid_element(int ispec, KernelWorkspace& ws);
   void run_solid_batches(const std::vector<std::vector<int>>& batches);
   void run_fluid_batches(const std::vector<std::vector<int>>& batches);
+  /// Pack the static SoA tables for the batches `cut` carves out of
+  /// `items` (the Batched kernel's gather-once data).
+  PackedBatches pack_batches(const std::vector<int>& items,
+                             const std::vector<std::size_t>& cut) const;
+  /// Sequential-schedule packing: consecutive runs of `elems` in legacy
+  /// order, so the per-lane scatter preserves the legacy per-point
+  /// summation order exactly.
+  PackedBatches pack_sequential(const std::vector<int>& elems) const;
+  /// Gather/compute/scatter one SoA batch (and its per-lane attenuation
+  /// memory update) — the batched counterpart of process_solid_element.
+  void process_solid_batch(const PackedBatches& pb, std::size_t b,
+                           ThreadScratch& scratch);
+  void process_fluid_batch(const PackedBatches& pb, std::size_t b,
+                           ThreadScratch& scratch);
   /// Execute a precomputed interleaved schedule (solid or fluid), via the
   /// pool when threaded or inline at one thread; paired/residual round
   /// times feed the SchedulePaired/ScheduleResidual nested phase timers.
-  void run_element_schedule(const ElementSchedule& schedule, bool solid);
+  /// With `packed` non-null the unit ranges are walked batch-wise (whole
+  /// batches tile every unit — checked at schedule build).
+  void run_element_schedule(const ElementSchedule& schedule,
+                            const PackedBatches* packed, bool solid);
   void parallel_over(std::size_t n,
                      const std::function<void(std::size_t, std::size_t)>& fn);
   void gather_element_displ(int ispec, KernelWorkspace& ws);
@@ -342,6 +390,15 @@ class Simulation {
   ElementSchedule sched_solid_boundary_;
   ElementSchedule sched_solid_interior_;
   ElementSchedule sched_fluid_;
+  // Batched-kernel SoA packs (ISSUE 6): one per schedule under colored
+  // variants, plus the legacy-order sequential packs. Empty unless the
+  // resolved kernel variant is Batched.
+  bool batched_ = false;
+  PackedBatches packed_solid_boundary_;
+  PackedBatches packed_solid_interior_;
+  PackedBatches packed_fluid_;
+  PackedBatches packed_seq_solid_;
+  PackedBatches packed_seq_fluid_;
   int num_boundary_elements_ = 0;
   bool global_has_fluid_ = false;  ///< fluid anywhere across all ranks
   double overlap_compute_seconds_ = 0.0;

@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "kernels/force_kernel.hpp"
 #include "mesh/cartesian.hpp"
 
@@ -92,6 +96,19 @@ TEST(PaddedBlock, MatchesPaperFor5) {
   EXPECT_GE(padded_block_size(4), 64 + 4);
   for (int n = 2; n <= 10; ++n)
     EXPECT_GE(padded_block_size(n), n * n * n + 3) << n;
+}
+
+TEST(PaddedBlock, GeneralizedWidths) {
+  EXPECT_EQ(padded_block_size(5, 8), 136);
+  EXPECT_EQ(padded_block_size(5, 16), 144);
+  for (int w : {4, 8, 16})
+    for (int n = 2; n <= 8; ++n) {
+      const int pb = padded_block_size(n, w);
+      EXPECT_EQ(pb % w, 0) << "n=" << n << " w=" << w;
+      EXPECT_GE(pb, n * n * n) << "n=" << n << " w=" << w;
+    }
+  BatchWorkspace bws(5, 8);
+  EXPECT_EQ(bws.stride, static_cast<std::size_t>(136 * 8));
 }
 
 TEST(ForceKernel, RigidTranslationProducesZeroForce) {
@@ -329,6 +346,494 @@ TEST(ForceKernel, AttenuationIncreasesFlopCount) {
   ForceKernel att(b, KernelVariant::Reference, true);
   EXPECT_GT(att.elastic_flops_per_element(),
             plain.elastic_flops_per_element());
+}
+
+// ---- Batched variant (ISSUE 6) -------------------------------------------
+
+// Every batched backend both compiled into this binary and runnable on the
+// host CPU. Scalar is always usable.
+std::vector<simd::Isa> usable_batched_isas() {
+  std::vector<simd::Isa> isas{simd::Isa::Scalar};
+  for (simd::Isa isa : {simd::Isa::Sse, simd::Isa::Avx2, simd::Isa::Avx512,
+                        simd::Isa::Neon})
+    if (batched_backend_compiled(isa) && simd::cpu_supports(isa))
+      isas.push_back(isa);
+  return isas;
+}
+
+// SoA batch inputs over the shared deformed-element geometry with per-lane
+// varied materials (and optional gravity / attenuation tables), so a lane
+// mix-up inside the kernel cannot cancel out. `src[l]` picks which logical
+// input set lane l carries; permuting it exercises the lane-order
+// bit-identity contract.
+struct BatchHarness {
+  ElementFixture fx;
+  int lanes;
+  int n3;
+  std::vector<int> src;
+
+  std::vector<aligned_vector<float>> kappav_l, muv_l, rho_l;
+  std::vector<std::array<aligned_vector<float>, 7>> grav_l;
+  std::vector<std::array<aligned_vector<float>, 6>> rsum_l;
+  std::vector<KernelWorkspace> lane_ws;  // per-lane reference in/outputs
+
+  aligned_vector<float> s_geo[10];
+  aligned_vector<float> s_kappav, s_muv, s_rho;
+  std::array<aligned_vector<float>, 7> s_grav;
+  std::array<aligned_vector<float>, 6> s_rsum;
+
+  BatchHarness(int lanes_in, bool gravity, bool attenuation, int degree = 4,
+               std::vector<int> lane_src = {})
+      : fx(degree, /*deformed=*/true),
+        lanes(lanes_in),
+        src(std::move(lane_src)) {
+    if (src.empty())
+      for (int l = 0; l < lanes; ++l) src.push_back(l);
+    const int ngll = fx.basis.num_points();
+    n3 = ngll * ngll * ngll;
+    const std::size_t total = static_cast<std::size_t>(n3) * lanes;
+
+    const float* geo[10] = {
+        fx.mesh.xix.data(),    fx.mesh.xiy.data(),    fx.mesh.xiz.data(),
+        fx.mesh.etax.data(),   fx.mesh.etay.data(),   fx.mesh.etaz.data(),
+        fx.mesh.gammax.data(), fx.mesh.gammay.data(), fx.mesh.gammaz.data(),
+        fx.mesh.jacobian.data()};
+    for (int t = 0; t < 10; ++t) {
+      s_geo[t].assign(total, 0.0f);
+      for (int p = 0; p < n3; ++p)
+        for (int l = 0; l < lanes; ++l) s_geo[t][soa(p, l)] = geo[t][p];
+    }
+
+    kappav_l.resize(static_cast<std::size_t>(lanes));
+    muv_l.resize(static_cast<std::size_t>(lanes));
+    rho_l.resize(static_cast<std::size_t>(lanes));
+    s_kappav.assign(total, 0.0f);
+    s_muv.assign(total, 0.0f);
+    s_rho.assign(total, 0.0f);
+    for (int l = 0; l < lanes; ++l) {
+      const auto sl = static_cast<std::size_t>(l);
+      const float f = 1.0f + 0.07f * static_cast<float>(src[sl]);
+      kappav_l[sl].assign(static_cast<std::size_t>(n3), 5.0e4f * f);
+      muv_l[sl].assign(static_cast<std::size_t>(n3), 3.0e4f * f);
+      rho_l[sl].assign(static_cast<std::size_t>(n3),
+                       2.0e3f * (1.0f + 0.03f * static_cast<float>(src[sl])));
+      for (int p = 0; p < n3; ++p) {
+        s_kappav[soa(p, l)] = kappav_l[sl][static_cast<std::size_t>(p)];
+        s_muv[soa(p, l)] = muv_l[sl][static_cast<std::size_t>(p)];
+        s_rho[soa(p, l)] = rho_l[sl][static_cast<std::size_t>(p)];
+      }
+    }
+
+    if (gravity) {
+      grav_l.resize(static_cast<std::size_t>(lanes));
+      for (auto& a : s_grav) a.assign(total, 0.0f);
+      for (int l = 0; l < lanes; ++l) {
+        const auto sl = static_cast<std::size_t>(l);
+        const float f = 1.0f + 0.02f * static_cast<float>(src[sl]);
+        for (auto& a : grav_l[sl]) a.assign(static_cast<std::size_t>(n3), 0.0f);
+        for (int p = 0; p < n3; ++p) {
+          const auto sp = static_cast<std::size_t>(p);
+          const float pp = 1.0f + 1e-3f * static_cast<float>(p);
+          grav_l[sl][0][sp] = 9.8f * f * pp;        // g
+          grav_l[sl][1][sp] = 1.5e-6f * f;          // dg/dr
+          grav_l[sl][2][sp] = -1.1e-3f * f;         // drho/dr
+          grav_l[sl][3][sp] = 0.6f;                 // unit radial dir
+          grav_l[sl][4][sp] = 0.64f;
+          grav_l[sl][5][sp] = 0.48f;
+          grav_l[sl][6][sp] = 1.6e-7f * f;          // 1/r
+        }
+        for (int c = 0; c < 7; ++c)
+          for (int p = 0; p < n3; ++p)
+            s_grav[static_cast<std::size_t>(c)][soa(p, l)] =
+                grav_l[sl][static_cast<std::size_t>(c)]
+                      [static_cast<std::size_t>(p)];
+      }
+    }
+
+    if (attenuation) {
+      rsum_l.resize(static_cast<std::size_t>(lanes));
+      for (auto& a : s_rsum) a.assign(total, 0.0f);
+      for (int l = 0; l < lanes; ++l) {
+        const auto sl = static_cast<std::size_t>(l);
+        SplitMix64 rng(7777 + static_cast<std::uint64_t>(src[sl]));
+        for (auto& a : rsum_l[sl]) a.assign(static_cast<std::size_t>(n3), 0.0f);
+        for (int c = 0; c < 6; ++c)
+          for (int p = 0; p < n3; ++p)
+            rsum_l[sl][static_cast<std::size_t>(c)][static_cast<std::size_t>(
+                p)] = static_cast<float>(rng.uniform(-40.0, 40.0));
+        for (int c = 0; c < 6; ++c)
+          for (int p = 0; p < n3; ++p)
+            s_rsum[static_cast<std::size_t>(c)][soa(p, l)] =
+                rsum_l[sl][static_cast<std::size_t>(c)]
+                      [static_cast<std::size_t>(p)];
+      }
+    }
+
+    for (int l = 0; l < lanes; ++l) {
+      lane_ws.emplace_back(ngll);
+      fill_random_displacement(
+          lane_ws.back(), 100 + static_cast<std::uint64_t>(src[static_cast<std::size_t>(l)]));
+      SplitMix64 crng(500 + static_cast<std::uint64_t>(src[static_cast<std::size_t>(l)]));
+      for (int p = 0; p < n3; ++p)
+        lane_ws.back().chi[static_cast<std::size_t>(p)] =
+            static_cast<float>(crng.uniform(-1.0, 1.0));
+    }
+  }
+
+  std::size_t soa(int p, int l) const {
+    return static_cast<std::size_t>(p) * static_cast<std::size_t>(lanes) +
+           static_cast<std::size_t>(l);
+  }
+
+  BatchPointers batch() const {
+    BatchPointers bp;
+    bp.xix = s_geo[0].data();
+    bp.xiy = s_geo[1].data();
+    bp.xiz = s_geo[2].data();
+    bp.etax = s_geo[3].data();
+    bp.etay = s_geo[4].data();
+    bp.etaz = s_geo[5].data();
+    bp.gammax = s_geo[6].data();
+    bp.gammay = s_geo[7].data();
+    bp.gammaz = s_geo[8].data();
+    bp.jacobian = s_geo[9].data();
+    bp.kappav = s_kappav.data();
+    bp.muv = s_muv.data();
+    bp.rho = s_rho.data();
+    if (!grav_l.empty()) {
+      bp.grav_g = s_grav[0].data();
+      bp.grav_dgdr = s_grav[1].data();
+      bp.grav_drhodr = s_grav[2].data();
+      bp.grav_rx = s_grav[3].data();
+      bp.grav_ry = s_grav[4].data();
+      bp.grav_rz = s_grav[5].data();
+      bp.grav_invr = s_grav[6].data();
+    }
+    if (!rsum_l.empty())
+      for (int c = 0; c < 6; ++c)
+        bp.r_sum[c] = s_rsum[static_cast<std::size_t>(c)].data();
+    return bp;
+  }
+
+  ElementPointers lane(int l) const {
+    const auto sl = static_cast<std::size_t>(l);
+    ElementPointers ep = fx.pointers();
+    ep.kappav = kappav_l[sl].data();
+    ep.muv = muv_l[sl].data();
+    ep.rho = rho_l[sl].data();
+    if (!grav_l.empty()) {
+      ep.grav_g = grav_l[sl][0].data();
+      ep.grav_dgdr = grav_l[sl][1].data();
+      ep.grav_drhodr = grav_l[sl][2].data();
+      ep.grav_rx = grav_l[sl][3].data();
+      ep.grav_ry = grav_l[sl][4].data();
+      ep.grav_rz = grav_l[sl][5].data();
+      ep.grav_invr = grav_l[sl][6].data();
+    }
+    if (!rsum_l.empty())
+      for (int c = 0; c < 6; ++c)
+        ep.r_sum[c] = rsum_l[sl][static_cast<std::size_t>(c)].data();
+    return ep;
+  }
+
+  void load_displacement(BatchWorkspace& bws) const {
+    for (int p = 0; p < n3; ++p)
+      for (int l = 0; l < lanes; ++l) {
+        const auto sl = static_cast<std::size_t>(l);
+        const auto sp = static_cast<std::size_t>(p);
+        bws.ux[soa(p, l)] = lane_ws[sl].ux[sp];
+        bws.uy[soa(p, l)] = lane_ws[sl].uy[sp];
+        bws.uz[soa(p, l)] = lane_ws[sl].uz[sp];
+      }
+  }
+
+  void load_potential(BatchWorkspace& bws) const {
+    for (int p = 0; p < n3; ++p)
+      for (int l = 0; l < lanes; ++l)
+        bws.chi[soa(p, l)] =
+            lane_ws[static_cast<std::size_t>(l)].chi[static_cast<std::size_t>(p)];
+  }
+};
+
+// Full cross-variant matrix: every usable backend x attenuation x gravity,
+// each lane checked against the Reference kernel on its own inputs.
+TEST(BatchedKernel, ElasticMatchesReferenceAcrossBackendsAndPhysics) {
+  for (simd::Isa isa : usable_batched_isas())
+    for (bool att : {false, true})
+      for (bool grav : {false, true}) {
+        SCOPED_TRACE(std::string(simd::isa_name(isa)) +
+                     (att ? " +att" : "") + (grav ? " +grav" : ""));
+        const int lanes = simd::isa_width(isa);
+        BatchHarness h(lanes, grav, att);
+        ForceKernel bk(h.fx.basis,
+                       KernelChoice{KernelVariant::Batched, isa, lanes}, att);
+        ForceKernel ref(h.fx.basis, KernelVariant::Reference, att);
+        BatchWorkspace bws(h.fx.basis.num_points(), lanes);
+        h.load_displacement(bws);
+        bk.compute_elastic_batched(h.batch(), bws);
+        for (int l = 0; l < lanes; ++l) {
+          auto& lw = h.lane_ws[static_cast<std::size_t>(l)];
+          ref.compute_elastic(h.lane(l), lw);
+          const double scale = std::max(1.0, max_abs_force(lw));
+          for (int p = 0; p < h.n3; ++p) {
+            const auto sp = static_cast<std::size_t>(p);
+            EXPECT_NEAR(bws.fx[h.soa(p, l)] / scale, lw.fx[sp] / scale, 2e-6)
+                << "l=" << l << " p=" << p;
+            EXPECT_NEAR(bws.fy[h.soa(p, l)] / scale, lw.fy[sp] / scale, 2e-6);
+            EXPECT_NEAR(bws.fz[h.soa(p, l)] / scale, lw.fz[sp] / scale, 2e-6);
+          }
+          if (grav) {
+            double gscale = 1.0;
+            for (int p = 0; p < h.n3; ++p)
+              gscale = std::max(
+                  gscale,
+                  std::abs(static_cast<double>(lw.gx[static_cast<std::size_t>(p)])));
+            for (int p = 0; p < h.n3; ++p) {
+              const auto sp = static_cast<std::size_t>(p);
+              EXPECT_NEAR(bws.gx[h.soa(p, l)] / gscale, lw.gx[sp] / gscale,
+                          2e-6)
+                  << "l=" << l << " p=" << p;
+              EXPECT_NEAR(bws.gy[h.soa(p, l)] / gscale, lw.gy[sp] / gscale,
+                          2e-6);
+              EXPECT_NEAR(bws.gz[h.soa(p, l)] / gscale, lw.gz[sp] / gscale,
+                          2e-6);
+            }
+          }
+          if (att) {
+            double escale = 1.0;
+            for (int c = 0; c < 5; ++c)
+              for (int p = 0; p < h.n3; ++p)
+                escale = std::max(
+                    escale, std::abs(static_cast<double>(
+                                lw.epsdev[c][static_cast<std::size_t>(p)])));
+            for (int c = 0; c < 5; ++c)
+              for (int p = 0; p < h.n3; ++p)
+                EXPECT_NEAR(bws.epsdev[c][h.soa(p, l)] / escale,
+                            lw.epsdev[c][static_cast<std::size_t>(p)] / escale,
+                            2e-6)
+                    << "c=" << c << " l=" << l << " p=" << p;
+          }
+        }
+      }
+}
+
+TEST(BatchedKernel, AcousticMatchesReferencePerLane) {
+  for (simd::Isa isa : usable_batched_isas()) {
+    SCOPED_TRACE(simd::isa_name(isa));
+    const int lanes = simd::isa_width(isa);
+    BatchHarness h(lanes, /*gravity=*/false, /*attenuation=*/false);
+    ForceKernel bk(h.fx.basis,
+                   KernelChoice{KernelVariant::Batched, isa, lanes});
+    ForceKernel ref(h.fx.basis, KernelVariant::Reference);
+    BatchWorkspace bws(h.fx.basis.num_points(), lanes);
+    h.load_potential(bws);
+    bk.compute_acoustic_batched(h.batch(), bws);
+    for (int l = 0; l < lanes; ++l) {
+      auto& lw = h.lane_ws[static_cast<std::size_t>(l)];
+      ref.compute_acoustic(h.lane(l), lw);
+      double scale = 1.0;
+      for (int p = 0; p < h.n3; ++p)
+        scale = std::max(scale, std::abs(static_cast<double>(
+                                    lw.fchi[static_cast<std::size_t>(p)])));
+      for (int p = 0; p < h.n3; ++p)
+        EXPECT_NEAR(bws.fchi[h.soa(p, l)] / scale,
+                    lw.fchi[static_cast<std::size_t>(p)] / scale, 2e-6)
+            << "l=" << l << " p=" << p;
+    }
+  }
+}
+
+// The bit-identity contract, cross-backend half: every SIMD backend must
+// produce EXACTLY the bits of the scalar backend at the same lane count
+// (all backends use unfused multiply-add and the batched TU is compiled
+// with -ffp-contract=off).
+TEST(BatchedKernel, SimdBackendsBitIdenticalToScalar) {
+  for (simd::Isa isa : usable_batched_isas()) {
+    if (isa == simd::Isa::Scalar) continue;
+    SCOPED_TRACE(simd::isa_name(isa));
+    const int lanes = simd::isa_width(isa);
+    BatchHarness h(lanes, /*gravity=*/true, /*attenuation=*/true);
+    ForceKernel simd_k(h.fx.basis,
+                       KernelChoice{KernelVariant::Batched, isa, lanes}, true);
+    ForceKernel scal_k(
+        h.fx.basis, KernelChoice{KernelVariant::Batched, simd::Isa::Scalar, lanes},
+        true);
+    BatchWorkspace wa(h.fx.basis.num_points(), lanes);
+    BatchWorkspace wb(h.fx.basis.num_points(), lanes);
+    h.load_displacement(wa);
+    h.load_displacement(wb);
+    simd_k.compute_elastic_batched(h.batch(), wa);
+    scal_k.compute_elastic_batched(h.batch(), wb);
+    const std::size_t total =
+        static_cast<std::size_t>(h.n3) * static_cast<std::size_t>(lanes);
+    for (std::size_t q = 0; q < total; ++q) {
+      ASSERT_EQ(wa.fx[q], wb.fx[q]) << "q=" << q;
+      ASSERT_EQ(wa.fy[q], wb.fy[q]) << "q=" << q;
+      ASSERT_EQ(wa.fz[q], wb.fz[q]) << "q=" << q;
+      ASSERT_EQ(wa.gx[q], wb.gx[q]) << "q=" << q;
+      ASSERT_EQ(wa.epsdev[0][q], wb.epsdev[0][q]) << "q=" << q;
+    }
+    h.load_potential(wa);
+    h.load_potential(wb);
+    simd_k.compute_acoustic_batched(h.batch(), wa);
+    scal_k.compute_acoustic_batched(h.batch(), wb);
+    for (std::size_t q = 0; q < total; ++q)
+      ASSERT_EQ(wa.fchi[q], wb.fchi[q]) << "q=" << q;
+  }
+}
+
+// The bit-identity contract, lane-order half: an element's forces do not
+// depend on which lane it occupies or which elements ride along — run the
+// widest usable backend on a rotated lane assignment and demand exact bits.
+TEST(BatchedKernel, LaneOrderBitIdentity) {
+  const simd::Isa isa = best_batched_isa();
+  const int lanes = simd::isa_width(isa);
+  std::vector<int> perm;
+  for (int l = 0; l < lanes; ++l) perm.push_back((l + 1) % lanes);
+  BatchHarness a(lanes, /*gravity=*/true, /*attenuation=*/true);
+  BatchHarness b(lanes, true, true, /*degree=*/4, perm);
+  ForceKernel k(a.fx.basis, KernelChoice{KernelVariant::Batched, isa, lanes},
+                true);
+  BatchWorkspace wa(a.fx.basis.num_points(), lanes);
+  BatchWorkspace wb(b.fx.basis.num_points(), lanes);
+  a.load_displacement(wa);
+  b.load_displacement(wb);
+  k.compute_elastic_batched(a.batch(), wa);
+  k.compute_elastic_batched(b.batch(), wb);
+  // b's lane l carries logical element perm[l], which harness a keeps in
+  // lane perm[l]: identical bits required despite the different position
+  // and companions.
+  for (int l = 0; l < lanes; ++l)
+    for (int p = 0; p < a.n3; ++p) {
+      const auto lp = perm[static_cast<std::size_t>(l)];
+      ASSERT_EQ(wb.fx[b.soa(p, l)], wa.fx[a.soa(p, lp)])
+          << "l=" << l << " p=" << p;
+      ASSERT_EQ(wb.fy[b.soa(p, l)], wa.fy[a.soa(p, lp)]);
+      ASSERT_EQ(wb.fz[b.soa(p, l)], wa.fz[a.soa(p, lp)]);
+      ASSERT_EQ(wb.gx[b.soa(p, l)], wa.gx[a.soa(p, lp)]);
+    }
+}
+
+TEST(BatchedKernel, ScalarBackendHandlesArbitraryDegree) {
+  BatchHarness h(4, /*gravity=*/false, /*attenuation=*/false, /*degree=*/6);
+  ForceKernel bk(h.fx.basis,
+                 KernelChoice{KernelVariant::Batched, simd::Isa::Scalar, 4});
+  ForceKernel ref(h.fx.basis, KernelVariant::Reference);
+  BatchWorkspace bws(h.fx.basis.num_points(), 4);
+  h.load_displacement(bws);
+  bk.compute_elastic_batched(h.batch(), bws);
+  for (int l = 0; l < 4; ++l) {
+    auto& lw = h.lane_ws[static_cast<std::size_t>(l)];
+    ref.compute_elastic(h.lane(l), lw);
+    const double scale = std::max(1.0, max_abs_force(lw));
+    for (int p = 0; p < h.n3; ++p)
+      EXPECT_NEAR(bws.fx[h.soa(p, l)] / scale,
+                  lw.fx[static_cast<std::size_t>(p)] / scale, 2e-6)
+          << "l=" << l << " p=" << p;
+  }
+}
+
+TEST(BatchedKernel, SingleElementApiFallsBackToReference) {
+  ElementFixture fx(4, /*deformed=*/true);
+  ForceKernel batched(fx.basis, KernelVariant::Batched);
+  ForceKernel ref(fx.basis, KernelVariant::Reference);
+  EXPECT_EQ(batched.variant(), KernelVariant::Batched);
+  EXPECT_EQ(batched.lanes(), simd::isa_width(batched.isa()));
+  KernelWorkspace wb(5), wr(5);
+  fill_random_displacement(wb, 9);
+  fill_random_displacement(wr, 9);
+  batched.compute_elastic(fx.pointers(), wb);
+  ref.compute_elastic(fx.pointers(), wr);
+  for (int p = 0; p < 125; ++p) {
+    const auto sp = static_cast<std::size_t>(p);
+    EXPECT_EQ(wb.fx[sp], wr.fx[sp]);
+    EXPECT_EQ(wb.fy[sp], wr.fy[sp]);
+    EXPECT_EQ(wb.fz[sp], wr.fz[sp]);
+  }
+}
+
+TEST(BatchedKernel, RejectsInvalidChoices) {
+  GllBasis b(4);
+  // Scalar lanes must be 4, 8 or 16.
+  EXPECT_THROW(
+      ForceKernel(b, KernelChoice{KernelVariant::Batched, simd::Isa::Scalar, 5}),
+      CheckError);
+  // SIMD backends must match their native width.
+  if (batched_backend_compiled(simd::Isa::Sse) &&
+      simd::cpu_supports(simd::Isa::Sse)) {
+    EXPECT_THROW(
+        ForceKernel(b, KernelChoice{KernelVariant::Batched, simd::Isa::Sse, 8}),
+        CheckError);
+  }
+  // Auto is not a concrete choice.
+  EXPECT_THROW(ForceKernel(b, KernelChoice{KernelVariant::Auto}), CheckError);
+  EXPECT_THROW(BatchWorkspace(5, 5), CheckError);
+}
+
+// ---- runtime dispatch / SFG_KERNEL spec parsing ---------------------------
+
+TEST(KernelResolve, AutoPicksBatchedOnWidestUsableIsa) {
+  const KernelChoice c = resolve_kernel_choice(KernelVariant::Auto, 5, nullptr);
+  EXPECT_EQ(c.variant, KernelVariant::Batched);
+  EXPECT_EQ(c.isa, best_batched_isa());
+  EXPECT_EQ(c.lanes, simd::isa_width(c.isa));
+  // Unlike Sse, Batched carries no ngll restriction.
+  EXPECT_EQ(resolve_kernel_choice(KernelVariant::Auto, 7, nullptr).variant,
+            KernelVariant::Batched);
+  // The compiled/supported predicate holds for the winner by construction.
+  EXPECT_TRUE(batched_backend_compiled(c.isa));
+  EXPECT_TRUE(simd::cpu_supports(c.isa));
+}
+
+TEST(KernelResolve, OverrideSpecWinsOverRequested) {
+  EXPECT_EQ(resolve_kernel_choice(KernelVariant::Auto, 5, "reference").variant,
+            KernelVariant::Reference);
+  EXPECT_EQ(resolve_kernel_choice(KernelVariant::Reference, 5, "blas").variant,
+            KernelVariant::BlasLike);
+  EXPECT_EQ(resolve_kernel_choice(KernelVariant::Reference, 5, "sse").variant,
+            KernelVariant::Sse);
+  const KernelChoice b =
+      resolve_kernel_choice(KernelVariant::Reference, 5, "batched");
+  EXPECT_EQ(b.variant, KernelVariant::Batched);
+  EXPECT_EQ(b.isa, best_batched_isa());
+  const KernelChoice s =
+      resolve_kernel_choice(KernelVariant::Reference, 5, "batched-scalar");
+  EXPECT_EQ(s.variant, KernelVariant::Batched);
+  EXPECT_EQ(s.isa, simd::Isa::Scalar);
+  EXPECT_EQ(s.lanes, 4);
+  // Empty spec = no override.
+  EXPECT_EQ(resolve_kernel_choice(KernelVariant::Reference, 5, "").variant,
+            KernelVariant::Reference);
+}
+
+TEST(KernelResolve, RejectsUnknownOrUnusableSpecs) {
+  EXPECT_THROW(resolve_kernel_choice(KernelVariant::Auto, 5, "turbo"),
+               CheckError);
+  EXPECT_THROW(resolve_kernel_choice(KernelVariant::Sse, 7, nullptr),
+               CheckError);
+  EXPECT_THROW(resolve_kernel_choice(KernelVariant::Auto, 7, "sse"),
+               CheckError);
+  if (!(batched_backend_compiled(simd::Isa::Neon) &&
+        simd::cpu_supports(simd::Isa::Neon))) {
+    EXPECT_THROW(resolve_kernel_choice(KernelVariant::Auto, 5, "batched-neon"),
+                 CheckError);
+  }
+}
+
+TEST(KernelWorkspace, BlasScratchAllocatedLazily) {
+  ElementFixture fx(4, /*deformed=*/true);
+  KernelWorkspace ws(5);
+  EXPECT_TRUE(ws.scratch_a.empty());
+  fill_random_displacement(ws, 1);
+  ForceKernel ref(fx.basis, KernelVariant::Reference);
+  ref.compute_elastic(fx.pointers(), ws);
+  EXPECT_TRUE(ws.scratch_a.empty());  // Reference never touches it
+  ForceKernel blas(fx.basis, KernelVariant::BlasLike);
+  blas.compute_elastic(fx.pointers(), ws);
+  EXPECT_EQ(ws.scratch_a.size(),
+            static_cast<std::size_t>(padded_block_size(5)));
+  EXPECT_EQ(ws.scratch_b.size(), ws.scratch_a.size());
+  EXPECT_EQ(ws.scratch_c.size(), ws.scratch_a.size());
 }
 
 }  // namespace
