@@ -2,9 +2,9 @@
 # Benchmark runner (ISSUE 5, extended by ISSUE 6): builds and runs the
 # machine-readable benches.
 #
-#   scripts/bench.sh [service_out.json] [kernels_out.json]
+#   scripts/bench.sh [service_out.json] [kernels_out.json] [lts_out.json]
 #
-# Writes two JSON records in the repo root:
+# Writes three JSON records in the repo root:
 #  * BENCH_service.json  — campaign throughput (jobs/minute, cache hit
 #    rate, retry overhead, checkpoint-recovery saving),
 #  * BENCH_kernels.json  — per-variant force-kernel elements/s
@@ -12,18 +12,24 @@
 #    Reference vs Batched kernels (bench_threaded_solver). HARD GATES:
 #    Batched >= Sse >= Reference elements/s; the script fails when the
 #    bench reports gates_ok=false.
+#  * BENCH_lts.json      — clustered local-time-stepping speedup vs the
+#    global-dt marcher plus interpolation overhead (bench_lts). HARD
+#    GATES: multi-cluster speedup >= 1.5x and single-cluster LTS within
+#    3% of the legacy marcher.
 # Human-readable narration streams to stderr while the benches run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_service.json}"
 KOUT="${2:-BENCH_kernels.json}"
+LOUT="${3:-BENCH_lts.json}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 echo "==> build bench targets (build/)" >&2
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}" \
-  --target bench_campaign bench_sse_kernels bench_threaded_solver >/dev/null
+  --target bench_campaign bench_sse_kernels bench_threaded_solver \
+           bench_lts >/dev/null
 
 echo "==> run campaign bench" >&2
 ./build/bench/bench_campaign > "${OUT}"
@@ -51,3 +57,15 @@ if [[ "$(jq -r '.kernels.gates_ok' "${KOUT}")" != "true" ]]; then
   exit 1
 fi
 echo "==> kernel perf gates passed (batched >= sse >= reference)" >&2
+
+echo "==> run clustered-LTS bench" >&2
+./build/bench/bench_lts --json "${LOUT}" >&2
+
+echo "==> wrote ${LOUT}:" >&2
+cat "${LOUT}"
+
+if [[ "$(jq -r '.gates_ok' "${LOUT}")" != "true" ]]; then
+  echo "FAIL: LTS perf gates violated (need multi-cluster speedup >= 1.5x and single-cluster overhead <= 3%)" >&2
+  exit 1
+fi
+echo "==> LTS perf gates passed (multi >= 1.5x, single within 3%)" >&2

@@ -35,7 +35,7 @@ ctest --test-dir build -L tier1 --output-on-failure -j "${JOBS}"
 if [[ "${RUN_ASAN}" == "1" ]]; then
   ASAN_TESTS=(test_solver test_parallel_solver test_checkpoint test_metrics
               test_source_ownership test_point_location test_sphere
-              test_exchanger test_io test_kernels)
+              test_exchanger test_io test_kernels test_lts)
   echo "==> configure + build ASan+UBSan config (build-asan/)"
   cmake -B build-asan -S . -DSFG_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j "${JOBS}" --target "${ASAN_TESTS[@]}"
@@ -53,10 +53,12 @@ if [[ "${RUN_TSAN}" == "1" ]]; then
   echo "==> configure + build ThreadSanitizer config (build-tsan/)"
   cmake -B build-tsan -S . -DSFG_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "${JOBS}" \
-    --target test_threaded_solver test_smpi test_fault_injection test_service
+    --target test_threaded_solver test_smpi test_fault_injection \
+             test_service test_schedule_property test_lts
 
   echo "==> concurrency tests under TSan"
-  for t in test_threaded_solver test_smpi test_fault_injection test_service; do
+  for t in test_threaded_solver test_smpi test_fault_injection \
+           test_service test_schedule_property test_lts; do
     echo "--> ${t}"
     ./build-tsan/tests/"${t}"
   done

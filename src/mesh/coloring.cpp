@@ -1,6 +1,7 @@
 #include "mesh/coloring.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 #include <sstream>
@@ -554,6 +555,383 @@ std::string check_element_schedule(const HexMesh& mesh,
           }
           last_color[g] = c;
         }
+      }
+    }
+  }
+  return std::string();
+}
+
+// ---- clustered local time stepping (ISSUE 7) ----
+
+std::vector<int> cluster_levels_from_dt(const std::vector<double>& element_dt,
+                                        double dt_min, int max_levels) {
+  SFG_CHECK_MSG(dt_min > 0.0, "LTS base step must be positive");
+  SFG_CHECK_MSG(max_levels >= 1, "LTS needs at least one level");
+  std::vector<int> level(element_dt.size(), 0);
+  for (std::size_t e = 0; e < element_dt.size(); ++e) {
+    SFG_CHECK_MSG(element_dt[e] >= dt_min,
+                  "element " << e << " stable dt " << element_dt[e]
+                             << " is below the base step " << dt_min
+                             << " — the base step must be the global minimum");
+    const int k =
+        static_cast<int>(std::floor(std::log2(element_dt[e] / dt_min)));
+    level[e] = std::clamp(k, 0, max_levels - 1);
+  }
+  return level;
+}
+
+std::vector<int> cluster_point_levels(const HexMesh& mesh,
+                                      const std::vector<int>& level_of) {
+  SFG_CHECK(mesh.numbered());
+  SFG_CHECK(level_of.size() == static_cast<std::size_t>(mesh.nspec));
+  std::vector<int> pl(static_cast<std::size_t>(mesh.nglob),
+                      std::numeric_limits<int>::max());
+  const int n3 = mesh.ngll3();
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const int* ib = mesh.ibool.data() + mesh.local_offset(e);
+    const int lv = level_of[static_cast<std::size_t>(e)];
+    for (int p = 0; p < n3; ++p) {
+      int& v = pl[static_cast<std::size_t>(ib[p])];
+      v = std::min(v, lv);
+    }
+  }
+  for (int& v : pl)
+    if (v == std::numeric_limits<int>::max()) v = 0;
+  return pl;
+}
+
+int clamp_cluster_levels(const HexMesh& mesh,
+                         const std::vector<int>& point_level,
+                         std::vector<int>& level_of) {
+  SFG_CHECK(mesh.numbered());
+  SFG_CHECK(point_level.size() == static_cast<std::size_t>(mesh.nglob));
+  SFG_CHECK(level_of.size() == static_cast<std::size_t>(mesh.nspec));
+  const int n3 = mesh.ngll3();
+  int changed = 0;
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const int* ib = mesh.ibool.data() + mesh.local_offset(e);
+    int cap = std::numeric_limits<int>::max();
+    for (int p = 0; p < n3; ++p)
+      cap = std::min(cap, point_level[static_cast<std::size_t>(ib[p])] + 1);
+    int& lv = level_of[static_cast<std::size_t>(e)];
+    if (lv > cap) {
+      lv = cap;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+ClusterPartition finalize_cluster_partition(const HexMesh& mesh,
+                                            std::vector<int> level_of,
+                                            std::vector<int> point_level) {
+  SFG_CHECK(mesh.numbered());
+  SFG_CHECK(level_of.size() == static_cast<std::size_t>(mesh.nspec));
+  SFG_CHECK(point_level.size() == static_cast<std::size_t>(mesh.nglob));
+  ClusterPartition part;
+  part.level_of = std::move(level_of);
+  part.point_level = std::move(point_level);
+  part.rate_of.assign(static_cast<std::size_t>(mesh.nspec), 0);
+  const int n3 = mesh.ngll3();
+  int max_level = 0;
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const int* ib = mesh.ibool.data() + mesh.local_offset(e);
+    int r = std::numeric_limits<int>::max();
+    for (int p = 0; p < n3; ++p)
+      r = std::min(r, part.point_level[static_cast<std::size_t>(ib[p])]);
+    part.rate_of[static_cast<std::size_t>(e)] = r;
+    max_level =
+        std::max(max_level, part.level_of[static_cast<std::size_t>(e)]);
+  }
+  part.num_levels = max_level + 1;
+  return part;
+}
+
+ClusterPartition build_cluster_partition(const HexMesh& mesh,
+                                         std::vector<int> level_of) {
+  std::vector<int> point_level;
+  for (;;) {
+    point_level = cluster_point_levels(mesh, level_of);
+    if (clamp_cluster_levels(mesh, point_level, level_of) == 0) break;
+  }
+  return finalize_cluster_partition(mesh, std::move(level_of),
+                                    std::move(point_level));
+}
+
+std::vector<int> cluster_point_min_rate(const HexMesh& mesh,
+                                        const std::vector<int>& rate_of) {
+  SFG_CHECK(mesh.numbered());
+  SFG_CHECK(rate_of.size() == static_cast<std::size_t>(mesh.nspec));
+  std::vector<int> mr(static_cast<std::size_t>(mesh.nglob), kNoTouchingRate);
+  const int n3 = mesh.ngll3();
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const int* ib = mesh.ibool.data() + mesh.local_offset(e);
+    const int r = rate_of[static_cast<std::size_t>(e)];
+    for (int p = 0; p < n3; ++p) {
+      int& v = mr[static_cast<std::size_t>(ib[p])];
+      v = std::min(v, r);
+    }
+  }
+  return mr;
+}
+
+InterfaceSet cluster_interface_points(const HexMesh& mesh,
+                                      const std::vector<int>& point_level,
+                                      const std::vector<int>& point_min_rate,
+                                      const ClusterOptions& copts) {
+  SFG_CHECK(point_level.size() == static_cast<std::size_t>(mesh.nglob));
+  SFG_CHECK(point_min_rate.size() == static_cast<std::size_t>(mesh.nglob));
+  InterfaceSet out;
+  if (copts.unsafe_drop_interp_points) return out;
+  for (int g = 0; g < mesh.nglob; ++g) {
+    const int lv = point_level[static_cast<std::size_t>(g)];
+    if (lv > 0 && point_min_rate[static_cast<std::size_t>(g)] < lv) {
+      out.points.push_back(g);
+      out.level.push_back(lv);
+    }
+  }
+  return out;
+}
+
+ClusterSchedule build_cluster_schedule(const HexMesh& mesh,
+                                       const std::vector<int>& elements,
+                                       const std::vector<int>& color_of,
+                                       const ClusterPartition& part,
+                                       const ScheduleOptions& opts,
+                                       const ClusterOptions& copts) {
+  SFG_CHECK(part.level_of.size() == static_cast<std::size_t>(mesh.nspec));
+  SFG_CHECK(part.rate_of.size() == static_cast<std::size_t>(mesh.nspec));
+  const std::vector<int>& key =
+      copts.unsafe_rate_from_own_level ? part.level_of : part.rate_of;
+  int max_rate = 0;
+  for (int e : elements) {
+    SFG_CHECK(e >= 0 && e < mesh.nspec);
+    max_rate = std::max(max_rate, key[static_cast<std::size_t>(e)]);
+  }
+  std::vector<std::vector<int>> buckets(static_cast<std::size_t>(max_rate) +
+                                        1);
+  for (int e : elements)
+    buckets[static_cast<std::size_t>(key[static_cast<std::size_t>(e)])]
+        .push_back(e);
+
+  ClusterSchedule cs;
+  for (int r = 0; r <= max_rate; ++r) {
+    auto& b = buckets[static_cast<std::size_t>(r)];
+    if (b.empty()) continue;
+    cs.rates.push_back(r);
+    cs.rate_elements.push_back(std::move(b));
+  }
+  if (copts.unsafe_merge_slowest_rates && cs.rates.size() >= 2) {
+    auto& dst = cs.rate_elements[cs.rate_elements.size() - 2];
+    const auto& src = cs.rate_elements.back();
+    dst.insert(dst.end(), src.begin(), src.end());
+    cs.rate_elements.pop_back();
+    cs.rates.pop_back();
+  }
+  cs.rate_sched.reserve(cs.rates.size());
+  for (const auto& lst : cs.rate_elements)
+    cs.rate_sched.push_back(
+        build_element_schedule(mesh, lst, color_of, opts));
+  return cs;
+}
+
+std::string check_cluster_schedule(const HexMesh& mesh,
+                                   const std::vector<int>& elements,
+                                   const std::vector<int>& color_of,
+                                   const ClusterPartition& part,
+                                   const ClusterSchedule& cs) {
+  SFG_CHECK(mesh.numbered());
+  SFG_CHECK(part.level_of.size() == static_cast<std::size_t>(mesh.nspec));
+  SFG_CHECK(part.rate_of.size() == static_cast<std::size_t>(mesh.nspec));
+  SFG_CHECK(part.point_level.size() == static_cast<std::size_t>(mesh.nglob));
+  std::ostringstream err;
+
+  if (cs.rate_elements.size() != cs.rates.size() ||
+      cs.rate_sched.size() != cs.rates.size()) {
+    err << "cluster schedule has " << cs.rates.size() << " rates but "
+        << cs.rate_elements.size() << " buckets and " << cs.rate_sched.size()
+        << " schedules";
+    return err.str();
+  }
+  for (std::size_t i = 0; i < cs.rates.size(); ++i) {
+    if (cs.rates[i] < 0 || cs.rates[i] >= part.num_levels) {
+      err << "cluster rate " << cs.rates[i] << " outside [0, "
+          << part.num_levels << ")";
+      return err.str();
+    }
+    if (i > 0 && cs.rates[i] <= cs.rates[i - 1]) {
+      err << "cluster rates not strictly ascending";
+      return err.str();
+    }
+  }
+
+  // C-A: the rate buckets tile the input element list exactly once...
+  std::vector<int> times(static_cast<std::size_t>(mesh.nspec), 0);
+  std::size_t total = 0;
+  for (const auto& bucket : cs.rate_elements)
+    for (int e : bucket) {
+      if (e < 0 || e >= mesh.nspec) {
+        err << "clustered element " << e << " out of range";
+        return err.str();
+      }
+      if (++times[static_cast<std::size_t>(e)] > 1) {
+        err << "element " << e << " appears in two cluster buckets";
+        return err.str();
+      }
+      ++total;
+    }
+  if (total != elements.size()) {
+    err << "cluster buckets hold " << total << " elements, expected "
+        << elements.size();
+    return err.str();
+  }
+  for (int e : elements)
+    if (times[static_cast<std::size_t>(e)] != 1) {
+      err << "element " << e << " of the input list is in no cluster bucket";
+      return err.str();
+    }
+
+  // ... and every bucket is pure: bucket rate == marching rate. Catches
+  // both mutated assignments (an element bucketed by its raw level marches
+  // slower than its fastest point demands) and cross-cluster merges.
+  for (std::size_t i = 0; i < cs.rates.size(); ++i)
+    for (int e : cs.rate_elements[i])
+      if (part.rate_of[static_cast<std::size_t>(e)] != cs.rates[i]) {
+        err << "cluster bucket at rate " << cs.rates[i]
+            << " contains element " << e << " marching at rate "
+            << part.rate_of[static_cast<std::size_t>(e)]
+            << " — cross-cluster merge or mutated assignment";
+        return err.str();
+      }
+
+  // Rate and point-level consistency + C-C (rate-2 smoothing).
+  const int n3 = mesh.ngll3();
+  for (int e : elements) {
+    const int* ib = mesh.ibool.data() + mesh.local_offset(e);
+    const int lv = part.level_of[static_cast<std::size_t>(e)];
+    int min_pl = std::numeric_limits<int>::max();
+    for (int p = 0; p < n3; ++p) {
+      const auto g = static_cast<std::size_t>(ib[p]);
+      const int pl = part.point_level[g];
+      min_pl = std::min(min_pl, pl);
+      if (pl > lv) {
+        err << "global point " << ib[p] << " level " << pl
+            << " exceeds the level " << lv << " of touching element " << e;
+        return err.str();
+      }
+      if (lv > pl + 1) {
+        err << "cluster levels not rate-2 smoothed: element " << e
+            << " level " << lv << " exceeds point " << ib[p] << " level "
+            << pl << " by more than one";
+        return err.str();
+      }
+    }
+    if (part.rate_of[static_cast<std::size_t>(e)] != min_pl) {
+      err << "element " << e << " cluster rate "
+          << part.rate_of[static_cast<std::size_t>(e)]
+          << " disagrees with its min point level " << min_pl;
+      return err.str();
+    }
+  }
+
+  // C-B: every bucket's schedule satisfies invariants 1-3 (and B).
+  for (std::size_t i = 0; i < cs.rates.size(); ++i) {
+    const std::string sub = check_element_schedule(
+        mesh, cs.rate_elements[i], color_of, cs.rate_sched[i]);
+    if (!sub.empty()) {
+      err << "rate " << cs.rates[i] << " schedule: " << sub;
+      return err.str();
+    }
+  }
+  return std::string();
+}
+
+std::string check_cluster_interfaces(const HexMesh& mesh,
+                                     const std::vector<int>& elements,
+                                     const ClusterPartition& part,
+                                     const InterfaceSet& iset) {
+  SFG_CHECK(mesh.numbered());
+  SFG_CHECK(part.rate_of.size() == static_cast<std::size_t>(mesh.nspec));
+  SFG_CHECK(part.point_level.size() == static_cast<std::size_t>(mesh.nglob));
+  std::ostringstream err;
+  const auto ng = static_cast<std::size_t>(mesh.nglob);
+
+  if (iset.level.size() != iset.points.size()) {
+    err << "interpolation set holds " << iset.points.size() << " points but "
+        << iset.level.size() << " levels";
+    return err.str();
+  }
+  std::vector<char> in_iset(ng, 0);
+  for (std::size_t i = 0; i < iset.points.size(); ++i) {
+    const int g = iset.points[i];
+    if (g < 0 || g >= mesh.nglob) {
+      err << "interpolation point " << g << " out of range";
+      return err.str();
+    }
+    if (i > 0 && g <= iset.points[i - 1]) {
+      err << "interpolation points not strictly ascending";
+      return err.str();
+    }
+    if (iset.level[i] != part.point_level[static_cast<std::size_t>(g)]) {
+      err << "interpolation point " << g << " carries level "
+          << iset.level[i] << ", partition says "
+          << part.point_level[static_cast<std::size_t>(g)];
+      return err.str();
+    }
+    if (iset.level[i] <= 0) {
+      err << "level-0 point " << g
+          << " in the interpolation set — it is due every substep";
+      return err.str();
+    }
+    in_iset[static_cast<std::size_t>(g)] = 1;
+  }
+
+  const int n3 = mesh.ngll3();
+  std::vector<int> touchers(ng, 0);
+  for (int e : elements) {
+    SFG_CHECK(e >= 0 && e < mesh.nspec);
+    const int* ib = mesh.ibool.data() + mesh.local_offset(e);
+    for (int p = 0; p < n3; ++p)
+      ++touchers[static_cast<std::size_t>(ib[p])];
+  }
+
+  // C-D: simulate one full fast round. Rate r fires at the substeps where
+  // (n+1) is a multiple of 2^r; a point of level L is due where (n+1) is a
+  // multiple of 2^L. The solver zeroes accelerations every substep and
+  // discards the junk sitting at not-due points, so the invariant is
+  // per-substep: at every DUE substep a point must receive exactly one
+  // contribution from every touching element (all of them fire there,
+  // since 2^rate divides 2^L); any contribution landing at a NOT-due
+  // substep is a mid-stride gather — the firing element read the point's
+  // displacement between its Newmark updates — and demands interpolation.
+  const int stride = 1 << (part.num_levels - 1);
+  std::vector<int> got(ng, 0);
+  for (int n = 0; n < stride; ++n) {
+    std::fill(got.begin(), got.end(), 0);
+    for (int e : elements) {
+      const int r = part.rate_of[static_cast<std::size_t>(e)];
+      if (((n + 1) & ((1 << r) - 1)) != 0) continue;
+      const int* ib = mesh.ibool.data() + mesh.local_offset(e);
+      for (int p = 0; p < n3; ++p)
+        ++got[static_cast<std::size_t>(ib[p])];
+    }
+    for (std::size_t g = 0; g < ng; ++g) {
+      if (touchers[g] == 0) continue;
+      const int lv = part.point_level[g];
+      if (((n + 1) & ((1 << lv) - 1)) == 0) {
+        if (got[g] != touchers[g]) {
+          err << "global point " << g << " collected " << got[g]
+              << " contributions at its due substep " << n
+              << ", expected one from each of its " << touchers[g]
+              << " touching elements";
+          return err.str();
+        }
+      } else if (got[g] != 0 && !in_iset[g]) {
+        err << "global point " << g << " (level " << lv
+            << ") is gathered mid-stride at substep " << n
+            << " but missing from the interpolation set — skipped "
+               "interface interpolation";
+        return err.str();
       }
     }
   }

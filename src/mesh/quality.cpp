@@ -67,4 +67,47 @@ MeshQualityReport analyze_mesh_quality(const HexMesh& mesh,
   return rep;
 }
 
+std::vector<double> element_stable_dt(const HexMesh& mesh,
+                                      const aligned_vector<float>& vp,
+                                      double courant) {
+  SFG_CHECK(vp.size() == mesh.num_local_points());
+  const int ngll = mesh.ngll;
+
+  auto dist = [&](std::size_t a, std::size_t b) {
+    const double dx = mesh.xstore[a] - mesh.xstore[b];
+    const double dy = mesh.ystore[a] - mesh.ystore[b];
+    const double dz = mesh.zstore[a] - mesh.zstore[b];
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+  };
+
+  std::vector<double> dt(static_cast<std::size_t>(mesh.nspec), 0.0);
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const std::size_t off = mesh.local_offset(e);
+    double min_dt = std::numeric_limits<double>::max();
+    for (int k = 0; k < ngll; ++k) {
+      for (int j = 0; j < ngll; ++j) {
+        for (int i = 0; i < ngll; ++i) {
+          const std::size_t p =
+              off + static_cast<std::size_t>(local_index(ngll, i, j, k));
+          const double vpp = vp[p];
+          auto consider = [&](std::size_t q) {
+            if (vpp > 0.0) min_dt = std::min(min_dt, dist(p, q) / vpp);
+          };
+          if (i + 1 < ngll)
+            consider(off + static_cast<std::size_t>(
+                               local_index(ngll, i + 1, j, k)));
+          if (j + 1 < ngll)
+            consider(off + static_cast<std::size_t>(
+                               local_index(ngll, i, j + 1, k)));
+          if (k + 1 < ngll)
+            consider(off + static_cast<std::size_t>(
+                               local_index(ngll, i, j, k + 1)));
+        }
+      }
+    }
+    dt[static_cast<std::size_t>(e)] = courant * min_dt;
+  }
+  return dt;
+}
+
 }  // namespace sfg

@@ -5,6 +5,8 @@
 /// set by >= 5 GLL points per shortest wavelength and the explicit Newmark
 /// scheme is conditionally stable with a Courant bound on the time step.
 
+#include <vector>
+
 #include "common/aligned.hpp"
 #include "mesh/hex_mesh.hpp"
 #include "quadrature/gll.hpp"
@@ -29,5 +31,14 @@ MeshQualityReport analyze_mesh_quality(const HexMesh& mesh,
                                        const aligned_vector<float>& vp,
                                        const aligned_vector<float>& vs,
                                        double courant = 0.4);
+
+/// Per-element Courant-stable time step: the same `courant * min(spacing /
+/// vp)` bound analyze_mesh_quality takes the global minimum of, restricted
+/// to each element's own adjacent GLL pairs. Feeds the clustered-LTS level
+/// bucketing (cluster_levels_from_dt), where cluster k marches at
+/// `2^k * dt_min`.
+std::vector<double> element_stable_dt(const HexMesh& mesh,
+                                      const aligned_vector<float>& vp,
+                                      double courant = 0.4);
 
 }  // namespace sfg

@@ -62,6 +62,7 @@ const char* phase_name(Phase p) {
     case Phase::AttenuationUpdate: return "attenuation_update";
     case Phase::SchedulePaired: return "schedule_paired";
     case Phase::ScheduleResidual: return "schedule_residual";
+    case Phase::LtsInterpolate: return "lts_interpolate";
     case Phase::Count: break;
   }
   return "?";
@@ -70,9 +71,10 @@ const char* phase_name(Phase p) {
 bool phase_is_nested(Phase p) {
   // Nested phases run inside a top-level phase (attenuation inside the
   // solid loops; schedule rounds inside SolidBoundary/SolidInterior/
-  // FluidForces) and are excluded from the wall-time-sum invariant.
+  // FluidForces; LTS interpolation inside NewmarkPredictor) and are
+  // excluded from the wall-time-sum invariant.
   return p == Phase::AttenuationUpdate || p == Phase::SchedulePaired ||
-         p == Phase::ScheduleResidual;
+         p == Phase::ScheduleResidual || p == Phase::LtsInterpolate;
 }
 
 // ---- StepProfile ----

@@ -138,6 +138,7 @@ enum class Phase : int {
   AttenuationUpdate,     ///< NESTED: SLS memory-variable update
   SchedulePaired,        ///< NESTED: interleaved paired/plain rounds
   ScheduleResidual,      ///< NESTED: demoted-straddler residual rounds
+  LtsInterpolate,        ///< NESTED: cluster-interface time interpolation
   Count
 };
 

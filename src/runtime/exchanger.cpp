@@ -205,6 +205,50 @@ void Exchanger::assemble_add_end(Communicator& comm) const {
   pending_ncomp_ = 0;
 }
 
+void Exchanger::assemble_min(Communicator& comm, float* field,
+                             int ncomp) const {
+  // Distinct tag keeps a setup-time min-combine from ever crossing an
+  // in-flight additive halo exchange.
+  constexpr int kTagMin = kAssembleTag + 1;
+  SFG_CHECK_MSG(pending_field_ == nullptr,
+                "assemble_min called with an exchange already in flight");
+  const std::size_t ni = interfaces_.size();
+  for (std::size_t n = 0; n < ni; ++n) {
+    const Interface& iface = interfaces_[n];
+    auto& buf = send_buffers_[n];
+    buf.resize(iface.local_points.size() * static_cast<std::size_t>(ncomp));
+    std::size_t w = 0;
+    for (int p : iface.local_points)
+      for (int c = 0; c < ncomp; ++c)
+        buf[w++] = field[static_cast<std::size_t>(p) * ncomp + c];
+  }
+  std::vector<Request> reqs;
+  reqs.reserve(2 * ni);
+  for (std::size_t n = 0; n < ni; ++n) {
+    auto& rbuf = recv_buffers_[n];
+    rbuf.resize(send_buffers_[n].size());
+    reqs.push_back(comm.irecv_n(interfaces_[n].neighbor_rank, kTagMin,
+                                rbuf.data(), rbuf.size()));
+  }
+  for (std::size_t n = 0; n < ni; ++n) {
+    reqs.push_back(comm.isend_n(interfaces_[n].neighbor_rank, kTagMin,
+                                send_buffers_[n].data(),
+                                send_buffers_[n].size()));
+  }
+  comm.wait_all_retry(reqs, recv_policy_);
+  for (std::size_t n = 0; n < ni; ++n) {
+    const Interface& iface = interfaces_[n];
+    const auto& rbuf = recv_buffers_[n];
+    std::size_t r = 0;
+    for (int p : iface.local_points)
+      for (int c = 0; c < ncomp; ++c) {
+        float& v = field[static_cast<std::size_t>(p) * ncomp + c];
+        v = std::min(v, rbuf[r]);
+        ++r;
+      }
+  }
+}
+
 std::uint64_t Exchanger::floats_per_exchange(int ncomp) const {
   std::uint64_t total = 0;
   for (const auto& iface : interfaces_)

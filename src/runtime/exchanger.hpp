@@ -74,6 +74,12 @@ class Exchanger {
   /// and accumulate them into the field passed to assemble_add_begin.
   void assemble_add_end(Communicator& comm) const;
 
+  /// Min-combine across ranks: like assemble_add but every shared value is
+  /// replaced by the minimum over all owners. Setup-time collective (used
+  /// to make the clustered-LTS point levels and min marching rates
+  /// cross-rank consistent); blocking, no split variant.
+  void assemble_min(Communicator& comm, float* field, int ncomp) const;
+
   /// Total floats exchanged per assemble_add call (both directions),
   /// for communication-volume accounting.
   std::uint64_t floats_per_exchange(int ncomp) const;

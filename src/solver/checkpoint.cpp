@@ -31,6 +31,12 @@ struct CheckpointMeta {
   std::int32_t has_fluid = 0;
   std::int32_t nreceivers = 0;
   std::int32_t nsources = 0;
+  /// Clustered LTS (ISSUE 7): global cluster count when LTS is active,
+  /// 0 when it is off — a snapshot can never silently cross the LTS
+  /// on/off boundary — plus the interface-point count pinning the
+  /// interpolation-buffer layout.
+  std::int32_t lts_levels = 0;
+  std::int32_t lts_ninterp = 0;
 };
 
 /// Cumulative phase-metric counters (ISSUE 3): saved so a resumed run's
@@ -63,6 +69,8 @@ void Simulation::write_checkpoint(const std::string& path,
   meta.has_fluid = global_has_fluid_ ? 1 : 0;
   meta.nreceivers = static_cast<std::int32_t>(receivers_.size());
   meta.nsources = static_cast<std::int32_t>(sources_.size());
+  meta.lts_levels = lts_active_ ? lts_num_levels_ : 0;
+  meta.lts_ninterp = static_cast<std::int32_t>(lts_interp_.points.size());
   writer.add_values("meta", &meta, 1);
 
   writer.add_values("displ", displ_.data(), displ_.size());
@@ -80,6 +88,18 @@ void Simulation::write_checkpoint(const std::string& path,
                             std::to_string(c),
                         v.data(), v.size());
     }
+  // Clustered LTS state: the latched per-cluster accelerations, the
+  // stride-start interface snapshots and the per-rate clocks are exactly
+  // what the masked predictor reads mid-stride — without them a restored
+  // multi-cluster run would diverge at the first slow-cluster substep.
+  if (lts_active_) {
+    writer.add_values("lts.a_pred", a_pred_.data(), a_pred_.size());
+    writer.add_values("lts.u0", interp_u0_.data(), interp_u0_.size());
+    writer.add_values("lts.v0", interp_v0_.data(), interp_v0_.size());
+    writer.add_values("lts.a0", interp_a0_.data(), interp_a0_.size());
+    writer.add_vector("lts.clock", lts_clock_);
+  }
+
   for (std::size_t r = 0; r < receivers_.size(); ++r) {
     const Seismogram& s = receivers_[r].seis;
     writer.add_vector("recv." + std::to_string(r) + ".time", s.time);
@@ -146,6 +166,23 @@ void Simulation::restore_checkpoint(const std::string& path,
                 "checkpoint '" << path << "' had " << meta.nsources
                                << " sources, this run has "
                                << sources_.size());
+  SFG_CHECK_MSG(meta.lts_levels == (lts_active_ ? lts_num_levels_ : 0),
+                "checkpoint '"
+                    << path << "' was taken with LTS "
+                    << (meta.lts_levels > 0
+                            ? "on (" + std::to_string(meta.lts_levels) +
+                                  " clusters)"
+                            : std::string("off"))
+                    << ", this run has "
+                    << (lts_active_ ? std::to_string(lts_num_levels_) +
+                                          " clusters"
+                                    : std::string("LTS off")));
+  SFG_CHECK_MSG(
+      meta.lts_ninterp ==
+          static_cast<std::int32_t>(lts_interp_.points.size()),
+      "checkpoint '" << path << "' holds " << meta.lts_ninterp
+                     << " LTS interface points, this run has "
+                     << lts_interp_.points.size());
 
   auto load_field = [&](const char* name, aligned_vector<float>& field) {
     const auto v = reader.read_vector<float>(name);
@@ -196,6 +233,28 @@ void Simulation::restore_checkpoint(const std::string& path,
     }
     profile_.restore_counts(static_cast<int>(mc.steps), counts, seconds,
                             mc.total_wall);
+  }
+
+  if (lts_active_) {
+    load_field("lts.a_pred", a_pred_);
+    load_field("lts.u0", interp_u0_);
+    load_field("lts.v0", interp_v0_);
+    load_field("lts.a0", interp_a0_);
+    const auto clock = reader.read_vector<std::int64_t>("lts.clock");
+    SFG_CHECK_MSG(clock.size() == lts_clock_.size(),
+                  "checkpoint '" << path << "' holds " << clock.size()
+                                 << " LTS clocks, this run has "
+                                 << lts_clock_.size());
+    // Clock soundness: clock[r] counts completed rate-r strides, so it
+    // must equal step >> r — a snapshot violating that was written by a
+    // broken marcher and cannot be resumed.
+    for (std::size_t r = 0; r < clock.size(); ++r)
+      SFG_CHECK_MSG(clock[r] == (meta.step >> r),
+                    "checkpoint '" << path << "' LTS clock[" << r << "] = "
+                                   << clock[r] << " disagrees with step "
+                                   << meta.step << " (expected "
+                                   << (meta.step >> r) << ")");
+    lts_clock_ = clock;
   }
 
   it_ = static_cast<int>(meta.step);

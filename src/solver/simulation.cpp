@@ -79,6 +79,10 @@ Simulation::Simulation(const HexMesh& mesh, const GllBasis& basis,
                             global_has_fluid_ ? 1 : 0, smpi::ReduceOp::Max) !=
                         0;
 
+  // Clustered LTS partition (ISSUE 7): built before the schedule variant
+  // resolves because a multi-cluster run forces a colored schedule.
+  build_cluster_partition_lts();
+
   scratch_.reserve(static_cast<std::size_t>(cfg_.num_threads));
   for (int t = 0; t < cfg_.num_threads; ++t)
     scratch_.push_back(std::make_unique<ThreadScratch>(
@@ -94,6 +98,10 @@ Simulation::Simulation(const HexMesh& mesh, const GllBasis& basis,
   if (schedule_ == SolverSchedule::Auto) {
     if (cfg_.num_threads > 1)
       schedule_ = SolverSchedule::Interleaved;
+    else if (lts_num_levels_ > 1)
+      // Multi-cluster LTS runs through per-rate element schedules; the
+      // interleaved variant keeps its locality pass and proof machinery.
+      schedule_ = SolverSchedule::Interleaved;
     else
       schedule_ = cfg_.force_colored_schedule ? SolverSchedule::Colored
                                               : SolverSchedule::Sequential;
@@ -101,6 +109,9 @@ Simulation::Simulation(const HexMesh& mesh, const GllBasis& basis,
   SFG_CHECK_MSG(
       schedule_ != SolverSchedule::Sequential || cfg_.num_threads == 1,
       "the sequential schedule requires num_threads == 1");
+  SFG_CHECK_MSG(
+      schedule_ != SolverSchedule::Sequential || lts_num_levels_ == 1,
+      "multi-cluster LTS requires a colored schedule");
   colored_schedule_ = schedule_ != SolverSchedule::Sequential;
 
   const auto ng = static_cast<std::size_t>(mesh_.nglob);
@@ -221,6 +232,10 @@ void Simulation::build_colored_schedule() {
   packed_fluid_ = PackedBatches{};
   packed_seq_solid_ = PackedBatches{};
   packed_seq_fluid_ = PackedBatches{};
+  lts_sched_boundary_ = ClusterSchedule{};
+  lts_sched_interior_ = ClusterSchedule{};
+  lts_packed_boundary_.clear();
+  lts_packed_interior_.clear();
   num_boundary_elements_ = 0;
   if (!colored_schedule_) {
     if (batched_) {
@@ -267,10 +282,6 @@ void Simulation::build_colored_schedule() {
   solid_boundary_batches_ = color_batches(boundary, color_of);
   solid_interior_batches_ = color_batches(interior, color_of);
   fluid_batches_ = color_batches(fluid_elements_, color_of);
-  // The Batched kernel always executes colored variants through element
-  // schedules (plain rounds for Colored), so the SoA batch cuts exist
-  // and are invariant-checked for every variant.
-  if (schedule_ != SolverSchedule::Interleaved && !batched_) return;
 
   // Second-level locality pass (ISSUE 4): order elements within each
   // color by RCM proximity, then interleave color pairs into per-slot
@@ -290,6 +301,39 @@ void Simulation::build_colored_schedule() {
   for (std::size_t pos = 0; pos < order.size(); ++pos)
     opts.proximity_rank[static_cast<std::size_t>(order[pos])] =
         static_cast<int>(pos);
+
+  if (lts_active_ && lts_num_levels_ > 1) {
+    // Clustered LTS (ISSUE 7): one checked schedule per marching rate, so
+    // the existing color/interleave/batch machinery runs unchanged within
+    // each cluster round. The Simulation refuses to march on any schedule
+    // the cluster checker rejects (invariants C-A..C-B), exactly as the
+    // single-rate path refuses a broken element schedule.
+    auto build_cluster_checked = [&](const std::vector<int>& elems) {
+      ClusterSchedule cs = build_cluster_schedule(mesh_, elems, color_of,
+                                                  lts_part_, opts,
+                                                  cfg_.lts.cluster);
+      const std::string err =
+          check_cluster_schedule(mesh_, elems, color_of, lts_part_, cs);
+      SFG_CHECK_MSG(err.empty(),
+                    "cluster schedule invariant violated: " << err);
+      return cs;
+    };
+    lts_sched_boundary_ = build_cluster_checked(boundary);
+    lts_sched_interior_ = build_cluster_checked(interior);
+    if (batched_) {
+      for (const ElementSchedule& s : lts_sched_boundary_.rate_sched)
+        lts_packed_boundary_.push_back(pack_batches(s.items, s.batch_cut));
+      for (const ElementSchedule& s : lts_sched_interior_.rate_sched)
+        lts_packed_interior_.push_back(pack_batches(s.items, s.batch_cut));
+    }
+    return;
+  }
+
+  // The Batched kernel always executes colored variants through element
+  // schedules (plain rounds for Colored), so the SoA batch cuts exist
+  // and are invariant-checked for every variant.
+  if (schedule_ != SolverSchedule::Interleaved && !batched_) return;
+
   auto build_checked = [&](const std::vector<int>& elems) {
     ElementSchedule s = build_element_schedule(mesh_, elems, color_of, opts);
     const std::string err =
@@ -393,9 +437,14 @@ int Simulation::num_solid_batches() const {
 }
 
 int Simulation::num_residual_elements() const {
-  return sched_solid_boundary_.residual_elements +
-         sched_solid_interior_.residual_elements +
-         sched_fluid_.residual_elements;
+  int n = sched_solid_boundary_.residual_elements +
+          sched_solid_interior_.residual_elements +
+          sched_fluid_.residual_elements;
+  for (const ElementSchedule& s : lts_sched_boundary_.rate_sched)
+    n += s.residual_elements;
+  for (const ElementSchedule& s : lts_sched_interior_.rate_sched)
+    n += s.residual_elements;
+  return n;
 }
 
 void Simulation::build_mass_matrices() {
@@ -1095,8 +1144,6 @@ void Simulation::record_attenuation_time() {
 }
 
 void Simulation::compute_solid_forces() {
-  const int n3 = mesh_.ngll3();
-
   if (!colored_schedule_) {
     metrics::PhaseScope ps(&profile_, metrics::Phase::SolidForces);
     if (batched_) {
@@ -1151,19 +1198,7 @@ void Simulation::compute_solid_forces() {
   }
 
   // Sources.
-  for (const DiscreteSource& src : sources_) {
-    const double s = src.stf(time_ + cfg_.dt);
-    const std::size_t off = mesh_.local_offset(src.ispec);
-    for (int p = 0; p < n3; ++p) {
-      const auto& f = src.node_force[static_cast<std::size_t>(p)];
-      if (f[0] == 0.0 && f[1] == 0.0 && f[2] == 0.0) continue;
-      const auto g = static_cast<std::size_t>(
-          mesh_.ibool[off + static_cast<std::size_t>(p)]);
-      accel_[g * 3 + 0] += static_cast<float>(f[0] * s);
-      accel_[g * 3 + 1] += static_cast<float>(f[1] * s);
-      accel_[g * 3 + 2] += static_cast<float>(f[2] * s);
-    }
-  }
+  inject_sources();
   ps_surface.stop();
 
   // Comm/compute overlap (§5): open the halo exchange as soon as every
@@ -1225,6 +1260,309 @@ void Simulation::compute_solid_forces() {
   }
 }
 
+void Simulation::inject_sources() {
+  const int n3 = mesh_.ngll3();
+  for (const DiscreteSource& src : sources_) {
+    const double s = src.stf(time_ + cfg_.dt);
+    const std::size_t off = mesh_.local_offset(src.ispec);
+    for (int p = 0; p < n3; ++p) {
+      const auto& f = src.node_force[static_cast<std::size_t>(p)];
+      if (f[0] == 0.0 && f[1] == 0.0 && f[2] == 0.0) continue;
+      const auto g = static_cast<std::size_t>(
+          mesh_.ibool[off + static_cast<std::size_t>(p)]);
+      accel_[g * 3 + 0] += static_cast<float>(f[0] * s);
+      accel_[g * 3 + 1] += static_cast<float>(f[1] * s);
+      accel_[g * 3 + 2] += static_cast<float>(f[2] * s);
+    }
+  }
+}
+
+void Simulation::exchange_point_min(std::vector<int>& values) const {
+  if (exchanger_ == nullptr) return;
+  // Levels and rates are tiny non-negative integers (kNoTouchingRate =
+  // 2^20 at worst) — exactly representable in float, so the round trip
+  // through the float-typed exchanger is lossless.
+  std::vector<float> f(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    f[i] = static_cast<float>(values[i]);
+  exchanger_->assemble_min(*comm_, f.data(), 1);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    values[i] = static_cast<int>(f[i]);
+}
+
+void Simulation::build_cluster_partition_lts() {
+  lts_active_ = cfg_.lts.enabled;
+  if (!lts_active_) return;
+
+  std::vector<int> level_of;
+  if (cfg_.lts.element_dt.empty()) {
+    level_of.assign(static_cast<std::size_t>(mesh_.nspec), 0);
+  } else {
+    SFG_CHECK_MSG(cfg_.lts.element_dt.size() ==
+                      static_cast<std::size_t>(mesh_.nspec),
+                  "lts.element_dt must carry one stable dt per element");
+    level_of =
+        cluster_levels_from_dt(cfg_.lts.element_dt, cfg_.dt,
+                               cfg_.lts.max_levels);
+  }
+  // Fluid elements march at the base rate: the acoustic potential has no
+  // interface interpolation yet.
+  for (int e : fluid_elements_) level_of[static_cast<std::size_t>(e)] = 0;
+
+  // Rate-2 smoothing to a CROSS-RANK fixed point: point levels are
+  // min-combined across ranks before each clamp so an element whose fast
+  // neighbour lives on another rank still steps down. Terminates because
+  // levels only ever decrease.
+  std::vector<int> point_level;
+  for (;;) {
+    point_level = cluster_point_levels(mesh_, level_of);
+    exchange_point_min(point_level);
+    int changed = clamp_cluster_levels(mesh_, point_level, level_of);
+    if (comm_ != nullptr)
+      changed = static_cast<int>(comm_->allreduce_one<std::uint64_t>(
+          static_cast<std::uint64_t>(changed), smpi::ReduceOp::Max));
+    if (changed == 0) break;
+  }
+  lts_part_ = finalize_cluster_partition(mesh_, std::move(level_of),
+                                         std::move(point_level));
+
+  lts_num_levels_ = lts_part_.num_levels;
+  if (comm_ != nullptr)
+    lts_num_levels_ = static_cast<int>(comm_->allreduce_one<std::uint64_t>(
+        static_cast<std::uint64_t>(lts_num_levels_), smpi::ReduceOp::Max));
+
+  if (lts_num_levels_ > 1) {
+    // Feature restrictions: these carry per-substep element or boundary
+    // state the interface interpolation does not serve yet. Refuse loudly
+    // instead of producing silently wrong physics.
+    SFG_CHECK_MSG(!cfg_.attenuation,
+                  "multi-cluster LTS does not support attenuation");
+    SFG_CHECK_MSG(!cfg_.rotation,
+                  "multi-cluster LTS does not support rotation");
+    SFG_CHECK_MSG(!global_has_fluid_,
+                  "multi-cluster LTS does not support fluid regions");
+    SFG_CHECK_MSG(cfg_.absorbing_faces.empty(),
+                  "multi-cluster LTS does not support absorbing boundaries");
+  }
+
+  // Interface set from the min-combined marching rates (the exchanged
+  // values keep the interpolation-set membership — and hence the displ
+  // trajectory of every shared point — bit-consistent across ranks).
+  std::vector<int> min_rate = cluster_point_min_rate(mesh_, lts_part_.rate_of);
+  exchange_point_min(min_rate);
+  lts_interp_ = cluster_interface_points(mesh_, lts_part_.point_level,
+                                         min_rate, cfg_.lts.cluster);
+
+  // Invariant C-D at construction: every mid-stride gather is covered by
+  // the interpolation set. A partition that fails cannot march.
+  const std::string err =
+      check_cluster_interfaces(mesh_, solid_elements_, lts_part_, lts_interp_);
+  SFG_CHECK_MSG(err.empty(), "cluster schedule invariant violated: " << err);
+
+  const auto ng = static_cast<std::size_t>(mesh_.nglob);
+  a_pred_.assign(ng * 3, 0.0f);
+  const std::size_t ni = lts_interp_.points.size();
+  interp_u0_.assign(ni * 3, 0.0f);
+  interp_v0_.assign(ni * 3, 0.0f);
+  interp_a0_.assign(ni * 3, 0.0f);
+  lts_clock_.assign(static_cast<std::size_t>(lts_num_levels_), 0);
+
+  SFG_INFO("clustered LTS: levels=" << lts_num_levels_
+           << " interface_points=" << ni);
+}
+
+void Simulation::lts_predict() {
+  const double dt = cfg_.dt;
+  const auto ng = static_cast<std::size_t>(mesh_.nglob);
+  const int n = it_;  // substep about to execute
+  const int* plevel = lts_part_.point_level.data();
+  const std::size_t ni = lts_interp_.points.size();
+
+  // Degenerate single-cluster run (globally one level, hence no interface
+  // points): every point is due every substep and a_pred_ mirrors accel_,
+  // so the legacy fused loop computes the same bits without the extra
+  // a_pred_/level streams (which otherwise cost a few percent of a step).
+  if (lts_num_levels_ == 1) {
+    const double dt2 = 0.5 * dt * dt;
+    parallel_over(ng * 3, [&](std::size_t b, std::size_t e) {
+      for (std::size_t g = b; g < e; ++g) {
+        displ_[g] += static_cast<float>(dt * veloc_[g] + dt2 * accel_[g]);
+        veloc_[g] += static_cast<float>(0.5 * dt * accel_[g]);
+        accel_[g] = 0.0f;
+      }
+    });
+    return;
+  }
+
+  // Stride-start Taylor snapshot of the interface points, BEFORE the
+  // masked predictor moves them: u0/v0 are the stride-boundary kinematics,
+  // a0 the acceleration latched at the owning cluster's last corrector.
+  if (ni > 0) {
+    metrics::PhaseScope ps(&profile_, metrics::Phase::LtsInterpolate);
+    for (std::size_t i = 0; i < ni; ++i) {
+      const int lv = lts_interp_.level[i];
+      if ((n & ((1 << lv) - 1)) != 0) continue;
+      const auto g = static_cast<std::size_t>(lts_interp_.points[i]) * 3;
+      for (int c = 0; c < 3; ++c) {
+        interp_u0_[i * 3 + static_cast<std::size_t>(c)] = displ_[g + c];
+        interp_v0_[i * 3 + static_cast<std::size_t>(c)] = veloc_[g + c];
+        interp_a0_[i * 3 + static_cast<std::size_t>(c)] = a_pred_[g + c];
+      }
+    }
+  }
+
+  // Masked predictor: a level-L point takes its full 2^L dt stride at the
+  // stride-start substep and rests otherwise; acceleration is zeroed at
+  // EVERY point every substep (partial sums at resting points are junk by
+  // construction and discarded). At one cluster (L == 0 everywhere)
+  // dtL == dt bitwise, a_pred_ mirrors accel_, and this loop performs
+  // exactly the legacy update — the bit-identity the golden legs pin.
+  parallel_over(ng, [&](std::size_t b, std::size_t e) {
+    for (std::size_t g = b; g < e; ++g) {
+      const int lv = plevel[g];
+      if ((static_cast<int>(n) & ((1 << lv) - 1)) == 0) {
+        const double dtL = dt * static_cast<double>(1 << lv);
+        const double dtL2 = 0.5 * dtL * dtL;
+        for (int c = 0; c < 3; ++c) {
+          const std::size_t q = g * 3 + static_cast<std::size_t>(c);
+          displ_[q] +=
+              static_cast<float>(dtL * veloc_[q] + dtL2 * a_pred_[q]);
+          veloc_[q] += static_cast<float>(0.5 * dtL * a_pred_[q]);
+        }
+      }
+      accel_[g * 3 + 0] = 0.0f;
+      accel_[g * 3 + 1] = 0.0f;
+      accel_[g * 3 + 2] = 0.0f;
+    }
+  });
+
+  // Interface interpolation: faster neighbours gather these points
+  // mid-stride, so their displacement must read the owning cluster's
+  // trajectory at THIS substep's target time, not the full-stride jump
+  // the predictor just wrote. Evaluate the Taylor polynomial at
+  // s = (p + 1) dt into the stride (double math, one float round).
+  if (ni > 0) {
+    metrics::PhaseScope ps(&profile_, metrics::Phase::LtsInterpolate);
+    for (std::size_t i = 0; i < ni; ++i) {
+      const int lv = lts_interp_.level[i];
+      const int p = n & ((1 << lv) - 1);
+      const double s = static_cast<double>(p + 1) * dt;
+      const auto g = static_cast<std::size_t>(lts_interp_.points[i]) * 3;
+      for (int c = 0; c < 3; ++c) {
+        const std::size_t q = i * 3 + static_cast<std::size_t>(c);
+        displ_[g + c] = static_cast<float>(
+            static_cast<double>(interp_u0_[q]) + s * interp_v0_[q] +
+            0.5 * s * s * interp_a0_[q]);
+      }
+    }
+  }
+}
+
+void Simulation::lts_correct() {
+  const double dt = cfg_.dt;
+  const auto ng = static_cast<std::size_t>(mesh_.nglob);
+  const int n = it_;
+  const int* plevel = lts_part_.point_level.data();
+
+  // Degenerate single-cluster run: legacy corrector (a_pred_ stays at its
+  // initial zeros — nothing reads it at one level, and checkpoints of a
+  // single-cluster run round-trip those zeros consistently), plus the
+  // rate-0 clock.
+  if (lts_num_levels_ == 1) {
+    parallel_over(ng * 3, [&](std::size_t b, std::size_t e) {
+      for (std::size_t g = b; g < e; ++g)
+        veloc_[g] += static_cast<float>(0.5 * dt * accel_[g]);
+    });
+    ++lts_clock_[0];
+    return;
+  }
+
+  // Masked corrector: points due this substep finish their stride with
+  // the freshly assembled acceleration and latch it for the next
+  // predictor. Not-due points keep their half-updated velocity; their
+  // accel_ holds junk that the next substep zeroes.
+  parallel_over(ng, [&](std::size_t b, std::size_t e) {
+    for (std::size_t g = b; g < e; ++g) {
+      const int lv = plevel[g];
+      if (((n + 1) & ((1 << lv) - 1)) != 0) continue;
+      const double dtL = dt * static_cast<double>(1 << lv);
+      for (int c = 0; c < 3; ++c) {
+        const std::size_t q = g * 3 + static_cast<std::size_t>(c);
+        veloc_[q] += static_cast<float>(0.5 * dtL * accel_[q]);
+        a_pred_[q] = accel_[q];
+      }
+    }
+  });
+
+  // Per-rate stride clocks (checkpointed): clock[r] == step_count() >> r
+  // after every step.
+  for (int r = 0; r < lts_num_levels_; ++r)
+    if (((n + 1) & ((1 << r) - 1)) == 0)
+      ++lts_clock_[static_cast<std::size_t>(r)];
+}
+
+void Simulation::compute_solid_forces_lts() {
+  const int n = it_;
+  auto rate_active = [&](int r) { return ((n + 1) & ((1 << r) - 1)) == 0; };
+
+  // Boundary clusters first (ascending rate — the per-point summation
+  // order is (rate, color) lexicographic, fixed across thread counts),
+  // then the halo exchange opens and the interior clusters hide it.
+  {
+    metrics::PhaseScope ps(&profile_, metrics::Phase::SolidBoundary);
+    for (std::size_t ri = 0; ri < lts_sched_boundary_.rates.size(); ++ri)
+      if (rate_active(lts_sched_boundary_.rates[ri]))
+        run_element_schedule(
+            lts_sched_boundary_.rate_sched[ri],
+            batched_ ? &lts_packed_boundary_[ri] : nullptr,
+            /*solid=*/true);
+  }
+
+  {
+    // Sources fire every substep: the injection lands on the assembled
+    // acceleration of whatever points are due now and is junk-discarded
+    // elsewhere, so each cluster integrates the STF at its own rate.
+    metrics::PhaseScope ps(&profile_, metrics::Phase::SourceInjection);
+    inject_sources();
+  }
+
+  if (exchanger_ != nullptr) {
+    metrics::PhaseScope ps(&profile_, metrics::Phase::HaloBegin);
+    exchanger_->assemble_add_begin(*comm_, accel_.data(), 3);
+  }
+  {
+    metrics::PhaseScope ps(&profile_, metrics::Phase::SolidInterior);
+    WallTimer t_interior;
+    for (std::size_t ri = 0; ri < lts_sched_interior_.rates.size(); ++ri)
+      if (rate_active(lts_sched_interior_.rates[ri]))
+        run_element_schedule(
+            lts_sched_interior_.rate_sched[ri],
+            batched_ ? &lts_packed_interior_[ri] : nullptr,
+            /*solid=*/true);
+    if (exchanger_ != nullptr)
+      overlap_compute_seconds_ += t_interior.seconds();
+  }
+  if (exchanger_ != nullptr) {
+    metrics::PhaseScope ps(&profile_, metrics::Phase::HaloWait);
+    WallTimer t_wait;
+    exchanger_->assemble_add_end(*comm_);
+    overlap_wait_seconds_ += t_wait.seconds();
+  }
+
+  // Unmasked mass division: cheap, and the junk at not-due points stays
+  // junk (discarded by the masked corrector/predictor pair).
+  metrics::PhaseScope ps_mass(&profile_, metrics::Phase::MassUpdate);
+  const auto ng = static_cast<std::size_t>(mesh_.nglob);
+  parallel_over(ng, [&](std::size_t b, std::size_t e) {
+    for (std::size_t g = b; g < e; ++g) {
+      const float rm = rmass_inv_solid_[g];
+      accel_[g * 3 + 0] *= rm;
+      accel_[g * 3 + 1] *= rm;
+      accel_[g * 3 + 2] *= rm;
+    }
+  });
+}
+
 void Simulation::step() {
   // Fault-plan hook: a planned rank death fires here, before any of this
   // step's collective communication, so peers abort instead of deadlock.
@@ -1239,13 +1577,19 @@ void Simulation::step() {
   {
     metrics::PhaseScope ps(&profile_, metrics::Phase::NewmarkPredictor);
     // ---- Newmark predictor ----
-    parallel_over(ng * 3, [&](std::size_t b, std::size_t n) {
-      for (std::size_t g = b; g < n; ++g) {
-        displ_[g] += static_cast<float>(dt * veloc_[g] + dt2 * accel_[g]);
-        veloc_[g] += static_cast<float>(0.5 * dt * accel_[g]);
-        accel_[g] = 0.0f;
-      }
-    });
+    if (lts_active_) {
+      // Masked per-cluster predictor + interface interpolation; at one
+      // cluster this is the loop below, bit for bit.
+      lts_predict();
+    } else {
+      parallel_over(ng * 3, [&](std::size_t b, std::size_t n) {
+        for (std::size_t g = b; g < n; ++g) {
+          displ_[g] += static_cast<float>(dt * veloc_[g] + dt2 * accel_[g]);
+          veloc_[g] += static_cast<float>(0.5 * dt * accel_[g]);
+          accel_[g] = 0.0f;
+        }
+      });
+    }
     if (global_has_fluid_) {
       parallel_over(ng, [&](std::size_t b, std::size_t n) {
         for (std::size_t g = b; g < n; ++g) {
@@ -1262,15 +1606,22 @@ void Simulation::step() {
   // with zero local contributions.
   if (global_has_fluid_) compute_fluid_forces();
 
-  compute_solid_forces();
+  if (lts_active_ && lts_num_levels_ > 1)
+    compute_solid_forces_lts();
+  else
+    compute_solid_forces();
 
   {
     metrics::PhaseScope ps(&profile_, metrics::Phase::NewmarkCorrector);
     // ---- Newmark corrector ----
-    parallel_over(ng * 3, [&](std::size_t b, std::size_t n) {
-      for (std::size_t g = b; g < n; ++g)
-        veloc_[g] += static_cast<float>(0.5 * dt * accel_[g]);
-    });
+    if (lts_active_) {
+      lts_correct();
+    } else {
+      parallel_over(ng * 3, [&](std::size_t b, std::size_t n) {
+        for (std::size_t g = b; g < n; ++g)
+          veloc_[g] += static_cast<float>(0.5 * dt * accel_[g]);
+      });
+    }
     if (global_has_fluid_) {
       parallel_over(ng, [&](std::size_t b, std::size_t n) {
         for (std::size_t g = b; g < n; ++g)

@@ -107,6 +107,32 @@ struct SimulationConfig {
   /// force_colored_schedule (see SolverSchedule).
   SolverSchedule schedule = SolverSchedule::Auto;
 
+  /// Rate-2 clustered local time stepping (ISSUE 7). When enabled,
+  /// elements are bucketed into dt clusters from `element_dt` (the
+  /// per-element stable-dt estimate, see element_stable_dt); cluster k is
+  /// evaluated every 2^k base steps, so `dt` — which stays the global
+  /// fast step — no longer taxes the slow regions with the fast region's
+  /// Courant bound. step() still advances exactly one base step of `dt`;
+  /// with an empty `element_dt` every element lands in cluster 0 and the
+  /// scheme degenerates to the global-dt path BIT-IDENTICALLY.
+  ///
+  /// Multi-cluster runs refuse attenuation, rotation, fluid regions and
+  /// absorbing boundaries (their element updates carry per-step state the
+  /// interpolation scheme does not yet serve) and require a colored
+  /// schedule. Fluid elements are pinned to cluster 0.
+  struct LtsOptions {
+    bool enabled = false;
+    /// Cluster-count cap: levels clamp to [0, max_levels).
+    int max_levels = 8;
+    /// Per-element stable dt (size nspec); empty = single cluster.
+    std::vector<double> element_dt;
+    /// TEST ONLY: injection teeth forwarded to the cluster builders so
+    /// tests can prove the Simulation refuses an unsound cluster
+    /// schedule. Never set in production code.
+    ClusterOptions cluster;
+  };
+  LtsOptions lts;
+
   /// IPM-style per-step observability (ISSUE 3): phase timers, comm
   /// histograms, thread busy fractions. Default on (report-only); the
   /// Chrome-trace timeline is opt-in.
@@ -262,6 +288,20 @@ class Simulation {
   /// the per-rank timelines with metrics::write_chrome_trace.
   metrics::RankTimeline metrics_timeline() const;
 
+  // ---- clustered LTS observability (ISSUE 7) ----
+  /// Number of dt clusters on this rank's partition after cross-rank
+  /// smoothing (1 when LTS is off or every element shares one cluster).
+  int lts_num_levels() const { return lts_num_levels_; }
+  /// Cluster-interface GLL points receiving time-interpolated kinematics.
+  int lts_num_interface_points() const {
+    return static_cast<int>(lts_interp_.points.size());
+  }
+  /// Per-rate substep clocks: lts_clock()[r] counts completed rate-r
+  /// strides; invariant clock[r] == step_count() >> r.
+  const std::vector<std::int64_t>& lts_clock() const { return lts_clock_; }
+  /// The smoothed cluster partition (empty level_of when LTS is off).
+  const ClusterPartition& lts_partition() const { return lts_part_; }
+
  private:
   struct CouplingPoint {
     int iglob;
@@ -322,6 +362,27 @@ class Simulation {
   void build_coupling_surface();
   void build_absorbing_points();
   void build_colored_schedule();
+  /// Build the smoothed cluster partition + interface set from
+  /// cfg_.lts (cross-rank fixed-point smoothing via assemble_min);
+  /// SFG_CHECKs the multi-cluster feature restrictions and the interface
+  /// invariant (C-D) before any state is allocated.
+  void build_cluster_partition_lts();
+  /// Min-combine an int-valued per-point field across ranks (levels /
+  /// rates fit exactly in float). No-op when serial.
+  void exchange_point_min(std::vector<int>& values) const;
+  /// Masked Newmark predictor for clustered LTS: points due this substep
+  /// take a full stride of their level's dt from a_pred_; interface
+  /// points get time-interpolated displacement instead.
+  void lts_predict();
+  /// Masked corrector: due points finish their stride and latch accel
+  /// into a_pred_; per-rate clocks advance.
+  void lts_correct();
+  /// Per-rate force pass: every cluster whose rate divides the current
+  /// substep runs its own checked schedule (boundary before the halo
+  /// exchange, interior overlapped), ascending rate.
+  void compute_solid_forces_lts();
+  /// Shared source injection (legacy + LTS force paths).
+  void inject_sources();
   void compute_fluid_forces();
   void compute_solid_forces();
   void process_solid_element(int ispec, ThreadScratch& scratch);
@@ -401,6 +462,29 @@ class Simulation {
   PackedBatches packed_seq_fluid_;
   int num_boundary_elements_ = 0;
   bool global_has_fluid_ = false;  ///< fluid anywhere across all ranks
+
+  // Clustered LTS (ISSUE 7). lts_active_ means cfg_.lts.enabled; the
+  // masked predictor/corrector run whenever it is set (bit-identical to
+  // the legacy update at one cluster), the per-rate force pass only when
+  // lts_num_levels_ > 1.
+  bool lts_active_ = false;
+  int lts_num_levels_ = 1;  ///< global (allreduced) cluster count
+  ClusterPartition lts_part_;
+  ClusterSchedule lts_sched_boundary_;
+  ClusterSchedule lts_sched_interior_;
+  std::vector<PackedBatches> lts_packed_boundary_;
+  std::vector<PackedBatches> lts_packed_interior_;
+  InterfaceSet lts_interp_;
+  /// Each point's acceleration at its last due corrector (nglob * 3):
+  /// the masked predictor reads it so a slow point's stride uses the
+  /// acceleration of its own cluster clock, not a faster cluster's.
+  aligned_vector<float> a_pred_;
+  /// Stride-start kinematic snapshots at the interface points
+  /// (ninterp * 3 each): displ, veloc, accel at the owning cluster's
+  /// last stride boundary, the Taylor basis of the interpolation.
+  aligned_vector<float> interp_u0_, interp_v0_, interp_a0_;
+  /// Completed strides per rate; checkpointed and checked on restore.
+  std::vector<std::int64_t> lts_clock_;
   double overlap_compute_seconds_ = 0.0;
   double overlap_wait_seconds_ = 0.0;
 

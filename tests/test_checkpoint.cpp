@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstdio>
@@ -16,6 +17,7 @@
 
 #include "io/snapshot.hpp"
 #include "mesh/cartesian.hpp"
+#include "mesh/quality.hpp"
 #include "model/attenuation.hpp"
 #include "runtime/exchanger.hpp"
 #include "runtime/fault.hpp"
@@ -436,6 +438,203 @@ TEST_F(CheckpointRejection, MismatchedRunLayoutRejected) {
   RunConfig rc;
   rc.attenuation = true;
   EXPECT_THROW(run_box(rc, 60, 0, "", path_), CheckError);
+}
+
+// ---- clustered LTS across checkpoints (ISSUE 7) ----
+//
+// A multi-cluster run carries state beyond the wavefields: the per-rate
+// clocks, the latched per-cluster accelerations and the stride-start
+// interface snapshots the masked predictor reads mid-stride. A checkpoint
+// taken MID-STRIDE (step not divisible by the slow strides) must restore
+// all of it bit-identically, and a snapshot can never silently cross the
+// LTS on/off boundary.
+
+/// Velocity-banded solid material for the 4^3 box: the per-element stable
+/// dt spreads by exactly the vp ratio (1:2:4 bottom to top), so with
+/// dt = 0.95 * min(stable) the element levels land on {0, 1, 2}.
+MaterialSample banded_rock(double z) {
+  MaterialSample s;
+  s.q_mu = 0.0;
+  if (z < 250.0) {  // stiff basement: the fast (level-0) cluster
+    s.rho = 2700.0;
+    s.vp = 6000.0;
+    s.vs = 3600.0;
+  } else if (z < 500.0) {
+    s.rho = 2500.0;
+    s.vp = 3000.0;
+    s.vs = 1800.0;
+  } else {
+    s.rho = 2000.0;
+    s.vp = 1500.0;
+    s.vs = 900.0;
+  }
+  return s;
+}
+
+Seismogram run_lts_box(int nsteps, int checkpoint_step,
+                       const std::string& checkpoint_path,
+                       const std::string& restore_from) {
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(box_spec(), basis);
+  MaterialFields mat = assign_materials(
+      mesh, [](double, double, double z) { return banded_rock(z); });
+  SimulationConfig cfg;
+  const std::vector<double> edt = element_stable_dt(mesh, mat.vp);
+  cfg.dt = 0.95 * *std::min_element(edt.begin(), edt.end());
+  cfg.lts.enabled = true;
+  cfg.lts.element_dt = edt;
+  Simulation sim(mesh, basis, mat, cfg);
+  EXPECT_EQ(sim.lts_num_levels(), 3);
+  sim.add_source(test_source());
+  const int rec = sim.add_receiver(700.0, 510.0, 480.0);
+
+  int start = 0;
+  if (!restore_from.empty()) {
+    sim.restore_checkpoint(restore_from, test_identity());
+    start = sim.step_count();
+    // The restored per-rate clocks must sit exactly on clock[r] = step >> r.
+    for (int k = 0; k < sim.lts_num_levels(); ++k)
+      EXPECT_EQ(sim.lts_clock()[static_cast<std::size_t>(k)], start >> k)
+          << "restored LTS clock[" << k << "] off the stride grid";
+  }
+  for (int s = start; s < nsteps; ++s) {
+    sim.step();
+    if (checkpoint_step > 0 && sim.step_count() == checkpoint_step) {
+      sim.write_checkpoint(checkpoint_path, test_identity());
+      return Seismogram{};
+    }
+  }
+  return sim.seismogram(rec);
+}
+
+TEST(Checkpoint, LtsMultiClusterMidStrideRoundTripIsBitIdentical) {
+  // k = 23 is odd: every slow cluster is mid-stride at the dump, so the
+  // restore leans on the checkpointed interface snapshots and a_pred — a
+  // restart that rebuilt them from scratch would diverge immediately.
+  const int nsteps = 60, k = 23;
+  const std::string path = temp_path("ckpt_lts_roundtrip.snap");
+
+  const Seismogram uninterrupted = run_lts_box(nsteps, 0, "", "");
+  run_lts_box(nsteps, k, path, "");
+  const Seismogram restarted = run_lts_box(nsteps, 0, "", path);
+
+  expect_bit_identical(uninterrupted, restarted);
+}
+
+TEST(Checkpoint, LtsOnOffMismatchIsRejected) {
+  const std::string path = temp_path("ckpt_lts_mismatch.snap");
+  run_lts_box(60, 23, path, "");  // snapshot taken with 3 clusters
+
+  // Same mesh, same dt, but a plain global-dt marcher: the meta
+  // fingerprint must refuse before any field is loaded.
+  GllBasis basis(4);
+  HexMesh mesh = build_cartesian_box(box_spec(), basis);
+  MaterialFields mat = assign_materials(
+      mesh, [](double, double, double z) { return banded_rock(z); });
+  SimulationConfig cfg;
+  const std::vector<double> edt = element_stable_dt(mesh, mat.vp);
+  cfg.dt = 0.95 * *std::min_element(edt.begin(), edt.end());
+  Simulation sim(mesh, basis, mat, cfg);
+  sim.add_source(test_source());
+  sim.add_receiver(700.0, 510.0, 480.0);
+  try {
+    sim.restore_checkpoint(path, test_identity());
+    FAIL() << "LTS snapshot restored into a global-dt run";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("LTS"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Checkpoint, LtsMidRunRankDeathRestartsBitIdentical) {
+  // The ISSUE 5 recovery scenario with clusters in play: a 2-rank x-split
+  // (each rank carries all three z-banded clusters and the cluster
+  // smoothing runs through the halo), periodic cadence of 7 so the last
+  // consistent set before the death at step 25 lands on step 21 —
+  // mid-stride for both slow clusters.
+  const auto spec = box_spec();
+  const int nsteps = 50, interval = 7, kill_step = 25;
+
+  const double dt = [&] {
+    GllBasis basis(4);
+    HexMesh mesh = build_cartesian_box(spec, basis);
+    MaterialFields mat = assign_materials(
+        mesh, [](double, double, double z) { return banded_rock(z); });
+    const std::vector<double> edt = element_stable_dt(mesh, mat.vp);
+    return 0.95 * *std::min_element(edt.begin(), edt.end());
+  }();
+
+  auto rank_identity = [](int rank) {
+    io::SnapshotIdentity id;
+    id.nex = 4;
+    id.nproc = 2;
+    id.nchunks = 1;
+    id.rank = rank;
+    id.nranks = 2;
+    return id;
+  };
+  auto rank_path = [&](int rank) {
+    return temp_path("ckpt_lts_death_rank" + std::to_string(rank) +
+                     ".snap");
+  };
+
+  auto run = [&](int mode) {
+    Seismogram out;
+    auto body = [&](smpi::Communicator& comm) {
+      GllBasis basis(4);
+      const int r = comm.rank();
+      CartesianSlice slice =
+          build_cartesian_slice(spec, basis, 2, 1, 1, r, 0, 0);
+      std::vector<smpi::PointCandidate> cands;
+      for (std::size_t n = 0; n < slice.boundary_keys.size(); ++n)
+        cands.push_back({slice.boundary_keys[n], slice.boundary_points[n]});
+      smpi::Exchanger ex = smpi::Exchanger::build(comm, cands);
+      MaterialFields mat = assign_materials(
+          slice.mesh, [](double, double, double z) {
+            return banded_rock(z);
+          });
+      SimulationConfig cfg;
+      cfg.dt = dt;  // global minimum — identical on both slices
+      cfg.lts.enabled = true;
+      cfg.lts.element_dt = element_stable_dt(slice.mesh, mat.vp);
+      if (mode != 0) {
+        cfg.checkpoint_interval_steps = interval;
+        cfg.checkpoint_path = rank_path(r);
+        cfg.checkpoint_identity = rank_identity(r);
+      }
+      Simulation sim(slice.mesh, basis, mat, cfg, &comm, &ex);
+      EXPECT_EQ(sim.lts_num_levels(), 3);
+      if (r == 0) sim.add_source(test_source());
+      int rec = -1;
+      if (r == 1) rec = sim.add_receiver(700.0, 510.0, 480.0);
+
+      int start = 0;
+      if (mode == 2) {
+        sim.restore_checkpoint(rank_path(r), rank_identity(r));
+        start = sim.step_count();
+        EXPECT_EQ(start, 21);
+      }
+      sim.run(nsteps - start);
+      if (rec >= 0) out = sim.seismogram(rec);
+    };
+    if (mode == 1) {
+      smpi::FaultPlan plan;
+      plan.kill_rank(1, kill_step);
+      EXPECT_THROW(smpi::run_ranks_with_faults(2, plan, body),
+                   smpi::SimulationAborted);
+    } else {
+      smpi::run_ranks(2, body);
+    }
+    return out;
+  };
+
+  const Seismogram uninterrupted = run(0);
+  run(1);  // dies at 25; leaves a consistent per-rank set at 21
+  for (int r = 0; r < 2; ++r)
+    ASSERT_EQ(checkpoint_step(rank_path(r), rank_identity(r)), 21)
+        << "rank " << r << ": last periodic set before the death";
+  const Seismogram recovered = run(2);
+  expect_bit_identical(uninterrupted, recovered);
 }
 
 // ---- metrics across restart (ISSUE 3) ----

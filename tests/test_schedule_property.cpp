@@ -13,6 +13,16 @@
 // It then proves the harness has teeth: an injected builder bug (the
 // TEST-ONLY unsafe_skip_straddler_demotion option) and a mutated schedule
 // must both be flagged by check_element_schedule.
+//
+// The clustered-LTS section (ISSUE 7) generalizes the same program to
+// cluster schedules on refined-region meshes (~4x stable-dt spread, >= 3
+// clusters): the three invariants are re-proven per rate bucket, plus
+// cluster invariant C — every point collects a contribution from every
+// touching element exactly once per cluster round, and any point gathered
+// mid-stride is served by the interface interpolation set. Three more
+// injection teeth (unsafe_rate_from_own_level, unsafe_merge_slowest_rates,
+// unsafe_drop_interp_points) prove the cluster checkers catch mutated
+// assignments, cross-cluster merges and skipped interpolation.
 
 #include <gtest/gtest.h>
 
@@ -603,6 +613,501 @@ TEST(ScheduleProperty, CheckerFlagsMutatedBatchCuts) {
     ElementSchedule bad = good;
     bad.batch_cut[1] = bad.batch_cut[2];
     EXPECT_NE(check_element_schedule(rc.mesh, rc.subset_a, rc.color_of, bad),
+              std::string());
+  }
+}
+
+// ---- clustered local time stepping (ISSUE 7) ----
+
+// Everything the cluster invariants are phrased in, recomputed straight
+// from the mesh and the element levels — deliberately NOT reusing the
+// production helpers (cluster_point_levels etc.), which are themselves
+// under test.
+struct IndependentClusterView {
+  std::vector<std::vector<int>> touching;  ///< per point, unique elements
+  std::vector<int> point_level;            ///< min toucher level
+  std::vector<int> rate_of;                ///< min point level over points
+  std::vector<int> point_min_rate;         ///< min toucher rate
+};
+
+IndependentClusterView recompute_cluster_view(
+    const HexMesh& mesh, const std::vector<int>& level_of) {
+  IndependentClusterView v;
+  const auto ng = static_cast<std::size_t>(mesh.nglob);
+  const int n3 = mesh.ngll3();
+  v.touching.resize(ng);
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const int* ib = mesh.ibool.data() + mesh.local_offset(e);
+    for (int p = 0; p < n3; ++p) {
+      auto& lst = v.touching[static_cast<std::size_t>(ib[p])];
+      if (lst.empty() || lst.back() != e) lst.push_back(e);
+    }
+  }
+  v.point_level.assign(ng, 0);
+  for (std::size_t g = 0; g < ng; ++g) {
+    int lv = std::numeric_limits<int>::max();
+    for (int e : v.touching[g])
+      lv = std::min(lv, level_of[static_cast<std::size_t>(e)]);
+    v.point_level[g] = v.touching[g].empty() ? 0 : lv;
+  }
+  v.rate_of.assign(static_cast<std::size_t>(mesh.nspec), 0);
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const int* ib = mesh.ibool.data() + mesh.local_offset(e);
+    int r = std::numeric_limits<int>::max();
+    for (int p = 0; p < n3; ++p)
+      r = std::min(r, v.point_level[static_cast<std::size_t>(ib[p])]);
+    v.rate_of[static_cast<std::size_t>(e)] = r;
+  }
+  v.point_min_rate.assign(ng, std::numeric_limits<int>::max());
+  for (std::size_t g = 0; g < ng; ++g)
+    for (int e : v.touching[g])
+      v.point_min_rate[g] = std::min(
+          v.point_min_rate[g], v.rate_of[static_cast<std::size_t>(e)]);
+  return v;
+}
+
+/// Rate-2 smoothing (cluster invariant C-C): no element's level exceeds
+/// any of its points' levels by more than one.
+void expect_cluster_levels_smoothed(const HexMesh& mesh,
+                                    const std::vector<int>& level_of,
+                                    const IndependentClusterView& v,
+                                    const std::string& ctx) {
+  const int n3 = mesh.ngll3();
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const int* ib = mesh.ibool.data() + mesh.local_offset(e);
+    for (int p = 0; p < n3; ++p)
+      ASSERT_LE(level_of[static_cast<std::size_t>(e)],
+                v.point_level[static_cast<std::size_t>(ib[p])] + 1)
+          << ctx << ": element " << e << " point " << ib[p];
+  }
+}
+
+/// Cluster invariant C-A, independently: buckets tile the input exactly
+/// once and each bucket holds only elements of its own marching rate.
+void expect_cluster_buckets_sound(const HexMesh& mesh,
+                                  const std::vector<int>& elements,
+                                  const IndependentClusterView& v,
+                                  const ClusterSchedule& cs,
+                                  const std::string& ctx) {
+  ASSERT_EQ(cs.rate_elements.size(), cs.rates.size()) << ctx;
+  ASSERT_EQ(cs.rate_sched.size(), cs.rates.size()) << ctx;
+  std::vector<int> count(static_cast<std::size_t>(mesh.nspec), 0);
+  for (std::size_t i = 0; i < cs.rates.size(); ++i) {
+    if (i > 0) {
+      ASSERT_LT(cs.rates[i - 1], cs.rates[i]) << ctx;
+    }
+    for (int e : cs.rate_elements[i]) {
+      ASSERT_GE(e, 0) << ctx;
+      ASSERT_LT(e, mesh.nspec) << ctx;
+      ++count[static_cast<std::size_t>(e)];
+      EXPECT_EQ(v.rate_of[static_cast<std::size_t>(e)], cs.rates[i])
+          << ctx << ": element " << e << " in the wrong rate bucket";
+    }
+  }
+  std::vector<char> in_input(static_cast<std::size_t>(mesh.nspec), 0);
+  for (int e : elements) in_input[static_cast<std::size_t>(e)] = 1;
+  for (int e = 0; e < mesh.nspec; ++e)
+    EXPECT_EQ(count[static_cast<std::size_t>(e)],
+              in_input[static_cast<std::size_t>(e)] ? 1 : 0)
+        << ctx << ": element " << e;
+}
+
+/// The interpolation set must be exactly the formula set: points of level
+/// L > 0 with some toucher marching at a rate below L.
+void expect_interp_set_exact(const HexMesh& mesh,
+                             const IndependentClusterView& v,
+                             const InterfaceSet& iset,
+                             const std::string& ctx) {
+  std::vector<int> exp_points, exp_levels;
+  for (int g = 0; g < mesh.nglob; ++g) {
+    const auto gs = static_cast<std::size_t>(g);
+    if (v.point_level[gs] > 0 && v.point_min_rate[gs] < v.point_level[gs]) {
+      exp_points.push_back(g);
+      exp_levels.push_back(v.point_level[gs]);
+    }
+  }
+  EXPECT_EQ(iset.points, exp_points) << ctx;
+  EXPECT_EQ(iset.level, exp_levels) << ctx;
+}
+
+/// Cluster invariant C (C-D), independently: simulate one full fast round
+/// of 2^(num_levels-1) substeps. At every substep where a point is due,
+/// it must collect exactly one contribution from EVERY touching element of
+/// `elements` (the solver discards junk at not-due points each substep, so
+/// the count is per-substep); and any contribution landing at a substep
+/// where the point is not due is a mid-stride gather that must be covered
+/// by the interpolation set.
+void expect_exactly_once_per_cluster_round(const HexMesh& mesh,
+                                           const std::vector<int>& elements,
+                                           const IndependentClusterView& v,
+                                           int num_levels,
+                                           const InterfaceSet& iset,
+                                           const std::string& ctx) {
+  const auto ng = static_cast<std::size_t>(mesh.nglob);
+  const int n3 = mesh.ngll3();
+  std::vector<char> interp(ng, 0);
+  for (int g : iset.points) interp[static_cast<std::size_t>(g)] = 1;
+
+  std::vector<std::vector<int>> expected(ng);
+  for (int e : elements) {
+    const int* ib = mesh.ibool.data() + mesh.local_offset(e);
+    for (int p = 0; p < n3; ++p)
+      expected[static_cast<std::size_t>(ib[p])].push_back(e);
+  }
+  for (auto& lst : expected) std::sort(lst.begin(), lst.end());
+
+  const int stride = 1 << (num_levels - 1);
+  std::vector<std::vector<int>> got(ng);
+  for (int n = 0; n < stride; ++n) {
+    for (auto& lst : got) lst.clear();
+    for (int e : elements) {
+      if (((n + 1) % (1 << v.rate_of[static_cast<std::size_t>(e)])) != 0)
+        continue;
+      const int* ib = mesh.ibool.data() + mesh.local_offset(e);
+      for (int p = 0; p < n3; ++p) {
+        const auto g = static_cast<std::size_t>(ib[p]);
+        if (((n + 1) % (1 << v.point_level[g])) != 0) {
+          EXPECT_TRUE(interp[g])
+              << ctx << ": point " << ib[p] << " gathered mid-stride at "
+              << "substep " << n << " without interpolation";
+        }
+        got[g].push_back(e);
+      }
+    }
+    for (std::size_t g = 0; g < ng; ++g) {
+      if (expected[g].empty()) continue;
+      if (((n + 1) % (1 << v.point_level[g])) != 0) continue;
+      std::sort(got[g].begin(), got[g].end());
+      ASSERT_EQ(got[g], expected[g])
+          << ctx << ": point " << g << " due at substep " << n
+          << " did not collect exactly one contribution per toucher";
+    }
+  }
+}
+
+struct RefinedCase {
+  RandomCase rc;
+  std::vector<double> element_dt;
+  ClusterPartition part;
+  int max_levels = 0;
+};
+
+// Refined-region generator: a box with a fast (finely-resolved-style)
+// band at the bottom — per-element stable dt doubles with each z quarter
+// for a ~4-8x total spread plus jitter, the profile where LTS actually
+// produces >= 3 occupied clusters (satellite task 1).
+RefinedCase make_refined_case(SplitMix64& rng, int index) {
+  RefinedCase cc;
+  CartesianBoxSpec spec;
+  spec.nx = 2 + static_cast<int>(rng.next_below(3));
+  spec.ny = 2 + static_cast<int>(rng.next_below(3));
+  spec.nz = 4 + static_cast<int>(rng.next_below(3));
+  spec.lx = spec.ly = 1000.0;
+  spec.lz = 2000.0;
+  const int ngll = 2 + static_cast<int>(rng.next_below(3));  // 2..4
+  GllBasis basis(ngll);
+  cc.rc.mesh = build_cartesian_box(spec, basis);
+  HexMesh& mesh = cc.rc.mesh;
+
+  std::vector<int> order(static_cast<std::size_t>(mesh.nspec));
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  cc.rc.color_of = greedy_element_coloring(element_adjacency(mesh), order);
+
+  const double frac = rng.uniform(0.3, 1.0);
+  for (int e : order)
+    (rng.next_double() < frac ? cc.rc.subset_a : cc.rc.subset_b).push_back(e);
+
+  cc.rc.opts.num_slots = 1 + static_cast<int>(rng.next_below(4));
+  const int block_choices[] = {1, 4, 64};
+  cc.rc.opts.block_size = block_choices[rng.next_below(3)];
+
+  const double dt0 = 1.0e-3;
+  cc.element_dt.resize(static_cast<std::size_t>(mesh.nspec));
+  const int n3 = mesh.ngll3();
+  for (int e = 0; e < mesh.nspec; ++e) {
+    const std::size_t off = mesh.local_offset(e);
+    double zc = 0.0;
+    for (int p = 0; p < n3; ++p)
+      zc += mesh.zstore[off + static_cast<std::size_t>(p)];
+    zc /= n3;
+    const int band =
+        std::clamp(static_cast<int>(zc / spec.lz * 4.0), 0, 3);
+    cc.element_dt[static_cast<std::size_t>(e)] =
+        dt0 * static_cast<double>(1 << band) * rng.uniform(1.0, 1.4);
+  }
+  cc.max_levels = 3 + static_cast<int>(rng.next_below(2));  // 3..4
+  cc.part = build_cluster_partition(
+      mesh, cluster_levels_from_dt(cc.element_dt, dt0, cc.max_levels));
+
+  cc.rc.ctx = "refined case " + std::to_string(index) + " (" +
+              std::to_string(spec.nx) + "x" + std::to_string(spec.ny) +
+              "x" + std::to_string(spec.nz) + " ngll " +
+              std::to_string(ngll) + " slots " +
+              std::to_string(cc.rc.opts.num_slots) + " max_levels " +
+              std::to_string(cc.max_levels) + ")";
+  return cc;
+}
+
+TEST(ClusterScheduleProperty, RefinedCasesSatisfyAllClusterInvariants) {
+  SplitMix64 rng(0xc1a57e85ULL);
+  int three_plus_clusters = 0;
+  std::size_t interface_points_seen = 0;
+  for (int i = 0; i < 24; ++i) {
+    RefinedCase cc = make_refined_case(rng, i);
+    const HexMesh& mesh = cc.rc.mesh;
+    const IndependentClusterView v =
+        recompute_cluster_view(mesh, cc.part.level_of);
+
+    // Partition soundness, independently recomputed.
+    expect_cluster_levels_smoothed(mesh, cc.part.level_of, v, cc.rc.ctx);
+    EXPECT_EQ(cc.part.point_level, v.point_level) << cc.rc.ctx;
+    EXPECT_EQ(cc.part.rate_of, v.rate_of) << cc.rc.ctx;
+
+    const InterfaceSet iset = cluster_interface_points(
+        mesh, cc.part.point_level,
+        cluster_point_min_rate(mesh, cc.part.rate_of));
+    expect_interp_set_exact(mesh, v, iset, cc.rc.ctx);
+    interface_points_seen += iset.points.size();
+
+    int rates_full = 0;
+    for (const std::vector<int>* subset :
+         {&cc.rc.subset_a, &cc.rc.subset_b}) {
+      const ClusterSchedule cs = build_cluster_schedule(
+          mesh, *subset, cc.rc.color_of, cc.part, cc.rc.opts);
+      expect_cluster_buckets_sound(mesh, *subset, v, cs, cc.rc.ctx);
+      // Invariants 1-3 re-proven on every rate bucket: a cluster round is
+      // just another schedule level.
+      for (std::size_t r = 0; r < cs.rates.size(); ++r)
+        check_all_invariants(
+            mesh, cc.rc.color_of, cs.rate_elements[r], cs.rate_sched[r],
+            cc.rc.ctx + " [rate " + std::to_string(cs.rates[r]) + "]");
+      EXPECT_EQ(check_cluster_schedule(mesh, *subset, cc.rc.color_of,
+                                       cc.part, cs),
+                std::string())
+          << cc.rc.ctx;
+      // Cluster invariant C, dynamically: exactly once per cluster round,
+      // mid-stride gathers covered by interpolation.
+      expect_exactly_once_per_cluster_round(mesh, *subset, v,
+                                            cc.part.num_levels, iset,
+                                            cc.rc.ctx);
+      EXPECT_EQ(check_cluster_interfaces(mesh, *subset, cc.part, iset),
+                std::string())
+          << cc.rc.ctx;
+      if (subset == &cc.rc.subset_a)
+        rates_full = static_cast<int>(cs.rates.size());
+    }
+    if (rates_full >= 3) ++three_plus_clusters;
+  }
+  // The refined generator must really exercise multi-cluster machinery:
+  // most draws produce >= 3 occupied clusters and a real interface set.
+  EXPECT_GT(three_plus_clusters, 12);
+  EXPECT_GT(interface_points_seen, 200u);
+}
+
+TEST(ClusterScheduleProperty, BatchedClusterSchedulesSatisfyInvariantB) {
+  SplitMix64 rng(0xc1a5b47cULL);
+  int batched_buckets = 0;
+  for (int i = 0; i < 8; ++i) {
+    RefinedCase cc = make_refined_case(rng, i);
+    ScheduleOptions opts = cc.rc.opts;
+    opts.batch_lanes = 8;
+    const ClusterSchedule cs = build_cluster_schedule(
+        cc.rc.mesh, cc.rc.subset_a, cc.rc.color_of, cc.part, opts);
+    for (std::size_t r = 0; r < cs.rates.size(); ++r) {
+      const std::string ctx =
+          cc.rc.ctx + " [batched rate " + std::to_string(cs.rates[r]) + "]";
+      check_all_invariants(cc.rc.mesh, cc.rc.color_of, cs.rate_elements[r],
+                           cs.rate_sched[r], ctx);
+      if (cs.rate_elements[r].empty()) continue;
+      expect_batches_sound(cc.rc.mesh, cc.rc.color_of, cs.rate_sched[r],
+                           ctx);
+      ++batched_buckets;
+    }
+    EXPECT_EQ(check_cluster_schedule(cc.rc.mesh, cc.rc.subset_a,
+                                     cc.rc.color_of, cc.part, cs),
+              std::string())
+        << cc.rc.ctx;
+  }
+  EXPECT_GT(batched_buckets, 10);
+}
+
+TEST(ClusterScheduleProperty, SingleClusterDegeneratesToElementSchedule) {
+  SplitMix64 rng(0x0115c1a5ULL);
+  RandomCase rc = make_random_case(rng, 0);
+  while (rc.subset_a.size() < 8) rc = make_random_case(rng, 1);
+  const ClusterPartition part = build_cluster_partition(
+      rc.mesh, std::vector<int>(static_cast<std::size_t>(rc.mesh.nspec), 0));
+  EXPECT_EQ(part.num_levels, 1);
+  const InterfaceSet iset = cluster_interface_points(
+      rc.mesh, part.point_level,
+      cluster_point_min_rate(rc.mesh, part.rate_of));
+  EXPECT_TRUE(iset.points.empty());
+
+  const ClusterSchedule cs = build_cluster_schedule(
+      rc.mesh, rc.subset_a, rc.color_of, part, rc.opts);
+  ASSERT_EQ(cs.rates, std::vector<int>{0});
+  const ElementSchedule ref =
+      build_element_schedule(rc.mesh, rc.subset_a, rc.color_of, rc.opts);
+  EXPECT_EQ(cs.rate_sched[0].items, ref.items);
+  EXPECT_EQ(check_cluster_schedule(rc.mesh, rc.subset_a, rc.color_of, part,
+                                   cs),
+            std::string());
+  EXPECT_EQ(check_cluster_interfaces(rc.mesh, rc.subset_a, part, iset),
+            std::string());
+}
+
+// ---- the cluster harness must FAIL on the three injected bug classes ----
+
+TEST(ClusterScheduleProperty, CheckerFlagsMutatedClusterAssignments) {
+  // unsafe_rate_from_own_level buckets an element by its raw level even
+  // when a faster neighbouring point demotes its marching rate: the
+  // element misses due substeps of its fastest point. Every build where
+  // the injection changes an assignment must be flagged.
+  SplitMix64 rng(0x7ee7a1ULL);
+  int injected = 0, flagged = 0;
+  for (int i = 0; i < 16; ++i) {
+    RefinedCase cc = make_refined_case(rng, i);
+    bool bites = false;
+    for (int e : cc.rc.subset_a)
+      if (cc.part.level_of[static_cast<std::size_t>(e)] !=
+          cc.part.rate_of[static_cast<std::size_t>(e)])
+        bites = true;
+    if (!bites) continue;
+    ++injected;
+    ClusterOptions bad;
+    bad.unsafe_rate_from_own_level = true;
+    const ClusterSchedule cs = build_cluster_schedule(
+        cc.rc.mesh, cc.rc.subset_a, cc.rc.color_of, cc.part, cc.rc.opts,
+        bad);
+    const std::string err = check_cluster_schedule(
+        cc.rc.mesh, cc.rc.subset_a, cc.rc.color_of, cc.part, cs);
+    if (!err.empty()) {
+      ++flagged;
+      EXPECT_NE(err.find("mutated assignment"), std::string::npos)
+          << cc.rc.ctx << ": unexpected violation kind: " << err;
+    }
+  }
+  ASSERT_GT(injected, 0) << "sweep never demoted an element's rate";
+  EXPECT_EQ(flagged, injected)
+      << "checker missed an injected mutated cluster assignment";
+}
+
+TEST(ClusterScheduleProperty, CheckerFlagsCrossClusterMerge) {
+  // unsafe_merge_slowest_rates splices the slowest bucket into the next
+  // one, marching both at the faster rate — a cross-cluster footprint
+  // merge. Every multi-rate build must be flagged.
+  SplitMix64 rng(0x3e43eULL);
+  int injected = 0, flagged = 0;
+  for (int i = 0; i < 16; ++i) {
+    RefinedCase cc = make_refined_case(rng, i);
+    const ClusterSchedule good = build_cluster_schedule(
+        cc.rc.mesh, cc.rc.subset_a, cc.rc.color_of, cc.part, cc.rc.opts);
+    if (good.rates.size() < 2) continue;
+    ++injected;
+    ClusterOptions bad;
+    bad.unsafe_merge_slowest_rates = true;
+    const ClusterSchedule cs = build_cluster_schedule(
+        cc.rc.mesh, cc.rc.subset_a, cc.rc.color_of, cc.part, cc.rc.opts,
+        bad);
+    EXPECT_EQ(cs.rates.size(), good.rates.size() - 1) << cc.rc.ctx;
+    const std::string err = check_cluster_schedule(
+        cc.rc.mesh, cc.rc.subset_a, cc.rc.color_of, cc.part, cs);
+    if (!err.empty()) {
+      ++flagged;
+      EXPECT_NE(err.find("cross-cluster merge"), std::string::npos)
+          << cc.rc.ctx << ": unexpected violation kind: " << err;
+    }
+  }
+  ASSERT_GT(injected, 0) << "sweep never produced two occupied clusters";
+  EXPECT_EQ(flagged, injected)
+      << "checker missed an injected cross-cluster merge";
+}
+
+TEST(ClusterScheduleProperty, CheckerFlagsSkippedInterfaceInterpolation) {
+  // unsafe_drop_interp_points empties the interpolation set: mid-stride
+  // gathers would read stale displacement. Every build with a non-empty
+  // safe interpolation set must be flagged by check_cluster_interfaces.
+  SplitMix64 rng(0xd401b7e4ULL);
+  int injected = 0, flagged = 0;
+  for (int i = 0; i < 16; ++i) {
+    RefinedCase cc = make_refined_case(rng, i);
+    const std::vector<int> min_rate =
+        cluster_point_min_rate(cc.rc.mesh, cc.part.rate_of);
+    const InterfaceSet good = cluster_interface_points(
+        cc.rc.mesh, cc.part.point_level, min_rate);
+    if (good.points.empty()) continue;
+    ++injected;
+    ClusterOptions bad;
+    bad.unsafe_drop_interp_points = true;
+    const InterfaceSet dropped = cluster_interface_points(
+        cc.rc.mesh, cc.part.point_level, min_rate, bad);
+    ASSERT_TRUE(dropped.points.empty()) << cc.rc.ctx;
+    std::vector<int> all(static_cast<std::size_t>(cc.rc.mesh.nspec));
+    std::iota(all.begin(), all.end(), 0);
+    const std::string err =
+        check_cluster_interfaces(cc.rc.mesh, all, cc.part, dropped);
+    if (!err.empty()) {
+      ++flagged;
+      EXPECT_NE(err.find("skipped interface interpolation"),
+                std::string::npos)
+          << cc.rc.ctx << ": unexpected violation kind: " << err;
+    }
+  }
+  ASSERT_GT(injected, 0) << "sweep never produced interface points";
+  EXPECT_EQ(flagged, injected)
+      << "checker missed a skipped interface interpolation";
+}
+
+TEST(ClusterScheduleProperty, CheckerFlagsMutatedClusterStructures) {
+  SplitMix64 rng(0xfa57c1a5ULL);
+  RefinedCase cc = make_refined_case(rng, 0);
+  while (cc.rc.subset_a.size() < 8 ||
+         build_cluster_schedule(cc.rc.mesh, cc.rc.subset_a, cc.rc.color_of,
+                                cc.part, cc.rc.opts)
+                 .rates.size() < 2)
+    cc = make_refined_case(rng, 1);
+  const ClusterSchedule good = build_cluster_schedule(
+      cc.rc.mesh, cc.rc.subset_a, cc.rc.color_of, cc.part, cc.rc.opts);
+  ASSERT_EQ(check_cluster_schedule(cc.rc.mesh, cc.rc.subset_a,
+                                   cc.rc.color_of, cc.part, good),
+            std::string());
+
+  // An element moved to a foreign bucket (duplicate + purity violation).
+  {
+    ClusterSchedule bad = good;
+    bad.rate_elements[0].push_back(bad.rate_elements[1].front());
+    EXPECT_NE(check_cluster_schedule(cc.rc.mesh, cc.rc.subset_a,
+                                     cc.rc.color_of, cc.part, bad),
+              std::string());
+  }
+  // A dropped element: the buckets no longer tile the input list.
+  {
+    ClusterSchedule bad = good;
+    bad.rate_elements[0].pop_back();
+    bad.rate_sched[0] = build_element_schedule(
+        cc.rc.mesh, bad.rate_elements[0], cc.rc.color_of, cc.rc.opts);
+    EXPECT_NE(check_cluster_schedule(cc.rc.mesh, cc.rc.subset_a,
+                                     cc.rc.color_of, cc.part, bad),
+              std::string());
+  }
+  // A corrupted per-rate schedule (invariant 1 inside a bucket).
+  {
+    ClusterSchedule bad = good;
+    ASSERT_GE(bad.rate_sched[0].items.size(), 2u);
+    bad.rate_sched[0].items[0] = bad.rate_sched[0].items[1];
+    const std::string err = check_cluster_schedule(
+        cc.rc.mesh, cc.rc.subset_a, cc.rc.color_of, cc.part, bad);
+    EXPECT_NE(err.find("schedule:"), std::string::npos) << err;
+  }
+  // A mutated partition rate: the rate must equal the min point level.
+  {
+    ClusterPartition bad_part = cc.part;
+    const auto e = static_cast<std::size_t>(cc.rc.subset_a.front());
+    bad_part.rate_of[e] += 1;
+    EXPECT_NE(check_cluster_schedule(cc.rc.mesh, cc.rc.subset_a,
+                                     cc.rc.color_of, bad_part, good),
               std::string());
   }
 }
