@@ -8,12 +8,15 @@
 // Submits a seeded mix of jobs (priorities, duplicates, one injected
 // mid-job rank death with a 10-step checkpoint cadence), waits for the
 // campaign to drain, prints the per-job ledger and writes the end-of-
-// campaign JSON report.
+// campaign JSON report. Results and scratch checkpoints go through the
+// sfg_io container backend (ISSUE 8), so the whole campaign's cache is
+// ONE results.sfgc file — the printed file count shows it.
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
+#include "io/mesh_files.hpp"
 #include "service/service.hpp"
 
 using namespace sfg;
@@ -28,9 +31,10 @@ int main(int argc, char** argv) {
       argc > 2 ? argv[2] : "campaign_report.json";
 
   CampaignService svc(cfg);
-  std::printf("campaign: %d workers, queue depth %zu, store %s\n\n",
-              cfg.num_workers, cfg.queue_capacity,
-              svc.store().dir().c_str());
+  std::printf("campaign: %d workers, queue depth %zu, store %s (%s "
+              "backend)\n\n",
+              cfg.num_workers, cfg.queue_capacity, svc.store().dir().c_str(),
+              io::io_backend_name(cfg.io_backend));
 
   JobRequest base;
   base.nex = 4;
@@ -85,6 +89,13 @@ int main(int argc, char** argv) {
                              s.priced_core_seconds) /
                         s.cold_restart_core_seconds
                   : 0.0);
+
+  std::printf("result store: %zu cached results in %d file(s) "
+              "(per-rank layout would use %zu)\n",
+              svc.store().size(), svc.store().file_count(),
+              svc.store().size());
+  std::printf("work dir holds %d file(s) total for the whole campaign\n",
+              directory_file_count(cfg.work_dir));
 
   std::ofstream report(report_path);
   svc.write_json_report(report);

@@ -2,9 +2,10 @@
 # Benchmark runner (ISSUE 5, extended by ISSUE 6): builds and runs the
 # machine-readable benches.
 #
-#   scripts/bench.sh [service_out.json] [kernels_out.json] [lts_out.json]
+#   scripts/bench.sh [service_out.json] [kernels_out.json] [lts_out.json] \
+#                    [io_out.json]
 #
-# Writes three JSON records in the repo root:
+# Writes four JSON records in the repo root:
 #  * BENCH_service.json  — campaign throughput (jobs/minute, cache hit
 #    rate, retry overhead, checkpoint-recovery saving),
 #  * BENCH_kernels.json  — per-variant force-kernel elements/s
@@ -16,6 +17,11 @@
 #    global-dt marcher plus interpolation overhead (bench_lts). HARD
 #    GATES: multi-cluster speedup >= 1.5x and single-cluster LTS within
 #    3% of the legacy marcher.
+#  * BENCH_io.json       — sfg_io container vs one-file-per-rank durable
+#    write throughput, random-access read throughput and file counts
+#    (bench_io_container). HARD GATES: container write throughput >= the
+#    per-rank backend, and the container stays ONE file (the Figure 5
+#    file-count axis).
 # Human-readable narration streams to stderr while the benches run.
 set -euo pipefail
 
@@ -23,13 +29,14 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_service.json}"
 KOUT="${2:-BENCH_kernels.json}"
 LOUT="${3:-BENCH_lts.json}"
+IOUT="${4:-BENCH_io.json}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 echo "==> build bench targets (build/)" >&2
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}" \
   --target bench_campaign bench_sse_kernels bench_threaded_solver \
-           bench_lts >/dev/null
+           bench_lts bench_io_container >/dev/null
 
 echo "==> run campaign bench" >&2
 ./build/bench/bench_campaign > "${OUT}"
@@ -69,3 +76,15 @@ if [[ "$(jq -r '.gates_ok' "${LOUT}")" != "true" ]]; then
   exit 1
 fi
 echo "==> LTS perf gates passed (multi >= 1.5x, single within 3%)" >&2
+
+echo "==> run sfg_io container bench" >&2
+./build/bench/bench_io_container --json "${IOUT}" >&2
+
+echo "==> wrote ${IOUT}:" >&2
+cat "${IOUT}"
+
+if [[ "$(jq -r '.gates_ok' "${IOUT}")" != "true" ]]; then
+  echo "FAIL: sfg_io perf gates violated (need container write MB/s >= per-rank files and container file count == 1)" >&2
+  exit 1
+fi
+echo "==> sfg_io perf gates passed (container >= per-rank MB/s, O(1) files)" >&2

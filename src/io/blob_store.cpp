@@ -1,0 +1,161 @@
+#include "io/blob_store.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "io/file_util.hpp"
+
+namespace sfg::io {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void check_key(const std::string& key, const std::string& where) {
+  SFG_CHECK_MSG(!key.empty(), "blob key may not be empty (" << where << ")");
+  SFG_CHECK_MSG(key.find('/') == std::string::npos &&
+                    key.find("..") == std::string::npos,
+                "blob key '" << key << "' must be a flat name (" << where
+                             << ")");
+}
+
+}  // namespace
+
+const char* io_backend_name(IoBackendKind kind) {
+  switch (kind) {
+    case IoBackendKind::PerRankFiles: return "per-rank-files";
+    case IoBackendKind::Container: return "container";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- files --
+
+DirectoryStore::DirectoryStore(std::string dir) : dir_(std::move(dir)) {
+  fs::create_directories(dir_);
+}
+
+std::string DirectoryStore::path_for(const std::string& key) const {
+  return dir_ + "/" + key;
+}
+
+void DirectoryStore::write(const std::string& key, const void* data,
+                           std::size_t bytes) {
+  check_key(key, describe());
+  atomic_write_file(path_for(key), data, bytes);
+}
+
+std::vector<std::byte> DirectoryStore::read(const std::string& key) const {
+  check_key(key, describe());
+  const std::string path = path_for(key);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  SFG_CHECK_MSG(in.good(), "cannot open blob '" << path << "'");
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> out(static_cast<std::size_t>(size));
+  if (size > 0) in.read(reinterpret_cast<char*>(out.data()), size);
+  SFG_CHECK_MSG(in.good(), "cannot read blob '" << path << "'");
+  return out;
+}
+
+bool DirectoryStore::contains(const std::string& key) const {
+  check_key(key, describe());
+  return fs::is_regular_file(path_for(key));
+}
+
+std::vector<std::string> DirectoryStore::list() const {
+  std::vector<std::string> keys;
+  for (const auto& e : fs::directory_iterator(dir_))
+    if (e.is_regular_file()) keys.push_back(e.path().filename().string());
+  return keys;
+}
+
+int DirectoryStore::file_count() const {
+  int count = 0;
+  for (const auto& e : fs::directory_iterator(dir_))
+    if (e.is_regular_file()) ++count;
+  return count;
+}
+
+std::string DirectoryStore::describe() const {
+  return "per-rank-files store '" + dir_ + "'";
+}
+
+// ------------------------------------------------------------ container --
+
+ContainerStore::ContainerStore(const std::string& path)
+    : container_(Container::open_rw(path)) {}
+
+void ContainerStore::write(const std::string& key, const void* data,
+                           std::size_t bytes) {
+  check_key(key, describe());
+  std::lock_guard<std::mutex> lock(mutex_);
+  container_.append(key, data, bytes);
+  container_.commit();
+}
+
+void ContainerStore::write_batch(
+    const std::vector<std::pair<std::string, std::vector<std::byte>>>&
+        blobs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, data] : blobs) {
+    check_key(key, describe());
+    container_.append(key, data.data(), data.size());
+  }
+  container_.commit();
+}
+
+std::vector<std::byte> ContainerStore::read(const std::string& key) const {
+  check_key(key, describe());
+  std::lock_guard<std::mutex> lock(mutex_);
+  return container_.read(key);
+}
+
+bool ContainerStore::contains(const std::string& key) const {
+  check_key(key, describe());
+  std::lock_guard<std::mutex> lock(mutex_);
+  return container_.has(key);
+}
+
+std::vector<std::string> ContainerStore::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(container_.chunks().size());
+  for (const ChunkInfo& c : container_.chunks()) keys.push_back(c.name);
+  return keys;
+}
+
+int ContainerStore::file_count() const { return 1; }
+
+std::string ContainerStore::describe() const {
+  return "container store '" + container_.path() + "'";
+}
+
+const std::string& ContainerStore::container_path() const {
+  return container_.path();
+}
+
+std::unique_ptr<BlobStore> make_store(IoBackendKind kind,
+                                      const std::string& location) {
+  switch (kind) {
+    case IoBackendKind::PerRankFiles:
+      return std::make_unique<DirectoryStore>(location);
+    case IoBackendKind::Container: {
+      // The container lives at `location` + ".sfgc" when `location` names
+      // a directory-style root, so both backends accept the same config
+      // string. A path already carrying the extension is used as-is.
+      std::string path = location;
+      if (path.size() < 5 || path.substr(path.size() - 5) != ".sfgc")
+        path += ".sfgc";
+      const std::size_t slash = path.find_last_of('/');
+      if (slash != std::string::npos)
+        fs::create_directories(path.substr(0, slash));
+      return std::make_unique<ContainerStore>(path);
+    }
+  }
+  SFG_CHECK_MSG(false, "unknown IoBackendKind");
+  return nullptr;
+}
+
+}  // namespace sfg::io

@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file blob_store.hpp
+/// The pluggable-format layer of `sfg_io` (ISSUE 8), in the style of the
+/// meshfile `mf_userio` design: one small vtable of open/read/write/list
+/// operations, N storage formats behind it. Callers (ResultStore, the
+/// solver's checkpoint path, seismogram output, MeshCache spill) address
+/// named blobs and never hard-code a path layout; which backend serves
+/// them is a config choice:
+///
+///  * DirectoryStore — the legacy one-file-per-blob layout (`<dir>/<key>`),
+///    every write made durable via the atomic_write_file protocol
+///    (unique tmp, fsync, rename, directory fsync).
+///  * ContainerStore — all blobs as chunks of ONE sfg_io container file
+///    (container.hpp), each write an append + committed index; O(1) files
+///    per store regardless of ranks × intervals. Thread-safe: concurrent
+///    rank writers serialize on an internal lock.
+///
+/// Blob keys are flat names (no '/'); both backends reject anything that
+/// could escape the store.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/container.hpp"
+
+namespace sfg::io {
+
+/// Which BlobStore backend a subsystem should open (the config knob the
+/// service, solver checkpoint path and examples select by).
+enum class IoBackendKind : std::int32_t {
+  PerRankFiles = 0,  ///< one file per blob (legacy layout)
+  Container = 1,     ///< one sfg_io container per store
+};
+
+const char* io_backend_name(IoBackendKind kind);
+
+/// The open/read/write/list vtable every storage format implements.
+class BlobStore {
+ public:
+  virtual ~BlobStore() = default;
+
+  /// Durably store `bytes` under `key` (overwrites an existing blob).
+  virtual void write(const std::string& key, const void* data,
+                     std::size_t bytes) = 0;
+  /// Read a blob back; throws sfg::CheckError when absent or corrupt.
+  virtual std::vector<std::byte> read(const std::string& key) const = 0;
+  virtual bool contains(const std::string& key) const = 0;
+  /// Every stored key, in unspecified order.
+  virtual std::vector<std::string> list() const = 0;
+  /// Number of filesystem objects this store occupies (the Figure 5
+  /// metric: O(blobs) for the per-file backend, O(1) for the container).
+  virtual int file_count() const = 0;
+  /// Human-readable location for error messages.
+  virtual std::string describe() const = 0;
+};
+
+/// Legacy layout: one file per blob under `dir` (created if needed).
+class DirectoryStore final : public BlobStore {
+ public:
+  explicit DirectoryStore(std::string dir);
+
+  void write(const std::string& key, const void* data,
+             std::size_t bytes) override;
+  std::vector<std::byte> read(const std::string& key) const override;
+  bool contains(const std::string& key) const override;
+  std::vector<std::string> list() const override;
+  int file_count() const override;
+  std::string describe() const override;
+
+  std::string path_for(const std::string& key) const;
+
+ private:
+  std::string dir_;
+};
+
+/// Single-container layout: every blob a chunk of `path` (an sfg_io
+/// container, created if needed). Writes append + commit under a lock so
+/// concurrent rank writers interleave safely; reads of already-written
+/// chunks go through the same shared index.
+class ContainerStore final : public BlobStore {
+ public:
+  explicit ContainerStore(const std::string& path);
+
+  void write(const std::string& key, const void* data,
+             std::size_t bytes) override;
+  std::vector<std::byte> read(const std::string& key) const override;
+  bool contains(const std::string& key) const override;
+  std::vector<std::string> list() const override;
+  int file_count() const override;
+  std::string describe() const override;
+
+  /// Write many blobs under ONE commit (one fsync for the batch).
+  void write_batch(
+      const std::vector<std::pair<std::string, std::vector<std::byte>>>&
+          blobs);
+
+  const std::string& container_path() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Container container_;
+};
+
+/// Open `kind` at `location`: the blob directory for PerRankFiles, the
+/// container file path for Container.
+std::unique_ptr<BlobStore> make_store(IoBackendKind kind,
+                                      const std::string& location);
+
+}  // namespace sfg::io

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file file_util.hpp
+/// Durable file-write primitives shared by every sfg_io writer (ISSUE 8).
+///
+/// The write discipline every on-disk artifact follows:
+///
+///   1. write the full image to a UNIQUE temporary name next to the target
+///      (`<path>.tmp.<pid>.<seq>` — two concurrent writers of the same
+///      path never collide, and a crashed writer's litter is identifiable),
+///   2. fsync the temporary file (data must be on stable storage BEFORE
+///      the rename publishes the name — otherwise a crash can leave a
+///      valid-looking path with torn contents),
+///   3. rename over the target (atomic on POSIX),
+///   4. fsync the containing directory (the rename itself is metadata the
+///      directory must persist).
+///
+/// Any failure removes the temporary file before throwing, so no `.tmp`
+/// litter survives for a later glob to pick up.
+
+#include <cstddef>
+#include <string>
+
+namespace sfg::io {
+
+/// A unique temporary name next to `path`: `<path>.tmp.<pid>.<seq>` with
+/// a process-wide atomic sequence number.
+std::string unique_tmp_path(const std::string& path);
+
+/// Write `bytes` of `data` to `path` with the full durability protocol
+/// above. Throws sfg::CheckError on any failure (after unlinking the
+/// temporary file).
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t bytes);
+
+/// fsync an open descriptor; throws CheckError naming `what` on failure.
+void fsync_fd(int fd, const std::string& what);
+
+/// fsync the directory containing `path` (persists renames/creates of
+/// entries inside it). Throws CheckError on failure.
+void fsync_parent_dir(const std::string& path);
+
+}  // namespace sfg::io

@@ -1,0 +1,119 @@
+#include "io/ioconv.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "io/file_util.hpp"
+
+namespace sfg::io {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<std::byte> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  SFG_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> out(static_cast<std::size_t>(size));
+  if (size > 0) in.read(reinterpret_cast<char*>(out.data()), size);
+  SFG_CHECK_MSG(in.good(), "cannot read '" << path << "'");
+  return out;
+}
+
+std::vector<std::string> relative_files(const std::string& dir) {
+  SFG_CHECK_MSG(fs::is_directory(dir),
+                "'" << dir << "' is not a directory");
+  std::vector<std::string> names;
+  for (const auto& e : fs::recursive_directory_iterator(dir))
+    if (e.is_regular_file())
+      names.push_back(
+          fs::relative(e.path(), dir).generic_string());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+ConvStats pack_directory(const std::string& dir,
+                         const std::string& container_path, bool verify) {
+  const std::vector<std::string> names = relative_files(dir);
+  ConvStats stats;
+  {
+    Container out = Container::create(container_path);
+    for (const std::string& name : names) {
+      const std::vector<std::byte> data = read_file(dir + "/" + name);
+      out.append(name, data.data(), data.size());
+      ++stats.files;
+      stats.bytes += data.size();
+    }
+    out.commit();
+  }
+  if (verify) {
+    const Container back =
+        Container::open_ro(container_path, Container::ReadMode::Mmap);
+    SFG_CHECK_MSG(back.chunks().size() == names.size(),
+                  "packed container '" << container_path << "' lists "
+                                       << back.chunks().size()
+                                       << " chunks, expected "
+                                       << names.size());
+    for (const std::string& name : names) {
+      const auto chunk = back.view(name);  // CRC-verified
+      const std::vector<std::byte> file = read_file(dir + "/" + name);
+      SFG_CHECK_MSG(chunk.size() == file.size() &&
+                        (file.empty() ||
+                         std::memcmp(chunk.data(), file.data(),
+                                     file.size()) == 0),
+                    "packed chunk '" << name
+                                     << "' does not match its source file");
+    }
+  }
+  return stats;
+}
+
+ConvStats unpack_container(const std::string& container_path,
+                           const std::string& dir, bool verify) {
+  const Container in =
+      Container::open_ro(container_path, Container::ReadMode::Pread);
+  fs::create_directories(dir);
+  ConvStats stats;
+  for (const ChunkInfo& c : in.chunks()) {
+    SFG_CHECK_MSG(c.name.find("..") == std::string::npos &&
+                      !c.name.empty() && c.name.front() != '/',
+                  "container chunk name '" << c.name
+                                           << "' would escape '" << dir
+                                           << "'");
+    const std::vector<std::byte> data = in.read(c.name);  // CRC-verified
+    const std::string path = dir + "/" + c.name;
+    const std::size_t slash = path.find_last_of('/');
+    fs::create_directories(path.substr(0, slash));
+    atomic_write_file(path, data.data(), data.size());
+    if (verify) {
+      const std::vector<std::byte> back = read_file(path);
+      SFG_CHECK_MSG(back == data, "unpacked file '"
+                                      << path
+                                      << "' does not match its chunk");
+    }
+    ++stats.files;
+    stats.bytes += data.size();
+  }
+  return stats;
+}
+
+ConvStats verify_container(const std::string& container_path) {
+  const Container in =
+      Container::open_ro(container_path, Container::ReadMode::Mmap);
+  ConvStats stats;
+  for (const ChunkInfo& c : in.chunks()) {
+    (void)in.view(c.name);  // CRC + record-header verification
+    ++stats.files;
+    stats.bytes += c.bytes;
+  }
+  return stats;
+}
+
+}  // namespace sfg::io

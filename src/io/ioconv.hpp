@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file ioconv.hpp
+/// Conversion between the legacy one-file-per-rank layout and the sfg_io
+/// single-container format (ISSUE 8) — the library behind the
+/// `sfg_ioconv` CLI (tools/sfg_ioconv.cpp), meshconv-style.
+///
+/// Both directions preserve bytes exactly: a chunk's payload IS the file's
+/// content, keyed by the file's path relative to the packed directory. So
+/// `pack` then `unpack` reproduces every input file bit for bit (the
+/// round-trip test test_io_container proves it), and a container written
+/// directly by `write_mesh_container` unpacks into files identical to
+/// `write_legacy_mesh_files` output.
+
+#include <cstdint>
+#include <string>
+
+#include "io/container.hpp"
+
+namespace sfg::io {
+
+struct ConvStats {
+  int files = 0;             ///< files packed / unpacked / verified
+  std::uint64_t bytes = 0;   ///< payload bytes moved
+};
+
+/// Pack every regular file under `dir` (recursively; chunk names are the
+/// paths relative to `dir`) into a fresh container at `container_path`.
+/// When `verify` is set, the committed container is reopened and every
+/// chunk CRC-checked and byte-compared against its source file.
+ConvStats pack_directory(const std::string& dir,
+                         const std::string& container_path,
+                         bool verify = true);
+
+/// Unpack every chunk of `container_path` into files under `dir`
+/// (created if needed), each written with the durable atomic protocol.
+/// Chunk reads are CRC-verified; with `verify` set, the written files are
+/// re-read and byte-compared against the chunks.
+ConvStats unpack_container(const std::string& container_path,
+                           const std::string& dir, bool verify = true);
+
+/// Open `container_path` (Mmap mode — the random-access read path) and
+/// CRC-verify every chunk. Throws sfg::CheckError on the first failure.
+ConvStats verify_container(const std::string& container_path);
+
+}  // namespace sfg::io

@@ -1,10 +1,13 @@
 #include "io/mesh_files.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <vector>
 
 #include "common/check.hpp"
+#include "io/container.hpp"
 
 namespace sfg {
 
@@ -13,58 +16,146 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr std::uint32_t kMagic = 0x53464d46;  // "SFMF"
+constexpr std::size_t kArrayHeaderBytes = 2 * sizeof(std::uint64_t);
 
-std::string file_path(const std::string& dir, int rank, const char* name) {
-  char buf[640];
-  std::snprintf(buf, sizeof(buf), "%s/proc%06d_%s.bin", dir.c_str(), rank,
-                name);
+std::string array_name(int rank, const char* name) {
+  char buf[576];
+  std::snprintf(buf, sizeof(buf), "proc%06d_%s.bin", rank, name);
   return buf;
 }
 
-/// RAII FILE handle.
-struct File {
-  std::FILE* f = nullptr;
-  explicit File(const std::string& path, const char* mode)
-      : f(std::fopen(path.c_str(), mode)) {
-    SFG_CHECK_MSG(f != nullptr, "cannot open " << path);
+/// Where one serialized array goes: a legacy per-rank file or a container
+/// chunk. The blob handed to put() is the complete legacy file image
+/// ([magic, count] header + raw values), so both backends store identical
+/// bytes and sfg_ioconv round-trips are bit-exact.
+class ArraySink {
+ public:
+  virtual ~ArraySink() = default;
+  virtual void put(const std::string& name, const std::byte* blob,
+                   std::size_t bytes) = 0;
+};
+
+class DirSink final : public ArraySink {
+ public:
+  explicit DirSink(std::string dir) : dir_(std::move(dir)) {}
+  void put(const std::string& name, const std::byte* blob,
+           std::size_t bytes) override {
+    const std::string path = dir_ + "/" + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    SFG_CHECK_MSG(out.good(), "cannot open " << path);
+    out.write(reinterpret_cast<const char*>(blob),
+              static_cast<std::streamsize>(bytes));
+    SFG_CHECK_MSG(out.good(), "write to " << path << " failed");
   }
-  ~File() {
-    if (f) std::fclose(f);
+
+ private:
+  std::string dir_;
+};
+
+class ContainerSink final : public ArraySink {
+ public:
+  explicit ContainerSink(io::Container& c) : c_(c) {}
+  void put(const std::string& name, const std::byte* blob,
+           std::size_t bytes) override {
+    c_.append(name, blob, bytes);
   }
-  File(const File&) = delete;
-  File& operator=(const File&) = delete;
+
+ private:
+  io::Container& c_;
+};
+
+/// Where serialized arrays come from; get() returns the whole blob so the
+/// reader can bounds-check the declared count against the actual size.
+class ArraySrc {
+ public:
+  virtual ~ArraySrc() = default;
+  virtual std::vector<std::byte> get(const std::string& name) const = 0;
+};
+
+class DirSrc final : public ArraySrc {
+ public:
+  explicit DirSrc(std::string dir) : dir_(std::move(dir)) {}
+  std::vector<std::byte> get(const std::string& name) const override {
+    const std::string path = dir_ + "/" + name;
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    SFG_CHECK_MSG(in.good(), "cannot open " << path);
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    std::vector<std::byte> blob(static_cast<std::size_t>(size));
+    if (size > 0) in.read(reinterpret_cast<char*>(blob.data()), size);
+    SFG_CHECK_MSG(in.good(), "cannot read " << path);
+    return blob;
+  }
+
+ private:
+  std::string dir_;
+};
+
+class ContainerSrc final : public ArraySrc {
+ public:
+  explicit ContainerSrc(const io::Container& c) : c_(c) {}
+  std::vector<std::byte> get(const std::string& name) const override {
+    return c_.read(name);  // CRC-verified
+  }
+
+ private:
+  const io::Container& c_;
 };
 
 template <typename T>
-std::uint64_t write_array(const std::string& dir, int rank, const char* name,
+std::uint64_t write_array(ArraySink& sink, int rank, const char* name,
                           const T* data, std::uint64_t count) {
-  File file(file_path(dir, rank, name), "wb");
+  std::vector<std::byte> blob(kArrayHeaderBytes +
+                              static_cast<std::size_t>(count) * sizeof(T));
   const std::uint64_t header[2] = {kMagic, count};
-  SFG_CHECK(std::fwrite(header, sizeof(header), 1, file.f) == 1);
+  std::memcpy(blob.data(), header, sizeof(header));
   if (count > 0)
-    SFG_CHECK(std::fwrite(data, sizeof(T), count, file.f) == count);
-  return sizeof(header) + count * sizeof(T);
+    std::memcpy(blob.data() + kArrayHeaderBytes, data,
+                static_cast<std::size_t>(count) * sizeof(T));
+  sink.put(array_name(rank, name), blob.data(), blob.size());
+  return blob.size();
 }
 
 template <typename T>
-std::vector<T> read_array(const std::string& dir, int rank,
-                          const char* name) {
-  File file(file_path(dir, rank, name), "rb");
+std::vector<T> read_array(const ArraySrc& src, int rank, const char* name) {
+  const std::string file = array_name(rank, name);
+  const std::vector<std::byte> blob = src.get(file);
+  SFG_CHECK_MSG(blob.size() >= kArrayHeaderBytes,
+                "mesh array '" << file << "' is truncated: " << blob.size()
+                               << " bytes, header alone needs "
+                               << kArrayHeaderBytes);
   std::uint64_t header[2];
-  SFG_CHECK(std::fread(header, sizeof(header), 1, file.f) == 1);
-  SFG_CHECK_MSG(header[0] == kMagic, "bad magic in " << name);
-  std::vector<T> data(header[1]);
-  if (header[1] > 0)
-    SFG_CHECK(std::fread(data.data(), sizeof(T), header[1], file.f) ==
-              header[1]);
+  std::memcpy(header, blob.data(), sizeof(header));
+  SFG_CHECK_MSG(header[0] == kMagic, "bad magic in " << file);
+  const std::uint64_t count = header[1];
+  const std::size_t avail = blob.size() - kArrayHeaderBytes;
+  // Bound first (guards the multiplication), then demand an exact match so
+  // a short write and a long one both fail loudly.
+  SFG_CHECK_MSG(count <= avail / sizeof(T),
+                "mesh array '" << file << "' declares " << count
+                               << " values of " << sizeof(T)
+                               << " bytes but only " << avail
+                               << " payload bytes follow the header "
+                                  "(truncated file)");
+  SFG_CHECK_MSG(count * sizeof(T) == avail,
+                "mesh array '" << file << "' has " << avail
+                               << " payload bytes, expected exactly "
+                               << count * sizeof(T));
+  std::vector<T> data(static_cast<std::size_t>(count));
+  if (count > 0)
+    std::memcpy(data.data(), blob.data() + kArrayHeaderBytes,
+                static_cast<std::size_t>(count) * sizeof(T));
   return data;
 }
 
 }  // namespace
 
-std::uint64_t write_legacy_mesh_files(const std::string& dir, int rank,
-                                      const GlobeSlice& slice) {
-  fs::create_directories(dir);
+namespace {
+
+/// The 51-array mesh handoff, serialized through whichever backend `sink`
+/// is (legacy per-rank files or container chunks — identical bytes).
+std::uint64_t write_mesh_arrays(ArraySink& sink, int rank,
+                                const GlobeSlice& slice) {
   const HexMesh& m = slice.mesh;
   const MaterialFields& mat = slice.materials;
   std::uint64_t bytes = 0;
@@ -79,45 +170,45 @@ std::uint64_t write_legacy_mesh_files(const std::string& dir, int rank,
       static_cast<std::int64_t>(slice.absorbing_faces.size()),
       slice.stats.radial_elements,
       0};
-  bytes += write_array(dir, rank, "parameters", params, 8);
+  bytes += write_array(sink, rank, "parameters", params, 8);
 
   // 2-4: coordinates
-  bytes += write_array(dir, rank, "xstore", m.xstore.data(),
+  bytes += write_array(sink, rank, "xstore", m.xstore.data(),
                        m.num_local_points());
-  bytes += write_array(dir, rank, "ystore", m.ystore.data(),
+  bytes += write_array(sink, rank, "ystore", m.ystore.data(),
                        m.num_local_points());
-  bytes += write_array(dir, rank, "zstore", m.zstore.data(),
+  bytes += write_array(sink, rank, "zstore", m.zstore.data(),
                        m.num_local_points());
   // 5-14: inverse-mapping tables
-  bytes += write_array(dir, rank, "xix", m.xix.data(), m.num_local_points());
-  bytes += write_array(dir, rank, "xiy", m.xiy.data(), m.num_local_points());
-  bytes += write_array(dir, rank, "xiz", m.xiz.data(), m.num_local_points());
-  bytes += write_array(dir, rank, "etax", m.etax.data(), m.num_local_points());
-  bytes += write_array(dir, rank, "etay", m.etay.data(), m.num_local_points());
-  bytes += write_array(dir, rank, "etaz", m.etaz.data(), m.num_local_points());
-  bytes += write_array(dir, rank, "gammax", m.gammax.data(),
+  bytes += write_array(sink, rank, "xix", m.xix.data(), m.num_local_points());
+  bytes += write_array(sink, rank, "xiy", m.xiy.data(), m.num_local_points());
+  bytes += write_array(sink, rank, "xiz", m.xiz.data(), m.num_local_points());
+  bytes += write_array(sink, rank, "etax", m.etax.data(), m.num_local_points());
+  bytes += write_array(sink, rank, "etay", m.etay.data(), m.num_local_points());
+  bytes += write_array(sink, rank, "etaz", m.etaz.data(), m.num_local_points());
+  bytes += write_array(sink, rank, "gammax", m.gammax.data(),
                        m.num_local_points());
-  bytes += write_array(dir, rank, "gammay", m.gammay.data(),
+  bytes += write_array(sink, rank, "gammay", m.gammay.data(),
                        m.num_local_points());
-  bytes += write_array(dir, rank, "gammaz", m.gammaz.data(),
+  bytes += write_array(sink, rank, "gammaz", m.gammaz.data(),
                        m.num_local_points());
-  bytes += write_array(dir, rank, "jacobian", m.jacobian.data(),
+  bytes += write_array(sink, rank, "jacobian", m.jacobian.data(),
                        m.num_local_points());
   // 15: ibool
-  bytes += write_array(dir, rank, "ibool", m.ibool.data(), m.ibool.size());
+  bytes += write_array(sink, rank, "ibool", m.ibool.data(), m.ibool.size());
   // 16-21: materials
-  bytes += write_array(dir, rank, "rho", mat.rho.data(), mat.rho.size());
-  bytes += write_array(dir, rank, "kappav", mat.kappav.data(),
+  bytes += write_array(sink, rank, "rho", mat.rho.data(), mat.rho.size());
+  bytes += write_array(sink, rank, "kappav", mat.kappav.data(),
                        mat.kappav.size());
-  bytes += write_array(dir, rank, "muv", mat.muv.data(), mat.muv.size());
-  bytes += write_array(dir, rank, "vp", mat.vp.data(), mat.vp.size());
-  bytes += write_array(dir, rank, "vs", mat.vs.data(), mat.vs.size());
-  bytes += write_array(dir, rank, "qmu", mat.q_mu.data(), mat.q_mu.size());
+  bytes += write_array(sink, rank, "muv", mat.muv.data(), mat.muv.size());
+  bytes += write_array(sink, rank, "vp", mat.vp.data(), mat.vp.size());
+  bytes += write_array(sink, rank, "vs", mat.vs.data(), mat.vs.size());
+  bytes += write_array(sink, rank, "qmu", mat.q_mu.data(), mat.q_mu.size());
   // 22: fluid flags
   std::vector<std::uint8_t> fluid(mat.element_is_fluid.size());
   for (std::size_t e = 0; e < fluid.size(); ++e)
     fluid[e] = mat.element_is_fluid[e] ? 1 : 0;
-  bytes += write_array(dir, rank, "idoubling", fluid.data(), fluid.size());
+  bytes += write_array(sink, rank, "idoubling", fluid.data(), fluid.size());
   // 23: radial layers
   std::vector<double> lay;
   for (const auto& l : slice.layers) {
@@ -126,12 +217,12 @@ std::uint64_t write_legacy_mesh_files(const std::string& dir, int rank,
     lay.push_back(static_cast<double>(l.n_elem));
     lay.push_back(l.fluid ? 1.0 : 0.0);
   }
-  bytes += write_array(dir, rank, "layers", lay.data(), lay.size());
+  bytes += write_array(sink, rank, "layers", lay.data(), lay.size());
   // 24-25: MPI interface candidates
-  bytes += write_array(dir, rank, "iboolfaces_keys",
+  bytes += write_array(sink, rank, "iboolfaces_keys",
                        slice.boundary_keys.data(),
                        slice.boundary_keys.size());
-  bytes += write_array(dir, rank, "iboolfaces_points",
+  bytes += write_array(sink, rank, "iboolfaces_points",
                        slice.boundary_points.data(),
                        slice.boundary_points.size());
   // 26: absorbing faces
@@ -140,7 +231,7 @@ std::uint64_t write_legacy_mesh_files(const std::string& dir, int rank,
     absf.push_back(ef.ispec);
     absf.push_back(ef.face);
   }
-  bytes += write_array(dir, rank, "abs_boundary", absf.data(), absf.size());
+  bytes += write_array(sink, rank, "abs_boundary", absf.data(), absf.size());
 
   // 27-51: the remaining legacy per-rank files (2-D boundary jacobians,
   // normals and element lists per domain face, coupling surfaces, MPI
@@ -164,12 +255,12 @@ std::uint64_t write_legacy_mesh_files(const std::string& dir, int rank,
       }
     }
     std::string base = std::string("ibelm_") + groups[g];
-    bytes += write_array(dir, rank, base.c_str(), elems.data(), elems.size());
+    bytes += write_array(sink, rank, base.c_str(), elems.data(), elems.size());
     base = std::string("normal_") + groups[g];
-    bytes += write_array(dir, rank, base.c_str(), normals.data(),
+    bytes += write_array(sink, rank, base.c_str(), normals.data(),
                          normals.size());
     base = std::string("jacobian2D_") + groups[g];
-    bytes += write_array(dir, rank, base.c_str(), weights.data(),
+    bytes += write_array(sink, rank, base.c_str(), weights.data(),
                          weights.size());
   }
   // coupling (fluid-solid) surface files
@@ -181,23 +272,23 @@ std::uint64_t write_legacy_mesh_files(const std::string& dir, int rank,
       cpl_faces.push_back(ef.face);
     }
   }
-  bytes += write_array(dir, rank, "ibelm_moho_fluid", cpl_faces.data(),
+  bytes += write_array(sink, rank, "ibelm_moho_fluid", cpl_faces.data(),
                        cpl_faces.size());
   // attenuation placeholder tables (tau values stored per run in v4.0)
   const double att[6] = {1.0, 2.0, 3.0, 0.1, 0.2, 0.3};
-  bytes += write_array(dir, rank, "attenuation", att, 6);
+  bytes += write_array(sink, rank, "attenuation", att, 6);
   // addressing: chunk/slice topology
   const std::int32_t addressing[4] = {rank, 0, 0, 0};
-  bytes += write_array(dir, rank, "addressing", addressing, 4);
+  bytes += write_array(sink, rank, "addressing", addressing, 4);
   // GLL basis tables (nodes + weights), as the solver re-read them
   std::vector<double> gll;
   for (int i = 0; i < m.ngll; ++i) {
     gll.push_back(basis.node(i));
     gll.push_back(basis.weight(i));
   }
-  bytes += write_array(dir, rank, "gll_tables", gll.data(), gll.size());
+  bytes += write_array(sink, rank, "gll_tables", gll.data(), gll.size());
   // stations metadata (none by default)
-  bytes += write_array(dir, rank, "stations",
+  bytes += write_array(sink, rank, "stations",
                        static_cast<const double*>(nullptr), 0);
   // unassembled mass-matrix diagonal (the solver re-read rmass in v4.0)
   {
@@ -216,32 +307,30 @@ std::uint64_t write_legacy_mesh_files(const std::string& dir, int rank,
                                    mat.rho[p]);
           }
     }
-    bytes += write_array(dir, rank, "rmass", rmass.data(), rmass.size());
+    bytes += write_array(sink, rank, "rmass", rmass.data(), rmass.size());
   }
   // per-layer element counts
   {
     std::vector<std::int32_t> counts;
     for (const auto& l : slice.layers) counts.push_back(l.n_elem);
-    bytes += write_array(dir, rank, "nspec_layers", counts.data(),
+    bytes += write_array(sink, rank, "nspec_layers", counts.data(),
                          counts.size());
   }
   // format version + quality summary
   const std::int32_t version[2] = {4, 0};  // "v4.0", the stable release
-  bytes += write_array(dir, rank, "version", version, 2);
+  bytes += write_array(sink, rank, "version", version, 2);
   const double quality[2] = {slice.stats.geometry_seconds,
                              slice.stats.materials_seconds};
-  bytes += write_array(dir, rank, "mesher_timing", quality, 2);
+  bytes += write_array(sink, rank, "mesher_timing", quality, 2);
   // checksum file
   const std::uint64_t checksum[1] = {bytes};
-  bytes += write_array(dir, rank, "checksum", checksum, 1);
-
-  SFG_CHECK(directory_file_count(dir) % kLegacyFilesPerRank == 0);
+  bytes += write_array(sink, rank, "checksum", checksum, 1);
   return bytes;
 }
 
-GlobeSlice read_legacy_mesh_files(const std::string& dir, int rank) {
+GlobeSlice read_mesh_arrays(const ArraySrc& src, int rank) {
   GlobeSlice slice;
-  const auto params = read_array<std::int64_t>(dir, rank, "parameters");
+  const auto params = read_array<std::int64_t>(src, rank, "parameters");
   SFG_CHECK(params.size() == 8);
   HexMesh& m = slice.mesh;
   m.ngll = static_cast<int>(params[0]);
@@ -256,34 +345,34 @@ GlobeSlice read_legacy_mesh_files(const std::string& dir, int rank) {
     return aligned_vector<float>(v.begin(), v.end());
   };
 
-  m.xstore = to_aligned_d(read_array<double>(dir, rank, "xstore"));
-  m.ystore = to_aligned_d(read_array<double>(dir, rank, "ystore"));
-  m.zstore = to_aligned_d(read_array<double>(dir, rank, "zstore"));
-  m.xix = to_aligned_f(read_array<float>(dir, rank, "xix"));
-  m.xiy = to_aligned_f(read_array<float>(dir, rank, "xiy"));
-  m.xiz = to_aligned_f(read_array<float>(dir, rank, "xiz"));
-  m.etax = to_aligned_f(read_array<float>(dir, rank, "etax"));
-  m.etay = to_aligned_f(read_array<float>(dir, rank, "etay"));
-  m.etaz = to_aligned_f(read_array<float>(dir, rank, "etaz"));
-  m.gammax = to_aligned_f(read_array<float>(dir, rank, "gammax"));
-  m.gammay = to_aligned_f(read_array<float>(dir, rank, "gammay"));
-  m.gammaz = to_aligned_f(read_array<float>(dir, rank, "gammaz"));
-  m.jacobian = to_aligned_f(read_array<float>(dir, rank, "jacobian"));
-  m.ibool = read_array<int>(dir, rank, "ibool");
+  m.xstore = to_aligned_d(read_array<double>(src, rank, "xstore"));
+  m.ystore = to_aligned_d(read_array<double>(src, rank, "ystore"));
+  m.zstore = to_aligned_d(read_array<double>(src, rank, "zstore"));
+  m.xix = to_aligned_f(read_array<float>(src, rank, "xix"));
+  m.xiy = to_aligned_f(read_array<float>(src, rank, "xiy"));
+  m.xiz = to_aligned_f(read_array<float>(src, rank, "xiz"));
+  m.etax = to_aligned_f(read_array<float>(src, rank, "etax"));
+  m.etay = to_aligned_f(read_array<float>(src, rank, "etay"));
+  m.etaz = to_aligned_f(read_array<float>(src, rank, "etaz"));
+  m.gammax = to_aligned_f(read_array<float>(src, rank, "gammax"));
+  m.gammay = to_aligned_f(read_array<float>(src, rank, "gammay"));
+  m.gammaz = to_aligned_f(read_array<float>(src, rank, "gammaz"));
+  m.jacobian = to_aligned_f(read_array<float>(src, rank, "jacobian"));
+  m.ibool = read_array<int>(src, rank, "ibool");
 
   MaterialFields& mat = slice.materials;
-  mat.rho = to_aligned_f(read_array<float>(dir, rank, "rho"));
-  mat.kappav = to_aligned_f(read_array<float>(dir, rank, "kappav"));
-  mat.muv = to_aligned_f(read_array<float>(dir, rank, "muv"));
-  mat.vp = to_aligned_f(read_array<float>(dir, rank, "vp"));
-  mat.vs = to_aligned_f(read_array<float>(dir, rank, "vs"));
-  mat.q_mu = to_aligned_f(read_array<float>(dir, rank, "qmu"));
-  const auto fluid = read_array<std::uint8_t>(dir, rank, "idoubling");
+  mat.rho = to_aligned_f(read_array<float>(src, rank, "rho"));
+  mat.kappav = to_aligned_f(read_array<float>(src, rank, "kappav"));
+  mat.muv = to_aligned_f(read_array<float>(src, rank, "muv"));
+  mat.vp = to_aligned_f(read_array<float>(src, rank, "vp"));
+  mat.vs = to_aligned_f(read_array<float>(src, rank, "vs"));
+  mat.q_mu = to_aligned_f(read_array<float>(src, rank, "qmu"));
+  const auto fluid = read_array<std::uint8_t>(src, rank, "idoubling");
   mat.element_is_fluid.assign(fluid.size(), false);
   for (std::size_t e = 0; e < fluid.size(); ++e)
     mat.element_is_fluid[e] = fluid[e] != 0;
 
-  const auto lay = read_array<double>(dir, rank, "layers");
+  const auto lay = read_array<double>(src, rank, "layers");
   SFG_CHECK(lay.size() % 4 == 0);
   for (std::size_t i = 0; i < lay.size(); i += 4) {
     RadialLayer l;
@@ -294,9 +383,9 @@ GlobeSlice read_legacy_mesh_files(const std::string& dir, int rank) {
     slice.layers.push_back(l);
   }
   slice.boundary_keys =
-      read_array<std::int64_t>(dir, rank, "iboolfaces_keys");
-  slice.boundary_points = read_array<int>(dir, rank, "iboolfaces_points");
-  const auto absf = read_array<std::int32_t>(dir, rank, "abs_boundary");
+      read_array<std::int64_t>(src, rank, "iboolfaces_keys");
+  slice.boundary_points = read_array<int>(src, rank, "iboolfaces_points");
+  const auto absf = read_array<std::int32_t>(src, rank, "abs_boundary");
   SFG_CHECK(absf.size() % 2 == 0);
   for (std::size_t i = 0; i < absf.size(); i += 2)
     slice.absorbing_faces.push_back({absf[i], absf[i + 1]});
@@ -304,26 +393,51 @@ GlobeSlice read_legacy_mesh_files(const std::string& dir, int rank) {
   // Read the remaining legacy files in full (the solver did): the data is
   // redundant with what we reconstruct above, but the I/O cost is real.
   for (const char* g : {"xmin", "xmax", "ymin", "ymax", "bottom"}) {
-    (void)read_array<std::int32_t>(dir, rank,
+    (void)read_array<std::int32_t>(src, rank,
                                    (std::string("ibelm_") + g).c_str());
-    (void)read_array<double>(dir, rank, (std::string("normal_") + g).c_str());
-    (void)read_array<double>(dir, rank,
+    (void)read_array<double>(src, rank, (std::string("normal_") + g).c_str());
+    (void)read_array<double>(src, rank,
                              (std::string("jacobian2D_") + g).c_str());
   }
-  (void)read_array<std::int32_t>(dir, rank, "ibelm_moho_fluid");
-  (void)read_array<double>(dir, rank, "attenuation");
-  (void)read_array<std::int32_t>(dir, rank, "addressing");
-  (void)read_array<double>(dir, rank, "gll_tables");
-  (void)read_array<double>(dir, rank, "stations");
-  (void)read_array<float>(dir, rank, "rmass");
-  (void)read_array<std::int32_t>(dir, rank, "nspec_layers");
-  (void)read_array<std::int32_t>(dir, rank, "version");
-  (void)read_array<double>(dir, rank, "mesher_timing");
-  (void)read_array<std::uint64_t>(dir, rank, "checksum");
+  (void)read_array<std::int32_t>(src, rank, "ibelm_moho_fluid");
+  (void)read_array<double>(src, rank, "attenuation");
+  (void)read_array<std::int32_t>(src, rank, "addressing");
+  (void)read_array<double>(src, rank, "gll_tables");
+  (void)read_array<double>(src, rank, "stations");
+  (void)read_array<float>(src, rank, "rmass");
+  (void)read_array<std::int32_t>(src, rank, "nspec_layers");
+  (void)read_array<std::int32_t>(src, rank, "version");
+  (void)read_array<double>(src, rank, "mesher_timing");
+  (void)read_array<std::uint64_t>(src, rank, "checksum");
 
   slice.stats.nspec = m.nspec;
   slice.stats.nglob = m.nglob;
   return slice;
+}
+
+}  // namespace
+
+std::uint64_t write_legacy_mesh_files(const std::string& dir, int rank,
+                                      const GlobeSlice& slice) {
+  fs::create_directories(dir);
+  DirSink sink(dir);
+  const std::uint64_t bytes = write_mesh_arrays(sink, rank, slice);
+  SFG_CHECK(directory_file_count(dir) % kLegacyFilesPerRank == 0);
+  return bytes;
+}
+
+GlobeSlice read_legacy_mesh_files(const std::string& dir, int rank) {
+  return read_mesh_arrays(DirSrc(dir), rank);
+}
+
+std::uint64_t write_mesh_container(io::Container& out, int rank,
+                                   const GlobeSlice& slice) {
+  ContainerSink sink(out);
+  return write_mesh_arrays(sink, rank, slice);
+}
+
+GlobeSlice read_mesh_container(const io::Container& in, int rank) {
+  return read_mesh_arrays(ContainerSrc(in), rank);
 }
 
 std::uint64_t directory_bytes(const std::string& dir) {

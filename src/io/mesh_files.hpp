@@ -17,6 +17,10 @@
 
 #include "sphere/mesher.hpp"
 
+namespace sfg::io {
+class Container;
+}
+
 namespace sfg {
 
 /// Number of files the legacy writer produces per rank.
@@ -31,6 +35,18 @@ std::uint64_t write_legacy_mesh_files(const std::string& dir, int rank,
 /// are read, not recomputed (as the solver did). The GllBasis is needed
 /// only for sanity checks.
 GlobeSlice read_legacy_mesh_files(const std::string& dir, int rank);
+
+/// Write the same 51 arrays as chunks of one sfg_io container (ISSUE 8).
+/// Chunk names are the legacy file names (`proc<rank>_<name>.bin`) and
+/// payloads the exact file bytes, so `sfg_ioconv unpack` reproduces the
+/// legacy layout bit for bit. The caller commits the container. Returns
+/// the payload bytes appended.
+std::uint64_t write_mesh_container(io::Container& out, int rank,
+                                   const GlobeSlice& slice);
+
+/// Read a slice back from container chunks written by write_mesh_container
+/// (or packed from legacy files by `sfg_ioconv pack`).
+GlobeSlice read_mesh_container(const io::Container& in, int rank);
 
 /// Total size in bytes of all regular files under `dir` (the measured
 /// quantity of Figure 5).

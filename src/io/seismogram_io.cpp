@@ -1,13 +1,17 @@
 #include "io/seismogram_io.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "common/check.hpp"
+#include "io/blob_store.hpp"
 
 namespace sfg {
 
 namespace {
+
+constexpr const char* kComponentName[3] = {"X", "Y", "Z"};
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -16,32 +20,77 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+/// Parse "time value" rows from an in-memory component file; `label` names
+/// the source (a path, or "<container>:<key>") in error messages.
+Seismogram parse_component(const std::string& text, const std::string& label,
+                           int component) {
+  SFG_CHECK(component >= 0 && component < 3);
+  Seismogram seis;
+  const char* p = text.c_str();
+  for (;;) {
+    char* after = nullptr;
+    const double t = std::strtod(p, &after);
+    if (after == p) break;  // no leading number: end of samples
+    p = after;
+    const double v = std::strtod(p, &after);
+    // A half-parsed pair (time with no value) means the file was truncated
+    // mid-sample.
+    SFG_CHECK_MSG(after != p,
+                  label << " is truncated: trailing time sample "
+                        << seis.time.size() << " has no displacement value");
+    p = after;
+    seis.time.push_back(t);
+    std::array<double, 3> u{0.0, 0.0, 0.0};
+    u[static_cast<std::size_t>(component)] = v;
+    seis.displ.push_back(u);
+  }
+  while (*p == ' ' || *p == '\t' || *p == '\r' || *p == '\n') ++p;
+  SFG_CHECK_MSG(*p == '\0',
+                label << " has non-numeric bytes after sample "
+                      << seis.time.size() << " — not a *.semd seismogram?");
+  SFG_CHECK_MSG(!seis.time.empty(),
+                label << " holds no samples (empty or non-numeric file)");
+  return seis;
+}
+
 }  // namespace
 
-std::uint64_t write_seismogram(const std::string& prefix,
-                               const Seismogram& seis) {
+std::string format_seismogram_component(const Seismogram& seis,
+                                        int component) {
+  SFG_CHECK(component >= 0 && component < 3);
   SFG_CHECK_MSG(seis.displ.size() == seis.time.size(),
                 "seismogram has " << seis.time.size() << " time samples but "
                                   << seis.displ.size()
                                   << " displacement samples");
-  const char* comp_name[3] = {"X", "Y", "Z"};
+  std::string out;
+  out.reserve(seis.time.size() * 34);
+  char line[64];
+  for (std::size_t i = 0; i < seis.time.size(); ++i) {
+    const int n =
+        std::snprintf(line, sizeof(line), "%.9e %.9e\n", seis.time[i],
+                      seis.displ[i][static_cast<std::size_t>(component)]);
+    SFG_CHECK(n > 0 && static_cast<std::size_t>(n) < sizeof(line));
+    out.append(line, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+std::uint64_t write_seismogram(const std::string& prefix,
+                               const Seismogram& seis) {
   std::uint64_t bytes = 0;
   for (int c = 0; c < 3; ++c) {
-    const std::string path = prefix + "." + comp_name[c] + ".semd";
+    const std::string text = format_seismogram_component(seis, c);
+    const std::string path = prefix + "." + kComponentName[c] + ".semd";
     FilePtr f(std::fopen(path.c_str(), "w"));
     SFG_CHECK_MSG(f != nullptr,
                   "cannot open " << path << " for writing (missing directory "
                                  << "or unwritable prefix?)");
-    for (std::size_t i = 0; i < seis.time.size(); ++i) {
-      const int n = std::fprintf(f.get(), "%.9e %.9e\n", seis.time[i],
-                                 seis.displ[i][static_cast<std::size_t>(c)]);
-      // fprintf reports short writes (full disk, I/O error) as a negative
-      // return; treat anything but the full line as failure.
-      SFG_CHECK_MSG(n > 0 && std::ferror(f.get()) == 0,
-                    "short write to " << path << " at sample " << i
-                                      << " (disk full?)");
-      bytes += static_cast<std::uint64_t>(n);
-    }
+    const std::size_t written =
+        std::fwrite(text.data(), 1, text.size(), f.get());
+    SFG_CHECK_MSG(written == text.size() && std::ferror(f.get()) == 0,
+                  "short write to " << path << " (" << written << " of "
+                                    << text.size()
+                                    << " bytes — disk full?)");
     // Errors buffered by stdio may only surface at flush/close: a clean
     // fclose is part of the durability contract.
     std::FILE* raw = f.release();
@@ -49,6 +98,20 @@ std::uint64_t write_seismogram(const std::string& prefix,
     const bool close_ok = std::fclose(raw) == 0;
     SFG_CHECK_MSG(flush_ok && close_ok,
                   "failed to flush " << path << " (disk full?)");
+    bytes += text.size();
+  }
+  return bytes;
+}
+
+std::uint64_t write_seismogram(io::BlobStore& store,
+                               const std::string& prefix,
+                               const Seismogram& seis) {
+  std::uint64_t bytes = 0;
+  for (int c = 0; c < 3; ++c) {
+    const std::string text = format_seismogram_component(seis, c);
+    store.write(prefix + "." + kComponentName[c] + ".semd", text.data(),
+                text.size());
+    bytes += text.size();
   }
   return bytes;
 }
@@ -56,31 +119,23 @@ std::uint64_t write_seismogram(const std::string& prefix,
 Seismogram read_seismogram_component(const std::string& path,
                                      int component) {
   SFG_CHECK(component >= 0 && component < 3);
-  FilePtr f(std::fopen(path.c_str(), "r"));
+  FilePtr f(std::fopen(path.c_str(), "rb"));
   SFG_CHECK_MSG(f != nullptr, "cannot open " << path);
-  Seismogram seis;
-  double t, v;
-  int matched;
-  while ((matched = std::fscanf(f.get(), "%lf %lf", &t, &v)) == 2) {
-    seis.time.push_back(t);
-    std::array<double, 3> u{0.0, 0.0, 0.0};
-    u[static_cast<std::size_t>(component)] = v;
-    seis.displ.push_back(u);
-  }
+  std::string text;
+  char buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0)
+    text.append(buf, n);
   SFG_CHECK_MSG(std::ferror(f.get()) == 0,
                 "I/O error while reading " << path);
-  // A half-parsed pair (time with no value) means the file was truncated
-  // mid-sample; leftover non-numeric bytes mean it is not a seismogram.
-  SFG_CHECK_MSG(matched != 1,
-                path << " is truncated: trailing time sample "
-                     << seis.time.size() << " has no displacement value");
-  const int trailing = std::fgetc(f.get());
-  SFG_CHECK_MSG(trailing == EOF,
-                path << " has non-numeric bytes after sample "
-                     << seis.time.size() << " — not a *.semd seismogram?");
-  SFG_CHECK_MSG(!seis.time.empty(),
-                path << " holds no samples (empty or non-numeric file)");
-  return seis;
+  return parse_component(text, path, component);
+}
+
+Seismogram read_seismogram_component(const io::BlobStore& store,
+                                     const std::string& key, int component) {
+  const std::vector<std::byte> blob = store.read(key);
+  std::string text(reinterpret_cast<const char*>(blob.data()), blob.size());
+  return parse_component(text, store.describe() + ":" + key, component);
 }
 
 }  // namespace sfg

@@ -9,14 +9,34 @@
 
 #include "solver/simulation.hpp"
 
+namespace sfg::io {
+class BlobStore;
+}
+
 namespace sfg {
+
+/// The exact text of one component file ("time value" rows, scientific
+/// notation) — shared by the path and BlobStore writers so every backend
+/// stores identical bytes.
+std::string format_seismogram_component(const Seismogram& seis,
+                                        int component);
 
 /// Write `seis` as three files `<prefix>.{X,Y,Z}.semd` (time displacement
 /// per line, scientific notation). Returns the total bytes written.
 std::uint64_t write_seismogram(const std::string& prefix,
                                const Seismogram& seis);
 
+/// Write the three components as blobs `<prefix>.{X,Y,Z}.semd` in `store`
+/// (per-rank files or the single-container backend, ISSUE 8).
+std::uint64_t write_seismogram(io::BlobStore& store,
+                               const std::string& prefix,
+                               const Seismogram& seis);
+
 /// Read one component file back.
 Seismogram read_seismogram_component(const std::string& path, int component);
+
+/// Read one component back from blob `key` of `store`.
+Seismogram read_seismogram_component(const io::BlobStore& store,
+                                     const std::string& key, int component);
 
 }  // namespace sfg

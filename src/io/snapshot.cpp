@@ -1,8 +1,10 @@
 #include "io/snapshot.hpp"
 
 #include <array>
-#include <cstdio>
 #include <fstream>
+
+#include "io/blob_store.hpp"
+#include "io/file_util.hpp"
 
 namespace sfg::io {
 
@@ -11,18 +13,28 @@ namespace {
 constexpr std::array<char, 8> kMagic = {'S', 'F', 'G', 'S',
                                         'N', 'A', 'P', '\0'};
 
-const std::array<std::uint32_t, 256>& crc_table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
+/// Slicing-by-8 CRC-32 tables: t[0] is the classic byte table; t[s][i]
+/// advances a byte through s additional zero bytes, so eight table lookups
+/// fold eight input bytes at once (~8x the byte-at-a-time throughput —
+/// this CRC runs over every container chunk and snapshot payload, so it
+/// sits on the checkpoint/result write path).
+const std::array<std::array<std::uint32_t, 256>, 8>& crc_tables() {
+  static const auto tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int k = 0; k < 8; ++k)
         c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
+      t[0][i] = c;
     }
+    for (int s = 1; s < 8; ++s)
+      for (std::uint32_t i = 0; i < 256; ++i)
+        t[static_cast<std::size_t>(s)][i] =
+            (t[static_cast<std::size_t>(s - 1)][i] >> 8) ^
+            t[0][t[static_cast<std::size_t>(s - 1)][i] & 0xFFu];
     return t;
   }();
-  return table;
+  return tables;
 }
 
 void append_bytes(std::vector<std::byte>& out, const void* data,
@@ -57,6 +69,7 @@ class Cursor {
                   "snapshot '" << path_ << "' is truncated (needed "
                                << bytes << " bytes at offset " << pos_
                                << ", file has " << data_.size() << ")");
+    if (bytes == 0) return;  // dest may be a null .data() of an empty array
     std::memcpy(dest, data_.data() + pos_, bytes);
     pos_ += bytes;
   }
@@ -72,11 +85,22 @@ class Cursor {
 }  // namespace
 
 std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed) {
-  const auto& table = crc_table();
+  const auto& t = crc_tables();
   std::uint32_t c = seed ^ 0xFFFFFFFFu;
   const auto* p = static_cast<const unsigned char*>(data);
+  while (bytes >= 8) {  // slicing-by-8 fast path (little-endian layout)
+    std::uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+        t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+        t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    bytes -= 8;
+  }
   for (std::size_t i = 0; i < bytes; ++i)
-    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    c = t[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
   return c ^ 0xFFFFFFFFu;
 }
 
@@ -93,8 +117,11 @@ void SnapshotWriter::add_section(const std::string& name, const void* data,
   sections_.push_back(std::move(s));
 }
 
-void SnapshotWriter::write(const std::string& path,
-                           const SnapshotIdentity& identity) const {
+std::vector<std::byte> SnapshotWriter::serialize(
+    const SnapshotIdentity& identity) const {
+  std::vector<std::byte> file;
+  append_bytes(file, kMagic.data(), kMagic.size());
+
   std::vector<std::byte> body;  // everything after the magic, before CRC
   append_value(body, kSnapshotVersion);
   append_value(body, identity.nex);
@@ -110,20 +137,23 @@ void SnapshotWriter::write(const std::string& path,
   }
   for (const Section& s : sections_)
     append_bytes(body, s.payload.data(), s.payload.size());
-  const std::uint32_t crc = crc32(body.data(), body.size());
 
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    SFG_CHECK_MSG(out.good(), "cannot open '" << tmp << "' for writing");
-    out.write(kMagic.data(), kMagic.size());
-    out.write(reinterpret_cast<const char*>(body.data()),
-              static_cast<std::streamsize>(body.size()));
-    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
-    SFG_CHECK_MSG(out.good(), "write to '" << tmp << "' failed");
-  }
-  SFG_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
-                "cannot rename '" << tmp << "' to '" << path << "'");
+  const std::uint32_t crc = crc32(body.data(), body.size());
+  append_bytes(file, body.data(), body.size());
+  append_value(file, crc);
+  return file;
+}
+
+void SnapshotWriter::write(const std::string& path,
+                           const SnapshotIdentity& identity) const {
+  const std::vector<std::byte> file = serialize(identity);
+  atomic_write_file(path, file.data(), file.size());
+}
+
+void SnapshotWriter::write(BlobStore& store, const std::string& key,
+                           const SnapshotIdentity& identity) const {
+  const std::vector<std::byte> file = serialize(identity);
+  store.write(key, file.data(), file.size());
 }
 
 SnapshotReader SnapshotReader::open(const std::string& path,
@@ -139,7 +169,19 @@ SnapshotReader SnapshotReader::open(const std::string& path,
       in.read(reinterpret_cast<char*>(file.data()), size);
     SFG_CHECK_MSG(in.good(), "cannot read snapshot '" << path << "'");
   }
+  return parse(file, path, expected);
+}
 
+SnapshotReader SnapshotReader::open(const BlobStore& store,
+                                    const std::string& key,
+                                    const SnapshotIdentity& expected) {
+  return parse(store.read(key), store.describe() + ":" + key, expected);
+}
+
+SnapshotReader SnapshotReader::parse(const std::vector<std::byte>& file,
+                                     const std::string& label,
+                                     const SnapshotIdentity& expected) {
+  const std::string& path = label;
   SFG_CHECK_MSG(file.size() >= kMagic.size() + sizeof(std::uint32_t),
                 "snapshot '" << path << "' is truncated (only "
                              << file.size() << " bytes)");

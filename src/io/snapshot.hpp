@@ -33,6 +33,8 @@
 
 namespace sfg::io {
 
+class BlobStore;
+
 inline constexpr std::uint32_t kSnapshotVersion = 1;
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected). Chainable via `seed`.
@@ -66,9 +68,20 @@ class SnapshotWriter {
     add_values(name, v.data(), v.size());
   }
 
-  /// Serialize (header + sections + CRC) and write atomically-ish: to
-  /// `path + ".tmp"` first, then rename over `path`.
+  /// The complete file image (magic + header + sections + CRC) that
+  /// write() puts on disk — also what the BlobStore backends store.
+  std::vector<std::byte> serialize(const SnapshotIdentity& identity) const;
+
+  /// Durable atomic write: serialize to a uniquely-named temp file in the
+  /// target directory, fsync it, rename over `path`, then fsync the parent
+  /// directory so the rename itself survives a crash (docs/io.md). The
+  /// temp file is removed on every failure path.
   void write(const std::string& path, const SnapshotIdentity& identity) const;
+
+  /// Store the snapshot as blob `key` in `store` (per-rank files or the
+  /// single-container backend — the bytes are identical either way).
+  void write(BlobStore& store, const std::string& key,
+             const SnapshotIdentity& identity) const;
 
  private:
   struct Section {
@@ -84,6 +97,16 @@ class SnapshotReader {
   /// Read `path`, verify magic/version/CRC, and check the stored identity
   /// against `expected`. Throws CheckError on any mismatch.
   static SnapshotReader open(const std::string& path,
+                             const SnapshotIdentity& expected);
+
+  /// Same validation over an in-memory image; `label` names the source in
+  /// error messages (a path, or "<container>:<key>").
+  static SnapshotReader parse(const std::vector<std::byte>& file,
+                              const std::string& label,
+                              const SnapshotIdentity& expected);
+
+  /// Read blob `key` from `store` and validate it like open(path) does.
+  static SnapshotReader open(const BlobStore& store, const std::string& key,
                              const SnapshotIdentity& expected);
 
   const SnapshotIdentity& identity() const { return identity_; }

@@ -28,14 +28,17 @@ io::SnapshotIdentity identity_for(RequestKey key) {
 
 }  // namespace
 
-ResultStore::ResultStore(const std::string& dir) : dir_(dir) {
+ResultStore::ResultStore(const std::string& dir, io::IoBackendKind backend)
+    : dir_(dir), backend_(backend) {
   fs::create_directories(dir_);
-  for (const auto& e : fs::directory_iterator(dir_)) {
-    if (!e.is_regular_file() || e.path().extension() != ".res") continue;
-    const std::string stem = e.path().stem().string();
-    if (stem.size() != 16) continue;
+  store_ = io::make_store(backend,
+                          backend == io::IoBackendKind::Container
+                              ? dir_ + "/results"
+                              : dir_);
+  for (const std::string& name : store_->list()) {
+    if (name.size() != 20 || name.substr(16) != ".res") continue;
     RequestKey key = 0;
-    if (std::sscanf(stem.c_str(), "%16lx", &key) == 1) index_.insert(key);
+    if (std::sscanf(name.c_str(), "%16lx", &key) == 1) index_.insert(key);
   }
 }
 
@@ -60,8 +63,8 @@ std::optional<JobResult> ResultStore::load(RequestKey key) const {
     std::lock_guard<std::mutex> lock(mutex_);
     if (index_.count(key) == 0) return std::nullopt;
   }
-  const auto reader = io::SnapshotReader::open(path_for(key),
-                                               identity_for(key));
+  const auto reader = io::SnapshotReader::open(
+      *store_, key_hex(key) + ".res", identity_for(key));
   const auto nstations = reader.read_value<std::int32_t>("nstations");
   JobResult result;
   result.seismograms.resize(static_cast<std::size_t>(nstations));
@@ -95,7 +98,7 @@ void ResultStore::store(RequestKey key, const JobResult& result) {
                                          : seis.displ.data()->data(),
                       seis.displ.size() * 3);
   }
-  writer.write(path_for(key), identity_for(key));
+  writer.write(*store_, key_hex(key) + ".res", identity_for(key));
   std::lock_guard<std::mutex> lock(mutex_);
   index_.insert(key);
 }

@@ -40,9 +40,12 @@ CampaignService::CampaignService(const ServiceConfig& config)
       basis_(4),
       scheduler_(config.admission, CostModel{config.pricing_machine}),
       queue_(config.queue_capacity),
-      store_(config.work_dir + "/results"),
+      store_(config.work_dir + "/results", config.io_backend),
       mesh_cache_(basis_) {
   SFG_CHECK_MSG(cfg_.num_workers >= 1, "service needs at least one worker");
+  if (cfg_.mesh_cache_max_resident > 0)
+    mesh_cache_.configure_spill(cfg_.work_dir + "/mesh_cache",
+                                cfg_.mesh_cache_max_resident);
   workers_.reserve(static_cast<std::size_t>(cfg_.num_workers));
   for (int w = 0; w < cfg_.num_workers; ++w)
     workers_.emplace_back([this] { worker_main(); });
@@ -137,8 +140,8 @@ void CampaignService::run_one(const QueueEntry& entry) {
       cfg_.work_dir + "/jobs/" + std::to_string(entry.job_id);
   WallTimer timer;
   try {
-    ExecutionOutcome out =
-        execute_job(request, mesh_cache_, scratch, cfg_.max_retries);
+    ExecutionOutcome out = execute_job(request, mesh_cache_, scratch,
+                                       cfg_.max_retries, cfg_.io_backend);
     store_.store(key, out.result);
     {
       std::lock_guard<std::mutex> lock(mutex_);

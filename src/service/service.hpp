@@ -57,6 +57,15 @@ struct ServiceConfig {
   AdmissionPolicy admission;
   /// Pricing machine for admission and the report (null = franklin()).
   const MachineSpec* pricing_machine = nullptr;
+  /// sfg_io backend (ISSUE 8) for the result store and per-job scratch
+  /// checkpoints. The container default keeps a whole campaign at O(1)
+  /// files — one results.sfgc plus one checkpoints.sfgc per in-flight job
+  /// — instead of O(jobs x ranks).
+  io::IoBackendKind io_backend = io::IoBackendKind::Container;
+  /// Out-of-core mesh cache (0 = keep every slice resident): the maximum
+  /// resident slices before LRU spilling into
+  /// <work_dir>/mesh_cache.sfgc.
+  std::size_t mesh_cache_max_resident = 0;
 };
 
 /// Aggregate campaign counters (also exported via the metrics Registry).

@@ -77,19 +77,32 @@ io::SnapshotIdentity rank_identity(const JobRequest& r, int rank) {
   return id;
 }
 
-std::string rank_checkpoint_path(const std::string& scratch_dir, int rank) {
-  return scratch_dir + "/rank" + std::to_string(rank) + ".snap";
+std::string rank_checkpoint_key(int rank) {
+  return "rank" + std::to_string(rank) + ".snap";
+}
+
+/// The per-job checkpoint store: with the per-rank-files backend the keys
+/// land as `<scratch_dir>/rankN.snap` (the pre-ISSUE-8 layout); with the
+/// container backend every rank checkpoints into ONE
+/// `<scratch_dir>/checkpoints.sfgc`.
+std::shared_ptr<io::BlobStore> scratch_store(const std::string& scratch_dir,
+                                             io::IoBackendKind backend) {
+  return io::make_store(backend,
+                        backend == io::IoBackendKind::Container
+                            ? scratch_dir + "/checkpoints"
+                            : scratch_dir);
 }
 
 /// The step all ranks' periodic checkpoints agree on, or -1 when there is
-/// no complete consistent set (missing file, unreadable file, or ranks
-/// torn down between cadence boundaries with different last steps).
+/// no complete consistent set (missing blob, unreadable blob, a torn
+/// container — which rejects wholesale — or ranks torn down between
+/// cadence boundaries with different last steps).
 int consistent_checkpoint_step(const JobRequest& r,
-                               const std::string& scratch_dir) {
+                               const io::BlobStore& store) {
   std::int64_t step = -1;
   for (int rank = 0; rank < r.nranks; ++rank) {
-    const std::int64_t s = checkpoint_step(
-        rank_checkpoint_path(scratch_dir, rank), rank_identity(r, rank));
+    const std::int64_t s = checkpoint_step(store, rank_checkpoint_key(rank),
+                                           rank_identity(r, rank));
     if (s <= 0) return -1;
     if (rank == 0)
       step = s;
@@ -100,15 +113,111 @@ int consistent_checkpoint_step(const JobRequest& r,
 }
 
 SimulationConfig config_for(const JobRequest& r,
-                            const std::string& scratch_dir, int rank) {
+                            std::shared_ptr<io::BlobStore> store, int rank) {
   SimulationConfig cfg;
   cfg.dt = r.dt;
   if (r.checkpoint_interval_steps > 0) {
     cfg.checkpoint_interval_steps = r.checkpoint_interval_steps;
-    cfg.checkpoint_path = rank_checkpoint_path(scratch_dir, rank);
+    cfg.checkpoint_store = std::move(store);
+    cfg.checkpoint_path = rank_checkpoint_key(rank);
     cfg.checkpoint_identity = rank_identity(r, rank);
   }
   return cfg;
+}
+
+/// CachedSlice <-> sfg_snapshot bytes, for the MeshCache spill path. The
+/// identity is unused (slices are keyed by name); layout checks live in
+/// the section sizes themselves.
+std::vector<std::byte> serialize_slice(const CachedSlice& s) {
+  io::SnapshotWriter w;
+  const std::int32_t dims[3] = {s.mesh.ngll, s.mesh.nspec, s.mesh.nglob};
+  w.add_values("dims", dims, 3);
+  w.add_values("xstore", s.mesh.xstore.data(), s.mesh.xstore.size());
+  w.add_values("ystore", s.mesh.ystore.data(), s.mesh.ystore.size());
+  w.add_values("zstore", s.mesh.zstore.data(), s.mesh.zstore.size());
+  w.add_vector("ibool", s.mesh.ibool);
+  w.add_values("xix", s.mesh.xix.data(), s.mesh.xix.size());
+  w.add_values("xiy", s.mesh.xiy.data(), s.mesh.xiy.size());
+  w.add_values("xiz", s.mesh.xiz.data(), s.mesh.xiz.size());
+  w.add_values("etax", s.mesh.etax.data(), s.mesh.etax.size());
+  w.add_values("etay", s.mesh.etay.data(), s.mesh.etay.size());
+  w.add_values("etaz", s.mesh.etaz.data(), s.mesh.etaz.size());
+  w.add_values("gammax", s.mesh.gammax.data(), s.mesh.gammax.size());
+  w.add_values("gammay", s.mesh.gammay.data(), s.mesh.gammay.size());
+  w.add_values("gammaz", s.mesh.gammaz.data(), s.mesh.gammaz.size());
+  w.add_values("jacobian", s.mesh.jacobian.data(), s.mesh.jacobian.size());
+  const MaterialFields& m = s.materials;
+  w.add_values("rho", m.rho.data(), m.rho.size());
+  w.add_values("kappav", m.kappav.data(), m.kappav.size());
+  w.add_values("muv", m.muv.data(), m.muv.size());
+  w.add_values("vp", m.vp.data(), m.vp.size());
+  w.add_values("vs", m.vs.data(), m.vs.size());
+  w.add_values("q_mu", m.q_mu.data(), m.q_mu.size());
+  w.add_values("mu_relaxed", m.mu_relaxed.data(), m.mu_relaxed.size());
+  std::vector<std::uint8_t> fluid(m.element_is_fluid.size());
+  for (std::size_t e = 0; e < fluid.size(); ++e)
+    fluid[e] = m.element_is_fluid[e] ? 1 : 0;
+  w.add_vector("fluid", fluid);
+  w.add_vector("boundary_keys", s.boundary_keys);
+  w.add_vector("boundary_points", s.boundary_points);
+  return w.serialize(io::SnapshotIdentity{});
+}
+
+std::shared_ptr<const CachedSlice> parse_slice(
+    const std::vector<std::byte>& bytes, const std::string& label) {
+  const auto r =
+      io::SnapshotReader::parse(bytes, label, io::SnapshotIdentity{});
+  auto slice = std::make_shared<CachedSlice>();
+  const auto dims = r.read_vector<std::int32_t>("dims");
+  SFG_CHECK_MSG(dims.size() == 3,
+                "spilled slice '" << label << "' has a malformed dims "
+                                  << "section");
+  HexMesh& mesh = slice->mesh;
+  mesh.ngll = dims[0];
+  mesh.nspec = dims[1];
+  mesh.nglob = dims[2];
+  auto load_d = [&](const char* name, aligned_vector<double>& out) {
+    const auto v = r.read_vector<double>(name);
+    out.assign(v.begin(), v.end());
+  };
+  auto load_f = [&](const char* name, aligned_vector<float>& out) {
+    const auto v = r.read_vector<float>(name);
+    out.assign(v.begin(), v.end());
+  };
+  load_d("xstore", mesh.xstore);
+  load_d("ystore", mesh.ystore);
+  load_d("zstore", mesh.zstore);
+  mesh.ibool = r.read_vector<int>("ibool");
+  load_f("xix", mesh.xix);
+  load_f("xiy", mesh.xiy);
+  load_f("xiz", mesh.xiz);
+  load_f("etax", mesh.etax);
+  load_f("etay", mesh.etay);
+  load_f("etaz", mesh.etaz);
+  load_f("gammax", mesh.gammax);
+  load_f("gammay", mesh.gammay);
+  load_f("gammaz", mesh.gammaz);
+  load_f("jacobian", mesh.jacobian);
+  SFG_CHECK_MSG(mesh.num_local_points() == mesh.xstore.size(),
+                "spilled slice '" << label << "' coordinate count "
+                                  << mesh.xstore.size()
+                                  << " disagrees with dims "
+                                  << mesh.num_local_points());
+  MaterialFields& m = slice->materials;
+  load_f("rho", m.rho);
+  load_f("kappav", m.kappav);
+  load_f("muv", m.muv);
+  load_f("vp", m.vp);
+  load_f("vs", m.vs);
+  load_f("q_mu", m.q_mu);
+  load_f("mu_relaxed", m.mu_relaxed);
+  const auto fluid = r.read_vector<std::uint8_t>("fluid");
+  m.element_is_fluid.assign(fluid.size(), false);
+  for (std::size_t e = 0; e < fluid.size(); ++e)
+    m.element_is_fluid[e] = fluid[e] != 0;
+  slice->boundary_keys = r.read_vector<std::int64_t>("boundary_keys");
+  slice->boundary_points = r.read_vector<int>("boundary_points");
+  return slice;
 }
 
 }  // namespace
@@ -121,8 +230,25 @@ std::shared_ptr<const CachedSlice> MeshCache::get(const JobRequest& r,
     auto it = slices_.find(key);
     if (it != slices_.end()) {
       ++hits_;
+      last_use_[key] = ++tick_;
       return it->second;
     }
+  }
+  // Not resident: reload a spilled slice before rebuilding — the read is
+  // CRC-verified, so a corrupted spill fails loudly instead of meshing
+  // wrong geometry. Done outside the cache lock (ContainerStore has its
+  // own); two threads racing on the key parse identical objects and the
+  // loser's copy is simply dropped.
+  if (spill_store_ != nullptr && spill_store_->contains(key)) {
+    auto slice = parse_slice(spill_store_->read(key),
+                             spill_store_->describe() + ":" + key);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = slices_.emplace(key, std::move(slice));
+    if (inserted) ++spill_hits_;
+    else ++hits_;
+    last_use_[key] = ++tick_;
+    evict_over_cap_locked();
+    return it->second;
   }
   // Build outside the lock: slices are deterministic, so two threads
   // racing on the same key build identical objects and the loser's copy
@@ -148,7 +274,44 @@ std::shared_ptr<const CachedSlice> MeshCache::get(const JobRequest& r,
     ++misses_;
   else
     ++hits_;
+  last_use_[key] = ++tick_;
+  evict_over_cap_locked();
   return it->second;
+}
+
+void MeshCache::configure_spill(const std::string& container_path,
+                                std::size_t max_resident) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SFG_CHECK_MSG(max_resident > 0,
+                "MeshCache spill needs max_resident >= 1");
+  spill_store_ =
+      io::make_store(io::IoBackendKind::Container, container_path);
+  max_resident_ = max_resident;
+  evict_over_cap_locked();
+}
+
+void MeshCache::evict_over_cap_locked() {
+  if (max_resident_ == 0 || spill_store_ == nullptr) return;
+  while (slices_.size() > max_resident_) {
+    auto victim = slices_.end();
+    std::uint64_t oldest = 0;
+    for (auto it = slices_.begin(); it != slices_.end(); ++it) {
+      const std::uint64_t t = last_use_[it->first];
+      if (victim == slices_.end() || t < oldest) {
+        victim = it;
+        oldest = t;
+      }
+    }
+    // Slices are immutable, so a key already spilled once never needs
+    // rewriting — eviction is then just dropping the resident copy.
+    if (!spill_store_->contains(victim->first)) {
+      const std::vector<std::byte> bytes = serialize_slice(*victim->second);
+      spill_store_->write(victim->first, bytes.data(), bytes.size());
+      ++spills_;
+    }
+    last_use_.erase(victim->first);
+    slices_.erase(victim);
+  }
 }
 
 std::uint64_t MeshCache::hits() const {
@@ -161,21 +324,36 @@ std::uint64_t MeshCache::misses() const {
   return misses_;
 }
 
+std::uint64_t MeshCache::spills() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spills_;
+}
+
+std::uint64_t MeshCache::spill_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spill_hits_;
+}
+
+std::size_t MeshCache::resident() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slices_.size();
+}
+
 namespace {
 
 /// One serial attempt (nranks == 1). Returns the collected result.
 JobResult run_serial_attempt(const JobRequest& r, MeshCache& cache,
-                             const std::string& scratch_dir,
+                             std::shared_ptr<io::BlobStore> store,
                              int restore_step) {
   const auto slice = cache.get(r, 0);
   Simulation sim(slice->mesh, cache.basis(), slice->materials,
-                 config_for(r, scratch_dir, 0));
+                 config_for(r, store, 0));
   sim.add_source(point_source_for(r));
   std::vector<int> recv_ids;
   for (const StationSpec& st : r.stations)
     recv_ids.push_back(sim.add_receiver(st.x, st.y, st.z));
   if (restore_step > 0) {
-    sim.restore_checkpoint(rank_checkpoint_path(scratch_dir, 0),
+    sim.restore_checkpoint(*store, rank_checkpoint_key(0),
                            rank_identity(r, 0));
     SFG_CHECK(sim.step_count() == restore_step);
   }
@@ -189,7 +367,7 @@ JobResult run_serial_attempt(const JobRequest& r, MeshCache& cache,
 /// is the injected fault schedule. Station slots are written by their
 /// owning ranks only (disjoint indices; run_ranks joins before we read).
 JobResult run_parallel_attempt(const JobRequest& r, MeshCache& cache,
-                               const std::string& scratch_dir,
+                               std::shared_ptr<io::BlobStore> store,
                                int restore_step,
                                const smpi::FaultPlan* plan) {
   JobResult result;
@@ -204,7 +382,7 @@ JobResult run_parallel_attempt(const JobRequest& r, MeshCache& cache,
       cands.push_back({slice->boundary_keys[n], slice->boundary_points[n]});
     smpi::Exchanger ex = smpi::Exchanger::build(comm, cands);
     Simulation sim(slice->mesh, cache.basis(), slice->materials,
-                   config_for(r, scratch_dir, rank), &comm, &ex);
+                   config_for(r, store, rank), &comm, &ex);
     sim.add_source_global(point_source_for(r));
     // (station index, local receiver id) pairs this rank owns.
     std::vector<std::pair<std::size_t, int>> owned;
@@ -214,7 +392,7 @@ JobResult run_parallel_attempt(const JobRequest& r, MeshCache& cache,
       if (id >= 0) owned.emplace_back(s, id);
     }
     if (restore_step > 0) {
-      sim.restore_checkpoint(rank_checkpoint_path(scratch_dir, rank),
+      sim.restore_checkpoint(*store, rank_checkpoint_key(rank),
                              rank_identity(r, rank));
       SFG_CHECK(sim.step_count() == restore_step);
     }
@@ -234,8 +412,10 @@ JobResult run_parallel_attempt(const JobRequest& r, MeshCache& cache,
 
 ExecutionOutcome execute_job(const JobRequest& r, MeshCache& cache,
                              const std::string& scratch_dir,
-                             int max_retries) {
+                             int max_retries, io::IoBackendKind backend) {
   fs::create_directories(scratch_dir);
+  const std::shared_ptr<io::BlobStore> store =
+      scratch_store(scratch_dir, backend);
   ExecutionOutcome out;
   std::string last_error;
 
@@ -243,7 +423,7 @@ ExecutionOutcome execute_job(const JobRequest& r, MeshCache& cache,
     // Retry placement: resume from the last consistent checkpoint set if
     // one exists; otherwise cold.
     const int restore_step =
-        attempt == 0 ? -1 : consistent_checkpoint_step(r, scratch_dir);
+        attempt == 0 ? -1 : consistent_checkpoint_step(r, *store);
     const int start_step = restore_step > 0 ? restore_step : 0;
 
     // The fault fires on the first attempt only: the model is a failed
@@ -256,8 +436,8 @@ ExecutionOutcome execute_job(const JobRequest& r, MeshCache& cache,
       out.attempts = attempt + 1;
       JobResult result =
           r.nranks == 1
-              ? run_serial_attempt(r, cache, scratch_dir, restore_step)
-              : run_parallel_attempt(r, cache, scratch_dir, restore_step,
+              ? run_serial_attempt(r, cache, store, restore_step)
+              : run_parallel_attempt(r, cache, store, restore_step,
                                      faulted ? &plan : nullptr);
       out.steps_executed += r.nsteps - start_step;
       out.resumed_from_step = restore_step > 0 ? restore_step : -1;

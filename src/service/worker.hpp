@@ -10,7 +10,11 @@
 ///    (NEX, NPROC, model, extent) axes of a request, and building them is
 ///    the per-run serial bottleneck the related DMPlex-workflow line of
 ///    work attacks. The cache shares one immutable slice per key across
-///    all jobs and workers (Simulation copies what it mutates).
+///    all jobs and workers (Simulation copies what it mutates). With
+///    configure_spill() it runs out-of-core (ISSUE 8): least-recently-used
+///    slices beyond the resident cap serialize into one sfg_io container
+///    and reload on their next use, bounding memory across a campaign of
+///    many mesh shapes.
 ///
 ///  * execute_job — marches the request over an smpi::World (nranks
 ///    in-process ranks; serial fast path at nranks == 1), injecting the
@@ -29,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "io/blob_store.hpp"
 #include "mesh/cartesian.hpp"
 #include "quadrature/gll.hpp"
 #include "service/job.hpp"
@@ -56,19 +61,38 @@ class MeshCache {
   MeshCache& operator=(const MeshCache&) = delete;
 
   /// The slice for `rank` of `r`'s decomposition (rank 0 of 1 = serial
-  /// full box). Builds and caches on first use.
+  /// full box). Builds and caches on first use; reloads from the spill
+  /// container when the slice was evicted.
   std::shared_ptr<const CachedSlice> get(const JobRequest& r, int rank);
+
+  /// Switch to out-of-core mode: keep at most `max_resident` slices in
+  /// memory, spilling the least-recently-used ones as chunks of the
+  /// sfg_io container at `container_path`. Call before workers start.
+  void configure_spill(const std::string& container_path,
+                       std::size_t max_resident);
 
   const GllBasis& basis() const { return basis_; }
   std::uint64_t hits() const;
   std::uint64_t misses() const;
+  std::uint64_t spills() const;      ///< evictions written to the container
+  std::uint64_t spill_hits() const;  ///< gets served by reloading a spill
+  std::size_t resident() const;      ///< slices currently in memory
 
  private:
+  void evict_over_cap_locked();
+
   const GllBasis& basis_;
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<const CachedSlice>> slices_;
+  /// Monotonic use tick per key — the LRU order of slices_.
+  std::map<std::string, std::uint64_t> last_use_;
+  std::uint64_t tick_ = 0;
+  std::unique_ptr<io::BlobStore> spill_store_;
+  std::size_t max_resident_ = 0;  ///< 0 = unbounded (no spilling)
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t spills_ = 0;
+  std::uint64_t spill_hits_ = 0;
 };
 
 /// What execute_job hands back to the service.
@@ -84,11 +108,14 @@ struct ExecutionOutcome {
 
 /// Execute `r` to completion, retrying aborted attempts (at most
 /// `max_retries` retries) from the last consistent periodic checkpoint
-/// set under `scratch_dir` (per-job files; cleaned up on success).
+/// set under `scratch_dir` (cleaned up on success). `backend` places the
+/// per-rank checkpoints: one file per rank, or all ranks as chunks of a
+/// single `checkpoints.sfgc` container in the scratch directory (ISSUE 8).
 /// Throws sfg::CheckError / std::runtime_error when the job cannot be
 /// completed (bad request, retries exhausted).
-ExecutionOutcome execute_job(const JobRequest& r, MeshCache& cache,
-                             const std::string& scratch_dir,
-                             int max_retries);
+ExecutionOutcome execute_job(
+    const JobRequest& r, MeshCache& cache, const std::string& scratch_dir,
+    int max_retries,
+    io::IoBackendKind backend = io::IoBackendKind::PerRankFiles);
 
 }  // namespace sfg::service

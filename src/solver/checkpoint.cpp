@@ -1,3 +1,4 @@
+#include "io/blob_store.hpp"
 #include "io/snapshot.hpp"
 #include "solver/simulation.hpp"
 
@@ -54,8 +55,7 @@ struct MetricsCheckpoint {
 
 }  // namespace
 
-void Simulation::write_checkpoint(const std::string& path,
-                                  const io::SnapshotIdentity& identity) const {
+io::SnapshotWriter Simulation::checkpoint_snapshot() const {
   io::SnapshotWriter writer;
 
   CheckpointMeta meta;
@@ -119,7 +119,18 @@ void Simulation::write_checkpoint(const std::string& path,
     writer.add_values("metrics", &mc, 1);
   }
 
-  writer.write(path, identity);
+  return writer;
+}
+
+void Simulation::write_checkpoint(const std::string& path,
+                                  const io::SnapshotIdentity& identity) const {
+  checkpoint_snapshot().write(path, identity);
+}
+
+void Simulation::write_checkpoint(io::BlobStore& store,
+                                  const std::string& key,
+                                  const io::SnapshotIdentity& identity) const {
+  checkpoint_snapshot().write(store, key, identity);
 }
 
 std::int64_t checkpoint_step(const std::string& path,
@@ -133,9 +144,33 @@ std::int64_t checkpoint_step(const std::string& path,
   }
 }
 
+std::int64_t checkpoint_step(const io::BlobStore& store,
+                             const std::string& key,
+                             const io::SnapshotIdentity& identity) {
+  try {
+    const io::SnapshotReader reader =
+        io::SnapshotReader::open(store, key, identity);
+    return reader.read_value<CheckpointMeta>("meta").step;
+  } catch (const CheckError&) {
+    return -1;  // missing store/blob, torn container, wrong identity
+  }
+}
+
 void Simulation::restore_checkpoint(const std::string& path,
                                     const io::SnapshotIdentity& identity) {
-  const io::SnapshotReader reader = io::SnapshotReader::open(path, identity);
+  restore_from(io::SnapshotReader::open(path, identity), path);
+}
+
+void Simulation::restore_checkpoint(const io::BlobStore& store,
+                                    const std::string& key,
+                                    const io::SnapshotIdentity& identity) {
+  restore_from(io::SnapshotReader::open(store, key, identity),
+               store.describe() + ":" + key);
+}
+
+void Simulation::restore_from(const io::SnapshotReader& reader,
+                              const std::string& label) {
+  const std::string& path = label;
 
   const auto meta = reader.read_value<CheckpointMeta>("meta");
   SFG_CHECK_MSG(meta.nglob == mesh_.nglob && meta.nspec == mesh_.nspec &&

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "common/log.hpp"
+#include "io/blob_store.hpp"
 #include "mesh/coloring.hpp"
 #include "mesh/numbering.hpp"
 #include "mesh/rcm.hpp"
@@ -1645,8 +1646,13 @@ void Simulation::step() {
   // snapshot carries this step's metric counters, and gated on it_ so a
   // restored run re-checkpoints on the same schedule it was saved under.
   if (cfg_.checkpoint_interval_steps > 0 &&
-      it_ % cfg_.checkpoint_interval_steps == 0)
-    write_checkpoint(cfg_.checkpoint_path, cfg_.checkpoint_identity);
+      it_ % cfg_.checkpoint_interval_steps == 0) {
+    if (cfg_.checkpoint_store)
+      write_checkpoint(*cfg_.checkpoint_store, cfg_.checkpoint_path,
+                       cfg_.checkpoint_identity);
+    else
+      write_checkpoint(cfg_.checkpoint_path, cfg_.checkpoint_identity);
+  }
 }
 
 void Simulation::run(int nsteps) {

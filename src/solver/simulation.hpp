@@ -141,10 +141,16 @@ struct SimulationConfig {
   /// Periodic checkpointing (ISSUE 5): when > 0, write_checkpoint fires
   /// after every step whose index is a multiple of this cadence,
   /// overwriting `checkpoint_path` with `checkpoint_identity` (the
-  /// snapshot write is atomic: tmp file + rename). 0 disables.
+  /// snapshot write is atomic: unique tmp file + fsync + rename). 0
+  /// disables.
   int checkpoint_interval_steps = 0;
   std::string checkpoint_path;
   io::SnapshotIdentity checkpoint_identity;
+  /// sfg_io backend for periodic checkpoints (ISSUE 8): when set,
+  /// `checkpoint_path` is the blob key inside this store (e.g. a chunk
+  /// name in one shared container) instead of a filesystem path. Ranks of
+  /// one run may share a store; ContainerStore serializes writers.
+  std::shared_ptr<io::BlobStore> checkpoint_store;
 };
 
 /// Peek at a checkpoint file without a Simulation: the step index stored
@@ -153,6 +159,13 @@ struct SimulationConfig {
 /// Lets a supervisor decide whether a set of per-rank checkpoints is a
 /// consistent restart point before building any rank state.
 std::int64_t checkpoint_step(const std::string& path,
+                             const io::SnapshotIdentity& identity);
+
+/// Same peek against blob `key` of an sfg_io store (ISSUE 8) — a torn or
+/// truncated container rejects wholesale, so this returns -1 for every
+/// rank rather than ever serving partial state.
+std::int64_t checkpoint_step(const io::BlobStore& store,
+                             const std::string& key,
                              const io::SnapshotIdentity& identity);
 
 /// Recorded three-component seismogram at one station.
@@ -224,10 +237,17 @@ class Simulation {
   /// uninterrupted run — the contract test_checkpoint enforces.
   void write_checkpoint(const std::string& path,
                         const io::SnapshotIdentity& identity) const;
+  /// Same state written as blob `key` of an sfg_io store (ISSUE 8): the
+  /// bytes are identical to the per-rank file, only the placement differs.
+  void write_checkpoint(io::BlobStore& store, const std::string& key,
+                        const io::SnapshotIdentity& identity) const;
   /// Load a snapshot written by write_checkpoint into a Simulation built
   /// with the same mesh, materials and config. Throws sfg::CheckError on
   /// corrupted/truncated files or identity/layout mismatches.
   void restore_checkpoint(const std::string& path,
+                          const io::SnapshotIdentity& identity);
+  /// Restore from blob `key` of an sfg_io store.
+  void restore_checkpoint(const io::BlobStore& store, const std::string& key,
                           const io::SnapshotIdentity& identity);
 
   // ---- observation ----
@@ -303,6 +323,12 @@ class Simulation {
   const ClusterPartition& lts_partition() const { return lts_part_; }
 
  private:
+  /// Shared bodies of the path- and store-based checkpoint entry points:
+  /// both serialize/restore exactly the same sections.
+  io::SnapshotWriter checkpoint_snapshot() const;
+  void restore_from(const io::SnapshotReader& reader,
+                    const std::string& label);
+
   struct CouplingPoint {
     int iglob;
     double nx, ny, nz;  ///< normal outward from the FLUID region
