@@ -1,0 +1,201 @@
+// Sharded front-end load-test bench (ISSUE 9): the repo's first
+// service-level perf trajectory record. Drives the SAME seeded workload
+// (Poisson arrivals over a zipfian event catalogue, loadgen.*) through
+// three fleet shapes:
+//
+//   baseline_1shard — 1 shard x 4 workers (the PR-5 shape),
+//   sharded_4       — 4 shards x 1 worker, same total workers,
+//   shard_death     — sharded_4 with one shard killed mid-campaign
+//                     (the fault-injection acceptance scenario).
+//
+// HARD GATES (gates_ok in the JSON, enforced by scripts/bench.sh):
+//  * the workload replays bit-identically for the same seed,
+//  * zero failed jobs in every scenario — including the shard death,
+//  * each scenario computes every distinct content key EXACTLY once
+//    (executed == distinct_keys: the global-coalescing invariant), so
+//  * the 4-shard cache hit rate >= the 1-shard baseline, and
+//  * p99 latency stays under a loose sanity bound.
+//
+// Machine-readable JSON goes to stdout (BENCH_loadtest.json); narration
+// to stderr.
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/loadgen.hpp"
+
+using namespace sfg::service;
+
+namespace {
+
+std::string work_dir(const std::string& name) {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir =
+      std::string(tmp ? tmp : "/tmp") + "/sfg_bench_loadtest_" + name;
+  std::filesystem::remove_all(dir);  // cold store: measure real computes
+  return dir;
+}
+
+LoadgenConfig workload_config() {
+  LoadgenConfig c;
+  c.seed = 42;
+  c.num_requests = 240;
+  c.arrivals_per_second = 40.0;
+  c.num_events = 24;
+  c.zipf_s = 1.1;
+  c.base = loadgen_base_request();
+  c.base.nsteps = 30;
+  return c;
+}
+
+FrontendConfig fleet(int shards, int workers_per_shard,
+                     const std::string& name) {
+  FrontendConfig f;
+  f.num_shards = shards;
+  f.workers_per_shard = workers_per_shard;
+  f.shard_queue_capacity = 32;
+  f.lru_entries_per_shard = 64;
+  f.work_dir = work_dir(name);
+  return f;
+}
+
+void print_scenario(const char* name, const LoadTestReport& r, bool last) {
+  std::printf("    \"%s\": {\n", name);
+  std::printf("      \"submitted\": %llu,\n",
+              static_cast<unsigned long long>(r.submitted));
+  std::printf("      \"completed\": %llu,\n",
+              static_cast<unsigned long long>(r.completed));
+  std::printf("      \"failed\": %llu,\n",
+              static_cast<unsigned long long>(r.failed));
+  std::printf("      \"executed\": %llu,\n",
+              static_cast<unsigned long long>(r.executed));
+  std::printf("      \"distinct_keys\": %llu,\n",
+              static_cast<unsigned long long>(r.distinct_keys));
+  std::printf("      \"cache_hits\": %llu,\n",
+              static_cast<unsigned long long>(r.cache_hits));
+  std::printf("      \"memory_hits\": %llu,\n",
+              static_cast<unsigned long long>(r.memory_hits));
+  std::printf("      \"store_hits\": %llu,\n",
+              static_cast<unsigned long long>(r.store_hits));
+  std::printf("      \"coalesced_hits\": %llu,\n",
+              static_cast<unsigned long long>(r.coalesced_hits));
+  std::printf("      \"stolen\": %llu,\n",
+              static_cast<unsigned long long>(r.stolen));
+  std::printf("      \"spilled\": %llu,\n",
+              static_cast<unsigned long long>(r.spilled));
+  std::printf("      \"cache_hit_rate\": %.6f,\n", r.cache_hit_rate);
+  std::printf("      \"p50_ms\": %.3f,\n", r.p50_ms);
+  std::printf("      \"p99_ms\": %.3f,\n", r.p99_ms);
+  std::printf("      \"jobs_per_minute\": %.1f,\n", r.jobs_per_minute);
+  std::printf("      \"wall_seconds\": %.3f\n", r.wall_seconds);
+  std::printf("    }%s\n", last ? "" : ",");
+}
+
+void narrate(const char* name, const LoadTestReport& r) {
+  std::fprintf(stderr,
+               "  %-16s %llu jobs, hit rate %.3f, p50 %.1f ms, p99 %.1f "
+               "ms, %.0f jobs/min, stolen %llu\n",
+               name, static_cast<unsigned long long>(r.completed),
+               r.cache_hit_rate, r.p50_ms, r.p99_ms, r.jobs_per_minute,
+               static_cast<unsigned long long>(r.stolen));
+}
+
+}  // namespace
+
+int main() {
+  const LoadgenConfig config = workload_config();
+  const std::vector<TimedRequest> workload = generate_workload(config);
+
+  // Gate 0: the workload definition replays bit-identically.
+  bool deterministic = true;
+  {
+    const std::vector<TimedRequest> replay = generate_workload(config);
+    deterministic = replay.size() == workload.size();
+    for (std::size_t i = 0; deterministic && i < workload.size(); ++i)
+      deterministic =
+          replay[i].arrival_s == workload[i].arrival_s &&
+          replay[i].event == workload[i].event &&
+          request_key(replay[i].request) == request_key(workload[i].request);
+  }
+
+  std::fprintf(stderr,
+               "loadtest bench: %d requests, %d events, seed %llu\n",
+               config.num_requests, config.num_events,
+               static_cast<unsigned long long>(config.seed));
+
+  LoadTestReport baseline;
+  {
+    ShardedFrontend frontend(fleet(1, 4, "baseline"));
+    baseline = run_workload(frontend, workload, /*time_scale=*/0.0);
+    frontend.shutdown();
+  }
+  narrate("baseline_1shard", baseline);
+
+  LoadTestReport sharded;
+  {
+    ShardedFrontend frontend(fleet(4, 1, "sharded"));
+    sharded = run_workload(frontend, workload, /*time_scale=*/0.0);
+    frontend.shutdown();
+  }
+  narrate("sharded_4", sharded);
+
+  LoadTestReport death;
+  {
+    ShardedFrontend frontend(fleet(4, 1, "death"));
+    // Kill shard 1 mid-campaign while the driver is still submitting /
+    // waiting; survivors must steal its backlog.
+    std::thread killer([&frontend] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      frontend.halt_shard(1);
+    });
+    death = run_workload(frontend, workload, /*time_scale=*/0.0);
+    killer.join();
+    frontend.shutdown();
+  }
+  narrate("shard_death", death);
+
+  const bool gates_ok =
+      deterministic &&
+      baseline.failed == 0 && sharded.failed == 0 && death.failed == 0 &&
+      baseline.completed == baseline.submitted &&
+      sharded.completed == sharded.submitted &&
+      death.completed == death.submitted &&
+      baseline.executed == baseline.distinct_keys &&
+      sharded.executed == sharded.distinct_keys &&
+      death.executed == death.distinct_keys &&
+      sharded.cache_hit_rate >= baseline.cache_hit_rate &&
+      baseline.p99_ms < 60000.0 && sharded.p99_ms < 60000.0 &&
+      death.p99_ms < 60000.0;
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"frontend_loadtest\",\n");
+  std::printf("  \"seed\": %llu,\n",
+              static_cast<unsigned long long>(config.seed));
+  std::printf("  \"requests\": %d,\n", config.num_requests);
+  std::printf("  \"events\": %d,\n", config.num_events);
+  std::printf("  \"zipf_s\": %.3f,\n", config.zipf_s);
+  std::printf("  \"workload_deterministic\": %s,\n",
+              deterministic ? "true" : "false");
+  std::printf("  \"scenarios\": {\n");
+  print_scenario("baseline_1shard", baseline, false);
+  print_scenario("sharded_4", sharded, false);
+  print_scenario("shard_death", death, true);
+  std::printf("  },\n");
+  std::printf("  \"gates_ok\": %s\n", gates_ok ? "true" : "false");
+  std::printf("}\n");
+
+  if (!gates_ok) {
+    std::fprintf(stderr, "loadtest bench: FAILED hard gates\n");
+    return 1;
+  }
+  std::fprintf(stderr,
+               "loadtest bench: gates passed (deterministic workload, "
+               "zero lost jobs incl. shard death, executed == distinct, "
+               "sharded hit rate >= baseline)\n");
+  return 0;
+}

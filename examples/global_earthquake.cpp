@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/constants.hpp"
+#include "io/blob_store.hpp"
 #include "io/seismogram_io.hpp"
 #include "mesh/quality.hpp"
 #include "model/attenuation.hpp"
@@ -48,6 +49,11 @@ int main() {
   std::printf(
       "Simulating a deep Argentina-like event through PREM with attenuation "
       "on 6 ranks (one chunk each)...\n");
+
+  // All .semd output lands in ONE seismograms.sfgc container (thread-safe
+  // across ranks) instead of three loose files per station in the cwd.
+  const std::unique_ptr<io::BlobStore> seismo_sink =
+      open_seismogram_sink(".");
 
   smpi::run_ranks(6, [&](smpi::Communicator& comm) {
     GllBasis basis(4);
@@ -100,8 +106,9 @@ int main() {
     sim.run(nsteps);
 
     for (const auto& [rec, st] : mine) {
-      write_seismogram(st->code, sim.seismogram(rec));
-      std::printf("rank %d wrote %s.{X,Y,Z}.semd\n", comm.rank(), st->code);
+      write_seismogram(*seismo_sink, st->code, sim.seismogram(rec));
+      std::printf("rank %d wrote %s.{X,Y,Z}.semd to %s\n", comm.rank(),
+                  st->code, seismo_sink->describe().c_str());
     }
     const EnergySnapshot e = sim.compute_energy();
     if (comm.rank() == 0) {

@@ -3,9 +3,9 @@
 # machine-readable benches.
 #
 #   scripts/bench.sh [service_out.json] [kernels_out.json] [lts_out.json] \
-#                    [io_out.json]
+#                    [io_out.json] [loadtest_out.json]
 #
-# Writes four JSON records in the repo root:
+# Writes five JSON records in the repo root:
 #  * BENCH_service.json  — campaign throughput (jobs/minute, cache hit
 #    rate, retry overhead, checkpoint-recovery saving),
 #  * BENCH_kernels.json  — per-variant force-kernel elements/s
@@ -22,6 +22,13 @@
 #    (bench_io_container). HARD GATES: container write throughput >= the
 #    per-rank backend, and the container stays ONE file (the Figure 5
 #    file-count axis).
+#  * BENCH_loadtest.json — sharded front-end load test (bench_loadtest,
+#    ISSUE 9): a seeded Poisson/zipfian workload replayed through a
+#    1-shard baseline, a 4-shard fleet and a 4-shard fleet with one shard
+#    killed mid-campaign. HARD GATES: bit-identical workload replay, zero
+#    failed jobs in every scenario (shard death included), each distinct
+#    content key computed exactly once, 4-shard cache hit rate >= the
+#    1-shard baseline, p99 under a loose sanity bound.
 # Human-readable narration streams to stderr while the benches run.
 set -euo pipefail
 
@@ -30,13 +37,14 @@ OUT="${1:-BENCH_service.json}"
 KOUT="${2:-BENCH_kernels.json}"
 LOUT="${3:-BENCH_lts.json}"
 IOUT="${4:-BENCH_io.json}"
+LTOUT="${5:-BENCH_loadtest.json}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 echo "==> build bench targets (build/)" >&2
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}" \
   --target bench_campaign bench_sse_kernels bench_threaded_solver \
-           bench_lts bench_io_container >/dev/null
+           bench_lts bench_io_container bench_loadtest >/dev/null
 
 echo "==> run campaign bench" >&2
 ./build/bench/bench_campaign > "${OUT}"
@@ -88,3 +96,15 @@ if [[ "$(jq -r '.gates_ok' "${IOUT}")" != "true" ]]; then
   exit 1
 fi
 echo "==> sfg_io perf gates passed (container >= per-rank MB/s, O(1) files)" >&2
+
+echo "==> run sharded front-end load-test bench" >&2
+./build/bench/bench_loadtest > "${LTOUT}"
+
+echo "==> wrote ${LTOUT}:" >&2
+cat "${LTOUT}"
+
+if [[ "$(jq -r '.gates_ok' "${LTOUT}")" != "true" ]]; then
+  echo "FAIL: load-test gates violated (need deterministic workload, zero lost jobs incl. shard death, executed == distinct keys, sharded hit rate >= baseline, sane p99)" >&2
+  exit 1
+fi
+echo "==> load-test gates passed (deterministic, zero lost jobs, sharded hit rate >= baseline)" >&2

@@ -138,4 +138,10 @@ Seismogram read_seismogram_component(const io::BlobStore& store,
   return parse_component(text, store.describe() + ":" + key, component);
 }
 
+std::unique_ptr<io::BlobStore> open_seismogram_sink(const std::string& dir) {
+  return io::make_store(io::IoBackendKind::Container,
+                        (dir.empty() ? std::string(".") : dir) +
+                            "/seismograms.sfgc");
+}
+
 }  // namespace sfg

@@ -5,6 +5,7 @@
 /// per component with "time value" rows, plus a combined reader for tests
 /// and examples.
 
+#include <memory>
 #include <string>
 
 #include "solver/simulation.hpp"
@@ -38,5 +39,13 @@ Seismogram read_seismogram_component(const std::string& path, int component);
 /// Read one component back from blob `key` of `store`.
 Seismogram read_seismogram_component(const io::BlobStore& store,
                                      const std::string& key, int component);
+
+/// Open the DEFAULT seismogram sink of a run directory: the single
+/// container `<dir>/seismograms.sfgc` holding every station's
+/// `<code>.{X,Y,Z}.semd` blobs. Thread-safe for concurrent rank writers,
+/// and O(1) filesystem objects per run however many stations record —
+/// globe runs route their .semd output here instead of scattering three
+/// loose files per station into the working directory.
+std::unique_ptr<io::BlobStore> open_seismogram_sink(const std::string& dir);
 
 }  // namespace sfg

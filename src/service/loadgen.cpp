@@ -1,0 +1,183 @@
+#include "service/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+
+namespace sfg::service {
+
+namespace {
+
+/// SplitMix64 finalizer — the same avalanche the fault injector and the
+/// shard ring use, so "deterministic" means one construction everywhere.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from (seed, stream, index) — a counter-based
+/// generator: no state, no call-order dependence.
+double hash_to_unit(std::uint64_t seed, std::uint64_t stream,
+                    std::uint64_t index) {
+  const std::uint64_t h = mix(mix(seed ^ 0x4c4f4144u /* "LOAD" */) +
+                              mix(stream) + mix(index) * 0x9e3779b97f4a7c15ull);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Signed jitter in [-amplitude, +amplitude).
+double hash_to_jitter(std::uint64_t seed, std::uint64_t stream,
+                      std::uint64_t index, double amplitude) {
+  return (2.0 * hash_to_unit(seed, stream, index) - 1.0) * amplitude;
+}
+
+// Workload streams (arbitrary but frozen: changing one changes every
+// committed BENCH_loadtest.json).
+constexpr std::uint64_t kStreamArrival = 0;
+constexpr std::uint64_t kStreamEvent = 1;
+constexpr std::uint64_t kStreamJitterX = 3;
+constexpr std::uint64_t kStreamJitterY = 4;
+constexpr std::uint64_t kStreamJitterZ = 5;
+
+}  // namespace
+
+JobRequest loadgen_base_request() {
+  JobRequest r;
+  r.nex = 4;
+  r.nranks = 1;
+  r.model = BoxModel::UniformRock;
+  r.extent_m = 4000.0;
+  r.source = {1900.0, 2100.0, 2600.0, {0.0, 0.0, 1e10}, 9.0, 0.15};
+  r.stations = {{1000.0, 1000.0, 3900.0}, {3000.0, 2000.0, 3900.0}};
+  r.dt = 5e-4;
+  r.nsteps = 40;
+  return r;
+}
+
+std::vector<TimedRequest> generate_workload(const LoadgenConfig& config) {
+  SFG_CHECK_MSG(config.num_requests >= 0, "negative request count");
+  SFG_CHECK_MSG(config.num_events >= 1, "need at least one event");
+  SFG_CHECK_MSG(config.arrivals_per_second > 0.0,
+                "arrival rate must be positive");
+  SFG_CHECK_MSG(config.priority_levels >= 1, "need >= 1 priority level");
+
+  // Zipfian popularity CDF over the event catalogue: p(k) ~ 1/(k+1)^s.
+  std::vector<double> cdf(static_cast<std::size_t>(config.num_events));
+  double total = 0.0;
+  for (int k = 0; k < config.num_events; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), config.zipf_s);
+    cdf[static_cast<std::size_t>(k)] = total;
+  }
+  for (double& c : cdf) c /= total;
+
+  // The catalogue itself: one jittered source per event, fixed for the
+  // whole workload so every request for event k carries the same content
+  // key (that is what makes the duplicates cacheable).
+  std::vector<SourceSpec> catalogue(
+      static_cast<std::size_t>(config.num_events), config.base.source);
+  for (int k = 0; k < config.num_events; ++k) {
+    const auto ku = static_cast<std::uint64_t>(k);
+    SourceSpec& src = catalogue[static_cast<std::size_t>(k)];
+    src.x += hash_to_jitter(config.seed, kStreamJitterX, ku,
+                            config.source_jitter_m);
+    src.y += hash_to_jitter(config.seed, kStreamJitterY, ku,
+                            config.source_jitter_m);
+    src.z += hash_to_jitter(config.seed, kStreamJitterZ, ku,
+                            config.source_jitter_m);
+  }
+
+  std::vector<TimedRequest> out;
+  out.reserve(static_cast<std::size_t>(config.num_requests));
+  double clock_s = 0.0;
+  for (int i = 0; i < config.num_requests; ++i) {
+    const auto iu = static_cast<std::uint64_t>(i);
+    // Poisson arrivals: exponential interarrival by inverse CDF.
+    const double u = hash_to_unit(config.seed, kStreamArrival, iu);
+    clock_s += -std::log1p(-u) / config.arrivals_per_second;
+
+    const double e = hash_to_unit(config.seed, kStreamEvent, iu);
+    const int event = static_cast<int>(
+        std::lower_bound(cdf.begin(), cdf.end(), e) - cdf.begin());
+
+    TimedRequest t;
+    t.arrival_s = clock_s;
+    t.event = std::min(event, config.num_events - 1);
+    t.request = config.base;
+    t.request.source = catalogue[static_cast<std::size_t>(t.event)];
+    // Priority cycles by submission index: it exercises the queue order
+    // without touching the content key (priority is not hashed).
+    t.request.priority = i % config.priority_levels;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+LoadTestReport run_workload(ShardedFrontend& frontend,
+                            const std::vector<TimedRequest>& workload,
+                            double time_scale) {
+  WallTimer timer;
+  std::set<RequestKey> distinct;
+  for (const TimedRequest& t : workload) {
+    distinct.insert(request_key(t.request));
+    if (time_scale > 0.0) {
+      const double target_s = t.arrival_s * time_scale;
+      // Open loop: arrivals do not wait for completions. A saturated
+      // fleet pushes latency up (visible in p99), not arrivals back —
+      // except for the queue-full backpressure inside submit().
+      for (;;) {
+        const double remaining_s = target_s - timer.seconds();
+        if (remaining_s <= 0.0) break;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::min(remaining_s, 2e-3)));
+      }
+    }
+    frontend.submit(t.request);
+  }
+  frontend.wait_all();
+  const double wall_s = timer.seconds();
+
+  const FrontendStats stats = frontend.stats();
+  std::vector<double> latencies_ms;
+  for (const FrontendJob& job : frontend.jobs())
+    if (job.state == JobState::Done)
+      latencies_ms.push_back(job.latency_seconds() * 1e3);
+
+  LoadTestReport report;
+  report.submitted = stats.submitted;
+  report.completed = stats.completed;
+  report.failed = stats.failed;
+  report.rejected = stats.rejected;
+  report.executed = stats.executed;
+  report.distinct_keys = distinct.size();
+  report.cache_hits = stats.cache_hits;
+  report.memory_hits = stats.memory_hits;
+  report.store_hits = stats.store_hits;
+  report.coalesced_hits = stats.coalesced_hits;
+  report.stolen = stats.stolen;
+  report.spilled = stats.spilled;
+  report.cache_hit_rate = stats.cache_hit_rate();
+  report.p50_ms = percentile(latencies_ms, 50.0);
+  report.p99_ms = percentile(latencies_ms, 99.0);
+  report.wall_seconds = wall_s;
+  report.jobs_per_minute =
+      wall_s > 0.0 ? 60.0 * static_cast<double>(stats.completed) / wall_s
+                   : 0.0;
+  return report;
+}
+
+}  // namespace sfg::service

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file loadgen.hpp
+/// Deterministic open-loop load generator for the sharded front-end
+/// (ISSUE 9). The workload is a pure function of the seed — arrival
+/// times, event popularity and request bodies all come from the same
+/// counter-hash construction as the fault injector's verdicts
+/// (runtime/fault.cpp), so a load test replays bit-identically on any
+/// machine: no wall-clock, no RNG state, no submission-order dependence
+/// in the workload DEFINITION. (Measurement — latency percentiles,
+/// jobs/min — uses the wall clock; the gates in scripts/bench.sh bound
+/// it loosely.)
+///
+/// Shape of the workload: Poisson arrivals at `arrivals_per_second`
+/// (exponential interarrival via inverse CDF) over a zipfian catalogue of
+/// `num_events` distinct earthquake events, p(k) ∝ 1/(k+1)^zipf_s. Each
+/// event has a fixed source location (deterministic per-event jitter of
+/// the base request), so two requests for the same event carry the same
+/// FNV-1a content key — the duplicate traffic the tiered cache and the
+/// global coalescer are there to absorb.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/frontend.hpp"
+#include "service/job.hpp"
+
+namespace sfg::service {
+
+struct LoadgenConfig {
+  std::uint64_t seed = 1;
+  int num_requests = 200;
+  /// Open-loop Poisson arrival rate (events per WORKLOAD second; the
+  /// runner's `time_scale` maps workload seconds to wall seconds).
+  double arrivals_per_second = 50.0;
+  int num_events = 32;      ///< distinct earthquake catalogue size
+  double zipf_s = 1.1;      ///< popularity skew, p(k) ~ 1/(k+1)^s
+  int priority_levels = 3;  ///< request priority cycles through [0, levels)
+  /// Physics template; per-event source jitter is applied on top.
+  JobRequest base;
+  double source_jitter_m = 200.0;
+};
+
+/// One generated request: arrival offset on the workload clock plus the
+/// catalogue event it asks for.
+struct TimedRequest {
+  double arrival_s = 0.0;
+  int event = 0;
+  JobRequest request;
+};
+
+/// A small valid physics template the tools, bench and tests share.
+JobRequest loadgen_base_request();
+
+/// The pure workload function: same config (seed included) => the same
+/// vector, element for element, bit for bit.
+std::vector<TimedRequest> generate_workload(const LoadgenConfig& config);
+
+/// What run_workload measures (latencies in milliseconds).
+struct LoadTestReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t distinct_keys = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t memory_hits = 0;
+  std::uint64_t store_hits = 0;
+  std::uint64_t coalesced_hits = 0;
+  std::uint64_t stolen = 0;
+  std::uint64_t spilled = 0;
+  double cache_hit_rate = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double jobs_per_minute = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// Drive a front-end with the workload, open loop: sleep to each request's
+/// arrival time (scaled by `time_scale` wall-seconds per workload-second;
+/// 0 = submit back-to-back), submit, then wait_all() and aggregate. The
+/// report's latency figures are wall-clock; everything else is
+/// deterministic for a deterministic workload.
+LoadTestReport run_workload(ShardedFrontend& frontend,
+                            const std::vector<TimedRequest>& workload,
+                            double time_scale);
+
+/// Nearest-rank percentile (p in [0,100]) of an unsorted sample; 0 when
+/// empty. Exposed for the determinism tests.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace sfg::service

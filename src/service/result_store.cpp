@@ -62,6 +62,7 @@ std::optional<JobResult> ResultStore::load(RequestKey key) const {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (index_.count(key) == 0) return std::nullopt;
+    ++reads_;
   }
   const auto reader = io::SnapshotReader::open(
       *store_, key_hex(key) + ".res", identity_for(key));
@@ -101,6 +102,17 @@ void ResultStore::store(RequestKey key, const JobResult& result) {
   writer.write(*store_, key_hex(key) + ".res", identity_for(key));
   std::lock_guard<std::mutex> lock(mutex_);
   index_.insert(key);
+  ++writes_;
+}
+
+std::uint64_t ResultStore::reads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reads_;
+}
+
+std::uint64_t ResultStore::writes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return writes_;
 }
 
 std::size_t ResultStore::size() const {

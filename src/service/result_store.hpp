@@ -65,6 +65,11 @@ class ResultStore {
   io::IoBackendKind backend() const { return backend_; }
   /// Filesystem objects the store occupies (1 for the container backend).
   int file_count() const { return store_->file_count(); }
+  /// Blob reads served from the backend (indexed `load` calls). The
+  /// tiered-cache tests assert a memory-tier hit leaves this untouched.
+  std::uint64_t reads() const;
+  /// Blob writes issued to the backend (`store` calls).
+  std::uint64_t writes() const;
 
   static std::string key_hex(RequestKey key);
   /// Filesystem path of one result — meaningful for the PerRankFiles
@@ -77,6 +82,8 @@ class ResultStore {
   std::unique_ptr<io::BlobStore> store_;
   mutable std::mutex mutex_;
   std::set<RequestKey> index_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
 };
 
 }  // namespace sfg::service

@@ -1,0 +1,108 @@
+#include "service/tiered_cache.hpp"
+
+#include "common/check.hpp"
+
+namespace sfg::service {
+
+TieredCache::TieredCache(ResultStore& store, std::size_t max_entries)
+    : store_(store), max_entries_(max_entries) {}
+
+std::shared_ptr<const JobResult> TieredCache::get(RequestKey key,
+                                                  CacheTier* tier) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++memory_hits_;
+      touch_locked(key);
+      if (tier != nullptr) *tier = CacheTier::Memory;
+      return it->second.value;
+    }
+  }
+  // Store tier, outside the LRU lock (ResultStore has its own; a CRC
+  // parse of a large result should not stall memory-tier hits).
+  std::optional<JobResult> loaded = store_.load(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!loaded.has_value()) {
+    ++misses_;
+    if (tier != nullptr) *tier = CacheTier::Miss;
+    return nullptr;
+  }
+  ++store_hits_;
+  if (tier != nullptr) *tier = CacheTier::Store;
+  // Promote. Two threads racing on the same key parsed identical bytes;
+  // keep the incumbent's copy (waiters may already share it).
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    auto value = std::make_shared<const JobResult>(*std::move(loaded));
+    insert_locked(key, value);
+    return value;
+  }
+  touch_locked(key);
+  return it->second.value;
+}
+
+void TieredCache::put(RequestKey key, const JobResult& result) {
+  store_.store(key, result);  // durable tier first: never cache-only
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    touch_locked(key);  // content-addressed: same key = same bytes
+    return;
+  }
+  insert_locked(key, std::make_shared<const JobResult>(result));
+}
+
+bool TieredCache::contains(RequestKey key) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.count(key) != 0) return true;
+  }
+  return store_.contains(key);
+}
+
+void TieredCache::touch_locked(RequestKey key) {
+  auto it = entries_.find(key);
+  recency_.erase(it->second.where);
+  recency_.push_front(key);
+  it->second.where = recency_.begin();
+}
+
+void TieredCache::insert_locked(RequestKey key,
+                                std::shared_ptr<const JobResult> value) {
+  if (max_entries_ == 0) return;  // memory tier disabled
+  recency_.push_front(key);
+  entries_[key] = Entry{std::move(value), recency_.begin()};
+  while (entries_.size() > max_entries_) {
+    const RequestKey victim = recency_.back();
+    recency_.pop_back();
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+std::size_t TieredCache::resident() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t TieredCache::memory_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memory_hits_;
+}
+
+std::uint64_t TieredCache::store_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_hits_;
+}
+
+std::uint64_t TieredCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t TieredCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace sfg::service

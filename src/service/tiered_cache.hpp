@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file tiered_cache.hpp
+/// Per-shard tiered result cache of the campaign front-end (ISSUE 9):
+/// a bounded in-memory LRU of deserialized JobResults layered over the
+/// shared on-disk ResultStore.
+///
+/// Lookup tiers, cheapest first:
+///
+///   memory  — the LRU holds the parsed result; no store I/O at all
+///             (the tiered-cache tests pin this via ResultStore::reads()),
+///   store   — the shared content-addressed store holds the blob; the
+///             parsed result is promoted into the LRU on the way out,
+///   miss    — the job must execute; `put` then fills both tiers.
+///
+/// One TieredCache per shard, all over ONE ResultStore: the ring routes a
+/// key to the same shard every time, so that shard's LRU accumulates the
+/// popular (zipfian-head) entries while the store stays the single global
+/// source of truth — a different shard (work stealing) or a reopened
+/// campaign still hits at the store tier.
+///
+/// Thread-safe; hit/miss/eviction counters feed the front-end's
+/// metrics::Registry.
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "service/job.hpp"
+#include "service/result_store.hpp"
+
+namespace sfg::service {
+
+/// Which tier served a lookup (Miss = neither).
+enum class CacheTier : std::int32_t { Memory = 0, Store = 1, Miss = 2 };
+
+inline const char* cache_tier_name(CacheTier t) {
+  switch (t) {
+    case CacheTier::Memory: return "memory";
+    case CacheTier::Store:  return "store";
+    case CacheTier::Miss:   return "miss";
+  }
+  return "?";
+}
+
+class TieredCache {
+ public:
+  /// LRU over `store` holding at most `max_entries` parsed results
+  /// (0 = memory tier disabled, every hit reads the store).
+  TieredCache(ResultStore& store, std::size_t max_entries);
+
+  TieredCache(const TieredCache&) = delete;
+  TieredCache& operator=(const TieredCache&) = delete;
+
+  /// Look `key` up through the tiers. On a hit returns the shared parsed
+  /// result and reports the serving tier; on a miss returns null.
+  std::shared_ptr<const JobResult> get(RequestKey key, CacheTier* tier);
+
+  /// Insert a freshly computed result: durably into the store, then into
+  /// the memory tier (evicting the least-recently-used entry over cap).
+  void put(RequestKey key, const JobResult& result);
+
+  /// True when either tier holds the key (no promotion, no LRU touch).
+  bool contains(RequestKey key) const;
+
+  std::size_t resident() const;  ///< entries currently in the memory tier
+  std::size_t capacity() const { return max_entries_; }
+  std::uint64_t memory_hits() const;
+  std::uint64_t store_hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+ private:
+  void touch_locked(RequestKey key);
+  void insert_locked(RequestKey key, std::shared_ptr<const JobResult> value);
+
+  ResultStore& store_;
+  const std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  /// MRU-first recency list; the map holds an iterator into it so both
+  /// touch and eviction are O(log n).
+  std::list<RequestKey> recency_;
+  struct Entry {
+    std::shared_ptr<const JobResult> value;
+    std::list<RequestKey>::iterator where;
+  };
+  std::map<RequestKey, Entry> entries_;
+  std::uint64_t memory_hits_ = 0;
+  std::uint64_t store_hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace sfg::service

@@ -7,8 +7,11 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <thread>
 
 #include "common/constants.hpp"
+#include "io/blob_store.hpp"
 #include "io/mesh_files.hpp"
 #include "io/seismogram_io.hpp"
 #include "mesh/quality.hpp"
@@ -230,6 +233,51 @@ TEST(DirectoryAccounting, EmptyAndMissingDirs) {
   EXPECT_EQ(directory_bytes(tmp.path), 0u);
   EXPECT_EQ(directory_file_count(tmp.path), 0);
   EXPECT_EQ(directory_bytes(tmp.path + "/does_not_exist"), 0u);
+}
+
+// Regression (ISSUE 9 ride-along): globe runs route .semd output through
+// the default container sink — a whole station network leaves O(1)
+// filesystem objects in the run directory, not 3 loose files per station.
+TEST(SeismogramSink, WholeNetworkIsOneRunDirectoryFile) {
+  TmpDir tmp;
+  Seismogram seis;
+  for (int i = 0; i < 50; ++i) {
+    seis.time.push_back(0.01 * i);
+    seis.displ.push_back({std::sin(0.3 * i), std::cos(0.2 * i), 0.001 * i});
+  }
+  const char* network[] = {"LPAZ", "BDFB", "ANMO", "KONO", "MAJO", "SNZO"};
+  {
+    const std::unique_ptr<io::BlobStore> sink =
+        open_seismogram_sink(tmp.path);
+    // Concurrent rank writers, like the globe example's 6 threads.
+    std::vector<std::thread> ranks;
+    for (const char* code : network)
+      ranks.emplace_back(
+          [&sink, &seis, code] { write_seismogram(*sink, code, seis); });
+    for (std::thread& t : ranks) t.join();
+    EXPECT_EQ(sink->file_count(), 1);
+    EXPECT_EQ(sink->list().size(), 3u * std::size(network));
+  }
+
+  // The run directory holds exactly ONE object: seismograms.sfgc.
+  EXPECT_EQ(directory_file_count(tmp.path), 1);
+  ASSERT_TRUE(fs::exists(tmp.path + "/seismograms.sfgc"));
+
+  // Reopening the sink serves every component back, bit-for-bit the same
+  // text the path writer would have produced.
+  const std::unique_ptr<io::BlobStore> reopened =
+      open_seismogram_sink(tmp.path);
+  for (int c = 0; c < 3; ++c) {
+    const char* comp[3] = {"X", "Y", "Z"};
+    const Seismogram back = read_seismogram_component(
+        *reopened,
+        std::string("MAJO.") + comp[static_cast<std::size_t>(c)] + ".semd",
+        c);
+    ASSERT_EQ(back.time.size(), seis.time.size());
+    for (std::size_t i = 0; i < back.time.size(); ++i)
+      EXPECT_NEAR(back.displ[i][static_cast<std::size_t>(c)],
+                  seis.displ[i][static_cast<std::size_t>(c)], 1e-8);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,163 @@
+// Load-generator determinism tests (ISSUE 9). The committed
+// BENCH_loadtest.json is only trustworthy if the workload is a pure
+// function of the seed: same seed => the identical request stream, bit
+// for bit (arrival times included), on any machine, any run. These tests
+// pin that contract plus the zipf/Poisson shape and the percentile
+// helper the bench reports are built from.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "service/loadgen.hpp"
+
+namespace sfg::service {
+namespace {
+
+std::string temp_dir(const std::string& name) {
+  static std::atomic<int> counter{0};
+  const std::string dir = ::testing::TempDir() + "sfg_loadgen_" + name +
+                          "_" + std::to_string(::getpid()) + "_" +
+                          std::to_string(counter++);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+LoadgenConfig small_config(std::uint64_t seed) {
+  LoadgenConfig c;
+  c.seed = seed;
+  c.num_requests = 300;
+  c.arrivals_per_second = 40.0;
+  c.num_events = 16;
+  c.zipf_s = 1.1;
+  c.base = loadgen_base_request();
+  return c;
+}
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+TEST(Loadgen, SameSeedReplaysBitIdentically) {
+  const LoadgenConfig config = small_config(17);
+  const std::vector<TimedRequest> a = generate_workload(config);
+  const std::vector<TimedRequest> b = generate_workload(config);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), 300u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(same_bits(a[i].arrival_s, b[i].arrival_s)) << i;
+    EXPECT_EQ(a[i].event, b[i].event) << i;
+    EXPECT_EQ(a[i].request.priority, b[i].request.priority) << i;
+    EXPECT_EQ(request_key(a[i].request), request_key(b[i].request)) << i;
+    EXPECT_TRUE(same_bits(a[i].request.source.x, b[i].request.source.x))
+        << i;
+  }
+}
+
+TEST(Loadgen, DifferentSeedsProduceDifferentStreams) {
+  const std::vector<TimedRequest> a = generate_workload(small_config(17));
+  const std::vector<TimedRequest> b = generate_workload(small_config(18));
+  ASSERT_EQ(a.size(), b.size());
+  int differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].event != b[i].event ||
+        request_key(a[i].request) != request_key(b[i].request))
+      ++differing;
+  EXPECT_GT(differing, static_cast<int>(a.size()) / 2);
+}
+
+TEST(Loadgen, SameEventAlwaysCarriesTheSameContentKey) {
+  const std::vector<TimedRequest> wl = generate_workload(small_config(5));
+  std::map<int, RequestKey> key_of_event;
+  for (const TimedRequest& t : wl) {
+    auto [it, inserted] = key_of_event.emplace(t.event,
+                                               request_key(t.request));
+    if (!inserted) EXPECT_EQ(it->second, request_key(t.request));
+  }
+  // ... and distinct events carry distinct keys (jittered sources).
+  std::set<RequestKey> distinct;
+  for (const auto& [event, key] : key_of_event) distinct.insert(key);
+  EXPECT_EQ(distinct.size(), key_of_event.size());
+}
+
+TEST(Loadgen, ArrivalsAreIncreasingAtRoughlyTheRequestedRate) {
+  const LoadgenConfig config = small_config(29);
+  const std::vector<TimedRequest> wl = generate_workload(config);
+  double prev = 0.0;
+  for (const TimedRequest& t : wl) {
+    EXPECT_GT(t.arrival_s, prev);
+    prev = t.arrival_s;
+  }
+  // 300 arrivals at 40/s should span ~7.5 workload seconds; the Poisson
+  // spread over 300 samples stays well inside a factor of 1.5.
+  const double expected_s = static_cast<double>(config.num_requests) /
+                            config.arrivals_per_second;
+  EXPECT_GT(prev, expected_s / 1.5);
+  EXPECT_LT(prev, expected_s * 1.5);
+}
+
+TEST(Loadgen, ZipfHeadDominatesTheTail) {
+  const std::vector<TimedRequest> wl = generate_workload(small_config(3));
+  std::map<int, int> count;
+  for (const TimedRequest& t : wl) {
+    ASSERT_GE(t.event, 0);
+    ASSERT_LT(t.event, 16);
+    ++count[t.event];
+  }
+  // With s = 1.1 over 16 events, p(0) ~ 0.29 and p(k >= 4) < 0.05 each:
+  // the head must beat every tail event by a wide margin at n = 300.
+  for (int k = 4; k < 16; ++k) EXPECT_GT(count[0], count[k]) << "k=" << k;
+}
+
+TEST(Loadgen, PercentileIsNearestRank) {
+  std::vector<double> v;
+  for (int i = 100; i >= 1; --i) v.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 99.0), 99.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 99.0), 42.0);
+}
+
+TEST(Loadgen, RunWorkloadExecutesEachDistinctKeyExactlyOnce) {
+  LoadgenConfig config = small_config(11);
+  config.num_requests = 50;
+  config.num_events = 6;
+  const std::vector<TimedRequest> wl = generate_workload(config);
+
+  FrontendConfig front;
+  front.num_shards = 2;
+  front.workers_per_shard = 2;
+  front.work_dir = temp_dir("run");
+  ShardedFrontend frontend(front);
+  const LoadTestReport report =
+      run_workload(frontend, wl, /*time_scale=*/0.0);
+  frontend.shutdown();
+
+  EXPECT_EQ(report.submitted, 50u);
+  EXPECT_EQ(report.completed, 50u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.rejected, 0u);
+  // The deterministic-coalescing invariant the bench gate stands on:
+  // store-check + in-flight-insert are atomic, so each distinct content
+  // key is computed EXACTLY once no matter the shard count or timing.
+  EXPECT_EQ(report.executed, report.distinct_keys);
+  EXPECT_EQ(report.cache_hits, report.submitted - report.executed);
+  EXPECT_DOUBLE_EQ(
+      report.cache_hit_rate,
+      static_cast<double>(report.cache_hits) /
+          static_cast<double>(report.completed));
+  EXPECT_GT(report.p99_ms, 0.0);
+  EXPECT_GE(report.p99_ms, report.p50_ms);
+  EXPECT_GT(report.jobs_per_minute, 0.0);
+}
+
+}  // namespace
+}  // namespace sfg::service

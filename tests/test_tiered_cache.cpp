@@ -1,0 +1,215 @@
+// Tiered-cache tests (ISSUE 9): the per-shard in-memory LRU over the
+// shared on-disk ResultStore. Pins the eviction order, checks the
+// hit/miss counters against a reference LRU simulation over a seeded op
+// stream, and proves a memory-tier hit performs NO store I/O at all
+// (ResultStore::reads() and file_count() stay frozen).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <list>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+
+#include "service/tiered_cache.hpp"
+
+namespace sfg::service {
+namespace {
+
+std::string temp_dir(const std::string& name) {
+  static std::atomic<int> counter{0};
+  const std::string dir = ::testing::TempDir() + "sfg_tiered_" + name +
+                          "_" + std::to_string(::getpid()) + "_" +
+                          std::to_string(counter++);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// A tiny distinguishable result: one station, one sample tagged by key.
+JobResult result_for(RequestKey key) {
+  JobResult r;
+  Seismogram s;
+  s.time = {0.0, 1.0};
+  s.displ = {{static_cast<double>(key), 0.0, 1.0},
+             {0.0, static_cast<double>(key), 2.0}};
+  r.seismograms = {s};
+  return r;
+}
+
+TEST(TieredCache, LruEvictionOrderWithTouchOnHit) {
+  ResultStore store(temp_dir("evict"), io::IoBackendKind::Container);
+  TieredCache cache(store, /*max_entries=*/3);
+
+  cache.put(1, result_for(1));
+  cache.put(2, result_for(2));
+  cache.put(3, result_for(3));
+  EXPECT_EQ(cache.resident(), 3u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Touch key 1: it becomes MRU, so key 2 is now the LRU victim.
+  CacheTier tier = CacheTier::Miss;
+  ASSERT_NE(cache.get(1, &tier), nullptr);
+  EXPECT_EQ(tier, CacheTier::Memory);
+
+  cache.put(4, result_for(4));
+  EXPECT_EQ(cache.resident(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+
+  // Key 2 fell out of the memory tier but the store still has it.
+  ASSERT_NE(cache.get(2, &tier), nullptr);
+  EXPECT_EQ(tier, CacheTier::Store);
+  // Keys 1, 3 were never evicted... but promoting 2 just evicted the
+  // then-LRU key 3 (order after the put: 4, 1, 3).
+  ASSERT_NE(cache.get(1, &tier), nullptr);
+  EXPECT_EQ(tier, CacheTier::Memory);
+  ASSERT_NE(cache.get(3, &tier), nullptr);
+  EXPECT_EQ(tier, CacheTier::Store);
+  EXPECT_EQ(cache.evictions(), 3u);
+}
+
+TEST(TieredCache, StoreHitPromotesIntoMemoryTier) {
+  const std::string dir = temp_dir("promote");
+  {
+    ResultStore store(dir, io::IoBackendKind::Container);
+    store.store(42, result_for(42));
+  }
+  // A fresh cache over a reopened store: first lookup is a store hit,
+  // the promotion makes the second one a memory hit.
+  ResultStore store(dir, io::IoBackendKind::Container);
+  TieredCache cache(store, 4);
+  CacheTier tier = CacheTier::Miss;
+  ASSERT_NE(cache.get(42, &tier), nullptr);
+  EXPECT_EQ(tier, CacheTier::Store);
+  ASSERT_NE(cache.get(42, &tier), nullptr);
+  EXPECT_EQ(tier, CacheTier::Memory);
+  EXPECT_EQ(cache.store_hits(), 1u);
+  EXPECT_EQ(cache.memory_hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(TieredCache, MemoryHitPerformsNoStoreIo) {
+  ResultStore store(temp_dir("noio"), io::IoBackendKind::Container);
+  TieredCache cache(store, 4);
+  cache.put(7, result_for(7));
+  EXPECT_EQ(store.writes(), 1u);
+
+  const std::uint64_t reads_before = store.reads();
+  const int files_before = store.file_count();
+  CacheTier tier = CacheTier::Miss;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_NE(cache.get(7, &tier), nullptr);
+    EXPECT_EQ(tier, CacheTier::Memory);
+  }
+  // The whole point of the memory tier: zero backend reads, no new files.
+  EXPECT_EQ(store.reads(), reads_before);
+  EXPECT_EQ(store.file_count(), files_before);
+  EXPECT_EQ(store.writes(), 1u);
+  EXPECT_EQ(cache.memory_hits(), 5u);
+}
+
+TEST(TieredCache, ZeroCapacityDisablesMemoryTier) {
+  ResultStore store(temp_dir("zerocap"), io::IoBackendKind::Container);
+  TieredCache cache(store, 0);
+  cache.put(9, result_for(9));
+  EXPECT_EQ(cache.resident(), 0u);
+  CacheTier tier = CacheTier::Miss;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_NE(cache.get(9, &tier), nullptr);
+    EXPECT_EQ(tier, CacheTier::Store);  // every hit reads the store
+  }
+  EXPECT_EQ(cache.memory_hits(), 0u);
+  EXPECT_EQ(store.reads(), 3u);
+}
+
+TEST(TieredCache, MissReportsMissAndCountsIt) {
+  ResultStore store(temp_dir("miss"), io::IoBackendKind::Container);
+  TieredCache cache(store, 4);
+  CacheTier tier = CacheTier::Memory;
+  EXPECT_EQ(cache.get(123, &tier), nullptr);
+  EXPECT_EQ(tier, CacheTier::Miss);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_FALSE(cache.contains(123));
+  cache.put(123, result_for(123));
+  EXPECT_TRUE(cache.contains(123));
+}
+
+/// Reference LRU the real cache must agree with, op for op.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(std::size_t cap) : cap_(cap) {}
+
+  bool in_memory(RequestKey k) const { return keys_.count(k) != 0; }
+
+  void touch(RequestKey k) {
+    order_.remove(k);
+    order_.push_front(k);
+  }
+
+  void insert(RequestKey k) {
+    if (keys_.insert(k).second) {
+      order_.push_front(k);
+      while (keys_.size() > cap_) {
+        keys_.erase(order_.back());
+        order_.pop_back();
+      }
+    } else {
+      touch(k);
+    }
+  }
+
+ private:
+  std::size_t cap_;
+  std::list<RequestKey> order_;
+  std::set<RequestKey> keys_;
+};
+
+TEST(TieredCache, CountersMatchReferenceSimulationOverSeededOps) {
+  ResultStore store(temp_dir("ref"), io::IoBackendKind::Container);
+  TieredCache cache(store, 3);
+  ReferenceLru ref(3);
+  std::set<RequestKey> in_store;
+
+  std::uint64_t want_memory = 0, want_store = 0, want_miss = 0;
+  std::mt19937_64 rng(20260808);
+  for (int op = 0; op < 300; ++op) {
+    const RequestKey key = 1 + rng() % 8;
+    if (rng() % 3 == 0) {
+      cache.put(key, result_for(key));
+      in_store.insert(key);
+      ref.insert(key);
+      continue;
+    }
+    CacheTier tier = CacheTier::Miss;
+    const auto got = cache.get(key, &tier);
+    if (ref.in_memory(key)) {
+      ASSERT_NE(got, nullptr) << "op " << op;
+      EXPECT_EQ(tier, CacheTier::Memory) << "op " << op;
+      ++want_memory;
+      ref.touch(key);
+    } else if (in_store.count(key) != 0) {
+      ASSERT_NE(got, nullptr) << "op " << op;
+      EXPECT_EQ(tier, CacheTier::Store) << "op " << op;
+      ++want_store;
+      ref.insert(key);  // promotion mirrors the real cache
+    } else {
+      EXPECT_EQ(got, nullptr) << "op " << op;
+      EXPECT_EQ(tier, CacheTier::Miss) << "op " << op;
+      ++want_miss;
+    }
+    // The served value must always be the one stored under that key.
+    if (got != nullptr) {
+      ASSERT_EQ(got->seismograms.size(), 1u);
+      EXPECT_EQ(got->seismograms[0].displ[0][0],
+                static_cast<double>(key));
+    }
+  }
+  EXPECT_EQ(cache.memory_hits(), want_memory);
+  EXPECT_EQ(cache.store_hits(), want_store);
+  EXPECT_EQ(cache.misses(), want_miss);
+}
+
+}  // namespace
+}  // namespace sfg::service

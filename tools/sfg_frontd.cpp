@@ -1,0 +1,89 @@
+// sfg_frontd — the sharded campaign front-end as a line server (ISSUE 9).
+//
+// Reads one JSON object per line on stdin, writes one JSON response per
+// line on stdout (docs/service.md documents the protocol). A request line
+// routes to one of --shards in-process service shards by consistent
+// hashing on the request's content key; control lines:
+//
+//   {"cmd": "stats"}          aggregate counters so far
+//   {"cmd": "job", "id": N}   one job's state
+//   {"cmd": "wait"}           block until every submitted job is terminal
+//
+// On EOF the tool waits for outstanding jobs and (with --report) prints
+// the full JSON report. Compose with sfg_loadgen --emit:
+//
+//   sfg_loadgen --emit --seed 7 --requests 100 | sfg_frontd --shards 4
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "service/frontend.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: sfg_frontd [--shards N] [--workers N] [--capacity N]"
+               " [--lru N] [--work-dir PATH] [--report]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sfg::service::FrontendConfig config;
+  config.work_dir = "frontd_work";
+  bool report = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--shards") config.num_shards = std::atoi(next());
+    else if (arg == "--workers") config.workers_per_shard = std::atoi(next());
+    else if (arg == "--capacity")
+      config.shard_queue_capacity =
+          static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--lru")
+      config.lru_entries_per_shard =
+          static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--work-dir") config.work_dir = next();
+    else if (arg == "--report") report = true;
+    else {
+      usage();
+      return 2;
+    }
+  }
+  if (config.num_shards < 1 || config.workers_per_shard < 1 ||
+      config.shard_queue_capacity < 1) {
+    usage();
+    return 2;
+  }
+
+  sfg::service::ShardedFrontend frontend(config);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::cout << frontend.handle_line(line) << "\n" << std::flush;
+  }
+  frontend.wait_all();
+  frontend.shutdown();
+  if (report) frontend.write_json_report(std::cout);
+
+  const sfg::service::FrontendStats s = frontend.stats();
+  std::fprintf(stderr,
+               "sfg_frontd: %llu submitted, %llu completed, %llu failed, "
+               "%llu rejected, cache hit rate %.3f\n",
+               static_cast<unsigned long long>(s.submitted),
+               static_cast<unsigned long long>(s.completed),
+               static_cast<unsigned long long>(s.failed),
+               static_cast<unsigned long long>(s.rejected),
+               s.cache_hit_rate());
+  return s.failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+// sfg_loadgen — deterministic load-test driver for the sharded front-end
+// (ISSUE 9). The workload (Poisson arrivals over a zipfian earthquake
+// catalogue) is a pure function of --seed: the same flags print or drive
+// the identical request stream on any machine.
+//
+// Two modes:
+//
+//   --emit   print the workload as protocol lines (one JSON request per
+//            line) for piping into sfg_frontd;
+//   default  drive an in-process front-end with the workload and print a
+//            one-object JSON report (the BENCH_loadtest.json shape).
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "service/loadgen.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: sfg_loadgen [--seed N] [--requests N] [--rate R] [--events N]"
+      " [--zipf S] [--shards N] [--workers N] [--lru N] [--scale S]"
+      " [--work-dir PATH] [--emit]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sfg::service::LoadgenConfig load;
+  load.base = sfg::service::loadgen_base_request();
+  sfg::service::FrontendConfig front;
+  front.work_dir = "loadgen_work";
+  double time_scale = 0.0;  // default: submit back-to-back
+  bool emit = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed")
+      load.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--requests") load.num_requests = std::atoi(next());
+    else if (arg == "--rate") load.arrivals_per_second = std::atof(next());
+    else if (arg == "--events") load.num_events = std::atoi(next());
+    else if (arg == "--zipf") load.zipf_s = std::atof(next());
+    else if (arg == "--shards") front.num_shards = std::atoi(next());
+    else if (arg == "--workers") front.workers_per_shard = std::atoi(next());
+    else if (arg == "--lru")
+      front.lru_entries_per_shard =
+          static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--scale") time_scale = std::atof(next());
+    else if (arg == "--work-dir") front.work_dir = next();
+    else if (arg == "--emit") emit = true;
+    else {
+      usage();
+      return 2;
+    }
+  }
+
+  const std::vector<sfg::service::TimedRequest> workload =
+      sfg::service::generate_workload(load);
+  if (emit) {
+    for (const sfg::service::TimedRequest& t : workload)
+      std::cout << sfg::service::request_to_json(t.request) << "\n";
+    return 0;
+  }
+
+  sfg::service::ShardedFrontend frontend(front);
+  const sfg::service::LoadTestReport r =
+      sfg::service::run_workload(frontend, workload, time_scale);
+  frontend.shutdown();
+  std::cout << "{\"seed\": " << load.seed
+            << ", \"requests\": " << load.num_requests
+            << ", \"events\": " << load.num_events
+            << ", \"shards\": " << front.num_shards
+            << ", \"submitted\": " << r.submitted
+            << ", \"completed\": " << r.completed
+            << ", \"failed\": " << r.failed
+            << ", \"rejected\": " << r.rejected
+            << ", \"executed\": " << r.executed
+            << ", \"distinct_keys\": " << r.distinct_keys
+            << ", \"cache_hits\": " << r.cache_hits
+            << ", \"memory_hits\": " << r.memory_hits
+            << ", \"store_hits\": " << r.store_hits
+            << ", \"coalesced_hits\": " << r.coalesced_hits
+            << ", \"stolen\": " << r.stolen
+            << ", \"spilled\": " << r.spilled
+            << ", \"cache_hit_rate\": " << r.cache_hit_rate
+            << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+            << ", \"jobs_per_minute\": " << r.jobs_per_minute
+            << ", \"wall_seconds\": " << r.wall_seconds << "}\n";
+  return r.failed == 0 ? 0 : 1;
+}
